@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``smoke`` experiment scale (8-node graphs, reduced ensemble and restart
+counts) so the whole harness completes in a few minutes.  The assertions
+check the paper's qualitative *shape* — who wins, whether trends grow in the
+right direction — not absolute numbers, which depend on ensemble size and on
+the authors' exact optimizer settings.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The scaled-down configuration shared by every benchmark."""
+    return ExperimentConfig(
+        num_graphs=12,
+        num_nodes=8,
+        dataset_depths=(1, 2, 3, 4),
+        dataset_restarts=3,
+        target_depths=(2, 3, 4),
+        evaluation_optimizers=("L-BFGS-B", "COBYLA"),
+        naive_restarts=4,
+        num_test_graphs=4,
+        num_regular_graphs=3,
+        regular_depths=(1, 2, 3, 4),
+        regular_restarts=3,
+        max_iterations=2000,
+        seed=2020,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_config) -> ExperimentContext:
+    """Shared lazily-built pipeline state (ensemble, data-set, predictor)."""
+    return ExperimentContext(bench_config)

@@ -1,0 +1,36 @@
+"""Benchmark: ablation studies (initialization strategies, predictor variants)."""
+
+from repro.experiments.ablations import (
+    run_initialization_ablation,
+    run_strategy_ablation,
+)
+
+
+def test_bench_initialization_ablation(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_initialization_ablation(bench_config, bench_context),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    deepest = max(bench_config.target_depths)
+    # The ML warm start needs no more calls than a plain random start at the
+    # largest depth (the speed-up the paper reports), and every strategy
+    # reaches a sane approximation ratio.
+    assert result.mean_fc("ml-two-level", deepest) <= result.mean_fc("random", deepest) * 1.2
+    for row in result.table:
+        assert 0.4 <= row["mean_ar"] <= 1.0 + 1e-9
+
+
+def test_bench_strategy_ablation(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_strategy_ablation(bench_config, bench_context),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+    errors = [row["mean_abs_percent_error"] for row in result.table]
+    assert all(0.0 <= error < 100.0 for error in errors)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 1(c) — AR and FC distributions vs QAOA depth."""
+
+from repro.experiments.figure1c import run_figure1c
+
+
+def test_bench_figure1c(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_figure1c(bench_config, bench_context), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    ar_by_depth = result.ar_by_depth()
+    fc_by_depth = result.fc_by_depth()
+    depths = sorted(ar_by_depth)
+    # Paper shape: the approximation ratio improves with depth while the
+    # number of optimization-loop iterations grows.
+    assert ar_by_depth[depths[-1]] > ar_by_depth[depths[0]]
+    assert fc_by_depth[depths[-1]] > fc_by_depth[depths[0]]
+    assert all(0.5 <= ar_by_depth[d] <= 1.0 + 1e-9 for d in depths)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 2 — intra-depth optimal-parameter trends."""
+
+import numpy as np
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_bench_figure2(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_figure2(bench_config, bench_context, depths=(2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # Paper shape: within a fixed depth the optimal gamma_i increase with the
+    # stage index and the optimal beta_i decrease, for most graphs.
+    for row in result.trend_table:
+        assert row["gamma_increasing_fraction"] >= 0.5
+        assert row["beta_decreasing_fraction"] >= 0.5
+
+    # The average stage-1 beta exceeds the average last-stage beta at the
+    # deepest setting.
+    deepest = max(row["depth"] for row in result.table)
+    beta_first = np.mean(
+        [r["beta_opt"] for r in result.table if r["depth"] == deepest and r["stage"] == 1]
+    )
+    beta_last = np.mean(
+        [
+            r["beta_opt"]
+            for r in result.table
+            if r["depth"] == deepest and r["stage"] == deepest
+        ]
+    )
+    assert beta_first > beta_last

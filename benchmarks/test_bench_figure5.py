@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 5 / Sec. III-B — predictor-response correlations."""
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_bench_figure5(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_figure5(bench_config, bench_context), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    # Paper: gamma1OPT(p=1) and beta1OPT(p=1) are strongly positively
+    # correlated with each other (R = 0.92 in the paper).
+    assert result.gamma1_beta1_correlation > 0.3
+
+    # Paper: the stage-1 responses correlate positively with the depth-1
+    # features, and the correlation with depth is negative for gamma_1
+    # (it decreases with p) and positive for the late-stage beta.
+    assert result.correlation("gamma_1", "gamma1") > 0.0
+    assert result.correlation("gamma_1", "p") < 0.2
+    assert result.correlation("beta_2", "p") > -0.2
+    for row in result.correlation_table:
+        assert row["num_samples"] >= bench_config.num_graphs

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 6 — prediction-error distributions per target depth."""
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_bench_figure6(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_figure6(bench_config, bench_context), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    errors = {row["target_depth"]: row["mean_abs_percent_error"] for row in result.table}
+    depths = sorted(errors)
+    # Paper shape: prediction error grows with the target depth
+    # (5.7% -> 10.2% in the paper); allow slack for the reduced ensemble.
+    assert errors[depths[-1]] >= errors[depths[0]] * 0.8
+    # Predictions must be far better than chance: the paper reports ~6-10%,
+    # the reduced-scale reproduction should stay well under 60%.
+    for depth in depths:
+        assert 0.0 <= errors[depth] < 60.0
+    for report in result.reports:
+        assert report.num_graphs > 0

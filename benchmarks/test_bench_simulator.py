@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the simulation substrate.
+
+These are not paper artefacts; they document the cost of one optimization-loop
+iteration (one expectation evaluation) for both backends, which is the unit
+the paper's "function calls" metric multiplies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.parameters import random_parameters
+from repro.qaoa.solver import QAOASolver
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=17))
+
+
+def test_bench_fast_backend_expectation(benchmark, problem):
+    evaluator = ExpectationEvaluator(problem, depth=3, backend="fast")
+    vector = random_parameters(3, 0).to_vector()
+    value = benchmark(evaluator.expectation, vector)
+    assert 0.0 <= value <= problem.max_cut_value() + 1e-9
+
+
+def test_bench_circuit_backend_expectation(benchmark, problem):
+    evaluator = ExpectationEvaluator(problem, depth=3, backend="circuit")
+    vector = random_parameters(3, 0).to_vector()
+    value = benchmark(evaluator.expectation, vector)
+    assert 0.0 <= value <= problem.max_cut_value() + 1e-9
+
+
+def test_bench_backends_agree(problem):
+    fast = ExpectationEvaluator(problem, depth=3, backend="fast")
+    circuit = ExpectationEvaluator(problem, depth=3, backend="circuit")
+    rng = np.random.default_rng(5)
+    for _ in range(3):
+        vector = random_parameters(3, rng).to_vector()
+        assert fast.expectation(vector) == pytest.approx(
+            circuit.expectation(vector), abs=1e-9
+        )
+
+
+def test_bench_depth1_optimization(benchmark, problem):
+    solver = QAOASolver("L-BFGS-B", num_restarts=1, seed=0)
+    result = benchmark.pedantic(
+        lambda: solver.solve(problem, 1), rounds=3, iterations=1
+    )
+    assert result.approximation_ratio > 0.5

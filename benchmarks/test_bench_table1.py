@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table I — naive vs two-level run-time comparison.
+
+This is the paper's headline result: the ML-initialized two-level flow
+reaches the same (or better) approximation ratio with substantially fewer
+optimization-loop iterations, and the saving grows with the target depth.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, bench_config, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_table1(bench_config, bench_context), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    depths = sorted(bench_config.target_depths)
+    for optimizer in bench_config.evaluation_optimizers:
+        deepest = result.summary_for(optimizer, depths[-1])
+        shallowest = result.summary_for(optimizer, depths[0])
+        # Two-level never degrades the approximation ratio materially.
+        assert deepest.two_level_mean_ar >= deepest.naive_mean_ar - 0.05
+        # The FC reduction at the largest depth is positive and larger than
+        # at the smallest depth (the paper's "more pronounced at higher
+        # target depth" observation).
+        assert deepest.mean_fc_reduction_percent > 0.0
+        assert (
+            deepest.mean_fc_reduction_percent
+            >= shallowest.mean_fc_reduction_percent - 10.0
+        )
+    # The overall average reduction is meaningfully positive (paper: 44.9%).
+    assert result.average_fc_reduction > 10.0
+    assert result.max_fc_reduction <= 100.0

@@ -1,0 +1,58 @@
+"""Explore the optimal-parameter patterns that make the ML prediction possible.
+
+Reproduces the qualitative content of Figs. 2, 3 and 5 of the paper on a
+3-regular graph and a small Erdos-Renyi ensemble.  Run with::
+
+    python examples/parameter_trends.py
+"""
+
+from repro.graphs import GraphEnsemble, erdos_renyi_ensemble, random_regular_graph
+from repro.prediction import DatasetGenerationConfig, TrainingDataset
+from repro.utils.statistics import pearson_correlation
+from repro.utils.tables import Table
+
+
+def intra_depth_trends() -> None:
+    """Fig. 2: gamma_i grows and beta_i shrinks across the stages of one circuit."""
+    graph = random_regular_graph(3, 8, seed=11)
+    dataset = TrainingDataset.generate(
+        GraphEnsemble([graph]),
+        DatasetGenerationConfig(depths=(1, 3, 5), num_restarts=5),
+        seed=0,
+    )
+    record = dataset[0]
+    table = Table(["depth", "stage", "gamma_opt", "beta_opt"])
+    for depth in (3, 5):
+        params = record.entry(depth).parameters
+        for stage in range(1, depth + 1):
+            table.add_row(
+                depth=depth,
+                stage=stage,
+                gamma_opt=params.gamma(stage),
+                beta_opt=params.beta(stage),
+            )
+    print("Optimal parameters across stages (Fig. 2 pattern):")
+    print(table.to_text())
+    print()
+
+
+def cross_depth_correlations() -> None:
+    """Fig. 5: the depth-1 optimum is highly informative about deeper circuits."""
+    ensemble = erdos_renyi_ensemble(12, num_nodes=8, edge_probability=0.5, seed=5)
+    dataset = TrainingDataset.generate(
+        ensemble, DatasetGenerationConfig(depths=(1, 2, 3), num_restarts=3), seed=1
+    )
+    gamma1 = [r.entry(1).parameters.gamma(1) for r in dataset]
+    beta1 = [r.entry(1).parameters.beta(1) for r in dataset]
+    gamma1_p3 = [r.entry(3).parameters.gamma(1) for r in dataset]
+    beta3_p3 = [r.entry(3).parameters.beta(3) for r in dataset]
+
+    print("Correlations across the ensemble (Fig. 5 pattern):")
+    print(f"  R(gamma1OPT(p=1), beta1OPT(p=1))    = {pearson_correlation(gamma1, beta1):+.3f}")
+    print(f"  R(gamma1OPT(p=1), gamma1OPT(p=3))   = {pearson_correlation(gamma1, gamma1_p3):+.3f}")
+    print(f"  R(beta1OPT(p=1),  beta3OPT(p=3))    = {pearson_correlation(beta1, beta3_p3):+.3f}")
+
+
+if __name__ == "__main__":
+    intra_depth_trends()
+    cross_depth_correlations()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Package metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works with older setuptools/pip tool-chains (and in
+offline environments without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

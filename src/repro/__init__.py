@@ -1,0 +1,45 @@
+"""repro — reproduction of ML-accelerated QAOA (Alam et al., DATE 2020).
+
+The package is organised as a set of substrates (quantum simulator, graph /
+MaxCut tooling, classical optimizers, regression models) and the paper's core
+contribution on top of them (QAOA solver, ML parameter predictor, two-level
+accelerated flow, experiment harness).
+
+Quickstart
+----------
+>>> from repro.graphs import erdos_renyi_graph, MaxCutProblem
+>>> from repro.acceleration import TwoLevelQAOARunner
+>>> graph = erdos_renyi_graph(8, 0.5, seed=7)
+>>> problem = MaxCutProblem(graph)
+>>> runner = TwoLevelQAOARunner.with_default_predictor(seed=7)
+>>> outcome = runner.run(problem, target_depth=3)
+>>> outcome.approximation_ratio > 0.8
+True
+"""
+
+from repro.version import __version__
+from repro.exceptions import (
+    CircuitError,
+    ConfigurationError,
+    DatasetError,
+    GraphError,
+    ModelError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+)
+from repro.config import PaperSetup, paper_setup
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CircuitError",
+    "SimulationError",
+    "GraphError",
+    "OptimizationError",
+    "ModelError",
+    "DatasetError",
+    "ConfigurationError",
+    "PaperSetup",
+    "paper_setup",
+]

@@ -1,0 +1,21 @@
+"""The accelerated QAOA flows: naive baseline and the ML two-level approach."""
+
+from repro.acceleration.baseline import NaiveOutcome, NaiveQAOARunner
+from repro.acceleration.two_level import TwoLevelOutcome, TwoLevelQAOARunner
+from repro.acceleration.comparison import (
+    ComparisonRecord,
+    ComparisonSummary,
+    aggregate_records,
+    compare_on_problem,
+)
+
+__all__ = [
+    "NaiveQAOARunner",
+    "NaiveOutcome",
+    "TwoLevelQAOARunner",
+    "TwoLevelOutcome",
+    "ComparisonRecord",
+    "ComparisonSummary",
+    "compare_on_problem",
+    "aggregate_records",
+]

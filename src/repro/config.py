@@ -1,0 +1,85 @@
+"""Package-wide defaults mirroring the paper's experimental setup.
+
+The values below follow Section III-A of the paper: optimization domain
+``beta_i in [0, pi]``, ``gamma_i in [0, 2*pi]``, functional tolerance
+``1e-6``, 8-node problem graphs from the Erdos-Renyi ensemble with edge
+probability 0.5, and 20 random restarts for the naive baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Upper bound of the mixing-angle domain (``beta_i in [0, BETA_MAX]``).
+BETA_MAX = math.pi
+
+#: Upper bound of the phase-separation-angle domain (``gamma_i in [0, GAMMA_MAX]``).
+GAMMA_MAX = 2.0 * math.pi
+
+#: Period of the mixing angle under the global bit-flip symmetry of MaxCut
+#: (``beta -> beta + pi/2`` leaves the cost expectation unchanged).
+BETA_SYMMETRY_PERIOD = math.pi / 2.0
+
+#: Upper bound of the canonical phase-separation domain after fixing the
+#: time-reversal (conjugation) symmetry.
+GAMMA_CANONICAL_MAX = math.pi
+
+#: Functional tolerance used by every classical optimizer in the paper.
+DEFAULT_TOLERANCE = 1e-6
+
+#: Number of nodes of every problem graph in the paper's data-set.
+DEFAULT_NUM_NODES = 8
+
+#: Edge probability of the Erdos-Renyi ensemble used by the paper.
+DEFAULT_EDGE_PROBABILITY = 0.5
+
+#: Number of random restarts used by the naive (random-initialization) flow.
+DEFAULT_NUM_RESTARTS = 20
+
+#: Depths for which the paper generates training data (p = 1 .. 6).
+DATASET_DEPTHS = (1, 2, 3, 4, 5, 6)
+
+#: Target depths evaluated in Table I (p_t = 2 .. 5).
+TARGET_DEPTHS = (2, 3, 4, 5)
+
+#: Number of graphs in the paper's full data-set.
+DATASET_NUM_GRAPHS = 330
+
+#: Train fraction of the 20:80 split used by the paper.
+TRAIN_FRACTION = 0.2
+
+#: The four classical optimizers evaluated in Table I.
+TABLE1_OPTIMIZERS = ("L-BFGS-B", "Nelder-Mead", "SLSQP", "COBYLA")
+
+
+@dataclass(frozen=True)
+class PaperSetup:
+    """Immutable bundle of the paper's experimental constants.
+
+    Instances are cheap value objects; :func:`paper_setup` returns the
+    canonical one.  Experiment configs embed a (possibly scaled-down) copy.
+    """
+
+    num_nodes: int = DEFAULT_NUM_NODES
+    edge_probability: float = DEFAULT_EDGE_PROBABILITY
+    num_graphs: int = DATASET_NUM_GRAPHS
+    depths: tuple = DATASET_DEPTHS
+    target_depths: tuple = TARGET_DEPTHS
+    num_restarts: int = DEFAULT_NUM_RESTARTS
+    tolerance: float = DEFAULT_TOLERANCE
+    train_fraction: float = TRAIN_FRACTION
+
+    @property
+    def num_optimal_parameters(self) -> int:
+        """Total number of optimal parameters in the full data-set.
+
+        For the paper's setup this is ``330 * sum(2 * p for p in 1..6) =
+        13,860``, the figure quoted in the abstract.
+        """
+        return self.num_graphs * sum(2 * depth for depth in self.depths)
+
+
+def paper_setup() -> PaperSetup:
+    """Return the canonical full-scale setup described in the paper."""
+    return PaperSetup()

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed quantum circuits or invalid gate applications."""
+
+
+class SimulationError(ReproError):
+    """Raised when a statevector simulation cannot be carried out."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph constructions or MaxCut problem definitions."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a classical optimization run fails or is misconfigured."""
+
+
+class ModelError(ReproError):
+    """Raised for machine-learning model misuse (e.g. predict before fit)."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed or inconsistent training data-sets."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid experiment or solver configurations."""

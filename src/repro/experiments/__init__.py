@@ -1,0 +1,38 @@
+"""Reproduction harness: one module per table / figure of the paper."""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    paper_scale_config,
+    small_scale_config,
+    smoke_test_config,
+)
+from repro.experiments.context import ExperimentContext
+from repro.experiments.figure1c import Figure1cResult, run_figure1c
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.model_comparison import ModelComparisonResult, run_model_comparison
+
+__all__ = [
+    "ExperimentConfig",
+    "small_scale_config",
+    "smoke_test_config",
+    "paper_scale_config",
+    "ExperimentContext",
+    "run_figure1c",
+    "Figure1cResult",
+    "run_figure2",
+    "Figure2Result",
+    "run_figure3",
+    "Figure3Result",
+    "run_figure5",
+    "Figure5Result",
+    "run_figure6",
+    "Figure6Result",
+    "run_table1",
+    "Table1Result",
+    "run_model_comparison",
+    "ModelComparisonResult",
+]

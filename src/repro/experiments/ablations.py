@@ -1,0 +1,245 @@
+"""Ablation studies extending the paper's evaluation.
+
+Three ablations called out in DESIGN.md:
+
+* **Initialization strategies** — the ML warm start is compared against
+  random initialization, the annealing-inspired linear ramp, and the INTERP
+  heuristic (interpolating the problem's own depth-1 optimum), isolating how
+  much of the speed-up is due to *learning across graphs* rather than to any
+  non-random start.
+* **Predictor strategy** — the paper's pooled 3-feature formulation vs
+  independent per-depth models.
+* **Hierarchical prediction** — the three-level variant sketched in
+  Sec. I(d), which additionally feeds an intermediate depth's optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.graphs.maxcut import MaxCutProblem
+from repro.prediction.hierarchical import HierarchicalParameterPredictor
+from repro.prediction.predictor import ParameterPredictor
+from repro.qaoa.parameters import (
+    interpolate_parameters,
+    linear_ramp_parameters,
+)
+from repro.qaoa.solver import QAOASolver
+from repro.utils.tables import Table
+
+
+@dataclass
+class InitializationAblationResult:
+    """Function calls and AR per initialization strategy and depth."""
+
+    table: Table
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering."""
+        return "\n".join(
+            [
+                "Ablation: initialization strategies (mean over test graphs)",
+                self.table.to_text(),
+            ]
+        )
+
+    def mean_fc(self, strategy: str, depth: int) -> float:
+        """Mean total function calls for one strategy / depth."""
+        for row in self.table:
+            if row["strategy"] == strategy and row["p"] == depth:
+                return row["mean_total_fc"]
+        raise KeyError((strategy, depth))
+
+
+def run_initialization_ablation(
+    config: ExperimentConfig = None,
+    context: ExperimentContext = None,
+    *,
+    optimizer: str = "L-BFGS-B",
+) -> InitializationAblationResult:
+    """Compare random, linear-ramp, INTERP and ML initializations."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    predictor = context.predictor()
+    problems = context.test_problems()
+    solver = QAOASolver(
+        optimizer,
+        tolerance=config.tolerance,
+        max_iterations=config.max_iterations,
+        seed=config.seed + 40,
+    )
+
+    strategies = ("random", "linear-ramp", "interp-p1", "ml-two-level")
+    table = Table(["strategy", "p", "mean_total_fc", "mean_ar", "num_graphs"])
+    for depth in config.target_depths:
+        per_strategy: Dict[str, List[List[float]]] = {
+            name: [[], []] for name in strategies
+        }
+        for index, problem in enumerate(problems):
+            seed = config.seed + 500 + index
+
+            # Random initialization (single restart, the naive unit cost).
+            random_result = solver.solve(problem, depth, num_restarts=1, seed=seed)
+            per_strategy["random"][0].append(random_result.num_function_calls)
+            per_strategy["random"][1].append(random_result.approximation_ratio)
+
+            # Linear-ramp (annealing-inspired) initialization.
+            ramp_result = solver.solve(
+                problem, depth, initial_parameters=linear_ramp_parameters(depth)
+            )
+            per_strategy["linear-ramp"][0].append(ramp_result.num_function_calls)
+            per_strategy["linear-ramp"][1].append(ramp_result.approximation_ratio)
+
+            # INTERP: optimize p=1 then interpolate the optimum to depth p.
+            level1 = solver.solve(problem, 1, num_restarts=1, seed=seed)
+            interp_start = interpolate_parameters(
+                level1.optimal_parameters.canonicalized(), depth
+            )
+            interp_result = solver.solve(
+                problem, depth, initial_parameters=interp_start
+            )
+            per_strategy["interp-p1"][0].append(
+                level1.num_function_calls + interp_result.num_function_calls
+            )
+            per_strategy["interp-p1"][1].append(interp_result.approximation_ratio)
+
+            # ML two-level flow (re-using the same level-1 run).
+            level1_canonical = level1.optimal_parameters.canonicalized()
+            predicted = predictor.predict(
+                level1_canonical.gammas[0], level1_canonical.betas[0], depth
+            )
+            ml_result = solver.solve(problem, depth, initial_parameters=predicted)
+            per_strategy["ml-two-level"][0].append(
+                level1.num_function_calls + ml_result.num_function_calls
+            )
+            per_strategy["ml-two-level"][1].append(ml_result.approximation_ratio)
+
+        for name in strategies:
+            calls, ratios = per_strategy[name]
+            table.add_row(
+                strategy=name,
+                p=depth,
+                mean_total_fc=float(np.mean(calls)),
+                mean_ar=float(np.mean(ratios)),
+                num_graphs=len(problems),
+            )
+    return InitializationAblationResult(table=table, config=config)
+
+
+@dataclass
+class StrategyAblationResult:
+    """Prediction errors of the pooled vs per-depth predictor strategies."""
+
+    table: Table
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering."""
+        return "\n".join(
+            [
+                "Ablation: predictor training strategies (mean |%err| on the test split)",
+                self.table.to_text(),
+            ]
+        )
+
+
+def run_strategy_ablation(
+    config: ExperimentConfig = None, context: ExperimentContext = None
+) -> StrategyAblationResult:
+    """Compare the pooled and per-depth predictor formulations."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    train, test = context.split()
+
+    pooled = ParameterPredictor(config.model, strategy="pooled")
+    pooled.fit(train, config.target_depths)
+    per_depth = ParameterPredictor(config.model, strategy="per-depth")
+    per_depth.fit(train, config.target_depths)
+
+    table = Table(["strategy", "target_depth", "mean_abs_percent_error"])
+    for depth in config.target_depths:
+        table.add_row(
+            strategy="pooled",
+            target_depth=depth,
+            mean_abs_percent_error=pooled.prediction_errors(test, depth).mean_abs_percent_error,
+        )
+        table.add_row(
+            strategy="per-depth",
+            target_depth=depth,
+            mean_abs_percent_error=per_depth.prediction_errors(
+                test, depth
+            ).mean_abs_percent_error,
+        )
+    return StrategyAblationResult(table=table, config=config)
+
+
+@dataclass
+class HierarchicalAblationResult:
+    """Two-level vs hierarchical (three-level) prediction quality."""
+
+    table: Table
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering."""
+        return "\n".join(
+            [
+                "Ablation: two-level vs hierarchical prediction "
+                "(mean |%err| on the test split)",
+                self.table.to_text(),
+            ]
+        )
+
+
+def run_hierarchical_ablation(
+    config: ExperimentConfig = None,
+    context: ExperimentContext = None,
+    *,
+    intermediate_depth: int = 2,
+) -> HierarchicalAblationResult:
+    """Compare the two-level predictor against the hierarchical variant."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    train, test = context.split()
+
+    two_level = context.predictor()
+    hierarchical = HierarchicalParameterPredictor(intermediate_depth, config.model)
+    hierarchical_depths = [
+        depth for depth in config.target_depths if depth > intermediate_depth
+    ]
+    hierarchical.fit(train, hierarchical_depths)
+
+    table = Table(["approach", "target_depth", "mean_abs_percent_error"])
+    for depth in hierarchical_depths:
+        table.add_row(
+            approach="two-level",
+            target_depth=depth,
+            mean_abs_percent_error=two_level.prediction_errors(
+                test, depth
+            ).mean_abs_percent_error,
+        )
+        errors = []
+        for record in test:
+            if not (
+                record.has_depth(1)
+                and record.has_depth(intermediate_depth)
+                and record.has_depth(depth)
+            ):
+                continue
+            predicted = hierarchical.predict_for_record(record, depth).to_vector()
+            actual = record.entry(depth).parameters.to_vector()
+            errors.extend(
+                (100.0 * np.abs(predicted - actual) / np.maximum(np.abs(actual), 0.05)).tolist()
+            )
+        table.add_row(
+            approach=f"hierarchical (p_m={intermediate_depth})",
+            target_depth=depth,
+            mean_abs_percent_error=float(np.mean(errors)) if errors else float("nan"),
+        )
+    return HierarchicalAblationResult(table=table, config=config)

@@ -1,0 +1,111 @@
+"""Shared, lazily-built state for the experiment modules.
+
+Several experiments (Figs. 5-6, Table I, the model comparison) operate on the
+same pipeline: Erdős–Rényi ensemble → optimal-parameter data-set → 20:80
+train/test split → trained predictor.  :class:`ExperimentContext` builds each
+stage once and caches it so a full reproduction run does not repeat the
+(expensive) data generation for every figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.graphs.ensembles import GraphEnsemble, erdos_renyi_ensemble, regular_ensemble
+from repro.graphs.maxcut import MaxCutProblem
+from repro.prediction.dataset import DatasetGenerationConfig, TrainingDataset
+from repro.prediction.predictor import ParameterPredictor
+from repro.utils.rng import ensure_rng
+
+
+class ExperimentContext:
+    """Caches the ensemble, data-set, split and predictor for one config."""
+
+    def __init__(self, config: ExperimentConfig):
+        self._config = config
+        self._ensemble: Optional[GraphEnsemble] = None
+        self._regular: Optional[GraphEnsemble] = None
+        self._dataset: Optional[TrainingDataset] = None
+        self._split: Optional[Tuple[TrainingDataset, TrainingDataset]] = None
+        self._predictor: Optional[ParameterPredictor] = None
+
+    @property
+    def config(self) -> ExperimentConfig:
+        """The experiment configuration this context was built for."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Lazily-built stages
+    # ------------------------------------------------------------------
+    def ensemble(self) -> GraphEnsemble:
+        """The Erdős–Rényi problem ensemble (Sec. III-A)."""
+        if self._ensemble is None:
+            self._ensemble = erdos_renyi_ensemble(
+                self._config.num_graphs,
+                self._config.num_nodes,
+                self._config.edge_probability,
+                seed=self._config.seed,
+            )
+        return self._ensemble
+
+    def regular_graphs(self) -> GraphEnsemble:
+        """The 3-regular graphs used by Figs. 1-3."""
+        if self._regular is None:
+            self._regular = regular_ensemble(
+                self._config.num_regular_graphs,
+                self._config.num_nodes,
+                self._config.regular_degree,
+                seed=self._config.seed + 1,
+            )
+        return self._regular
+
+    def dataset(self) -> TrainingDataset:
+        """The optimal-parameter data-set over the full ensemble."""
+        if self._dataset is None:
+            generation = DatasetGenerationConfig(
+                depths=self._config.dataset_depths,
+                optimizer=self._config.dataset_optimizer,
+                num_restarts=self._config.dataset_restarts,
+                tolerance=self._config.tolerance,
+            )
+            self._dataset = TrainingDataset.generate(
+                self.ensemble(), generation, seed=self._config.seed + 2
+            )
+        return self._dataset
+
+    def split(self) -> Tuple[TrainingDataset, TrainingDataset]:
+        """The 20:80 train/test split of the data-set."""
+        if self._split is None:
+            self._split = self.dataset().train_test_split(
+                self._config.train_fraction, seed=self._config.seed + 3
+            )
+        return self._split
+
+    def train_dataset(self) -> TrainingDataset:
+        """The training portion of the split."""
+        return self.split()[0]
+
+    def test_dataset(self) -> TrainingDataset:
+        """The held-out test portion of the split."""
+        return self.split()[1]
+
+    def predictor(self) -> ParameterPredictor:
+        """The GPR predictor trained on the training split."""
+        if self._predictor is None:
+            predictor = ParameterPredictor(self._config.model)
+            predictor.fit(self.train_dataset(), self._config.target_depths)
+            self._predictor = predictor
+        return self._predictor
+
+    def test_problems(self) -> List[MaxCutProblem]:
+        """MaxCut problems of the test split (optionally truncated).
+
+        ``config.num_test_graphs`` limits how many test graphs the expensive
+        Table-I style evaluation touches; ``None`` uses the whole test split.
+        """
+        problems = [MaxCutProblem(record.graph) for record in self.test_dataset()]
+        limit = self._config.num_test_graphs
+        if limit is not None:
+            problems = problems[: int(limit)]
+        return problems

@@ -1,0 +1,91 @@
+"""Fig. 3: optimal control parameters of a fixed stage vs circuit depth.
+
+For a single 3-regular graph the optimal ``gamma_i`` of a given stage
+decreases as the total depth ``p`` grows, while the optimal ``beta_i``
+increases.  This is the correlation the ML predictor ultimately exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.graphs.ensembles import GraphEnsemble
+from repro.prediction.dataset import DatasetGenerationConfig, TrainingDataset
+from repro.utils.statistics import pearson_correlation
+from repro.utils.tables import Table
+
+
+@dataclass
+class Figure3Result:
+    """Per-stage optima as a function of the circuit depth."""
+
+    table: Table
+    correlation_table: Table
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the depth trends."""
+        return "\n".join(
+            [
+                "Fig. 3 reproduction: optimal parameters of each stage vs circuit depth",
+                self.table.to_text(),
+                "",
+                "Correlation of stage-1 parameters with depth:",
+                self.correlation_table.to_text(),
+            ]
+        )
+
+
+def run_figure3(
+    config: ExperimentConfig = None, context: ExperimentContext = None
+) -> Figure3Result:
+    """Regenerate the Fig. 3 data for the first 3-regular graph."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+
+    graph = context.regular_graphs()[0]
+    generation = DatasetGenerationConfig(
+        depths=tuple(config.regular_depths),
+        optimizer=config.dataset_optimizer,
+        num_restarts=config.regular_restarts,
+        tolerance=config.tolerance,
+    )
+    dataset = TrainingDataset.generate(
+        GraphEnsemble([graph]), generation, seed=config.seed + 30
+    )
+    record = dataset[0]
+
+    table = Table(["depth", "stage", "gamma_opt", "beta_opt"])
+    gamma1_by_depth: List[float] = []
+    beta1_by_depth: List[float] = []
+    depths: List[int] = []
+    for depth in config.regular_depths:
+        entry = record.entry(depth)
+        depths.append(depth)
+        gamma1_by_depth.append(entry.parameters.gamma(1))
+        beta1_by_depth.append(entry.parameters.beta(1))
+        for stage in range(1, depth + 1):
+            table.add_row(
+                depth=depth,
+                stage=stage,
+                gamma_opt=entry.parameters.gamma(stage),
+                beta_opt=entry.parameters.beta(stage),
+            )
+
+    correlation_table = Table(["parameter", "pearson_r_vs_depth"])
+    correlation_table.add_row(
+        parameter="gamma_1",
+        pearson_r_vs_depth=pearson_correlation(depths, gamma1_by_depth),
+    )
+    correlation_table.add_row(
+        parameter="beta_1",
+        pearson_r_vs_depth=pearson_correlation(depths, beta1_by_depth),
+    )
+    return Figure3Result(
+        table=table, correlation_table=correlation_table, config=config
+    )

@@ -1,0 +1,130 @@
+"""Fig. 5 and Sec. III-B: correlations between predictors and responses.
+
+The paper reports Pearson correlation coefficients between the predictor
+variables of the two-level approach — ``gamma1OPT(p=1)``, ``beta1OPT(p=1)``
+and the depth ``p`` — and the response variables ``gamma_iOPT`` /
+``beta_iOPT`` at every depth, e.g. ``R(gamma1OPT(p=1), beta1OPT(p=1)) ≈
+0.92``, ``R(gamma1OPT, p) ≈ -0.63`` decaying to ``-0.44`` for ``gamma5OPT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.prediction.dataset import TrainingDataset
+from repro.utils.statistics import pearson_correlation
+from repro.utils.tables import Table
+
+
+@dataclass
+class Figure5Result:
+    """Correlation analysis between two-level predictors and responses."""
+
+    correlation_table: Table
+    gamma1_beta1_correlation: float
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the correlation analysis."""
+        return "\n".join(
+            [
+                "Fig. 5 / Sec. III-B reproduction: predictor-response correlations",
+                f"R(gamma1OPT(p=1), beta1OPT(p=1)) = {self.gamma1_beta1_correlation:.3f} "
+                "(paper: 0.92)",
+                self.correlation_table.to_text(),
+            ]
+        )
+
+    def correlation(self, response: str, predictor: str) -> float:
+        """Look up one correlation value, e.g. ``correlation("gamma_1", "p")``."""
+        for row in self.correlation_table:
+            if row["response"] == response:
+                return row[f"r_vs_{predictor}"]
+        raise KeyError(response)
+
+
+def _collect_rows(
+    dataset: TrainingDataset, depths: Tuple[int, ...]
+) -> Tuple[Dict[str, List[float]], Dict[str, List[float]]]:
+    """Gather (predictor, response) samples pooled over graphs and depths."""
+    predictors: Dict[str, List[float]] = {"gamma1_p1": [], "beta1_p1": [], "p": []}
+    responses: Dict[str, List[float]] = {}
+    max_depth = max(depths)
+    for stage in range(1, max_depth + 1):
+        responses[f"gamma_{stage}"] = []
+        responses[f"beta_{stage}"] = []
+    # Keep an index of which rows contain each response (stage <= depth only).
+    row_depths: List[int] = []
+    for record in dataset:
+        if not record.has_depth(1):
+            continue
+        base = record.entry(1).parameters
+        for depth in depths:
+            if depth < 2 or not record.has_depth(depth):
+                continue
+            predictors["gamma1_p1"].append(base.gammas[0])
+            predictors["beta1_p1"].append(base.betas[0])
+            predictors["p"].append(float(depth))
+            row_depths.append(depth)
+            entry = record.entry(depth).parameters
+            for stage in range(1, max_depth + 1):
+                responses[f"gamma_{stage}"].append(
+                    entry.gamma(stage) if stage <= depth else np.nan
+                )
+                responses[f"beta_{stage}"].append(
+                    entry.beta(stage) if stage <= depth else np.nan
+                )
+    return predictors, responses
+
+
+def run_figure5(
+    config: ExperimentConfig = None, context: ExperimentContext = None
+) -> Figure5Result:
+    """Regenerate the correlation analysis of Fig. 5."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    dataset = context.dataset()
+    depths = tuple(d for d in config.dataset_depths if d >= 2)
+
+    predictors, responses = _collect_rows(dataset, depths)
+
+    table = Table(["response", "r_vs_gamma1", "r_vs_beta1", "r_vs_p", "num_samples"])
+    for response_name, values in responses.items():
+        values_array = np.asarray(values, dtype=float)
+        mask = ~np.isnan(values_array)
+        if mask.sum() < 2:
+            continue
+        masked_response = values_array[mask]
+        table.add_row(
+            response=response_name,
+            r_vs_gamma1=pearson_correlation(
+                np.asarray(predictors["gamma1_p1"])[mask], masked_response
+            ),
+            r_vs_beta1=pearson_correlation(
+                np.asarray(predictors["beta1_p1"])[mask], masked_response
+            ),
+            r_vs_p=pearson_correlation(
+                np.asarray(predictors["p"])[mask], masked_response
+            ),
+            num_samples=int(mask.sum()),
+        )
+
+    # The paper's standalone claim: gamma1OPT(p=1) and beta1OPT(p=1) are
+    # strongly correlated with each other across graphs.
+    gamma1_values = [
+        record.entry(1).parameters.gammas[0] for record in dataset if record.has_depth(1)
+    ]
+    beta1_values = [
+        record.entry(1).parameters.betas[0] for record in dataset if record.has_depth(1)
+    ]
+    gamma1_beta1 = pearson_correlation(gamma1_values, beta1_values)
+    return Figure5Result(
+        correlation_table=table,
+        gamma1_beta1_correlation=gamma1_beta1,
+        config=config,
+    )

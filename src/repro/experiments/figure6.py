@@ -1,0 +1,81 @@
+"""Fig. 6: prediction-error distributions on the held-out test graphs.
+
+The paper trains the GPR predictor on 66 graphs and evaluates the absolute
+percentage error of the predicted control parameters on the remaining 264
+graphs, finding mean errors of 5.7 / 8.1 / 9.4 / 10.2 % for target depths 2-5
+— i.e. the error grows with the target depth because the depth-1 features are
+less correlated with far-away depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.prediction.predictor import PredictionErrorReport
+from repro.utils.tables import Table
+
+#: Mean absolute percentage errors reported by the paper for p_t = 2..5.
+PAPER_MEAN_ERRORS = {2: 5.7, 3: 8.1, 4: 9.4, 5: 10.2}
+
+
+@dataclass
+class Figure6Result:
+    """Prediction-error statistics per target depth."""
+
+    table: Table
+    reports: List[PredictionErrorReport]
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the error distributions."""
+        return "\n".join(
+            [
+                "Fig. 6 reproduction: prediction errors on the test split "
+                f"({self.reports[0].num_graphs if self.reports else 0} graphs)",
+                self.table.to_text(),
+            ]
+        )
+
+    def mean_error(self, target_depth: int) -> float:
+        """Mean absolute percentage error for one target depth."""
+        for row in self.table:
+            if row["target_depth"] == target_depth:
+                return row["mean_abs_percent_error"]
+        raise KeyError(target_depth)
+
+
+def run_figure6(
+    config: ExperimentConfig = None, context: ExperimentContext = None
+) -> Figure6Result:
+    """Regenerate the Fig. 6 prediction-error analysis."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    predictor = context.predictor()
+    test_dataset = context.test_dataset()
+
+    table = Table(
+        [
+            "target_depth",
+            "mean_abs_percent_error",
+            "std_abs_percent_error",
+            "max_abs_percent_error",
+            "paper_mean_error",
+            "num_graphs",
+        ]
+    )
+    reports: List[PredictionErrorReport] = []
+    for depth in config.target_depths:
+        report = predictor.prediction_errors(test_dataset, depth)
+        reports.append(report)
+        table.add_row(
+            target_depth=depth,
+            mean_abs_percent_error=report.mean_abs_percent_error,
+            std_abs_percent_error=report.std_abs_percent_error,
+            max_abs_percent_error=report.max_abs_percent_error,
+            paper_mean_error=PAPER_MEAN_ERRORS.get(depth, float("nan")),
+            num_graphs=report.num_graphs,
+        )
+    return Figure6Result(table=table, reports=reports, config=config)

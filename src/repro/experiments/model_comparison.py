@@ -1,0 +1,108 @@
+"""Sec. III-C: comparison of the four candidate regression models.
+
+The paper trains GPR, LM (linear regression), RTREE (regression tree) and
+RSVM (support-vector regression) on the same feature/response pairs and
+selects GPR because it achieves the best MSE / RMSE / MAE / R² / adjusted R².
+This experiment reproduces that comparison: each model family is trained on
+the pooled per-response rows of the training split and evaluated on the test
+split, with the metrics averaged over all response variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.ml.metrics import evaluate_regression
+from repro.ml.registry import get_model
+from repro.prediction.dataset import TrainingDataset
+from repro.prediction.features import NUM_TWO_LEVEL_FEATURES, pooled_training_rows
+from repro.utils.tables import Table
+
+#: The paper's model abbreviations mapped to registry names.
+PAPER_MODELS: Dict[str, str] = {
+    "GPR": "gpr",
+    "LM": "lm",
+    "RTREE": "rtree",
+    "RSVM": "rsvm",
+}
+
+
+@dataclass
+class ModelComparisonResult:
+    """Average regression metrics per model family."""
+
+    table: Table
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering of the model comparison."""
+        return "\n".join(
+            [
+                "Sec. III-C reproduction: regression-model comparison "
+                "(metrics averaged over all response variables)",
+                self.table.to_text(),
+            ]
+        )
+
+    def metric(self, model_name: str, metric_name: str) -> float:
+        """Look up one metric value for one model."""
+        for row in self.table:
+            if row["model"] == model_name:
+                return row[metric_name]
+        raise KeyError(model_name)
+
+    def best_model_by_rmse(self) -> str:
+        """Name of the model with the lowest average RMSE."""
+        rows = sorted(self.table, key=lambda row: row["rmse"])
+        return rows[0]["model"]
+
+
+def _evaluate_model(
+    model_key: str,
+    train: TrainingDataset,
+    test: TrainingDataset,
+    depths: Sequence[int],
+) -> Dict[str, float]:
+    """Train one model family per response variable and average the metrics."""
+    max_depth = max(depths)
+    metric_sums: Dict[str, List[float]] = {
+        "mse": [], "rmse": [], "mae": [], "r2": [], "adjusted_r2": []
+    }
+    for stage in range(1, max_depth + 1):
+        relevant = [d for d in depths if d >= max(stage, 2)]
+        if not relevant:
+            continue
+        for kind in ("gamma", "beta"):
+            train_x, train_y = pooled_training_rows(train, stage, kind, relevant)
+            test_x, test_y = pooled_training_rows(test, stage, kind, relevant)
+            model = get_model(model_key)
+            model.fit(train_x, train_y)
+            predictions = model.predict(test_x)
+            metrics = evaluate_regression(test_y, predictions, NUM_TWO_LEVEL_FEATURES)
+            metric_sums["mse"].append(metrics.mse)
+            metric_sums["rmse"].append(metrics.rmse)
+            metric_sums["mae"].append(metrics.mae)
+            metric_sums["r2"].append(metrics.r2)
+            metric_sums["adjusted_r2"].append(metrics.adjusted_r2)
+    return {name: float(np.mean(values)) for name, values in metric_sums.items()}
+
+
+def run_model_comparison(
+    config: ExperimentConfig = None, context: ExperimentContext = None
+) -> ModelComparisonResult:
+    """Regenerate the Sec. III-C model comparison."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    train, test = context.split()
+    depths = tuple(d for d in config.dataset_depths if d >= 2)
+
+    table = Table(["model", "mse", "rmse", "mae", "r2", "adjusted_r2"])
+    for label, model_key in PAPER_MODELS.items():
+        averaged = _evaluate_model(model_key, train, test, depths)
+        table.add_row(model=label, **averaged)
+    return ModelComparisonResult(table=table, config=config)

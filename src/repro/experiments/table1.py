@@ -1,0 +1,163 @@
+"""Table I: run-time comparison between the naive and the two-level flow.
+
+For every classical optimizer and target depth the experiment measures, over
+the test graphs, the mean/SD approximation ratio and function-call count of
+the naive random-initialization baseline and of the ML-initialized two-level
+flow, plus the function-call reduction percentage.  The paper's headline
+numbers are an average reduction of 44.9 % (up to 65.7 %), growing with the
+target depth for every optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.acceleration.comparison import (
+    ComparisonRecord,
+    ComparisonSummary,
+    aggregate_records,
+    compare_on_problem,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.utils.tables import Table
+
+#: FC reduction percentages reported in the paper's Table I, keyed by
+#: (optimizer, target depth).  Used for side-by-side reporting only.
+PAPER_FC_REDUCTIONS: Dict[Tuple[str, int], float] = {
+    ("L-BFGS-B", 2): 20.8,
+    ("L-BFGS-B", 3): 37.1,
+    ("L-BFGS-B", 4): 47.8,
+    ("L-BFGS-B", 5): 55.8,
+    ("Nelder-Mead", 2): 12.3,
+    ("Nelder-Mead", 3): 43.3,
+    ("Nelder-Mead", 4): 57.7,
+    ("Nelder-Mead", 5): 61.4,
+    ("SLSQP", 2): 17.8,
+    ("SLSQP", 3): 40.9,
+    ("SLSQP", 4): 54.0,
+    ("SLSQP", 5): 63.8,
+    ("COBYLA", 2): 22.7,
+    ("COBYLA", 3): 53.5,
+    ("COBYLA", 4): 63.7,
+    ("COBYLA", 5): 65.7,
+}
+
+#: The paper's overall average FC reduction across Table I.
+PAPER_AVERAGE_FC_REDUCTION = 44.9
+
+
+@dataclass
+class Table1Result:
+    """Aggregated naive-vs-two-level comparison (the reproduction of Table I)."""
+
+    table: Table
+    summaries: List[ComparisonSummary]
+    records: List[ComparisonRecord]
+    config: ExperimentConfig
+
+    @property
+    def average_fc_reduction(self) -> float:
+        """Mean FC reduction over all optimizer/depth combinations."""
+        return float(
+            np.mean([summary.mean_fc_reduction_percent for summary in self.summaries])
+        )
+
+    @property
+    def max_fc_reduction(self) -> float:
+        """Largest FC reduction over all optimizer/depth combinations."""
+        return float(
+            np.max([summary.mean_fc_reduction_percent for summary in self.summaries])
+        )
+
+    def summary_for(self, optimizer: str, target_depth: int) -> ComparisonSummary:
+        """The aggregate row for one optimizer / depth combination."""
+        for summary in self.summaries:
+            if (
+                summary.optimizer_name == optimizer
+                and summary.target_depth == target_depth
+            ):
+                return summary
+        raise KeyError((optimizer, target_depth))
+
+    def to_text(self) -> str:
+        """Plain-text rendering in the shape of the paper's Table I."""
+        return "\n".join(
+            [
+                "Table I reproduction: naive vs two-level run-time comparison",
+                self.table.to_text(),
+                "",
+                f"Average FC reduction: {self.average_fc_reduction:.1f}% "
+                f"(paper: {PAPER_AVERAGE_FC_REDUCTION}%), "
+                f"maximum: {self.max_fc_reduction:.1f}% (paper: 65.7%)",
+            ]
+        )
+
+
+def run_table1(
+    config: ExperimentConfig = None, context: ExperimentContext = None
+) -> Table1Result:
+    """Regenerate the Table I comparison on the configured scale."""
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    predictor = context.predictor()
+    problems = context.test_problems()
+
+    table = Table(
+        [
+            "optimizer",
+            "p",
+            "naive_mean_ar",
+            "naive_std_ar",
+            "naive_mean_fc",
+            "naive_std_fc",
+            "two_level_mean_ar",
+            "two_level_std_ar",
+            "two_level_mean_fc",
+            "two_level_std_fc",
+            "fc_reduction_percent",
+            "paper_fc_reduction_percent",
+        ]
+    )
+    summaries: List[ComparisonSummary] = []
+    all_records: List[ComparisonRecord] = []
+    for optimizer in config.evaluation_optimizers:
+        for depth in config.target_depths:
+            records = [
+                compare_on_problem(
+                    problem,
+                    depth,
+                    predictor,
+                    optimizer=optimizer,
+                    num_restarts=config.naive_restarts,
+                    tolerance=config.tolerance,
+                    max_iterations=config.max_iterations,
+                    seed=config.seed + 100 + index,
+                )
+                for index, problem in enumerate(problems)
+            ]
+            all_records.extend(records)
+            summary = aggregate_records(records)
+            summaries.append(summary)
+            table.add_row(
+                optimizer=summary.optimizer_name,
+                p=summary.target_depth,
+                naive_mean_ar=summary.naive_mean_ar,
+                naive_std_ar=summary.naive_std_ar,
+                naive_mean_fc=summary.naive_mean_fc,
+                naive_std_fc=summary.naive_std_fc,
+                two_level_mean_ar=summary.two_level_mean_ar,
+                two_level_std_ar=summary.two_level_std_ar,
+                two_level_mean_fc=summary.two_level_mean_fc,
+                two_level_std_fc=summary.two_level_std_fc,
+                fc_reduction_percent=summary.mean_fc_reduction_percent,
+                paper_fc_reduction_percent=PAPER_FC_REDUCTIONS.get(
+                    (optimizer, depth), float("nan")
+                ),
+            )
+    return Table1Result(
+        table=table, summaries=summaries, records=all_records, config=config
+    )

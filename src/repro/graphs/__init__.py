@@ -1,0 +1,33 @@
+"""Graph substrate: graph model, generators, MaxCut problems, Ising mapping."""
+
+from repro.graphs.model import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    weighted_erdos_renyi_graph,
+)
+from repro.graphs.maxcut import MaxCutProblem
+from repro.graphs.ising import IsingModel, maxcut_to_ising, qubo_to_ising
+from repro.graphs.ensembles import GraphEnsemble, erdos_renyi_ensemble, regular_ensemble
+
+__all__ = [
+    "Graph",
+    "erdos_renyi_graph",
+    "weighted_erdos_renyi_graph",
+    "random_regular_graph",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "MaxCutProblem",
+    "IsingModel",
+    "maxcut_to_ising",
+    "qubo_to_ising",
+    "GraphEnsemble",
+    "erdos_renyi_ensemble",
+    "regular_ensemble",
+]

@@ -1,0 +1,181 @@
+"""Random and structured graph generators.
+
+The paper draws its training/test problems from the Erdős–Rényi ensemble with
+edge probability 0.5 (Sec. III-A) and uses 3-regular graphs for the trend
+figures (Figs. 1–3).  All generators here are implemented natively on top of
+NumPy RNGs so the library does not depend on NetworkX being importable,
+although :class:`~repro.graphs.model.Graph` interoperates with it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.model import Graph
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    *,
+    seed: RandomState = None,
+    require_edges: bool = True,
+    name: str = None,
+) -> Graph:
+    """Sample a G(n, p) Erdős–Rényi graph.
+
+    Parameters
+    ----------
+    num_nodes, edge_probability:
+        Ensemble parameters; the paper uses ``n = 8`` and ``p = 0.5``.
+    require_edges:
+        When true (default), resample until the graph has at least one edge so
+        that the MaxCut problem is non-trivial.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    check_probability(edge_probability, "edge_probability")
+    rng = ensure_rng(seed)
+    for _ in range(1000):
+        edges = [
+            (u, v, 1.0)
+            for u in range(num_nodes)
+            for v in range(u + 1, num_nodes)
+            if rng.random() < edge_probability
+        ]
+        if edges or not require_edges:
+            return Graph(
+                num_nodes, edges, name=name or f"er_{num_nodes}_{edge_probability:g}"
+            )
+    raise GraphError(
+        "failed to sample an Erdos-Renyi graph with at least one edge; "
+        "edge_probability is likely too small"
+    )
+
+
+def weighted_erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    *,
+    weight_low: float = 0.5,
+    weight_high: float = 1.5,
+    seed: RandomState = None,
+    name: str = None,
+) -> Graph:
+    """Erdős–Rényi graph with uniform random edge weights.
+
+    This extends the paper's unweighted setup and is used by the weighted
+    MaxCut example and the robustness ablations.
+    """
+    if weight_high < weight_low:
+        raise GraphError("weight_high must be >= weight_low")
+    rng = ensure_rng(seed)
+    base = erdos_renyi_graph(
+        num_nodes, edge_probability, seed=rng, name=name or "weighted_er"
+    )
+    graph = Graph(num_nodes, name=base.name)
+    for u, v, _ in base.edges:
+        graph.add_edge(u, v, float(rng.uniform(weight_low, weight_high)))
+    return graph
+
+
+def random_regular_graph(
+    degree: int,
+    num_nodes: int,
+    *,
+    seed: RandomState = None,
+    max_attempts: int = 2000,
+    name: str = None,
+) -> Graph:
+    """Sample a random d-regular graph via the pairing (configuration) model.
+
+    Used for the 3-regular, 8-node graphs of Figs. 1–3.  The pairing model is
+    retried until it produces a simple graph, which is fast for the small
+    sizes used here.
+    """
+    check_positive_int(degree, "degree")
+    check_positive_int(num_nodes, "num_nodes")
+    if degree >= num_nodes:
+        raise GraphError(f"degree {degree} must be smaller than num_nodes {num_nodes}")
+    if (degree * num_nodes) % 2 != 0:
+        raise GraphError("degree * num_nodes must be even for a regular graph")
+    rng = ensure_rng(seed)
+
+    stubs_template = np.repeat(np.arange(num_nodes), degree)
+    for _ in range(max_attempts):
+        stubs = stubs_template.copy()
+        rng.shuffle(stubs)
+        pairs = stubs.reshape(-1, 2)
+        edges = set()
+        simple = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v or (min(u, v), max(u, v)) in edges:
+                simple = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if simple:
+            return Graph(
+                num_nodes,
+                [(u, v, 1.0) for u, v in sorted(edges)],
+                name=name or f"regular_{degree}_{num_nodes}",
+            )
+    raise GraphError(
+        f"failed to sample a simple {degree}-regular graph on {num_nodes} nodes "
+        f"after {max_attempts} attempts"
+    )
+
+
+def complete_graph(num_nodes: int, *, weight: float = 1.0, name: str = None) -> Graph:
+    """The complete graph ``K_n``."""
+    check_positive_int(num_nodes, "num_nodes")
+    edges = [
+        (u, v, weight) for u in range(num_nodes) for v in range(u + 1, num_nodes)
+    ]
+    return Graph(num_nodes, edges, name=name or f"complete_{num_nodes}")
+
+
+def cycle_graph(num_nodes: int, *, weight: float = 1.0, name: str = None) -> Graph:
+    """The cycle (ring) graph ``C_n``."""
+    check_positive_int(num_nodes, "num_nodes")
+    if num_nodes < 3:
+        raise GraphError("a cycle needs at least 3 nodes")
+    edges = [(node, (node + 1) % num_nodes, weight) for node in range(num_nodes)]
+    return Graph(num_nodes, edges, name=name or f"cycle_{num_nodes}")
+
+
+def path_graph(num_nodes: int, *, weight: float = 1.0, name: str = None) -> Graph:
+    """The path graph ``P_n``."""
+    check_positive_int(num_nodes, "num_nodes")
+    if num_nodes < 2:
+        raise GraphError("a path needs at least 2 nodes")
+    edges = [(node, node + 1, weight) for node in range(num_nodes - 1)]
+    return Graph(num_nodes, edges, name=name or f"path_{num_nodes}")
+
+
+def star_graph(num_nodes: int, *, weight: float = 1.0, name: str = None) -> Graph:
+    """The star graph with node 0 at the centre."""
+    check_positive_int(num_nodes, "num_nodes")
+    if num_nodes < 2:
+        raise GraphError("a star needs at least 2 nodes")
+    edges = [(0, node, weight) for node in range(1, num_nodes)]
+    return Graph(num_nodes, edges, name=name or f"star_{num_nodes}")
+
+
+def barbell_graph(clique_size: int, *, name: str = None) -> Graph:
+    """Two cliques of *clique_size* nodes joined by a single bridge edge."""
+    check_positive_int(clique_size, "clique_size")
+    if clique_size < 2:
+        raise GraphError("each clique needs at least 2 nodes")
+    num_nodes = 2 * clique_size
+    edges: List = []
+    for offset in (0, clique_size):
+        for u in range(clique_size):
+            for v in range(u + 1, clique_size):
+                edges.append((offset + u, offset + v, 1.0))
+    edges.append((clique_size - 1, clique_size, 1.0))
+    return Graph(num_nodes, edges, name=name or f"barbell_{clique_size}")

@@ -1,0 +1,166 @@
+"""Ising / QUBO formulations of MaxCut.
+
+The MaxCut appendix of the paper formulates the problem as maximising
+``sum_{(u,v)} w_uv (1 - s_u s_v) / 2`` over spins ``s in {-1, +1}``.  This
+module provides the spin-model view (fields ``h``, couplings ``J``, constant
+offset) and the standard QUBO-to-Ising change of variables, so the library can
+also ingest problems specified as QUBO matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.model import Graph
+from repro.graphs.maxcut import MaxCutProblem
+
+
+class IsingModel:
+    """An Ising Hamiltonian ``E(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j + c``."""
+
+    def __init__(
+        self,
+        num_spins: int,
+        fields: Dict[int, float] = None,
+        couplings: Dict[Tuple[int, int], float] = None,
+        constant: float = 0.0,
+    ):
+        if num_spins <= 0:
+            raise GraphError(f"num_spins must be positive, got {num_spins}")
+        self._num_spins = num_spins
+        self._fields = {int(k): float(v) for k, v in (fields or {}).items()}
+        self._couplings: Dict[Tuple[int, int], float] = {}
+        for (i, j), value in (couplings or {}).items():
+            i, j = int(i), int(j)
+            if i == j:
+                raise GraphError("Ising couplings must connect distinct spins")
+            key = (min(i, j), max(i, j))
+            self._couplings[key] = self._couplings.get(key, 0.0) + float(value)
+        self._constant = float(constant)
+        for index in list(self._fields) + [i for pair in self._couplings for i in pair]:
+            if not 0 <= index < num_spins:
+                raise GraphError(f"spin index {index} out of range")
+
+    @property
+    def num_spins(self) -> int:
+        """Number of spins."""
+        return self._num_spins
+
+    @property
+    def fields(self) -> Dict[int, float]:
+        """Local fields ``h_i`` (copy)."""
+        return dict(self._fields)
+
+    @property
+    def couplings(self) -> Dict[Tuple[int, int], float]:
+        """Pairwise couplings ``J_ij`` with ``i < j`` (copy)."""
+        return dict(self._couplings)
+
+    @property
+    def constant(self) -> float:
+        """Constant energy offset."""
+        return self._constant
+
+    def energy(self, spins: Sequence[int]) -> float:
+        """Energy of a spin configuration (entries must be ±1)."""
+        spins = np.asarray(list(spins), dtype=int)
+        if spins.size != self._num_spins or not np.all(np.abs(spins) == 1):
+            raise GraphError(
+                f"spins must be {self._num_spins} values in {{-1, +1}}, got {spins!r}"
+            )
+        energy = self._constant
+        for index, field in self._fields.items():
+            energy += field * spins[index]
+        for (i, j), coupling in self._couplings.items():
+            energy += coupling * spins[i] * spins[j]
+        return float(energy)
+
+    def energy_from_bits(self, bits: Sequence[int]) -> float:
+        """Energy of a 0/1 assignment using ``s = 1 - 2*x``."""
+        bits = np.asarray(list(bits), dtype=int)
+        return self.energy(1 - 2 * bits)
+
+    def ground_state(self) -> Tuple[float, np.ndarray]:
+        """Brute-force minimum energy and one minimising configuration."""
+        best_energy = None
+        best_spins = None
+        for index in range(2**self._num_spins):
+            bits = np.array(
+                [(index >> k) & 1 for k in range(self._num_spins)], dtype=int
+            )
+            spins = 1 - 2 * bits
+            energy = self.energy(spins)
+            if best_energy is None or energy < best_energy:
+                best_energy, best_spins = energy, spins
+        return float(best_energy), best_spins
+
+    def __repr__(self) -> str:
+        return (
+            f"IsingModel(num_spins={self._num_spins}, fields={len(self._fields)}, "
+            f"couplings={len(self._couplings)})"
+        )
+
+
+def maxcut_to_ising(problem: MaxCutProblem) -> IsingModel:
+    """Ising model whose energy is the *negated* cut value.
+
+    Minimising the returned model's energy is equivalent to maximising the
+    cut: ``cut(x) = sum w_uv (1 - s_u s_v) / 2`` so
+    ``-cut(x) = sum (w_uv / 2) s_u s_v - sum w_uv / 2``.
+    """
+    couplings = {}
+    constant = 0.0
+    for u, v, weight in problem.graph.edges:
+        couplings[(u, v)] = weight / 2.0
+        constant -= weight / 2.0
+    return IsingModel(problem.num_qubits, couplings=couplings, constant=constant)
+
+
+def qubo_to_ising(qubo: np.ndarray) -> IsingModel:
+    """Convert a QUBO matrix ``x^T Q x`` (0/1 variables) to an Ising model.
+
+    Uses the substitution ``x_i = (1 - s_i) / 2``.  The matrix is symmetrised
+    first; diagonal entries act as linear terms.
+    """
+    qubo = np.asarray(qubo, dtype=float)
+    if qubo.ndim != 2 or qubo.shape[0] != qubo.shape[1]:
+        raise GraphError(f"QUBO matrix must be square, got shape {qubo.shape}")
+    num_vars = qubo.shape[0]
+    symmetric = 0.5 * (qubo + qubo.T)
+
+    fields: Dict[int, float] = {}
+    couplings: Dict[Tuple[int, int], float] = {}
+    constant = 0.0
+    for i in range(num_vars):
+        q_ii = symmetric[i, i]
+        constant += q_ii / 2.0
+        fields[i] = fields.get(i, 0.0) - q_ii / 2.0
+        for j in range(i + 1, num_vars):
+            q_ij = 2.0 * symmetric[i, j]
+            if q_ij == 0.0:
+                continue
+            constant += q_ij / 4.0
+            fields[i] = fields.get(i, 0.0) - q_ij / 4.0
+            fields[j] = fields.get(j, 0.0) - q_ij / 4.0
+            couplings[(i, j)] = couplings.get((i, j), 0.0) + q_ij / 4.0
+    fields = {k: v for k, v in fields.items() if v != 0.0}
+    return IsingModel(num_vars, fields=fields, couplings=couplings, constant=constant)
+
+
+def maxcut_qubo(graph: Graph) -> np.ndarray:
+    """QUBO matrix whose value equals the (negated) cut of a 0/1 assignment.
+
+    ``-cut(x) = sum_{(u,v)} w_uv (2 x_u x_v - x_u - x_v)`` so minimising the
+    QUBO maximises the cut.
+    """
+    num_nodes = graph.num_nodes
+    qubo = np.zeros((num_nodes, num_nodes), dtype=float)
+    for u, v, weight in graph.edges:
+        qubo[u, v] += weight
+        qubo[v, u] += weight
+        qubo[u, u] -= weight
+        qubo[v, v] -= weight
+    return qubo

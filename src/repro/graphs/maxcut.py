@@ -1,0 +1,169 @@
+"""MaxCut problem definition and exact (brute-force) reference solutions.
+
+For a graph ``G = (V, E)`` with weights ``w_uv``, the MaxCut objective of a
+binary assignment ``x`` is ``C(x) = sum_{(u,v) in E} w_uv * [x_u != x_v]``.
+QAOA encodes this as the cost Hamiltonian
+
+    H_C = sum_{(u,v) in E} (w_uv / 2) * (I - Z_u Z_v)
+
+whose expectation value in the QAOA output state is the quantity the
+classical optimizer maximises.  Because the graphs in the paper have 8 nodes
+the exact optimum is obtained by enumerating all ``2^n`` assignments, which
+also provides the denominator of the approximation ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.model import Graph
+from repro.quantum.operators import PauliSum
+
+Assignment = Union[str, Sequence[int]]
+
+
+class MaxCutProblem:
+    """A MaxCut instance over a :class:`~repro.graphs.model.Graph`."""
+
+    def __init__(self, graph: Graph):
+        if graph.num_edges == 0:
+            raise GraphError("MaxCut is trivial on a graph with no edges")
+        self._graph = graph
+        self._cut_table: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying problem graph."""
+        return self._graph
+
+    @property
+    def num_qubits(self) -> int:
+        """One qubit per graph node."""
+        return self._graph.num_nodes
+
+    @property
+    def name(self) -> str:
+        """Name inherited from the graph."""
+        return self._graph.name
+
+    # ------------------------------------------------------------------
+    # Classical cut evaluation
+    # ------------------------------------------------------------------
+    def _as_bits(self, assignment: Assignment) -> np.ndarray:
+        if isinstance(assignment, str):
+            if len(assignment) != self.num_qubits or any(
+                ch not in "01" for ch in assignment
+            ):
+                raise GraphError(
+                    f"assignment string must have {self.num_qubits} binary digits, "
+                    f"got {assignment!r}"
+                )
+            # Bit-string labels are MSB first: character k is node n-1-k.
+            return np.array([int(ch) for ch in reversed(assignment)], dtype=int)
+        bits = np.asarray(list(assignment), dtype=int)
+        if bits.size != self.num_qubits or not np.all((bits == 0) | (bits == 1)):
+            raise GraphError(
+                f"assignment must be {self.num_qubits} binary values, got {assignment!r}"
+            )
+        return bits
+
+    def cut_value(self, assignment: Assignment) -> float:
+        """Total weight of edges cut by *assignment*.
+
+        *assignment* is either a bit-string (most-significant node first, the
+        same convention as measurement outcomes) or a sequence indexed by
+        node.
+        """
+        bits = self._as_bits(assignment)
+        return float(
+            sum(
+                weight
+                for u, v, weight in self._graph.edges
+                if bits[u] != bits[v]
+            )
+        )
+
+    def cut_values_table(self) -> np.ndarray:
+        """Cut value of every basis state, indexed by the basis integer.
+
+        Index ``k`` corresponds to the computational basis state whose bit for
+        node ``u`` is ``(k >> u) & 1`` — exactly the ordering of
+        :class:`~repro.quantum.statevector.Statevector` amplitudes, so this
+        array doubles as the diagonal of the cost Hamiltonian.
+        """
+        if self._cut_table is None:
+            indices = np.arange(2**self.num_qubits)
+            table = np.zeros(indices.size, dtype=float)
+            for u, v, weight in self._graph.edges:
+                bit_u = (indices >> u) & 1
+                bit_v = (indices >> v) & 1
+                table += weight * (bit_u ^ bit_v)
+            self._cut_table = table
+        return self._cut_table
+
+    def max_cut_value(self) -> float:
+        """The exact optimum, found by enumeration."""
+        return float(self.cut_values_table().max())
+
+    def optimal_assignments(self) -> List[str]:
+        """All optimal bit-strings (MSB first)."""
+        table = self.cut_values_table()
+        best = table.max()
+        width = self.num_qubits
+        return [
+            format(index, f"0{width}b")
+            for index in np.flatnonzero(np.isclose(table, best))
+        ]
+
+    def approximation_ratio(self, expectation: float) -> float:
+        """Ratio of an achieved cost expectation to the exact optimum."""
+        optimum = self.max_cut_value()
+        return float(expectation) / optimum
+
+    def random_cut_expectation(self) -> float:
+        """Expected cut of a uniformly random assignment (= half total weight)."""
+        return 0.5 * self._graph.total_weight()
+
+    # ------------------------------------------------------------------
+    # Quantum encodings
+    # ------------------------------------------------------------------
+    def cost_hamiltonian(self) -> PauliSum:
+        """The cost Hamiltonian ``H_C`` as a Pauli sum."""
+        n = self.num_qubits
+        operator = PauliSum()
+        identity = "I" * n
+        for u, v, weight in self._graph.edges:
+            operator.add_term(weight / 2.0, identity)
+            label = list(identity)
+            label[n - 1 - u] = "Z"
+            label[n - 1 - v] = "Z"
+            operator.add_term(-weight / 2.0, "".join(label))
+        return operator.simplify()
+
+    def cost_diagonal(self) -> np.ndarray:
+        """Diagonal of ``H_C`` in the computational basis (== cut table)."""
+        return self.cut_values_table().copy()
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"MaxCutProblem(graph={self._graph.name!r}, "
+            f"nodes={self._graph.num_nodes}, edges={self._graph.num_edges})"
+        )
+
+
+def goemans_williamson_bound(problem: MaxCutProblem) -> float:
+    """The classical 0.878-approximation reference value.
+
+    Returned as ``0.878 * optimum``; useful as a horizontal reference line
+    when plotting approximation ratios.
+    """
+    return 0.87856 * problem.max_cut_value()

@@ -1,0 +1,226 @@
+"""A light-weight undirected weighted graph.
+
+The MaxCut instances in the paper are small (8 nodes), so the graph model
+favours clarity over asymptotic cleverness: nodes are the integers
+``0 .. num_nodes - 1`` and edges are stored both as an adjacency map and as a
+sorted edge list.  Conversion to and from :mod:`networkx` is provided for
+interoperability but nothing in the library requires it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.utils.validation import check_positive_int
+
+Edge = Tuple[int, int]
+WeightedEdge = Tuple[int, int, float]
+
+
+class Graph:
+    """An undirected graph on nodes ``0 .. num_nodes - 1`` with edge weights."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Sequence] = (),
+        *,
+        name: str = "graph",
+    ):
+        check_positive_int(num_nodes, "num_nodes")
+        self._num_nodes = num_nodes
+        self._name = name
+        self._adjacency: Dict[int, Dict[int, float]] = {
+            node: {} for node in range(num_nodes)
+        }
+        self._num_edges = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                weight = 1.0
+            elif len(edge) == 3:
+                u, v, weight = edge
+            else:
+                raise GraphError(f"edges must be (u, v) or (u, v, weight), got {edge!r}")
+            self.add_edge(int(u), int(v), float(weight))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add an undirected edge; re-adding an edge overwrites its weight."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u})")
+        if not np.isfinite(weight):
+            raise GraphError(f"edge weight must be finite, got {weight}")
+        if v not in self._adjacency[u]:
+            self._num_edges += 1
+        self._adjacency[u][v] = float(weight)
+        self._adjacency[v][u] = float(weight)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(
+                f"node {node} out of range for a graph with {self._num_nodes} nodes"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable graph name (used in experiment reports)."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return self._num_edges
+
+    @property
+    def nodes(self) -> List[int]:
+        """The node labels ``0 .. num_nodes - 1``."""
+        return list(range(self._num_nodes))
+
+    @property
+    def edges(self) -> List[WeightedEdge]:
+        """Sorted list of ``(u, v, weight)`` with ``u < v``."""
+        result: List[WeightedEdge] = []
+        for u in range(self._num_nodes):
+            for v, weight in self._adjacency[u].items():
+                if u < v:
+                    result.append((u, v, weight))
+        result.sort()
+        return result
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``(u, v)`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adjacency[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        return self._adjacency[u][v]
+
+    def neighbors(self, node: int) -> List[int]:
+        """Sorted list of neighbours of *node*."""
+        self._check_node(node)
+        return sorted(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Degree of *node*."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def degrees(self) -> List[int]:
+        """Degrees of all nodes in node order."""
+        return [self.degree(node) for node in range(self._num_nodes)]
+
+    def total_weight(self) -> float:
+        """Sum of all edge weights."""
+        return float(sum(weight for _, _, weight in self.edges))
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (single component, BFS check)."""
+        if self._num_nodes == 0:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == self._num_nodes
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense symmetric weight matrix."""
+        matrix = np.zeros((self._num_nodes, self._num_nodes), dtype=float)
+        for u, v, weight in self.edges:
+            matrix[u, v] = weight
+            matrix[v, u] = weight
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Conversion / serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-friendly dictionary representation."""
+        return {
+            "name": self._name,
+            "num_nodes": self._num_nodes,
+            "edges": [[u, v, weight] for u, v, weight in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Graph":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                int(payload["num_nodes"]),
+                payload["edges"],
+                name=payload.get("name", "graph"),
+            )
+        except (KeyError, TypeError) as exc:
+            raise GraphError(f"malformed graph payload: {payload!r}") from exc
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (requires networkx)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self._num_nodes))
+        graph.add_weighted_edges_from(self.edges)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph, *, name: str = "graph") -> "Graph":
+        """Build from a :class:`networkx.Graph`; node labels are re-indexed."""
+        nodes = sorted(nx_graph.nodes())
+        index = {node: position for position, node in enumerate(nodes)}
+        edges = [
+            (index[u], index[v], float(data.get("weight", 1.0)))
+            for u, v, data in nx_graph.edges(data=True)
+        ]
+        return cls(len(nodes), edges, name=name)
+
+    def relabeled(self, name: str) -> "Graph":
+        """Copy of the graph under a new name."""
+        return Graph(self._num_nodes, self.edges, name=name)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._num_nodes))
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._num_nodes == other._num_nodes and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self._num_nodes, tuple(self.edges)))
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self._name!r}, num_nodes={self._num_nodes}, "
+            f"num_edges={self._num_edges})"
+        )

@@ -1,0 +1,53 @@
+"""From-scratch regression models and supporting ML tooling.
+
+This subpackage replaces the MATLAB Statistics & ML Toolbox used in the
+paper.  It provides the four model families the paper compares — Gaussian
+Process Regression (GPR), Linear Regression (LM), Regression Tree (RTREE) and
+Support Vector Regression (RSVM) — plus preprocessing, multi-output wrapping
+and the metric suite (MSE, RMSE, MAE, R², adjusted R²).
+"""
+
+from repro.ml.base import Regressor
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.tree import RegressionTree
+from repro.ml.svr import KernelSVR
+from repro.ml.kernels import ConstantKernel, RBFKernel, SumKernel, WhiteNoiseKernel
+from repro.ml.multioutput import MultiOutputRegressor
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, train_test_split
+from repro.ml.metrics import (
+    RegressionMetrics,
+    adjusted_r2_score,
+    evaluate_regression,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.registry import available_models, get_model
+
+__all__ = [
+    "Regressor",
+    "LinearRegression",
+    "RidgeRegression",
+    "GaussianProcessRegressor",
+    "RegressionTree",
+    "KernelSVR",
+    "RBFKernel",
+    "WhiteNoiseKernel",
+    "ConstantKernel",
+    "SumKernel",
+    "MultiOutputRegressor",
+    "StandardScaler",
+    "MinMaxScaler",
+    "train_test_split",
+    "RegressionMetrics",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "adjusted_r2_score",
+    "evaluate_regression",
+    "available_models",
+    "get_model",
+]

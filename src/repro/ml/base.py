@@ -1,0 +1,103 @@
+"""Regressor interface shared by every model in :mod:`repro.ml`."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def as_2d_features(features: np.ndarray, name: str = "X") -> np.ndarray:
+    """Coerce *features* to a 2-D float array of shape ``(n_samples, n_features)``."""
+    array = np.asarray(features, dtype=float)
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    if array.ndim != 2 or array.size == 0:
+        raise ModelError(f"{name} must be a non-empty 2-D array, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ModelError(f"{name} contains non-finite values")
+    return array
+
+
+def as_1d_targets(targets: np.ndarray, name: str = "y") -> np.ndarray:
+    """Coerce *targets* to a 1-D float array."""
+    array = np.asarray(targets, dtype=float).reshape(-1)
+    if array.size == 0:
+        raise ModelError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise ModelError(f"{name} contains non-finite values")
+    return array
+
+
+class Regressor(ABC):
+    """Base class for single-output regressors (``fit`` / ``predict``)."""
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._num_features: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called successfully."""
+        return self._fitted
+
+    @property
+    def num_features(self) -> Optional[int]:
+        """Input dimensionality seen at fit time (``None`` before fitting)."""
+        return self._num_features
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "Regressor":
+        """Fit the model; returns ``self`` for chaining."""
+        features = as_2d_features(features)
+        targets = as_1d_targets(targets)
+        if features.shape[0] != targets.size:
+            raise ModelError(
+                f"X has {features.shape[0]} samples but y has {targets.size}"
+            )
+        self._fit(features, targets)
+        self._num_features = features.shape[1]
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for *features* (1-D array of length ``n_samples``)."""
+        if not self._fitted:
+            raise ModelError(f"{type(self).__name__} must be fitted before predicting")
+        features = as_2d_features(features)
+        if features.shape[1] != self._num_features:
+            raise ModelError(
+                f"expected {self._num_features} features, got {features.shape[1]}"
+            )
+        return np.asarray(self._predict(features), dtype=float).reshape(-1)
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination R² on the given data."""
+        from repro.ml.metrics import r2_score
+
+        return r2_score(as_1d_targets(targets), self.predict(features))
+
+    @abstractmethod
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        """Model-specific fitting on validated arrays."""
+
+    @abstractmethod
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        """Model-specific prediction on validated arrays."""
+
+    def clone(self) -> "Regressor":
+        """Return an unfitted copy with the same hyper-parameters."""
+        return type(self)(**self.get_params())
+
+    def get_params(self) -> dict:
+        """Constructor keyword arguments describing the hyper-parameters.
+
+        Subclasses override; the default is an empty parameter set.
+        """
+        return {}
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{key}={value!r}" for key, value in self.get_params().items())
+        return f"{type(self).__name__}({params})"

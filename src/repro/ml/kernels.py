@@ -1,0 +1,135 @@
+"""Covariance kernels for Gaussian-process regression and kernel SVR."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+class Kernel(ABC):
+    """A positive semi-definite covariance function ``k(x, x')``."""
+
+    @abstractmethod
+    def __call__(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        """Evaluate the Gram matrix between two sample sets."""
+
+    @abstractmethod
+    def diagonal(self, samples: np.ndarray) -> np.ndarray:
+        """Evaluate ``k(x, x)`` for every row of *samples*."""
+
+    def __add__(self, other: "Kernel") -> "SumKernel":
+        return SumKernel(self, other)
+
+
+def _as_matrix(samples: np.ndarray) -> np.ndarray:
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim == 1:
+        samples = samples.reshape(-1, 1)
+    if samples.ndim != 2:
+        raise ModelError(f"kernel inputs must be 2-D, got shape {samples.shape}")
+    return samples
+
+
+def squared_distances(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances between two sample sets."""
+    first = _as_matrix(first)
+    second = _as_matrix(second)
+    if first.shape[1] != second.shape[1]:
+        raise ModelError(
+            f"dimension mismatch: {first.shape[1]} vs {second.shape[1]} features"
+        )
+    first_norms = np.sum(first**2, axis=1)[:, None]
+    second_norms = np.sum(second**2, axis=1)[None, :]
+    distances = first_norms + second_norms - 2.0 * first @ second.T
+    return np.maximum(distances, 0.0)
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``sigma^2 exp(-||x - x'||^2 / (2 l^2))``."""
+
+    def __init__(self, length_scale: float = 1.0, signal_variance: float = 1.0):
+        if length_scale <= 0:
+            raise ModelError(f"length_scale must be positive, got {length_scale}")
+        if signal_variance <= 0:
+            raise ModelError(f"signal_variance must be positive, got {signal_variance}")
+        self.length_scale = float(length_scale)
+        self.signal_variance = float(signal_variance)
+
+    def __call__(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        distances = squared_distances(first, second)
+        return self.signal_variance * np.exp(-0.5 * distances / self.length_scale**2)
+
+    def diagonal(self, samples: np.ndarray) -> np.ndarray:
+        samples = _as_matrix(samples)
+        return np.full(samples.shape[0], self.signal_variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"RBFKernel(length_scale={self.length_scale:.4g}, "
+            f"signal_variance={self.signal_variance:.4g})"
+        )
+
+
+class WhiteNoiseKernel(Kernel):
+    """Observation-noise kernel: ``noise^2`` on the diagonal, zero elsewhere."""
+
+    def __init__(self, noise_variance: float = 1e-6):
+        if noise_variance < 0:
+            raise ModelError(f"noise_variance must be >= 0, got {noise_variance}")
+        self.noise_variance = float(noise_variance)
+
+    def __call__(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        first = _as_matrix(first)
+        second = _as_matrix(second)
+        if first.shape[0] == second.shape[0] and np.array_equal(first, second):
+            return self.noise_variance * np.eye(first.shape[0])
+        return np.zeros((first.shape[0], second.shape[0]))
+
+    def diagonal(self, samples: np.ndarray) -> np.ndarray:
+        samples = _as_matrix(samples)
+        return np.full(samples.shape[0], self.noise_variance)
+
+    def __repr__(self) -> str:
+        return f"WhiteNoiseKernel(noise_variance={self.noise_variance:.4g})"
+
+
+class ConstantKernel(Kernel):
+    """A constant covariance (models a shared offset between samples)."""
+
+    def __init__(self, value: float = 1.0):
+        if value < 0:
+            raise ModelError(f"value must be >= 0, got {value}")
+        self.value = float(value)
+
+    def __call__(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        first = _as_matrix(first)
+        second = _as_matrix(second)
+        return np.full((first.shape[0], second.shape[0]), self.value)
+
+    def diagonal(self, samples: np.ndarray) -> np.ndarray:
+        samples = _as_matrix(samples)
+        return np.full(samples.shape[0], self.value)
+
+    def __repr__(self) -> str:
+        return f"ConstantKernel(value={self.value:.4g})"
+
+
+class SumKernel(Kernel):
+    """Sum of two kernels."""
+
+    def __init__(self, left: Kernel, right: Kernel):
+        self.left = left
+        self.right = right
+
+    def __call__(self, first: np.ndarray, second: np.ndarray) -> np.ndarray:
+        return self.left(first, second) + self.right(first, second)
+
+    def diagonal(self, samples: np.ndarray) -> np.ndarray:
+        return self.left.diagonal(samples) + self.right.diagonal(samples)
+
+    def __repr__(self) -> str:
+        return f"SumKernel({self.left!r}, {self.right!r})"

@@ -1,0 +1,107 @@
+"""Ordinary least-squares and ridge linear regression (the paper's "LM")."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor
+
+
+class LinearRegression(Regressor):
+    """Ordinary least-squares regression with an intercept term."""
+
+    def __init__(self, fit_intercept: bool = True):
+        super().__init__()
+        self.fit_intercept = bool(fit_intercept)
+        self._coefficients: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted weight vector (one entry per feature)."""
+        if self._coefficients is None:
+            raise ModelError("model is not fitted")
+        return self._coefficients.copy()
+
+    @property
+    def intercept(self) -> float:
+        """Fitted intercept (0 when ``fit_intercept=False``)."""
+        return self._intercept
+
+    def _design_matrix(self, features: np.ndarray) -> np.ndarray:
+        if self.fit_intercept:
+            return np.hstack([features, np.ones((features.shape[0], 1))])
+        return features
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        design = self._design_matrix(features)
+        solution, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        if self.fit_intercept:
+            self._coefficients = solution[:-1]
+            self._intercept = float(solution[-1])
+        else:
+            self._coefficients = solution
+            self._intercept = 0.0
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        return features @ self._coefficients + self._intercept
+
+    def get_params(self) -> dict:
+        return {"fit_intercept": self.fit_intercept}
+
+
+class RidgeRegression(Regressor):
+    """L2-regularised linear regression.
+
+    The intercept is never regularised; it is handled by centring the targets
+    and features before solving the normal equations.
+    """
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True):
+        super().__init__()
+        if alpha < 0:
+            raise ModelError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = float(alpha)
+        self.fit_intercept = bool(fit_intercept)
+        self._coefficients: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted weight vector."""
+        if self._coefficients is None:
+            raise ModelError("model is not fitted")
+        return self._coefficients.copy()
+
+    @property
+    def intercept(self) -> float:
+        """Fitted intercept."""
+        return self._intercept
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        if self.fit_intercept:
+            feature_means = features.mean(axis=0)
+            target_mean = float(targets.mean())
+            centered_features = features - feature_means
+            centered_targets = targets - target_mean
+        else:
+            feature_means = np.zeros(features.shape[1])
+            target_mean = 0.0
+            centered_features = features
+            centered_targets = targets
+
+        gram = centered_features.T @ centered_features
+        regularised = gram + self.alpha * np.eye(features.shape[1])
+        self._coefficients = np.linalg.solve(
+            regularised, centered_features.T @ centered_targets
+        )
+        self._intercept = target_mean - float(feature_means @ self._coefficients)
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        return features @ self._coefficients + self._intercept
+
+    def get_params(self) -> dict:
+        return {"alpha": self.alpha, "fit_intercept": self.fit_intercept}

@@ -1,0 +1,124 @@
+"""Regression quality metrics.
+
+Sec. III-C of the paper compares the candidate models on MSE, RMSE, MAE, R²
+and adjusted R²; :func:`evaluate_regression` bundles exactly that set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple:
+    y_true = np.asarray(y_true, dtype=float).reshape(-1)
+    y_pred = np.asarray(y_pred, dtype=float).reshape(-1)
+    if y_true.size == 0:
+        raise ModelError("metrics require at least one sample")
+    if y_true.shape != y_pred.shape:
+        raise ModelError(
+            f"y_true and y_pred must have the same length, got {y_true.size} and {y_pred.size}"
+        )
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination R².
+
+    Returns 0.0 when the targets have zero variance and the predictions are
+    exact, and a large negative number when they are not.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    total = float(np.sum((y_true - y_true.mean()) ** 2))
+    if total == 0.0:
+        return 0.0 if residual == 0.0 else -np.inf
+    return 1.0 - residual / total
+
+
+def adjusted_r2_score(
+    y_true: np.ndarray, y_pred: np.ndarray, num_features: int
+) -> float:
+    """Adjusted R², penalising the number of model inputs."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    n = y_true.size
+    if num_features < 1:
+        raise ModelError(f"num_features must be >= 1, got {num_features}")
+    if n - num_features - 1 <= 0:
+        raise ModelError(
+            f"adjusted R2 needs more samples ({n}) than features + 1 ({num_features + 1})"
+        )
+    r2 = r2_score(y_true, y_pred)
+    return 1.0 - (1.0 - r2) * (n - 1) / (n - num_features - 1)
+
+
+def explained_variance(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Explained-variance score."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    total = float(np.var(y_true))
+    if total == 0.0:
+        return 0.0
+    return 1.0 - float(np.var(y_true - y_pred)) / total
+
+
+def max_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Largest absolute residual."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.max(np.abs(y_true - y_pred)))
+
+
+@dataclass(frozen=True)
+class RegressionMetrics:
+    """The metric bundle reported in Sec. III-C."""
+
+    mse: float
+    rmse: float
+    mae: float
+    r2: float
+    adjusted_r2: float
+    max_error: float
+
+    def as_dict(self) -> dict:
+        """Dictionary form for tabular rendering."""
+        return {
+            "mse": self.mse,
+            "rmse": self.rmse,
+            "mae": self.mae,
+            "r2": self.r2,
+            "adjusted_r2": self.adjusted_r2,
+            "max_error": self.max_error,
+        }
+
+
+def evaluate_regression(
+    y_true: np.ndarray, y_pred: np.ndarray, num_features: int
+) -> RegressionMetrics:
+    """Compute the full metric bundle used by the model-comparison experiment."""
+    return RegressionMetrics(
+        mse=mean_squared_error(y_true, y_pred),
+        rmse=root_mean_squared_error(y_true, y_pred),
+        mae=mean_absolute_error(y_true, y_pred),
+        r2=r2_score(y_true, y_pred),
+        adjusted_r2=adjusted_r2_score(y_true, y_pred, num_features),
+        max_error=max_error(y_true, y_pred),
+    )

@@ -1,0 +1,86 @@
+"""Multi-output regression by fitting one base model per output column.
+
+The parameter predictor maps 3 input features to ``2 * p_t`` outputs; wrapping
+any single-output :class:`~repro.ml.base.Regressor` with
+:class:`MultiOutputRegressor` provides the vector-valued interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor, as_2d_features
+
+ModelFactory = Union[Regressor, Callable[[], Regressor]]
+
+
+class MultiOutputRegressor:
+    """Fit an independent clone of a base regressor for every target column."""
+
+    def __init__(self, base_model: ModelFactory):
+        self._factory = self._make_factory(base_model)
+        self._models: List[Regressor] = []
+        self._num_outputs: Optional[int] = None
+
+    @staticmethod
+    def _make_factory(base_model: ModelFactory) -> Callable[[], Regressor]:
+        if isinstance(base_model, Regressor):
+            return base_model.clone
+        if callable(base_model):
+            return base_model
+        raise ModelError(
+            "base_model must be a Regressor instance or a zero-argument factory"
+        )
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return bool(self._models)
+
+    @property
+    def num_outputs(self) -> Optional[int]:
+        """Number of output columns seen at fit time."""
+        return self._num_outputs
+
+    @property
+    def models(self) -> List[Regressor]:
+        """The fitted per-output models (in output order)."""
+        return list(self._models)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "MultiOutputRegressor":
+        """Fit one model per column of *targets* (shape ``(n_samples, n_outputs)``)."""
+        features = as_2d_features(features)
+        targets = np.asarray(targets, dtype=float)
+        if targets.ndim == 1:
+            targets = targets.reshape(-1, 1)
+        if targets.ndim != 2 or targets.shape[0] != features.shape[0]:
+            raise ModelError(
+                f"targets must be (n_samples, n_outputs) with n_samples="
+                f"{features.shape[0]}, got shape {targets.shape}"
+            )
+        self._models = []
+        for column in range(targets.shape[1]):
+            model = self._factory()
+            if not isinstance(model, Regressor):
+                raise ModelError("the model factory must produce Regressor instances")
+            model.fit(features, targets[:, column])
+            self._models.append(model)
+        self._num_outputs = targets.shape[1]
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict all outputs; returns shape ``(n_samples, n_outputs)``."""
+        if not self.is_fitted:
+            raise ModelError("MultiOutputRegressor must be fitted before predicting")
+        features = as_2d_features(features)
+        predictions = [model.predict(features) for model in self._models]
+        return np.column_stack(predictions)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiOutputRegressor(num_outputs={self._num_outputs}, "
+            f"fitted={self.is_fitted})"
+        )

@@ -1,0 +1,132 @@
+"""Feature scaling and data splitting."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.base import as_2d_features
+from repro.utils.rng import RandomState, ensure_rng
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling (constant columns untouched)."""
+
+    def __init__(self) -> None:
+        self._mean: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._mean is not None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        features = as_2d_features(features)
+        self._mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self._scale = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if not self.is_fitted:
+            raise ModelError("StandardScaler must be fitted before transform")
+        features = as_2d_features(features)
+        if features.shape[1] != self._mean.size:
+            raise ModelError(
+                f"expected {self._mean.size} features, got {features.shape[1]}"
+            )
+        return (features - self._mean) / self._scale
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if not self.is_fitted:
+            raise ModelError("StandardScaler must be fitted before inverse_transform")
+        features = as_2d_features(features)
+        return features * self._scale + self._mean
+
+
+class MinMaxScaler:
+    """Scale each feature to the unit interval (constant columns map to 0)."""
+
+    def __init__(self) -> None:
+        self._minimum: Optional[np.ndarray] = None
+        self._range: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._minimum is not None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column minimum and range."""
+        features = as_2d_features(features)
+        self._minimum = features.min(axis=0)
+        value_range = features.max(axis=0) - self._minimum
+        value_range[value_range == 0.0] = 1.0
+        self._range = value_range
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if not self.is_fitted:
+            raise ModelError("MinMaxScaler must be fitted before transform")
+        features = as_2d_features(features)
+        if features.shape[1] != self._minimum.size:
+            raise ModelError(
+                f"expected {self._minimum.size} features, got {features.shape[1]}"
+            )
+        return (features - self._minimum) / self._range
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if not self.is_fitted:
+            raise ModelError("MinMaxScaler must be fitted before inverse_transform")
+        features = as_2d_features(features)
+        return features * self._range + self._minimum
+
+
+def train_test_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    *,
+    train_fraction: float = 0.2,
+    seed: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split (default 20:80, matching the paper).
+
+    Returns ``(X_train, X_test, y_train, y_test)``.
+    """
+    features = np.asarray(features, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if features.shape[0] != targets.shape[0]:
+        raise ModelError(
+            f"X has {features.shape[0]} samples but y has {targets.shape[0]}"
+        )
+    if not 0.0 < train_fraction < 1.0:
+        raise ModelError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    num_samples = features.shape[0]
+    num_train = int(round(train_fraction * num_samples))
+    num_train = min(max(num_train, 1), num_samples - 1)
+    rng = ensure_rng(seed)
+    order = rng.permutation(num_samples)
+    train_idx, test_idx = order[:num_train], order[num_train:]
+    return (
+        features[train_idx],
+        features[test_idx],
+        targets[train_idx],
+        targets[test_idx],
+    )

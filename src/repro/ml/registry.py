@@ -1,0 +1,49 @@
+"""Model registry: build regressors from the paper's model names.
+
+The paper abbreviates its four candidate models as GPR, LM, RTREE and RSVM;
+:func:`get_model` accepts those names (case-insensitively) plus a few common
+aliases, so experiment configurations can stay close to the paper's wording.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.linear import LinearRegression, RidgeRegression
+from repro.ml.svr import KernelSVR
+from repro.ml.tree import RegressionTree
+
+_FACTORIES: Dict[str, Callable[..., Regressor]] = {
+    "gpr": GaussianProcessRegressor,
+    "gaussian-process": GaussianProcessRegressor,
+    "lm": LinearRegression,
+    "linear": LinearRegression,
+    "ridge": RidgeRegression,
+    "rtree": RegressionTree,
+    "tree": RegressionTree,
+    "rsvm": KernelSVR,
+    "svr": KernelSVR,
+}
+
+#: The paper's model names in its preferred order (GPR listed first as the winner).
+PAPER_MODEL_NAMES = ("GPR", "LM", "RTREE", "RSVM")
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`get_model`."""
+    return sorted(set(_FACTORIES))
+
+
+def get_model(name: str, **kwargs) -> Regressor:
+    """Instantiate a regressor by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        factory = _FACTORIES[key]
+    except KeyError as exc:
+        raise ModelError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from exc
+    return factory(**kwargs)

@@ -1,0 +1,169 @@
+"""CART regression tree (the paper's "RTREE" model)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor
+
+
+@dataclass
+class _TreeNode:
+    """A node of the fitted tree (leaf when ``feature`` is ``None``)."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree(Regressor):
+    """Binary regression tree grown by variance-reduction splitting.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root has depth 0).
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each child after a split.
+    min_impurity_decrease:
+        Minimum reduction of the weighted variance required for a split.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        min_impurity_decrease: float = 1e-9,
+    ):
+        super().__init__()
+        if max_depth < 1:
+            raise ModelError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise ModelError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ModelError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        if min_impurity_decrease < 0:
+            raise ModelError("min_impurity_decrease must be >= 0")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.min_impurity_decrease = float(min_impurity_decrease)
+        self._root: Optional[_TreeNode] = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def _best_split(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> Optional[tuple]:
+        """Return ``(feature, threshold, impurity_decrease)`` or ``None``."""
+        num_samples, num_features = features.shape
+        parent_impurity = float(np.var(targets)) * num_samples
+        best = None
+        best_decrease = self.min_impurity_decrease
+
+        for feature in range(num_features):
+            order = np.argsort(features[:, feature], kind="stable")
+            sorted_values = features[order, feature]
+            sorted_targets = targets[order]
+
+            # Candidate thresholds are midpoints between distinct consecutive values.
+            for split_index in range(self.min_samples_leaf, num_samples - self.min_samples_leaf + 1):
+                if split_index >= num_samples:
+                    break
+                if sorted_values[split_index - 1] == sorted_values[split_index]:
+                    continue
+                left_targets = sorted_targets[:split_index]
+                right_targets = sorted_targets[split_index:]
+                impurity = float(np.var(left_targets)) * left_targets.size + float(
+                    np.var(right_targets)
+                ) * right_targets.size
+                decrease = parent_impurity - impurity
+                if decrease > best_decrease:
+                    best_decrease = decrease
+                    threshold = 0.5 * (
+                        sorted_values[split_index - 1] + sorted_values[split_index]
+                    )
+                    best = (feature, float(threshold), float(decrease))
+        return best
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(targets.mean()))
+        if (
+            depth >= self.max_depth
+            or targets.size < self.min_samples_split
+            or np.all(targets == targets[0])
+        ):
+            return node
+        split = self._best_split(features, targets)
+        if split is None:
+            return node
+        feature, threshold, _ = split
+        mask = features[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def _fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._root = self._grow(features, targets, depth=0)
+
+    # ------------------------------------------------------------------
+    # Prediction / introspection
+    # ------------------------------------------------------------------
+    def _predict_one(self, sample: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if sample[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _predict(self, features: np.ndarray) -> np.ndarray:
+        return np.array([self._predict_one(sample) for sample in features])
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (0 for a stump)."""
+        if self._root is None:
+            raise ModelError("model is not fitted")
+
+        def _depth(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+    def num_leaves(self) -> int:
+        """Number of leaves of the fitted tree."""
+        if self._root is None:
+            raise ModelError("model is not fitted")
+
+        def _count(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return _count(node.left) + _count(node.right)
+
+        return _count(self._root)
+
+    def get_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_impurity_decrease": self.min_impurity_decrease,
+        }

@@ -1,0 +1,120 @@
+"""A native (pure-NumPy) Nelder-Mead simplex optimizer.
+
+Provided as a SciPy-independent fallback and as a cross-check for the
+function-call accounting of the SciPy adapter: both implementations must show
+the same qualitative behaviour for the two-level flow to be credible as
+"optimizer-agnostic".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.optimizers.base import Bounds, CountingObjective, OptimizationResult, Optimizer
+
+
+class NativeNelderMead(Optimizer):
+    """Downhill-simplex minimization (Nelder & Mead, 1965).
+
+    Uses the standard reflection / expansion / contraction / shrink moves with
+    the adaptive coefficients recommended for moderate dimensionality.
+    """
+
+    def __init__(
+        self,
+        *,
+        tolerance: float = 1e-6,
+        max_iterations: int = 5000,
+        initial_step: float = 0.1,
+        record_history: bool = False,
+    ):
+        super().__init__(
+            "Nelder-Mead (native)",
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            record_history=record_history,
+        )
+        if initial_step <= 0:
+            raise ValueError(f"initial_step must be positive, got {initial_step}")
+        self._initial_step = float(initial_step)
+
+    def _clip(self, point: np.ndarray, bounds: Bounds) -> np.ndarray:
+        if bounds is None:
+            return point
+        lows = np.array([low for low, _ in bounds])
+        highs = np.array([high for _, high in bounds])
+        return np.clip(point, lows, highs)
+
+    def _minimize(
+        self,
+        objective: CountingObjective,
+        initial_point: np.ndarray,
+        bounds: Bounds,
+    ) -> OptimizationResult:
+        dim = initial_point.size
+        alpha, gamma, rho, sigma = 1.0, 2.0, 0.5, 0.5
+
+        # Initial simplex: the start point plus one perturbed vertex per axis.
+        simplex = [self._clip(initial_point.copy(), bounds)]
+        for axis in range(dim):
+            vertex = initial_point.copy()
+            step = self._initial_step if vertex[axis] == 0.0 else self._initial_step * (
+                1.0 + abs(vertex[axis])
+            )
+            vertex[axis] += step
+            simplex.append(self._clip(vertex, bounds))
+        simplex = np.array(simplex)
+        values = np.array([objective(vertex) for vertex in simplex])
+
+        iterations = 0
+        converged = False
+        while iterations < self._max_iterations:
+            order = np.argsort(values)
+            simplex, values = simplex[order], values[order]
+
+            if abs(values[-1] - values[0]) <= self._tolerance:
+                converged = True
+                break
+
+            centroid = simplex[:-1].mean(axis=0)
+            worst = simplex[-1]
+
+            reflected = self._clip(centroid + alpha * (centroid - worst), bounds)
+            reflected_value = objective(reflected)
+
+            if values[0] <= reflected_value < values[-2]:
+                simplex[-1], values[-1] = reflected, reflected_value
+            elif reflected_value < values[0]:
+                expanded = self._clip(centroid + gamma * (reflected - centroid), bounds)
+                expanded_value = objective(expanded)
+                if expanded_value < reflected_value:
+                    simplex[-1], values[-1] = expanded, expanded_value
+                else:
+                    simplex[-1], values[-1] = reflected, reflected_value
+            else:
+                contracted = self._clip(centroid + rho * (worst - centroid), bounds)
+                contracted_value = objective(contracted)
+                if contracted_value < values[-1]:
+                    simplex[-1], values[-1] = contracted, contracted_value
+                else:
+                    best = simplex[0]
+                    for index in range(1, dim + 1):
+                        simplex[index] = self._clip(
+                            best + sigma * (simplex[index] - best), bounds
+                        )
+                        values[index] = objective(simplex[index])
+            iterations += 1
+
+        order = np.argsort(values)
+        simplex, values = simplex[order], values[order]
+        return OptimizationResult(
+            optimal_parameters=simplex[0],
+            optimal_value=float(values[0]),
+            num_function_calls=objective.num_evaluations,
+            num_iterations=iterations,
+            converged=converged,
+            optimizer_name=self.name,
+            message="simplex spread below tolerance" if converged else "iteration limit",
+        )

@@ -1,0 +1,38 @@
+"""ML parameter-prediction framework (the paper's core contribution).
+
+The workflow is: generate a training data-set of optimal QAOA parameters for
+an ensemble of graphs at several depths (:mod:`repro.prediction.dataset`),
+extract the two-level features (:mod:`repro.prediction.features`), train a
+regression model per response variable (:mod:`repro.prediction.predictor`),
+and use the trained predictor to warm-start higher-depth QAOA instances
+(:mod:`repro.acceleration`).
+"""
+
+from repro.prediction.dataset import DatasetGenerationConfig, GraphRecord, TrainingDataset
+from repro.prediction.features import (
+    hierarchical_feature_vector,
+    response_vector,
+    two_level_feature_vector,
+)
+from repro.prediction.predictor import ParameterPredictor, PredictionErrorReport
+from repro.prediction.hierarchical import HierarchicalParameterPredictor
+from repro.prediction.pipeline import (
+    PredictorPipelineConfig,
+    train_default_predictor,
+    train_predictor_from_ensemble,
+)
+
+__all__ = [
+    "GraphRecord",
+    "TrainingDataset",
+    "DatasetGenerationConfig",
+    "two_level_feature_vector",
+    "hierarchical_feature_vector",
+    "response_vector",
+    "ParameterPredictor",
+    "PredictionErrorReport",
+    "HierarchicalParameterPredictor",
+    "PredictorPipelineConfig",
+    "train_default_predictor",
+    "train_predictor_from_ensemble",
+]

@@ -1,0 +1,340 @@
+"""Training data-set of optimal QAOA parameters.
+
+Sec. III-A of the paper: 330 Erdős–Rényi graphs (8 nodes, edge probability
+0.5), each optimized with L-BFGS-B from 20 random initializations at depths
+``p = 1 .. 6`` with functional tolerance ``1e-6``, for a total of 13,860
+optimal parameters.  :class:`TrainingDataset` reproduces that pipeline at a
+configurable scale and provides JSON persistence so the (one-time) generation
+cost can be amortised across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DATASET_DEPTHS, DEFAULT_NUM_RESTARTS, DEFAULT_TOLERANCE
+from repro.exceptions import DatasetError
+from repro.graphs.ensembles import GraphEnsemble
+from repro.graphs.maxcut import MaxCutProblem
+from repro.graphs.model import Graph
+from repro.qaoa.parameters import (
+    QAOAParameters,
+    canonicalize_for_graph,
+    interpolate_parameters,
+)
+from repro.qaoa.solver import QAOASolver
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.serialization import load_json, save_json
+
+
+@dataclass(frozen=True)
+class DepthEntry:
+    """Optimal parameters of one graph at one depth."""
+
+    depth: int
+    parameters: QAOAParameters
+    expectation: float
+    max_cut_value: float
+    num_function_calls: int
+
+    @property
+    def approximation_ratio(self) -> float:
+        """Expectation divided by the exact MaxCut optimum."""
+        return self.expectation / self.max_cut_value
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return {
+            "depth": self.depth,
+            "gammas": list(self.parameters.gammas),
+            "betas": list(self.parameters.betas),
+            "expectation": self.expectation,
+            "max_cut_value": self.max_cut_value,
+            "num_function_calls": self.num_function_calls,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "DepthEntry":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            depth=int(payload["depth"]),
+            parameters=QAOAParameters(
+                tuple(payload["gammas"]), tuple(payload["betas"])
+            ),
+            expectation=float(payload["expectation"]),
+            max_cut_value=float(payload["max_cut_value"]),
+            num_function_calls=int(payload["num_function_calls"]),
+        )
+
+
+@dataclass
+class GraphRecord:
+    """All depth entries of one problem graph."""
+
+    graph: Graph
+    entries: Dict[int, DepthEntry] = field(default_factory=dict)
+
+    @property
+    def depths(self) -> List[int]:
+        """Depths for which optimal parameters are recorded (sorted)."""
+        return sorted(self.entries)
+
+    def entry(self, depth: int) -> DepthEntry:
+        """The entry at *depth*; raises :class:`DatasetError` if missing."""
+        try:
+            return self.entries[depth]
+        except KeyError as exc:
+            raise DatasetError(
+                f"graph {self.graph.name!r} has no entry for depth {depth}"
+            ) from exc
+
+    def has_depth(self, depth: int) -> bool:
+        """Whether an entry exists for *depth*."""
+        return depth in self.entries
+
+    @property
+    def num_optimal_parameters(self) -> int:
+        """Total number of recorded angles across depths (``sum 2p``)."""
+        return sum(2 * depth for depth in self.entries)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation."""
+        return {
+            "graph": self.graph.to_dict(),
+            "entries": [self.entries[d].to_dict() for d in self.depths],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "GraphRecord":
+        """Inverse of :meth:`to_dict`."""
+        record = cls(graph=Graph.from_dict(payload["graph"]))
+        for raw in payload.get("entries", []):
+            entry = DepthEntry.from_dict(raw)
+            record.entries[entry.depth] = entry
+        return record
+
+
+@dataclass(frozen=True)
+class DatasetGenerationConfig:
+    """Knobs of the data-generation pipeline (paper values as defaults).
+
+    ``warm_seed_from_lower_depth`` adds one extra restart per depth that is
+    initialised by interpolating the optimum found at the previous depth
+    (the INTERP heuristic).  The paper relies on 20 random restarts to land
+    on the regular parameter family of Figs. 2-3; the warm seed reproduces
+    that family reliably even at the scaled-down restart counts used by the
+    default configurations, and is documented as a deviation in
+    EXPERIMENTS.md.  Set it to ``False`` for a literal paper-style run.
+    """
+
+    depths: Tuple[int, ...] = DATASET_DEPTHS
+    optimizer: str = "L-BFGS-B"
+    num_restarts: int = DEFAULT_NUM_RESTARTS
+    tolerance: float = DEFAULT_TOLERANCE
+    backend: str = "fast"
+    warm_seed_from_lower_depth: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.depths or any(depth < 1 for depth in self.depths):
+            raise DatasetError(f"depths must be positive integers, got {self.depths}")
+        if 1 not in self.depths:
+            raise DatasetError(
+                "the data-set must include depth 1 (the two-level features "
+                "are the depth-1 optimal parameters)"
+            )
+        if self.num_restarts < 1:
+            raise DatasetError(f"num_restarts must be >= 1, got {self.num_restarts}")
+
+
+class TrainingDataset:
+    """A collection of :class:`GraphRecord` with generation provenance."""
+
+    def __init__(
+        self,
+        records: Sequence[GraphRecord],
+        config: DatasetGenerationConfig = None,
+    ):
+        if not records:
+            raise DatasetError("a training data-set needs at least one record")
+        self._records = list(records)
+        self._config = config or DatasetGenerationConfig()
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        ensemble: GraphEnsemble,
+        config: DatasetGenerationConfig = None,
+        *,
+        seed: RandomState = None,
+        progress_callback=None,
+    ) -> "TrainingDataset":
+        """Optimize every graph of *ensemble* at every configured depth.
+
+        This is the paper's "one-time cost" data-generation step.  The
+        per-graph work is independent, so a *progress_callback(graph_index,
+        num_graphs)* hook is provided for long runs.
+        """
+        config = config or DatasetGenerationConfig()
+        solver = QAOASolver(
+            config.optimizer,
+            num_restarts=config.num_restarts,
+            tolerance=config.tolerance,
+            backend=config.backend,
+        )
+        records: List[GraphRecord] = []
+        rngs = spawn_rngs(seed, len(ensemble))
+        sorted_depths = sorted(config.depths)
+        for index, (graph, rng) in enumerate(zip(ensemble, rngs)):
+            problem = MaxCutProblem(graph)
+            record = GraphRecord(graph=graph)
+            previous_parameters: Optional[QAOAParameters] = None
+            for depth in sorted_depths:
+                result = solver.solve(
+                    problem, depth, num_restarts=config.num_restarts, seed=rng
+                )
+                total_calls = result.num_function_calls
+                best_parameters = result.optimal_parameters
+                best_expectation = result.optimal_expectation
+
+                if config.warm_seed_from_lower_depth and previous_parameters is not None:
+                    warm_start = interpolate_parameters(previous_parameters, depth)
+                    warm_result = solver.solve(
+                        problem, depth, initial_parameters=warm_start, seed=rng
+                    )
+                    total_calls += warm_result.num_function_calls
+                    # QAOA landscapes have exactly degenerate symmetric optima
+                    # (see QAOAParameters.canonicalized); prefer the
+                    # schedule-consistent warm-seeded optimum unless a random
+                    # restart is *meaningfully* better, so that the recorded
+                    # optima of one graph stay on the same parameter family
+                    # across depths (the paper's Figs. 2-3 regularity).
+                    if warm_result.optimal_expectation >= best_expectation - 1e-4:
+                        best_parameters = warm_result.optimal_parameters
+                        best_expectation = warm_result.optimal_expectation
+
+                canonical = canonicalize_for_graph(best_parameters, graph)
+                record.entries[depth] = DepthEntry(
+                    depth=depth,
+                    parameters=canonical,
+                    expectation=best_expectation,
+                    max_cut_value=result.max_cut_value,
+                    num_function_calls=total_calls,
+                )
+                previous_parameters = canonical
+            records.append(record)
+            if progress_callback is not None:
+                progress_callback(index + 1, len(ensemble))
+        return cls(records, config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> List[GraphRecord]:
+        """The per-graph records (copy of the list)."""
+        return list(self._records)
+
+    @property
+    def config(self) -> DatasetGenerationConfig:
+        """The generation configuration."""
+        return self._config
+
+    @property
+    def depths(self) -> List[int]:
+        """Depths present in every record (sorted intersection)."""
+        common = None
+        for record in self._records:
+            depths = set(record.depths)
+            common = depths if common is None else common & depths
+        return sorted(common or [])
+
+    @property
+    def num_graphs(self) -> int:
+        """Number of problem graphs."""
+        return len(self._records)
+
+    @property
+    def num_optimal_parameters(self) -> int:
+        """Total number of recorded optimal angles (13,860 at paper scale)."""
+        return sum(record.num_optimal_parameters for record in self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[GraphRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> GraphRecord:
+        return self._records[index]
+
+    # ------------------------------------------------------------------
+    # Splitting and persistence
+    # ------------------------------------------------------------------
+    def train_test_split(
+        self, train_fraction: float = 0.2, *, seed: RandomState = None
+    ) -> Tuple["TrainingDataset", "TrainingDataset"]:
+        """Split by graph into train/test data-sets (paper: 20:80)."""
+        if not 0.0 < train_fraction < 1.0:
+            raise DatasetError(f"train_fraction must be in (0, 1), got {train_fraction}")
+        num_train = int(round(train_fraction * len(self._records)))
+        num_train = min(max(num_train, 1), len(self._records) - 1)
+        rng = ensure_rng(seed)
+        order = list(rng.permutation(len(self._records)))
+        train = [self._records[i] for i in order[:num_train]]
+        test = [self._records[i] for i in order[num_train:]]
+        return TrainingDataset(train, self._config), TrainingDataset(test, self._config)
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly representation of the whole data-set."""
+        return {
+            "config": {
+                "depths": list(self._config.depths),
+                "optimizer": self._config.optimizer,
+                "num_restarts": self._config.num_restarts,
+                "tolerance": self._config.tolerance,
+                "backend": self._config.backend,
+                "warm_seed_from_lower_depth": self._config.warm_seed_from_lower_depth,
+            },
+            "records": [record.to_dict() for record in self._records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "TrainingDataset":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            raw_config = payload["config"]
+            config = DatasetGenerationConfig(
+                depths=tuple(raw_config["depths"]),
+                optimizer=raw_config["optimizer"],
+                num_restarts=int(raw_config["num_restarts"]),
+                tolerance=float(raw_config["tolerance"]),
+                backend=raw_config.get("backend", "fast"),
+                warm_seed_from_lower_depth=bool(
+                    raw_config.get("warm_seed_from_lower_depth", True)
+                ),
+            )
+            records = [GraphRecord.from_dict(item) for item in payload["records"]]
+        except (KeyError, TypeError) as exc:
+            raise DatasetError("malformed training data-set payload") from exc
+        return cls(records, config)
+
+    def save(self, path) -> None:
+        """Persist the data-set as JSON."""
+        save_json(self.to_dict(), path)
+
+    @classmethod
+    def load(cls, path) -> "TrainingDataset":
+        """Load a data-set previously written by :meth:`save`."""
+        return cls.from_dict(load_json(path))
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingDataset(num_graphs={self.num_graphs}, depths={self.depths}, "
+            f"num_optimal_parameters={self.num_optimal_parameters})"
+        )

@@ -1,0 +1,128 @@
+"""Feature and response extraction for the parameter predictor.
+
+Following Sec. II-D of the paper, the two-level predictor uses exactly three
+features:
+
+1. ``gamma1OPT(p=1)`` — the optimal phase-separation angle of the depth-1
+   instance of the problem,
+2. ``beta1OPT(p=1)`` — the optimal mixing angle of the depth-1 instance,
+3. ``p_t`` — the target circuit depth.
+
+The response is the flat ``2 * p_t`` parameter vector of the target-depth
+instance (``[gamma_1 .. gamma_pt, beta_1 .. beta_pt]``).  The hierarchical
+extension (Sec. I(d)) additionally feeds the optimal parameters of an
+intermediate depth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.prediction.dataset import GraphRecord, TrainingDataset
+
+#: Number of features of the two-level approach (gamma1, beta1, target depth).
+NUM_TWO_LEVEL_FEATURES = 3
+
+
+def two_level_feature_vector(record: GraphRecord, target_depth: int) -> np.ndarray:
+    """The paper's 3-feature vector ``[gamma1OPT(p=1), beta1OPT(p=1), p_t]``."""
+    if target_depth < 2:
+        raise DatasetError(
+            f"the two-level flow targets depths >= 2, got {target_depth}"
+        )
+    base = record.entry(1).parameters
+    return np.array([base.gammas[0], base.betas[0], float(target_depth)])
+
+
+def hierarchical_feature_vector(
+    record: GraphRecord, intermediate_depth: int, target_depth: int
+) -> np.ndarray:
+    """Feature vector for the hierarchical (three-level) predictor.
+
+    Concatenates the depth-1 optimum, the full optimal parameter vector of the
+    intermediate depth, and the target depth.
+    """
+    if not 1 < intermediate_depth < target_depth:
+        raise DatasetError(
+            "hierarchical features require 1 < intermediate_depth < target_depth, "
+            f"got intermediate={intermediate_depth}, target={target_depth}"
+        )
+    base = record.entry(1).parameters
+    intermediate = record.entry(intermediate_depth).parameters
+    return np.concatenate(
+        [
+            [base.gammas[0], base.betas[0]],
+            intermediate.to_vector(),
+            [float(target_depth)],
+        ]
+    )
+
+
+def response_vector(record: GraphRecord, target_depth: int) -> np.ndarray:
+    """Flat optimal parameter vector of the target-depth instance."""
+    return record.entry(target_depth).parameters.to_vector()
+
+
+def stage_response(
+    record: GraphRecord, depth: int, stage: int, kind: str
+) -> float:
+    """A single response variable (``gamma_i`` or ``beta_i`` at *depth*).
+
+    *kind* is ``"gamma"`` or ``"beta"``; *stage* is 1-indexed as in the paper.
+    """
+    parameters = record.entry(depth).parameters
+    if kind == "gamma":
+        return parameters.gamma(stage)
+    if kind == "beta":
+        return parameters.beta(stage)
+    raise DatasetError(f"kind must be 'gamma' or 'beta', got {kind!r}")
+
+
+def pooled_training_rows(
+    dataset: TrainingDataset, stage: int, kind: str, depths: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Training rows for the pooled per-response model of (*stage*, *kind*).
+
+    One row per (graph, depth) pair with ``depth >= stage``; the features are
+    the two-level features with the row's depth as the target depth, and the
+    response is the optimal ``gamma_stage`` / ``beta_stage`` at that depth.
+    """
+    features: List[np.ndarray] = []
+    responses: List[float] = []
+    for record in dataset:
+        for depth in depths:
+            if depth < max(stage, 2) or not record.has_depth(depth) or not record.has_depth(1):
+                continue
+            features.append(two_level_feature_vector(record, depth))
+            responses.append(stage_response(record, depth, stage, kind))
+    if not features:
+        raise DatasetError(
+            f"no training rows available for stage {stage} ({kind}); "
+            f"check the data-set depths {dataset.depths}"
+        )
+    return np.vstack(features), np.array(responses)
+
+
+def per_depth_training_rows(
+    dataset: TrainingDataset, target_depth: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Training matrix for a per-depth multi-output model.
+
+    Features are ``[gamma1OPT(p=1), beta1OPT(p=1)]`` (the depth is constant
+    within the model so it is dropped); responses are the ``2 * target_depth``
+    optimal angles.
+    """
+    features: List[np.ndarray] = []
+    responses: List[np.ndarray] = []
+    for record in dataset:
+        if not (record.has_depth(1) and record.has_depth(target_depth)):
+            continue
+        base = record.entry(1).parameters
+        features.append(np.array([base.gammas[0], base.betas[0]]))
+        responses.append(response_vector(record, target_depth))
+    if not features:
+        raise DatasetError(f"no records contain both depth 1 and depth {target_depth}")
+    return np.vstack(features), np.vstack(responses)

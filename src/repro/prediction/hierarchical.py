@@ -1,0 +1,176 @@
+"""Hierarchical (three-level) parameter prediction.
+
+Sec. I(d) of the paper sketches a hierarchical variant of the two-level flow:
+instead of predicting the target-depth parameters from the depth-1 optimum
+alone, the optimal parameters of an *intermediate* depth (already obtained —
+either by a naive run or by a previous two-level prediction) are fed to the
+predictor as additional features.  Because the correlations between optimal
+parameters are stronger for closer depths (Sec. III-B), the intermediate
+information sharpens the prediction for large target depths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.config import BETA_MAX, GAMMA_MAX
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor
+from repro.ml.multioutput import MultiOutputRegressor
+from repro.ml.registry import get_model
+from repro.prediction.dataset import GraphRecord, TrainingDataset
+from repro.prediction.features import hierarchical_feature_vector, response_vector
+from repro.qaoa.parameters import QAOAParameters
+
+ModelSpec = Union[str, Callable[[], Regressor]]
+
+
+class HierarchicalParameterPredictor:
+    """Predict target-depth angles from depth-1 *and* intermediate-depth optima.
+
+    One multi-output model is trained per target depth; the feature vector is
+    ``[gamma1OPT(p=1), beta1OPT(p=1), gamma_1..gamma_pm, beta_1..beta_pm, p_t]``
+    for a fixed intermediate depth ``p_m``.
+    """
+
+    def __init__(
+        self,
+        intermediate_depth: int,
+        model: ModelSpec = "gpr",
+        *,
+        clip_to_domain: bool = True,
+        model_kwargs: Dict = None,
+    ):
+        if intermediate_depth < 2:
+            raise ModelError(
+                f"intermediate_depth must be >= 2, got {intermediate_depth}"
+            )
+        self._intermediate_depth = int(intermediate_depth)
+        self._model_spec = model
+        self._model_kwargs = dict(model_kwargs or {})
+        self._clip_to_domain = bool(clip_to_domain)
+        self._models: Dict[int, MultiOutputRegressor] = {}
+
+    def _new_model(self) -> Regressor:
+        if callable(self._model_spec) and not isinstance(self._model_spec, str):
+            return self._model_spec()
+        return get_model(str(self._model_spec), **self._model_kwargs)
+
+    @property
+    def intermediate_depth(self) -> int:
+        """The fixed intermediate depth whose optima are used as features."""
+        return self._intermediate_depth
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return bool(self._models)
+
+    @property
+    def fitted_depths(self) -> List[int]:
+        """Target depths with a trained model."""
+        return sorted(self._models)
+
+    def fit(
+        self,
+        dataset: TrainingDataset,
+        target_depths: Sequence[int] = None,
+    ) -> "HierarchicalParameterPredictor":
+        """Train one model per target depth greater than the intermediate depth."""
+        if target_depths is None:
+            target_depths = [
+                depth for depth in dataset.depths if depth > self._intermediate_depth
+            ]
+        target_depths = sorted(set(int(d) for d in target_depths))
+        invalid = [d for d in target_depths if d <= self._intermediate_depth]
+        if invalid:
+            raise ModelError(
+                f"target depths {invalid} are not greater than the intermediate "
+                f"depth {self._intermediate_depth}"
+            )
+        if not target_depths:
+            raise ModelError("no target depths to train for")
+
+        self._models.clear()
+        for depth in target_depths:
+            features: List[np.ndarray] = []
+            responses: List[np.ndarray] = []
+            for record in dataset:
+                if not (
+                    record.has_depth(1)
+                    and record.has_depth(self._intermediate_depth)
+                    and record.has_depth(depth)
+                ):
+                    continue
+                features.append(
+                    hierarchical_feature_vector(record, self._intermediate_depth, depth)
+                )
+                responses.append(response_vector(record, depth))
+            if not features:
+                raise ModelError(
+                    f"no training rows for target depth {depth} with intermediate "
+                    f"depth {self._intermediate_depth}"
+                )
+            wrapper = MultiOutputRegressor(self._new_model)
+            wrapper.fit(np.vstack(features), np.vstack(responses))
+            self._models[depth] = wrapper
+        return self
+
+    def predict_for_record(
+        self, record: GraphRecord, target_depth: int
+    ) -> QAOAParameters:
+        """Predict the target-depth angles for a record with known optima."""
+        if target_depth not in self._models:
+            raise ModelError(
+                f"no hierarchical model trained for target depth {target_depth}"
+            )
+        features = hierarchical_feature_vector(
+            record, self._intermediate_depth, target_depth
+        ).reshape(1, -1)
+        flat = self._models[target_depth].predict(features)[0]
+        gammas = flat[:target_depth]
+        betas = flat[target_depth:]
+        if self._clip_to_domain:
+            gammas = np.clip(gammas, 0.0, GAMMA_MAX)
+            betas = np.clip(betas, 0.0, BETA_MAX)
+        return QAOAParameters(tuple(float(g) for g in gammas), tuple(float(b) for b in betas))
+
+    def predict(
+        self,
+        gamma1_opt: float,
+        beta1_opt: float,
+        intermediate_parameters: QAOAParameters,
+        target_depth: int,
+    ) -> QAOAParameters:
+        """Predict from explicit depth-1 and intermediate-depth optima."""
+        if intermediate_parameters.depth != self._intermediate_depth:
+            raise ModelError(
+                f"intermediate parameters have depth {intermediate_parameters.depth}, "
+                f"expected {self._intermediate_depth}"
+            )
+        if target_depth not in self._models:
+            raise ModelError(
+                f"no hierarchical model trained for target depth {target_depth}"
+            )
+        features = np.concatenate(
+            [
+                [gamma1_opt, beta1_opt],
+                intermediate_parameters.to_vector(),
+                [float(target_depth)],
+            ]
+        ).reshape(1, -1)
+        flat = self._models[target_depth].predict(features)[0]
+        gammas = flat[:target_depth]
+        betas = flat[target_depth:]
+        if self._clip_to_domain:
+            gammas = np.clip(gammas, 0.0, GAMMA_MAX)
+            betas = np.clip(betas, 0.0, BETA_MAX)
+        return QAOAParameters(tuple(float(g) for g in gammas), tuple(float(b) for b in betas))
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalParameterPredictor(intermediate_depth={self._intermediate_depth}, "
+            f"model={self._model_spec!r}, fitted_depths={self.fitted_depths})"
+        )

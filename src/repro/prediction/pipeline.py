@@ -1,0 +1,92 @@
+"""End-to-end predictor-training pipeline.
+
+Bundles the three steps the paper describes as the "one-time cost": sample a
+graph ensemble, generate the optimal-parameter data-set, and fit the
+regression models.  The default configuration is a scaled-down version of the
+paper's setup so a predictor can be trained in seconds; the full paper scale
+is available through :func:`repro.config.paper_setup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import DEFAULT_EDGE_PROBABILITY, DEFAULT_NUM_NODES
+from repro.exceptions import ConfigurationError
+from repro.graphs.ensembles import GraphEnsemble, erdos_renyi_ensemble
+from repro.prediction.dataset import DatasetGenerationConfig, TrainingDataset
+from repro.prediction.predictor import ParameterPredictor
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class PredictorPipelineConfig:
+    """Configuration of the default training pipeline (scaled-down defaults)."""
+
+    num_graphs: int = 12
+    num_nodes: int = DEFAULT_NUM_NODES
+    edge_probability: float = DEFAULT_EDGE_PROBABILITY
+    depths: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    optimizer: str = "L-BFGS-B"
+    num_restarts: int = 3
+    tolerance: float = 1e-6
+    model: str = "gpr"
+    strategy: str = "pooled"
+
+    def __post_init__(self) -> None:
+        if self.num_graphs < 2:
+            raise ConfigurationError(
+                f"num_graphs must be >= 2 to train a predictor, got {self.num_graphs}"
+            )
+        if 1 not in self.depths or max(self.depths) < 2:
+            raise ConfigurationError(
+                "depths must include 1 and at least one target depth >= 2"
+            )
+
+    def dataset_config(self) -> DatasetGenerationConfig:
+        """The corresponding data-set generation configuration."""
+        return DatasetGenerationConfig(
+            depths=tuple(self.depths),
+            optimizer=self.optimizer,
+            num_restarts=self.num_restarts,
+            tolerance=self.tolerance,
+        )
+
+
+def train_predictor_from_ensemble(
+    ensemble: GraphEnsemble,
+    config: PredictorPipelineConfig = None,
+    *,
+    seed: RandomState = None,
+) -> Tuple[ParameterPredictor, TrainingDataset]:
+    """Generate a data-set from *ensemble* and fit a predictor on it."""
+    config = config or PredictorPipelineConfig()
+    dataset = TrainingDataset.generate(
+        ensemble, config.dataset_config(), seed=seed
+    )
+    predictor = ParameterPredictor(config.model, strategy=config.strategy)
+    predictor.fit(dataset)
+    return predictor, dataset
+
+
+def train_default_predictor(
+    config: PredictorPipelineConfig = None,
+    *,
+    seed: RandomState = 2020,
+) -> Tuple[ParameterPredictor, TrainingDataset]:
+    """Train a predictor on a freshly sampled Erdős–Rényi ensemble.
+
+    This is the convenience entry point used by
+    :meth:`repro.acceleration.two_level.TwoLevelQAOARunner.with_default_predictor`
+    and by the quickstart example.
+    """
+    config = config or PredictorPipelineConfig()
+    rng = ensure_rng(seed)
+    ensemble = erdos_renyi_ensemble(
+        config.num_graphs,
+        config.num_nodes,
+        config.edge_probability,
+        seed=rng,
+    )
+    return train_predictor_from_ensemble(ensemble, config, seed=rng)

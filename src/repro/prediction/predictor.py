@@ -1,0 +1,283 @@
+"""The trained parameter predictor (QAOA warm-start model).
+
+Two training strategies are provided:
+
+* ``"pooled"`` (default, the paper's formulation) — one regression model per
+  response variable ``gamma_i`` / ``beta_i`` trained on *all* depths
+  ``p >= max(i, 2)`` present in the data-set, with the 3-feature input
+  ``[gamma1OPT(p=1), beta1OPT(p=1), p]``.  Predicting a target depth ``p_t``
+  queries the ``2 p_t`` per-stage models with ``p = p_t``.
+* ``"per-depth"`` — an independent multi-output model per target depth with
+  the 2-feature input ``[gamma1OPT(p=1), beta1OPT(p=1)]``.  Used as an
+  ablation of the paper's pooled design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import BETA_MAX, GAMMA_MAX
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor
+from repro.ml.multioutput import MultiOutputRegressor
+from repro.ml.registry import get_model
+from repro.prediction.dataset import GraphRecord, TrainingDataset
+from repro.prediction.features import (
+    per_depth_training_rows,
+    pooled_training_rows,
+    response_vector,
+    two_level_feature_vector,
+)
+from repro.qaoa.parameters import QAOAParameters
+
+ModelSpec = Union[str, Callable[[], Regressor]]
+
+STRATEGIES = ("pooled", "per-depth")
+
+#: Denominator floor for percentage errors: optimal angles very close to zero
+#: would otherwise blow the relative error up arbitrarily.
+_PERCENT_ERROR_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class PredictionErrorReport:
+    """Prediction-error statistics for one target depth (Fig. 6)."""
+
+    target_depth: int
+    num_graphs: int
+    mean_abs_percent_error: float
+    std_abs_percent_error: float
+    max_abs_percent_error: float
+    per_parameter_mean_error: Tuple[float, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"p_t={self.target_depth}: mean |%err|={self.mean_abs_percent_error:.2f}, "
+            f"std={self.std_abs_percent_error:.2f} over {self.num_graphs} graphs"
+        )
+
+
+class ParameterPredictor:
+    """Predict near-optimal QAOA angles for a target depth.
+
+    Parameters
+    ----------
+    model:
+        Model name understood by :func:`repro.ml.registry.get_model`
+        (``"gpr"``, ``"lm"``, ``"rtree"``, ``"rsvm"``, ...) or a zero-argument
+        factory returning an unfitted :class:`~repro.ml.base.Regressor`.
+    strategy:
+        ``"pooled"`` or ``"per-depth"`` (see module docstring).
+    clip_to_domain:
+        Clip predictions into the optimization domain
+        ``gamma in [0, 2*pi]``, ``beta in [0, pi]``.
+    model_kwargs:
+        Extra keyword arguments forwarded when *model* is a name.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec = "gpr",
+        *,
+        strategy: str = "pooled",
+        clip_to_domain: bool = True,
+        model_kwargs: Dict = None,
+    ):
+        if strategy not in STRATEGIES:
+            raise ModelError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+        self._model_spec = model
+        self._model_kwargs = dict(model_kwargs or {})
+        self._strategy = strategy
+        self._clip_to_domain = bool(clip_to_domain)
+
+        self._stage_models: Dict[Tuple[str, int], Regressor] = {}
+        self._depth_models: Dict[int, MultiOutputRegressor] = {}
+        self._fitted_depths: List[int] = []
+        self._max_stage: int = 0
+
+    # ------------------------------------------------------------------
+    # Model construction helpers
+    # ------------------------------------------------------------------
+    def _new_model(self) -> Regressor:
+        if callable(self._model_spec) and not isinstance(self._model_spec, str):
+            model = self._model_spec()
+            if not isinstance(model, Regressor):
+                raise ModelError("the model factory must return a Regressor")
+            return model
+        return get_model(str(self._model_spec), **self._model_kwargs)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        """The training strategy (``"pooled"`` or ``"per-depth"``)."""
+        return self._strategy
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return bool(self._stage_models) or bool(self._depth_models)
+
+    @property
+    def fitted_depths(self) -> List[int]:
+        """Target depths the predictor can be queried for."""
+        return list(self._fitted_depths)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: TrainingDataset,
+        target_depths: Sequence[int] = None,
+    ) -> "ParameterPredictor":
+        """Train the predictor on *dataset*.
+
+        *target_depths* defaults to every depth >= 2 present in the data-set.
+        """
+        available = [depth for depth in dataset.depths if depth >= 2]
+        if 1 not in dataset.depths:
+            raise ModelError("the training data-set must contain depth-1 optima")
+        if target_depths is None:
+            target_depths = available
+        target_depths = sorted(set(int(d) for d in target_depths))
+        if not target_depths:
+            raise ModelError("no target depths to train for")
+        missing = [d for d in target_depths if d not in dataset.depths]
+        if missing:
+            raise ModelError(
+                f"data-set does not contain optima for target depths {missing}"
+            )
+
+        self._stage_models.clear()
+        self._depth_models.clear()
+        self._fitted_depths = target_depths
+        self._max_stage = max(target_depths)
+
+        if self._strategy == "pooled":
+            for stage in range(1, self._max_stage + 1):
+                relevant_depths = [d for d in target_depths if d >= stage]
+                for kind in ("gamma", "beta"):
+                    features, responses = pooled_training_rows(
+                        dataset, stage, kind, relevant_depths
+                    )
+                    model = self._new_model().fit(features, responses)
+                    self._stage_models[(kind, stage)] = model
+        else:
+            for depth in target_depths:
+                features, responses = per_depth_training_rows(dataset, depth)
+                wrapper = MultiOutputRegressor(self._new_model)
+                wrapper.fit(features, responses)
+                self._depth_models[depth] = wrapper
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self, gamma1_opt: float, beta1_opt: float, target_depth: int
+    ) -> QAOAParameters:
+        """Predict the target-depth angles from the depth-1 optimum."""
+        if not self.is_fitted:
+            raise ModelError("ParameterPredictor must be fitted before predicting")
+        target_depth = int(target_depth)
+        if target_depth < 2:
+            raise ModelError(f"target_depth must be >= 2, got {target_depth}")
+
+        if self._strategy == "pooled":
+            if target_depth > self._max_stage:
+                raise ModelError(
+                    f"predictor was trained up to depth {self._max_stage}, "
+                    f"cannot predict depth {target_depth}"
+                )
+            features = np.array([[gamma1_opt, beta1_opt, float(target_depth)]])
+            gammas = [
+                float(self._stage_models[("gamma", stage)].predict(features)[0])
+                for stage in range(1, target_depth + 1)
+            ]
+            betas = [
+                float(self._stage_models[("beta", stage)].predict(features)[0])
+                for stage in range(1, target_depth + 1)
+            ]
+        else:
+            if target_depth not in self._depth_models:
+                raise ModelError(
+                    f"no per-depth model trained for target depth {target_depth}"
+                )
+            features = np.array([[gamma1_opt, beta1_opt]])
+            flat = self._depth_models[target_depth].predict(features)[0]
+            gammas = list(flat[:target_depth])
+            betas = list(flat[target_depth:])
+
+        if self._clip_to_domain:
+            gammas = [float(np.clip(g, 0.0, GAMMA_MAX)) for g in gammas]
+            betas = [float(np.clip(b, 0.0, BETA_MAX)) for b in betas]
+        return QAOAParameters(tuple(gammas), tuple(betas))
+
+    def predict_for_record(
+        self, record: GraphRecord, target_depth: int
+    ) -> QAOAParameters:
+        """Predict target-depth angles using a record's depth-1 optimum."""
+        base = record.entry(1).parameters
+        return self.predict(base.gammas[0], base.betas[0], target_depth)
+
+    def predict_vector(
+        self, gamma1_opt: float, beta1_opt: float, target_depth: int
+    ) -> np.ndarray:
+        """Flat-vector form of :meth:`predict`."""
+        return self.predict(gamma1_opt, beta1_opt, target_depth).to_vector()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def prediction_errors(
+        self, dataset: TrainingDataset, target_depth: int
+    ) -> PredictionErrorReport:
+        """Absolute-percentage-error statistics on a (test) data-set (Fig. 6).
+
+        The percentage error of each angle is relative to the true optimal
+        value, with the denominator floored at ``0.05`` rad to keep angles
+        that are optimally near zero from dominating the statistic.
+        """
+        all_errors: List[float] = []
+        per_parameter: List[List[float]] = [[] for _ in range(2 * target_depth)]
+        num_graphs = 0
+        for record in dataset:
+            if not (record.has_depth(1) and record.has_depth(target_depth)):
+                continue
+            predicted = self.predict_for_record(record, target_depth).to_vector()
+            actual = response_vector(record, target_depth)
+            errors = (
+                100.0
+                * np.abs(predicted - actual)
+                / np.maximum(np.abs(actual), _PERCENT_ERROR_FLOOR)
+            )
+            all_errors.extend(errors.tolist())
+            for index, error in enumerate(errors):
+                per_parameter[index].append(float(error))
+            num_graphs += 1
+        if num_graphs == 0:
+            raise ModelError(
+                f"data-set has no records with both depth 1 and depth {target_depth}"
+            )
+        errors_array = np.array(all_errors)
+        return PredictionErrorReport(
+            target_depth=target_depth,
+            num_graphs=num_graphs,
+            mean_abs_percent_error=float(errors_array.mean()),
+            std_abs_percent_error=float(errors_array.std()),
+            max_abs_percent_error=float(errors_array.max()),
+            per_parameter_mean_error=tuple(
+                float(np.mean(values)) for values in per_parameter
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterPredictor(model={self._model_spec!r}, strategy={self._strategy!r}, "
+            f"fitted_depths={self._fitted_depths})"
+        )

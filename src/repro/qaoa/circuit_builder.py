@@ -1,0 +1,91 @@
+"""Construction of the MaxCut QAOA circuit at the gate level.
+
+The circuit follows Fig. 1(a) of the paper: a layer of Hadamards prepares the
+uniform superposition, then each of the ``p`` stages applies
+
+* the phase-separation layer — for every edge ``(u, v)`` a CNOT / RZ / CNOT
+  sandwich implementing ``exp(+i gamma w_uv Z_u Z_v / 2)`` (equal, up to a
+  global phase, to ``exp(-i gamma H_C)`` for the MaxCut cost Hamiltonian), and
+* the mixing layer — ``RX(2 beta)`` on every qubit, implementing
+  ``exp(-i beta X_q)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.parameter import ParameterVector
+
+
+def build_maxcut_qaoa_circuit(
+    problem: MaxCutProblem, parameters: QAOAParameters
+) -> QuantumCircuit:
+    """Build a fully-bound QAOA circuit for *problem* at the given angles."""
+    circuit = QuantumCircuit(problem.num_qubits, name=f"qaoa_p{parameters.depth}")
+    for qubit in range(problem.num_qubits):
+        circuit.h(qubit)
+    for stage in range(parameters.depth):
+        gamma = parameters.gammas[stage]
+        beta = parameters.betas[stage]
+        _append_phase_separation(circuit, problem, gamma)
+        _append_mixing(circuit, problem, beta)
+    return circuit
+
+
+def build_parametric_qaoa_circuit(
+    problem: MaxCutProblem, depth: int
+) -> Tuple[QuantumCircuit, ParameterVector, ParameterVector]:
+    """Build a symbolic QAOA circuit; returns ``(circuit, gammas, betas)``.
+
+    The returned parameter vectors can be bound later via
+    :meth:`QuantumCircuit.bind` with the concatenation
+    ``list(gammas) + list(betas)`` as the ordering.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    gammas = ParameterVector("gamma", depth)
+    betas = ParameterVector("beta", depth)
+    circuit = QuantumCircuit(problem.num_qubits, name=f"qaoa_sym_p{depth}")
+    for qubit in range(problem.num_qubits):
+        circuit.h(qubit)
+    for stage in range(depth):
+        for u, v, weight in problem.graph.edges:
+            circuit.cx(u, v)
+            circuit.rz(gammas[stage] * (-weight), v)
+            circuit.cx(u, v)
+        for qubit in range(problem.num_qubits):
+            circuit.rx(betas[stage] * 2.0, qubit)
+    return circuit, gammas, betas
+
+
+def _append_phase_separation(
+    circuit: QuantumCircuit, problem: MaxCutProblem, gamma: float
+) -> None:
+    """Append one phase-separation layer ``exp(-i gamma H_C)`` (up to phase)."""
+    for u, v, weight in problem.graph.edges:
+        circuit.cx(u, v)
+        circuit.rz(-gamma * weight, v)
+        circuit.cx(u, v)
+
+
+def _append_mixing(circuit: QuantumCircuit, problem: MaxCutProblem, beta: float) -> None:
+    """Append one mixing layer ``exp(-i beta sum_q X_q)``."""
+    for qubit in range(problem.num_qubits):
+        circuit.rx(2.0 * beta, qubit)
+
+
+def qaoa_gate_counts(problem: MaxCutProblem, depth: int) -> dict:
+    """Gate-count summary of the depth-*depth* circuit (a NISQ cost proxy)."""
+    num_edges = problem.graph.num_edges
+    num_qubits = problem.num_qubits
+    return {
+        "h": num_qubits,
+        "cx": 2 * num_edges * depth,
+        "rz": num_edges * depth,
+        "rx": num_qubits * depth,
+        "total": num_qubits + depth * (3 * num_edges + num_qubits),
+    }

@@ -1,0 +1,135 @@
+"""Fast MaxCut-specialised QAOA statevector evaluation.
+
+Inside the optimization loop the same circuit structure is evaluated thousands
+of times, so this backend exploits the structure of the MaxCut QAOA ansatz
+instead of applying gates one by one:
+
+* the phase-separation unitary ``exp(-i gamma H_C)`` is diagonal in the
+  computational basis (the diagonal is the cut-value table), and
+* the mixing unitary ``exp(-i beta sum_q X_q)`` is diagonal in the Hadamard
+  basis, so it is applied as ``W diag(exp(-i beta (n - 2 popcount))) W`` with
+  ``W`` the normalised Walsh-Hadamard transform.
+
+The result is numerically identical (up to global phase) to running the
+gate-level circuit through :class:`~repro.quantum.simulator.StatevectorSimulator`,
+which the test-suite verifies, but an order of magnitude faster.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.statevector import Statevector
+
+
+def _walsh_hadamard_matrix(num_qubits: int) -> np.ndarray:
+    """The normalised ``H^{(x) n}`` matrix: ``W[i, j] = (-1)^popcount(i & j) / sqrt(N)``."""
+    size = 2**num_qubits
+    indices = np.arange(size)
+    parity = np.zeros((size, size), dtype=np.int64)
+    overlap = indices[:, None] & indices[None, :]
+    # popcount of every entry of the overlap matrix
+    value = overlap.copy()
+    while value.any():
+        parity += value & 1
+        value >>= 1
+    return ((-1.0) ** (parity % 2)) / math.sqrt(size)
+
+
+class FastMaxCutEvaluator:
+    """Evaluate QAOA states and cost expectations for one MaxCut problem."""
+
+    def __init__(self, problem: MaxCutProblem, max_qubits: int = 20):
+        if problem.num_qubits > max_qubits:
+            raise SimulationError(
+                f"problem has {problem.num_qubits} qubits, exceeding the fast-backend "
+                f"limit of {max_qubits}"
+            )
+        self._problem = problem
+        self._num_qubits = problem.num_qubits
+        self._dim = 2**self._num_qubits
+        self._cost_diagonal = problem.cost_diagonal()
+        self._hadamard = _walsh_hadamard_matrix(self._num_qubits)
+        indices = np.arange(self._dim)
+        popcounts = np.zeros(self._dim, dtype=float)
+        value = indices.copy()
+        while value.any():
+            popcounts += value & 1
+            value >>= 1
+        # Eigenvalues of sum_q X_q in the Hadamard-transformed basis.
+        self._mixer_diagonal = self._num_qubits - 2.0 * popcounts
+        self._num_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> MaxCutProblem:
+        """The MaxCut problem this evaluator is specialised for."""
+        return self._problem
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of expectation evaluations performed (diagnostic counter)."""
+        return self._num_evaluations
+
+    @property
+    def cost_diagonal(self) -> np.ndarray:
+        """Diagonal of the cost Hamiltonian (copy)."""
+        return self._cost_diagonal.copy()
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    def _walsh_hadamard_apply(self, amplitudes: np.ndarray) -> np.ndarray:
+        """Apply the normalised Walsh-Hadamard transform to a complex vector.
+
+        The complex vector is viewed as a ``(dim, 2)`` real matrix so the
+        transform is a single real matrix product (avoiding a complex upcast
+        of the Hadamard matrix on every call).
+        """
+        stacked = np.empty((self._dim, 2), dtype=float)
+        stacked[:, 0] = amplitudes.real
+        stacked[:, 1] = amplitudes.imag
+        transformed = self._hadamard @ stacked
+        return np.ascontiguousarray(transformed).view(np.complex128).ravel()
+
+    def statevector(self, parameters: QAOAParameters) -> Statevector:
+        """The QAOA output state ``|psi(gamma, beta)>``."""
+        if not isinstance(parameters, QAOAParameters):
+            parameters = QAOAParameters.from_vector(np.asarray(parameters, dtype=float))
+        amplitudes = np.full(self._dim, 1.0 / math.sqrt(self._dim), dtype=complex)
+        for gamma, beta in zip(parameters.gammas, parameters.betas):
+            amplitudes *= np.exp(-1j * gamma * self._cost_diagonal)
+            amplitudes = self._walsh_hadamard_apply(amplitudes)
+            amplitudes *= np.exp(-1j * beta * self._mixer_diagonal)
+            amplitudes = self._walsh_hadamard_apply(amplitudes)
+        return Statevector(amplitudes, copy=False, validate=False)
+
+    def expectation(self, parameters) -> float:
+        """Expectation value of the cost Hamiltonian in the QAOA state."""
+        state = self.statevector(parameters)
+        self._num_evaluations += 1
+        return float(np.dot(np.abs(state.data) ** 2, self._cost_diagonal))
+
+    def approximation_ratio(self, parameters) -> float:
+        """Approximation ratio of the QAOA state at the given angles."""
+        return self._problem.approximation_ratio(self.expectation(parameters))
+
+    def sample_cut_distribution(self, parameters, shots: int, rng=None) -> dict:
+        """Sample measurement outcomes and report cut values per bit-string."""
+        state = self.statevector(parameters)
+        counts = state.sample_counts(shots, rng=rng)
+        return {
+            bitstring: {
+                "count": count,
+                "cut_value": self._problem.cut_value(bitstring),
+            }
+            for bitstring, count in counts.items()
+        }

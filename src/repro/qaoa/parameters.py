@@ -1,0 +1,231 @@
+"""QAOA parameter container and sampling.
+
+A depth-``p`` QAOA circuit has ``2p`` angles: the phase-separation angles
+``gamma_1 .. gamma_p`` and the mixing angles ``beta_1 .. beta_p``.  Following
+the paper (Sec. III-A) random initializations are drawn from
+``gamma_i in [0, 2*pi]`` and ``beta_i in [0, pi]``.
+
+The flat vector layout used throughout the library (and by the ML predictor's
+response vector) is ``[gamma_1, .., gamma_p, beta_1, .., beta_p]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import BETA_MAX, BETA_SYMMETRY_PERIOD, GAMMA_MAX
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass(frozen=True)
+class QAOAParameters:
+    """Immutable set of QAOA angles for one circuit instance."""
+
+    gammas: Tuple[float, ...]
+    betas: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "gammas", tuple(float(g) for g in self.gammas))
+        object.__setattr__(self, "betas", tuple(float(b) for b in self.betas))
+        if len(self.gammas) != len(self.betas):
+            raise ConfigurationError(
+                f"gammas and betas must have equal length, got "
+                f"{len(self.gammas)} and {len(self.betas)}"
+            )
+        if len(self.gammas) == 0:
+            raise ConfigurationError("QAOA parameters need at least one stage")
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Circuit depth ``p`` (number of stages)."""
+        return len(self.gammas)
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of angles (``2p``)."""
+        return 2 * self.depth
+
+    def gamma(self, stage: int) -> float:
+        """The phase-separation angle of *stage* (1-indexed, as in the paper)."""
+        return self.gammas[self._stage_index(stage)]
+
+    def beta(self, stage: int) -> float:
+        """The mixing angle of *stage* (1-indexed)."""
+        return self.betas[self._stage_index(stage)]
+
+    def _stage_index(self, stage: int) -> int:
+        if not 1 <= stage <= self.depth:
+            raise ConfigurationError(
+                f"stage must be in 1..{self.depth}, got {stage}"
+            )
+        return stage - 1
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_vector(self) -> np.ndarray:
+        """Flat vector ``[gamma_1..gamma_p, beta_1..beta_p]``."""
+        return np.array(list(self.gammas) + list(self.betas), dtype=float)
+
+    @classmethod
+    def from_vector(cls, vector: Sequence[float]) -> "QAOAParameters":
+        """Inverse of :meth:`to_vector`."""
+        vector = np.asarray(vector, dtype=float).reshape(-1)
+        if vector.size == 0 or vector.size % 2 != 0:
+            raise ConfigurationError(
+                f"parameter vector length must be a positive even number, got {vector.size}"
+            )
+        depth = vector.size // 2
+        return cls(tuple(vector[:depth]), tuple(vector[depth:]))
+
+    def folded(self) -> "QAOAParameters":
+        """Angles folded into the canonical domain (gamma mod 2*pi, beta mod pi).
+
+        The QAOA energy for MaxCut on integer-weight graphs is periodic in
+        ``gamma`` with period ``2*pi`` and in ``beta`` with period ``pi``, so
+        folding does not change the expectation value.
+        """
+        gammas = tuple(float(np.mod(g, GAMMA_MAX)) for g in self.gammas)
+        betas = tuple(float(np.mod(b, BETA_MAX)) for b in self.betas)
+        return QAOAParameters(gammas, betas)
+
+    def canonicalized(self) -> "QAOAParameters":
+        """Angles mapped into the canonical fundamental domain.
+
+        MaxCut QAOA has two exact symmetries that make optimal parameters
+        ambiguous (different restarts converge to different but physically
+        equivalent angle sets):
+
+        * ``beta_i -> beta_i + pi/2`` — a global bit flip ``X^{(x) n}``
+          commutes with the whole ansatz and with the cut operator, so every
+          mixing angle is only defined modulo ``pi/2`` (for unweighted
+          graphs the cost is also ``2*pi``-periodic in every ``gamma_i``);
+        * joint time reversal ``(gamma, beta) -> (-gamma, -beta)`` — complex
+          conjugation of the state leaves the (real) cost expectation
+          unchanged.
+
+        Canonicalisation folds every ``beta_i`` into ``[0, pi/2)`` and every
+        ``gamma_i`` into ``[0, 2*pi)``, then applies the joint conjugation
+        when ``gamma_1 > pi`` so that the first phase angle always lands in
+        ``[0, pi]``.  Training the ML predictor on canonical angles is what
+        makes the regression targets consistent across graphs and restarts
+        (the trends of Figs. 2-3 only appear after this folding).
+        """
+        gammas = [_wrap(g, GAMMA_MAX) for g in self.gammas]
+        betas = [_wrap(b, BETA_SYMMETRY_PERIOD) for b in self.betas]
+        if gammas[0] > GAMMA_MAX / 2.0:
+            gammas = [_wrap(-g, GAMMA_MAX) for g in gammas]
+            betas = [_wrap(-b, BETA_SYMMETRY_PERIOD) for b in betas]
+        return QAOAParameters(tuple(gammas), tuple(betas))
+
+    def __str__(self) -> str:
+        gammas = ", ".join(f"{g:.4f}" for g in self.gammas)
+        betas = ", ".join(f"{b:.4f}" for b in self.betas)
+        return f"QAOAParameters(p={self.depth}, gammas=[{gammas}], betas=[{betas}])"
+
+
+def canonicalize_for_graph(parameters: QAOAParameters, graph) -> QAOAParameters:
+    """Graph-aware canonicalization of QAOA angles.
+
+    In addition to the graph-independent symmetries handled by
+    :meth:`QAOAParameters.canonicalized`, MaxCut on a graph whose vertices all
+    have *odd* degree (e.g. the 3-regular graphs of Figs. 1-3) has the extra
+    exact symmetry ``gamma_i -> gamma_i + pi`` with ``beta_j -> -beta_j`` for
+    every ``j >= i``.  Without fixing it, different restarts of the same
+    problem land on scattered but physically equivalent angle sets and the
+    regular parameter patterns the paper reports disappear.  When the graph
+    has any even-degree vertex the extra reduction is skipped.
+
+    Parameters
+    ----------
+    parameters:
+        The angles to canonicalize.
+    graph:
+        The problem graph (an object exposing ``degrees()``), or ``None`` to
+        apply only the graph-independent folding.
+    """
+    if graph is not None and all(degree % 2 == 1 for degree in graph.degrees()):
+        gammas = [_wrap(g, GAMMA_MAX) for g in parameters.gammas]
+        betas = list(parameters.betas)
+        half_period = GAMMA_MAX / 2.0
+        for i in range(parameters.depth):
+            if gammas[i] >= half_period:
+                gammas[i] -= half_period
+                for j in range(i, parameters.depth):
+                    betas[j] = -betas[j]
+        parameters = QAOAParameters(tuple(gammas), tuple(betas))
+    return parameters.canonicalized()
+
+
+def _wrap(value: float, period: float) -> float:
+    """Fold *value* into ``[0, period)``, guarding against rounding to the period."""
+    wrapped = float(np.mod(value, period))
+    if wrapped >= period or period - wrapped < 1e-12:
+        wrapped = 0.0
+    return wrapped
+
+
+def parameter_bounds(depth: int) -> List[Tuple[float, float]]:
+    """Box bounds for the flat parameter vector of a depth-*depth* circuit."""
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    return [(0.0, GAMMA_MAX)] * depth + [(0.0, BETA_MAX)] * depth
+
+
+def random_parameters(depth: int, rng: RandomState = None) -> QAOAParameters:
+    """Sample uniformly random angles from the paper's initialization domain."""
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    generator = ensure_rng(rng)
+    gammas = generator.uniform(0.0, GAMMA_MAX, size=depth)
+    betas = generator.uniform(0.0, BETA_MAX, size=depth)
+    return QAOAParameters(tuple(gammas), tuple(betas))
+
+
+def interpolate_parameters(parameters: QAOAParameters, new_depth: int) -> QAOAParameters:
+    """Resample a parameter schedule onto a different depth (INTERP heuristic).
+
+    The depth-``p`` angles are viewed as samples of a smooth schedule on
+    ``[0, 1]`` and linearly interpolated onto ``new_depth`` points.  This is
+    the interpolation warm start of Zhou et al. (arXiv:1812.01041), used here
+    (a) as a classical non-ML initialization baseline for the ablation
+    benches and (b) to seed the data-set generation with one
+    schedule-consistent restart so that the recorded optima lie on the regular
+    parameter family the paper observes in Figs. 2-3.
+    """
+    if new_depth < 1:
+        raise ConfigurationError(f"new_depth must be >= 1, got {new_depth}")
+    old_depth = parameters.depth
+    if new_depth == old_depth:
+        return parameters
+    if old_depth == 1:
+        gammas = tuple([parameters.gammas[0]] * new_depth)
+        betas = tuple([parameters.betas[0]] * new_depth)
+        return QAOAParameters(gammas, betas)
+    old_positions = np.linspace(0.0, 1.0, old_depth)
+    new_positions = np.linspace(0.0, 1.0, new_depth)
+    gammas = np.interp(new_positions, old_positions, parameters.gammas)
+    betas = np.interp(new_positions, old_positions, parameters.betas)
+    return QAOAParameters(tuple(float(g) for g in gammas), tuple(float(b) for b in betas))
+
+
+def linear_ramp_parameters(depth: int, *, gamma_scale: float = 0.7, beta_scale: float = 0.7) -> QAOAParameters:
+    """Annealing-inspired linear-ramp initialization (non-ML baseline).
+
+    ``gamma_i`` ramps up and ``beta_i`` ramps down across stages — the
+    qualitative pattern the paper observes in optimal parameters (Fig. 2) —
+    which makes this a natural heuristic baseline for the ablation benches.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"depth must be >= 1, got {depth}")
+    stages = np.arange(1, depth + 1)
+    gammas = gamma_scale * stages / depth
+    betas = beta_scale * (1.0 - (stages - 0.5) / depth)
+    return QAOAParameters(tuple(gammas), tuple(betas))

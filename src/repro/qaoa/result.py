@@ -1,0 +1,84 @@
+"""Result containers for QAOA optimization runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.qaoa.parameters import QAOAParameters
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """Outcome of one restart of the optimization loop."""
+
+    initial_parameters: QAOAParameters
+    optimal_parameters: QAOAParameters
+    optimal_expectation: float
+    num_function_calls: int
+    converged: bool
+
+
+@dataclass
+class QAOAResult:
+    """Aggregate outcome of a (possibly multi-restart) QAOA optimization."""
+
+    problem_name: str
+    depth: int
+    optimizer_name: str
+    optimal_parameters: QAOAParameters
+    optimal_expectation: float
+    max_cut_value: float
+    num_function_calls: int
+    num_restarts: int
+    restarts: List[RestartRecord] = field(default_factory=list)
+    initialization: str = "random"
+
+    @property
+    def approximation_ratio(self) -> float:
+        """Achieved expectation divided by the exact optimum."""
+        return self.optimal_expectation / self.max_cut_value
+
+    @property
+    def mean_function_calls_per_restart(self) -> float:
+        """Average function calls over restarts (the paper's per-run FC)."""
+        if not self.restarts:
+            return float(self.num_function_calls)
+        return float(
+            np.mean([record.num_function_calls for record in self.restarts])
+        )
+
+    @property
+    def gammas(self) -> tuple:
+        """Optimal phase-separation angles."""
+        return self.optimal_parameters.gammas
+
+    @property
+    def betas(self) -> tuple:
+        """Optimal mixing angles."""
+        return self.optimal_parameters.betas
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly summary (restart details reduced to counts)."""
+        return {
+            "problem_name": self.problem_name,
+            "depth": self.depth,
+            "optimizer_name": self.optimizer_name,
+            "optimal_gammas": list(self.optimal_parameters.gammas),
+            "optimal_betas": list(self.optimal_parameters.betas),
+            "optimal_expectation": self.optimal_expectation,
+            "max_cut_value": self.max_cut_value,
+            "approximation_ratio": self.approximation_ratio,
+            "num_function_calls": self.num_function_calls,
+            "num_restarts": self.num_restarts,
+            "initialization": self.initialization,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QAOAResult(problem={self.problem_name!r}, p={self.depth}, "
+            f"optimizer={self.optimizer_name!r}, AR={self.approximation_ratio:.4f}, "
+            f"FC={self.num_function_calls})"
+        )

@@ -1,0 +1,180 @@
+"""The QAOA optimization loop (quantum circuit + classical optimizer).
+
+:class:`QAOASolver` is the closed loop of Fig. 1(a)/(d): it repeatedly
+evaluates the cost expectation through an
+:class:`~repro.qaoa.cost.ExpectationEvaluator` and lets a classical local
+optimizer update the angles until the functional tolerance is met.  The
+solver supports both random initialization (the paper's naive baseline,
+possibly multi-restart) and explicit initial parameters (the ML-predicted
+warm start of the two-level flow).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import DEFAULT_TOLERANCE
+from repro.exceptions import ConfigurationError
+from repro.graphs.maxcut import MaxCutProblem
+from repro.optimizers.base import Optimizer
+from repro.optimizers.registry import get_optimizer
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.parameters import QAOAParameters, parameter_bounds, random_parameters
+from repro.qaoa.result import QAOAResult, RestartRecord
+from repro.utils.rng import RandomState, ensure_rng
+
+InitialParameters = Union[None, QAOAParameters, Sequence[float]]
+
+
+class QAOASolver:
+    """Run the QAOA optimization loop for MaxCut problems.
+
+    Parameters
+    ----------
+    optimizer:
+        Optimizer name (e.g. ``"L-BFGS-B"``) or an
+        :class:`~repro.optimizers.base.Optimizer` instance.
+    num_restarts:
+        Number of random restarts used when no initial parameters are given.
+    tolerance:
+        Functional tolerance (only used when *optimizer* is given by name).
+    backend:
+        ``"fast"`` (default) or ``"circuit"`` expectation backend.
+    use_bounds:
+        When true, the angle domain ``gamma in [0, 2*pi]``, ``beta in [0, pi]``
+        is also enforced during optimization (the paper restricts only the
+        random initialization, which is the default behaviour here).
+    """
+
+    def __init__(
+        self,
+        optimizer: Union[str, Optimizer] = "L-BFGS-B",
+        *,
+        num_restarts: int = 1,
+        tolerance: float = DEFAULT_TOLERANCE,
+        max_iterations: int = 10000,
+        backend: str = "fast",
+        use_bounds: bool = False,
+        seed: RandomState = None,
+    ):
+        if num_restarts < 1:
+            raise ConfigurationError(f"num_restarts must be >= 1, got {num_restarts}")
+        if isinstance(optimizer, Optimizer):
+            self._optimizer = optimizer
+        else:
+            self._optimizer = get_optimizer(
+                optimizer, tolerance=tolerance, max_iterations=max_iterations
+            )
+        self._num_restarts = int(num_restarts)
+        self._backend = backend
+        self._use_bounds = bool(use_bounds)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def optimizer(self) -> Optimizer:
+        """The classical optimizer driving the loop."""
+        return self._optimizer
+
+    @property
+    def num_restarts(self) -> int:
+        """Default number of random restarts."""
+        return self._num_restarts
+
+    @property
+    def backend(self) -> str:
+        """Expectation-evaluation backend name."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        problem: MaxCutProblem,
+        depth: int,
+        *,
+        initial_parameters: InitialParameters = None,
+        num_restarts: Optional[int] = None,
+        seed: RandomState = None,
+    ) -> QAOAResult:
+        """Optimize a depth-*depth* QAOA instance of *problem*.
+
+        When *initial_parameters* is provided the loop starts exactly there
+        (single run, ``initialization="warm"`` in the result); otherwise
+        *num_restarts* random initializations are optimized independently and
+        the best restart is reported as the optimum.
+        """
+        evaluator = ExpectationEvaluator(problem, depth, backend=self._backend)
+        rng = ensure_rng(seed) if seed is not None else self._rng
+        bounds = parameter_bounds(depth) if self._use_bounds else None
+
+        if initial_parameters is not None:
+            starts = [self._coerce_parameters(initial_parameters, depth)]
+            initialization = "warm"
+        else:
+            restarts = num_restarts if num_restarts is not None else self._num_restarts
+            if restarts < 1:
+                raise ConfigurationError(f"num_restarts must be >= 1, got {restarts}")
+            starts = [random_parameters(depth, rng) for _ in range(restarts)]
+            initialization = "random"
+
+        records = []
+        best_record: Optional[RestartRecord] = None
+        for start in starts:
+            record = self._run_single(evaluator, start, bounds)
+            records.append(record)
+            if best_record is None or record.optimal_expectation > best_record.optimal_expectation:
+                best_record = record
+
+        total_calls = int(sum(record.num_function_calls for record in records))
+        return QAOAResult(
+            problem_name=problem.name,
+            depth=depth,
+            optimizer_name=self._optimizer.name,
+            optimal_parameters=best_record.optimal_parameters,
+            optimal_expectation=best_record.optimal_expectation,
+            max_cut_value=problem.max_cut_value(),
+            num_function_calls=total_calls,
+            num_restarts=len(records),
+            restarts=records,
+            initialization=initialization,
+        )
+
+    def _run_single(
+        self,
+        evaluator: ExpectationEvaluator,
+        start: QAOAParameters,
+        bounds,
+    ) -> RestartRecord:
+        result = self._optimizer.maximize(
+            evaluator.expectation, start.to_vector(), bounds
+        )
+        return RestartRecord(
+            initial_parameters=start,
+            optimal_parameters=QAOAParameters.from_vector(result.optimal_parameters),
+            optimal_expectation=float(result.optimal_value),
+            num_function_calls=int(result.num_function_calls),
+            converged=bool(result.converged),
+        )
+
+    @staticmethod
+    def _coerce_parameters(
+        initial_parameters: InitialParameters, depth: int
+    ) -> QAOAParameters:
+        if isinstance(initial_parameters, QAOAParameters):
+            parameters = initial_parameters
+        else:
+            parameters = QAOAParameters.from_vector(
+                np.asarray(initial_parameters, dtype=float)
+            )
+        if parameters.depth != depth:
+            raise ConfigurationError(
+                f"initial parameters are for depth {parameters.depth}, "
+                f"but the circuit depth is {depth}"
+            )
+        return parameters

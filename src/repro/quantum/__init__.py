@@ -1,0 +1,33 @@
+"""A from-scratch statevector quantum-circuit simulator.
+
+This subpackage replaces the QuTiP simulator used in the paper.  It provides:
+
+* :mod:`repro.quantum.gates` — the gate matrices (fixed and parametric),
+* :mod:`repro.quantum.parameter` — symbolic circuit parameters,
+* :mod:`repro.quantum.circuit` — the :class:`QuantumCircuit` container,
+* :mod:`repro.quantum.statevector` — the :class:`Statevector` state object,
+* :mod:`repro.quantum.operators` — Pauli-string observables,
+* :mod:`repro.quantum.simulator` — the :class:`StatevectorSimulator` engine.
+"""
+
+from repro.quantum.parameter import Parameter, ParameterExpression, ParameterVector
+from repro.quantum.gates import GATE_REGISTRY, GateDefinition, gate_matrix
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.statevector import Statevector
+from repro.quantum.operators import PauliString, PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "ParameterVector",
+    "GATE_REGISTRY",
+    "GateDefinition",
+    "gate_matrix",
+    "Instruction",
+    "QuantumCircuit",
+    "Statevector",
+    "PauliString",
+    "PauliSum",
+    "StatevectorSimulator",
+]

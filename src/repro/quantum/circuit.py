@@ -1,0 +1,318 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of :class:`Instruction` objects referencing gates
+from :data:`repro.quantum.gates.GATE_REGISTRY`.  Gate parameters may be
+numbers, :class:`~repro.quantum.parameter.Parameter` objects, or affine
+:class:`~repro.quantum.parameter.ParameterExpression` objects; symbolic
+circuits are bound to concrete angles with :meth:`QuantumCircuit.bind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.quantum.gates import GATE_REGISTRY, gate_matrix
+from repro.quantum.parameter import (
+    Parameter,
+    ParameterExpression,
+    ParameterLike,
+    bind_value,
+    parameters_of,
+)
+from repro.utils.validation import check_positive_int
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single gate application inside a circuit."""
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParameterLike, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_REGISTRY:
+            raise CircuitError(f"unknown gate {self.name!r}")
+        definition = GATE_REGISTRY[self.name]
+        if len(self.qubits) != definition.num_qubits:
+            raise CircuitError(
+                f"gate {self.name!r} acts on {definition.num_qubits} qubit(s), "
+                f"got {len(self.qubits)}"
+            )
+        if len(self.params) != definition.num_params:
+            raise CircuitError(
+                f"gate {self.name!r} takes {definition.num_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubits in {self.qubits}")
+
+    @property
+    def free_parameters(self) -> List[Parameter]:
+        """Unbound parameters referenced by this instruction."""
+        found: List[Parameter] = []
+        for param in self.params:
+            found.extend(parameters_of(param))
+        return found
+
+    def bound_params(self, bindings: Dict[Parameter, Number]) -> Tuple[float, ...]:
+        """Resolve all parameters to floats using *bindings*."""
+        return tuple(bind_value(param, bindings) for param in self.params)
+
+    def matrix(self, bindings: Dict[Parameter, Number] = None) -> np.ndarray:
+        """The gate matrix, with parameters bound through *bindings*."""
+        return gate_matrix(self.name, *self.bound_params(bindings or {}))
+
+
+class QuantumCircuit:
+    """A gate-level quantum circuit on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        check_positive_int(num_qubits, "num_qubits")
+        self._num_qubits = num_qubits
+        self._name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the circuit acts on."""
+        return self._num_qubits
+
+    @property
+    def name(self) -> str:
+        """Human-readable circuit name."""
+        return self._name
+
+    @property
+    def instructions(self) -> List[Instruction]:
+        """A copy of the instruction list."""
+        return list(self._instructions)
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """The distinct free parameters, in first-appearance order."""
+        seen: Dict[Parameter, None] = {}
+        for instruction in self._instructions:
+            for parameter in instruction.free_parameters:
+                seen.setdefault(parameter, None)
+        return list(seen.keys())
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of distinct free parameters."""
+        return len(self.parameters)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def size(self) -> int:
+        """Total gate count."""
+        return len(self._instructions)
+
+    def count_ops(self) -> Dict[str, int]:
+        """Gate counts per gate name."""
+        counts: Dict[str, int] = {}
+        for instruction in self._instructions:
+            counts[instruction.name] = counts.get(instruction.name, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth: the length of the longest gate-dependency chain."""
+        level: List[int] = [0] * self._num_qubits
+        for instruction in self._instructions:
+            layer = max(level[q] for q in instruction.qubits) + 1
+            for q in instruction.qubits:
+                level[q] = layer
+        return max(level) if level else 0
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of two-qubit gates (a common NISQ cost proxy)."""
+        return sum(1 for inst in self._instructions if len(inst.qubits) == 2)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> "QuantumCircuit":
+        """Append a pre-built instruction (validating qubit indices)."""
+        for qubit in instruction.qubits:
+            if not 0 <= qubit < self._num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self._num_qubits}-qubit circuit"
+                )
+        self._instructions.append(instruction)
+        return self
+
+    def add_gate(
+        self, name: str, qubits: Sequence[int], params: Sequence[ParameterLike] = ()
+    ) -> "QuantumCircuit":
+        """Append gate *name* acting on *qubits* with *params*."""
+        return self.append(Instruction(name, tuple(qubits), tuple(params)))
+
+    # Convenience wrappers -------------------------------------------------
+    def id(self, qubit: int) -> "QuantumCircuit":
+        """Identity gate (useful as an explicit no-op)."""
+        return self.add_gate("id", (qubit,))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-X gate."""
+        return self.add_gate("x", (qubit,))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Y gate."""
+        return self.add_gate("y", (qubit,))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        """Pauli-Z gate."""
+        return self.add_gate("z", (qubit,))
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Hadamard gate."""
+        return self.add_gate("h", (qubit,))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        """S (phase) gate."""
+        return self.add_gate("s", (qubit,))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        """S-dagger gate."""
+        return self.add_gate("sdg", (qubit,))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.add_gate("t", (qubit,))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        """T-dagger gate."""
+        return self.add_gate("tdg", (qubit,))
+
+    def rx(self, theta: ParameterLike, qubit: int) -> "QuantumCircuit":
+        """X-axis rotation ``exp(-i theta X / 2)``."""
+        return self.add_gate("rx", (qubit,), (theta,))
+
+    def ry(self, theta: ParameterLike, qubit: int) -> "QuantumCircuit":
+        """Y-axis rotation ``exp(-i theta Y / 2)``."""
+        return self.add_gate("ry", (qubit,), (theta,))
+
+    def rz(self, theta: ParameterLike, qubit: int) -> "QuantumCircuit":
+        """Z-axis rotation ``exp(-i theta Z / 2)``."""
+        return self.add_gate("rz", (qubit,), (theta,))
+
+    def p(self, theta: ParameterLike, qubit: int) -> "QuantumCircuit":
+        """Phase gate ``diag(1, e^{i theta})``."""
+        return self.add_gate("p", (qubit,), (theta,))
+
+    def u3(
+        self, theta: ParameterLike, phi: ParameterLike, lam: ParameterLike, qubit: int
+    ) -> "QuantumCircuit":
+        """Generic single-qubit rotation."""
+        return self.add_gate("u3", (qubit,), (theta, phi, lam))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-NOT gate."""
+        return self.add_gate("cx", (control, target))
+
+    # The paper's circuit diagrams use the name CNOT.
+    cnot = cx
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-Z gate."""
+        return self.add_gate("cz", (control, target))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """SWAP gate."""
+        return self.add_gate("swap", (qubit_a, qubit_b))
+
+    def crz(self, theta: ParameterLike, control: int, target: int) -> "QuantumCircuit":
+        """Controlled-RZ gate."""
+        return self.add_gate("crz", (control, target), (theta,))
+
+    def rzz(self, theta: ParameterLike, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """ZZ interaction ``exp(-i theta ZZ / 2)``."""
+        return self.add_gate("rzz", (qubit_a, qubit_b), (theta,))
+
+    def rxx(self, theta: ParameterLike, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """XX interaction ``exp(-i theta XX / 2)``."""
+        return self.add_gate("rxx", (qubit_a, qubit_b), (theta,))
+
+    # ------------------------------------------------------------------
+    # Composition and transformation
+    # ------------------------------------------------------------------
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` followed by *other*."""
+        if other.num_qubits != self._num_qubits:
+            raise CircuitError(
+                "cannot compose circuits with different qubit counts "
+                f"({self._num_qubits} vs {other.num_qubits})"
+            )
+        combined = QuantumCircuit(self._num_qubits, name=f"{self._name}+{other.name}")
+        for instruction in self._instructions:
+            combined.append(instruction)
+        for instruction in other._instructions:
+            combined.append(instruction)
+        return combined
+
+    def bind(
+        self, bindings: Union[Dict[Parameter, Number], Sequence[Number]]
+    ) -> "QuantumCircuit":
+        """Return a copy with free parameters replaced by concrete values.
+
+        *bindings* may be a ``{Parameter: value}`` mapping or a flat sequence
+        matching :attr:`parameters` in order.
+        """
+        if not isinstance(bindings, dict):
+            values = list(bindings)
+            parameters = self.parameters
+            if len(values) != len(parameters):
+                raise CircuitError(
+                    f"expected {len(parameters)} parameter values, got {len(values)}"
+                )
+            bindings = dict(zip(parameters, values))
+        missing = [p.name for p in self.parameters if p not in bindings]
+        if missing:
+            raise CircuitError(f"missing bindings for parameters {missing}")
+        bound = QuantumCircuit(self._num_qubits, name=self._name)
+        for instruction in self._instructions:
+            params = instruction.bound_params(bindings)
+            bound.append(Instruction(instruction.name, instruction.qubits, params))
+        return bound
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (gates reversed and inverted).
+
+        Only gates whose inverse is expressible in the registry (self-inverse
+        gates, named inverses such as S/S-dagger, and rotations whose inverse
+        is the negated angle) are supported; the circuit must be fully bound.
+        """
+        inverted = QuantumCircuit(self._num_qubits, name=f"{self._name}_dg")
+        for instruction in reversed(self._instructions):
+            if instruction.free_parameters:
+                raise CircuitError("cannot invert a circuit with unbound parameters")
+            definition = GATE_REGISTRY[instruction.name]
+            if definition.self_inverse:
+                inverted.append(instruction)
+            elif definition.inverse_name is not None:
+                inverted.add_gate(definition.inverse_name, instruction.qubits)
+            elif definition.negate_params_on_inverse:
+                params = tuple(-float(p) for p in instruction.params)
+                inverted.add_gate(instruction.name, instruction.qubits, params)
+            else:
+                raise CircuitError(f"gate {instruction.name!r} has no known inverse")
+        return inverted
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self._name!r}, num_qubits={self._num_qubits}, "
+            f"size={len(self._instructions)}, parameters={self.num_parameters})"
+        )

@@ -1,0 +1,241 @@
+"""Gate matrix definitions.
+
+All matrices are returned as fresh ``complex128`` NumPy arrays in the
+computational basis.  Multi-qubit gate matrices are given with the *first*
+qubit argument as the most-significant bit of the sub-space basis index
+(i.e. ``CNOT`` applied to ``(control, target)`` flips the target when the
+control bit is 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+_SQRT1_2 = 1.0 / math.sqrt(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit gates
+# ---------------------------------------------------------------------------
+
+def identity_matrix() -> np.ndarray:
+    """The 2x2 identity."""
+    return np.eye(2, dtype=complex)
+
+
+def x_matrix() -> np.ndarray:
+    """Pauli-X (NOT)."""
+    return np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def y_matrix() -> np.ndarray:
+    """Pauli-Y."""
+    return np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+
+def z_matrix() -> np.ndarray:
+    """Pauli-Z."""
+    return np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def h_matrix() -> np.ndarray:
+    """Hadamard."""
+    return _SQRT1_2 * np.array([[1, 1], [1, -1]], dtype=complex)
+
+
+def s_matrix() -> np.ndarray:
+    """Phase gate S = sqrt(Z)."""
+    return np.array([[1, 0], [0, 1j]], dtype=complex)
+
+
+def sdg_matrix() -> np.ndarray:
+    """Inverse phase gate."""
+    return np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def t_matrix() -> np.ndarray:
+    """T gate (pi/8 gate)."""
+    return np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+
+
+def tdg_matrix() -> np.ndarray:
+    """Inverse T gate."""
+    return np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+
+
+# ---------------------------------------------------------------------------
+# Parametric single-qubit rotations
+# ---------------------------------------------------------------------------
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about the X axis: ``exp(-i theta X / 2)``."""
+    half = theta / 2.0
+    return np.array(
+        [[math.cos(half), -1j * math.sin(half)], [-1j * math.sin(half), math.cos(half)]],
+        dtype=complex,
+    )
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Y axis: ``exp(-i theta Y / 2)``."""
+    half = theta / 2.0
+    return np.array(
+        [[math.cos(half), -math.sin(half)], [math.sin(half), math.cos(half)]],
+        dtype=complex,
+    )
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Z axis: ``exp(-i theta Z / 2)``."""
+    half = theta / 2.0
+    return np.array(
+        [[np.exp(-1j * half), 0], [0, np.exp(1j * half)]], dtype=complex
+    )
+
+
+def phase_matrix(theta: float) -> np.ndarray:
+    """Phase gate ``diag(1, exp(i theta))``."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit rotation with three Euler angles."""
+    half = theta / 2.0
+    return np.array(
+        [
+            [math.cos(half), -np.exp(1j * lam) * math.sin(half)],
+            [np.exp(1j * phi) * math.sin(half), np.exp(1j * (phi + lam)) * math.cos(half)],
+        ],
+        dtype=complex,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit gates
+# ---------------------------------------------------------------------------
+
+def cnot_matrix() -> np.ndarray:
+    """Controlled-NOT with the first qubit as control."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    )
+
+
+def cz_matrix() -> np.ndarray:
+    """Controlled-Z."""
+    return np.diag([1, 1, 1, -1]).astype(complex)
+
+
+def swap_matrix() -> np.ndarray:
+    """SWAP gate."""
+    return np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+
+
+def crz_matrix(theta: float) -> np.ndarray:
+    """Controlled-RZ with the first qubit as control."""
+    matrix = np.eye(4, dtype=complex)
+    matrix[2, 2] = np.exp(-1j * theta / 2.0)
+    matrix[3, 3] = np.exp(1j * theta / 2.0)
+    return matrix
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation ``exp(-i theta Z (x) Z / 2)``."""
+    phase = np.exp(-1j * theta / 2.0)
+    conj = np.exp(1j * theta / 2.0)
+    return np.diag([phase, conj, conj, phase]).astype(complex)
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation ``exp(-i theta X (x) X / 2)``."""
+    cos = math.cos(theta / 2.0)
+    sin = -1j * math.sin(theta / 2.0)
+    matrix = np.zeros((4, 4), dtype=complex)
+    for index in range(4):
+        matrix[index, index] = cos
+        matrix[index, index ^ 3] = sin
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """Metadata describing one gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+    self_inverse: bool = False
+    inverse_name: str = None
+    negate_params_on_inverse: bool = False
+
+
+def _definition(
+    name: str,
+    num_qubits: int,
+    num_params: int,
+    matrix_fn: Callable[..., np.ndarray],
+    *,
+    self_inverse: bool = False,
+    inverse_name: str = None,
+    negate_params_on_inverse: bool = False,
+) -> Tuple[str, GateDefinition]:
+    return name, GateDefinition(
+        name=name,
+        num_qubits=num_qubits,
+        num_params=num_params,
+        matrix_fn=matrix_fn,
+        self_inverse=self_inverse,
+        inverse_name=inverse_name,
+        negate_params_on_inverse=negate_params_on_inverse,
+    )
+
+
+GATE_REGISTRY: Dict[str, GateDefinition] = dict(
+    [
+        _definition("id", 1, 0, identity_matrix, self_inverse=True),
+        _definition("x", 1, 0, x_matrix, self_inverse=True),
+        _definition("y", 1, 0, y_matrix, self_inverse=True),
+        _definition("z", 1, 0, z_matrix, self_inverse=True),
+        _definition("h", 1, 0, h_matrix, self_inverse=True),
+        _definition("s", 1, 0, s_matrix, inverse_name="sdg"),
+        _definition("sdg", 1, 0, sdg_matrix, inverse_name="s"),
+        _definition("t", 1, 0, t_matrix, inverse_name="tdg"),
+        _definition("tdg", 1, 0, tdg_matrix, inverse_name="t"),
+        _definition("rx", 1, 1, rx_matrix, negate_params_on_inverse=True),
+        _definition("ry", 1, 1, ry_matrix, negate_params_on_inverse=True),
+        _definition("rz", 1, 1, rz_matrix, negate_params_on_inverse=True),
+        _definition("p", 1, 1, phase_matrix, negate_params_on_inverse=True),
+        _definition("u3", 1, 3, u3_matrix),
+        _definition("cx", 2, 0, cnot_matrix, self_inverse=True),
+        _definition("cz", 2, 0, cz_matrix, self_inverse=True),
+        _definition("swap", 2, 0, swap_matrix, self_inverse=True),
+        _definition("crz", 2, 1, crz_matrix, negate_params_on_inverse=True),
+        _definition("rzz", 2, 1, rzz_matrix, negate_params_on_inverse=True),
+        _definition("rxx", 2, 1, rxx_matrix, negate_params_on_inverse=True),
+    ]
+)
+
+
+def gate_matrix(name: str, *params: float) -> np.ndarray:
+    """Return the unitary matrix of gate *name* evaluated at *params*."""
+    try:
+        definition = GATE_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown gate {name!r}") from exc
+    if len(params) != definition.num_params:
+        raise ValueError(
+            f"gate {name!r} takes {definition.num_params} parameter(s), "
+            f"got {len(params)}"
+        )
+    return definition.matrix_fn(*params)

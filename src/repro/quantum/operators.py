@@ -1,0 +1,249 @@
+"""Pauli-string observables.
+
+The MaxCut cost Hamiltonian is a sum of ``Z_i Z_j`` terms plus a constant, so
+a light-weight Pauli-sum representation is all QAOA needs.  The classes here
+support general Pauli strings (X, Y, Z, I) for completeness: matrix
+construction for small registers, matrix-free expectation values on a
+:class:`~repro.quantum.statevector.Statevector`, and diagonal extraction for
+purely-Z operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.statevector import Statevector
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A single Pauli string such as ``"ZIZ"``.
+
+    The label is written most-significant qubit first: character ``k`` of the
+    label acts on qubit ``num_qubits - 1 - k``, mirroring the bit-string
+    convention of :class:`~repro.quantum.statevector.Statevector`.
+    """
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label or any(ch not in "IXYZ" for ch in self.label):
+            raise SimulationError(
+                f"Pauli label must be a non-empty string over I/X/Y/Z, got {self.label!r}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the string acts on."""
+        return len(self.label)
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether the string is the identity on all qubits."""
+        return set(self.label) == {"I"}
+
+    @property
+    def is_diagonal(self) -> bool:
+        """Whether the string contains only I and Z factors."""
+        return set(self.label) <= {"I", "Z"}
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix representation (exponential in qubit count)."""
+        matrix = np.array([[1.0 + 0j]])
+        for char in self.label:
+            matrix = np.kron(matrix, _PAULI_MATRICES[char])
+        return matrix
+
+    def z_diagonal(self) -> np.ndarray:
+        """Diagonal of a purely-Z string as a ±1 vector of length ``2**n``."""
+        if not self.is_diagonal:
+            raise SimulationError(f"Pauli string {self.label!r} is not diagonal")
+        n = self.num_qubits
+        indices = np.arange(2**n)
+        diagonal = np.ones(2**n, dtype=float)
+        for position, char in enumerate(self.label):
+            if char == "Z":
+                qubit = n - 1 - position
+                bit = (indices >> qubit) & 1
+                diagonal *= 1.0 - 2.0 * bit
+        return diagonal
+
+    def apply(self, state: Statevector) -> Statevector:
+        """Return ``P|state>`` as a new state (not normalised checks skipped)."""
+        if state.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"operator acts on {self.num_qubits} qubits, state has {state.num_qubits}"
+            )
+        result = state.copy()
+        for position, char in enumerate(self.label):
+            if char == "I":
+                continue
+            qubit = self.num_qubits - 1 - position
+            result.apply_matrix(_PAULI_MATRICES[char], (qubit,))
+        return result
+
+    def expectation(self, state: Statevector) -> float:
+        """Expectation value ``<state|P|state>`` (real for Hermitian P)."""
+        if self.is_diagonal:
+            return float(np.dot(state.probabilities(), self.z_diagonal()))
+        applied = self.apply(state)
+        return float(state.inner(applied).real)
+
+    def __str__(self) -> str:
+        return self.label
+
+
+class PauliSum:
+    """A real-weighted sum of Pauli strings ``sum_k c_k P_k``."""
+
+    def __init__(self, terms: Iterable[Tuple[float, str]] = ()):
+        self._terms: List[Tuple[float, PauliString]] = []
+        self._num_qubits: int = None
+        for coefficient, label in terms:
+            self.add_term(coefficient, label)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_term(self, coefficient: float, label: str) -> "PauliSum":
+        """Append ``coefficient * label`` to the sum."""
+        pauli = PauliString(label)
+        if self._num_qubits is None:
+            self._num_qubits = pauli.num_qubits
+        elif pauli.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"term {label!r} has {pauli.num_qubits} qubits, expected {self._num_qubits}"
+            )
+        self._terms.append((float(coefficient), pauli))
+        return self
+
+    @classmethod
+    def identity(cls, num_qubits: int, coefficient: float = 1.0) -> "PauliSum":
+        """The scaled identity operator."""
+        return cls([(coefficient, "I" * num_qubits)])
+
+    def simplify(self, atol: float = 1e-12) -> "PauliSum":
+        """Merge duplicate labels and drop negligible terms."""
+        merged: Dict[str, float] = {}
+        for coefficient, pauli in self._terms:
+            merged[pauli.label] = merged.get(pauli.label, 0.0) + coefficient
+        result = PauliSum()
+        result._num_qubits = self._num_qubits
+        for label, coefficient in merged.items():
+            if abs(coefficient) > atol:
+                result.add_term(coefficient, label)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits (raises if the sum is empty)."""
+        if self._num_qubits is None:
+            raise SimulationError("empty PauliSum has no qubit count")
+        return self._num_qubits
+
+    @property
+    def terms(self) -> List[Tuple[float, PauliString]]:
+        """A copy of the (coefficient, PauliString) terms."""
+        return list(self._terms)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of terms in the sum."""
+        return len(self._terms)
+
+    @property
+    def is_diagonal(self) -> bool:
+        """Whether every term is diagonal in the computational basis."""
+        return all(pauli.is_diagonal for _, pauli in self._terms)
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __iter__(self) -> Iterator[Tuple[float, PauliString]]:
+        return iter(self._terms)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        if not isinstance(other, PauliSum):
+            return NotImplemented
+        result = PauliSum()
+        for coefficient, pauli in self._terms:
+            result.add_term(coefficient, pauli.label)
+        for coefficient, pauli in other._terms:
+            result.add_term(coefficient, pauli.label)
+        return result
+
+    def __mul__(self, scalar: float) -> "PauliSum":
+        result = PauliSum()
+        result._num_qubits = self._num_qubits
+        for coefficient, pauli in self._terms:
+            result.add_term(coefficient * float(scalar), pauli.label)
+        return result
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PauliSum":
+        return self * -1.0
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix of the full operator."""
+        dim = 2**self.num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for coefficient, pauli in self._terms:
+            matrix += coefficient * pauli.to_matrix()
+        return matrix
+
+    def z_diagonal(self) -> np.ndarray:
+        """Diagonal of a purely I/Z operator as a real vector."""
+        if not self.is_diagonal:
+            raise SimulationError("PauliSum is not diagonal in the Z basis")
+        diagonal = np.zeros(2**self.num_qubits, dtype=float)
+        for coefficient, pauli in self._terms:
+            diagonal += coefficient * pauli.z_diagonal()
+        return diagonal
+
+    def expectation(self, state: Statevector) -> float:
+        """Expectation value ``<state|H|state>``."""
+        if state.num_qubits != self.num_qubits:
+            raise SimulationError(
+                f"operator acts on {self.num_qubits} qubits, state has {state.num_qubits}"
+            )
+        if self.is_diagonal:
+            return float(np.dot(state.probabilities(), self.z_diagonal()))
+        return float(sum(c * p.expectation(state) for c, p in self._terms))
+
+    def ground_state_energy(self) -> float:
+        """Smallest eigenvalue (dense diagonalisation; small registers only)."""
+        if self.is_diagonal:
+            return float(self.z_diagonal().min())
+        eigenvalues = np.linalg.eigvalsh(self.to_matrix())
+        return float(eigenvalues[0])
+
+    def max_eigenvalue(self) -> float:
+        """Largest eigenvalue (dense diagonalisation; small registers only)."""
+        if self.is_diagonal:
+            return float(self.z_diagonal().max())
+        eigenvalues = np.linalg.eigvalsh(self.to_matrix())
+        return float(eigenvalues[-1])
+
+    def __repr__(self) -> str:
+        return f"PauliSum(num_terms={len(self._terms)})"

@@ -1,0 +1,167 @@
+"""Symbolic circuit parameters.
+
+QAOA circuits are parametric: the same circuit structure is evaluated for many
+different angle assignments inside the optimization loop.  A
+:class:`Parameter` is a named placeholder; a :class:`ParameterExpression` is a
+simple affine expression ``coefficient * parameter + constant`` which is all
+the structure QAOA needs (e.g. ``RZ(2 * gamma)`` inside the phase-separation
+layer).  Full symbolic algebra is intentionally out of scope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Union
+
+Number = Union[int, float]
+
+_parameter_counter = itertools.count()
+
+
+class Parameter:
+    """A named symbolic parameter.
+
+    Two parameters are equal only if they are the same object; the name is a
+    label for display and for dictionary-style binding by name.
+    """
+
+    __slots__ = ("_name", "_uuid")
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("parameter name must be a non-empty string")
+        self._name = str(name)
+        self._uuid = next(_parameter_counter)
+
+    @property
+    def name(self) -> str:
+        """The display name of the parameter."""
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name!r})"
+
+    def __hash__(self) -> int:
+        return hash((self._name, self._uuid))
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    # Arithmetic promotes the bare parameter to an affine expression.
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=float(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=-1.0)
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, constant=float(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(self, constant=-float(other))
+
+    def bind(self, value: Number) -> float:
+        """Evaluate the parameter at *value*."""
+        return float(value)
+
+
+class ParameterExpression:
+    """An affine expression ``coefficient * parameter + constant``."""
+
+    __slots__ = ("parameter", "coefficient", "constant")
+
+    def __init__(self, parameter: Parameter, coefficient: float = 1.0, constant: float = 0.0):
+        if not isinstance(parameter, Parameter):
+            raise TypeError("ParameterExpression wraps a Parameter instance")
+        self.parameter = parameter
+        self.coefficient = float(coefficient)
+        self.constant = float(constant)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParameterExpression({self.coefficient:g}*{self.parameter.name}"
+            f"{self.constant:+g})"
+        )
+
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        factor = float(other)
+        return ParameterExpression(
+            self.parameter, self.coefficient * factor, self.constant * factor
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    def __add__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression(
+            self.parameter, self.coefficient, self.constant + float(other)
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Number) -> "ParameterExpression":
+        return self + (-float(other))
+
+    def bind(self, value: Number) -> float:
+        """Evaluate the expression at ``parameter = value``."""
+        return self.coefficient * float(value) + self.constant
+
+
+ParameterLike = Union[Number, Parameter, ParameterExpression]
+
+
+def parameters_of(value: ParameterLike) -> List[Parameter]:
+    """Return the (possibly empty) list of free parameters in *value*."""
+    if isinstance(value, Parameter):
+        return [value]
+    if isinstance(value, ParameterExpression):
+        return [value.parameter]
+    return []
+
+
+def bind_value(value: ParameterLike, bindings: Dict[Parameter, Number]) -> float:
+    """Resolve *value* to a float using *bindings* for free parameters."""
+    if isinstance(value, Parameter):
+        if value not in bindings:
+            raise KeyError(f"no binding provided for parameter {value.name!r}")
+        return float(bindings[value])
+    if isinstance(value, ParameterExpression):
+        if value.parameter not in bindings:
+            raise KeyError(
+                f"no binding provided for parameter {value.parameter.name!r}"
+            )
+        return value.bind(bindings[value.parameter])
+    return float(value)
+
+
+class ParameterVector:
+    """An ordered collection of related parameters (e.g. ``gamma[0..p-1]``)."""
+
+    def __init__(self, name: str, length: int):
+        if length < 0:
+            raise ValueError(f"length must be non-negative, got {length}")
+        self._name = name
+        self._parameters = [Parameter(f"{name}[{index}]") for index in range(length)]
+
+    @property
+    def name(self) -> str:
+        """The base name shared by all entries."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._parameters[index]
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def __repr__(self) -> str:
+        return f"ParameterVector({self._name!r}, length={len(self)})"

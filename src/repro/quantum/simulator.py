@@ -1,0 +1,139 @@
+"""The statevector simulation engine.
+
+:class:`StatevectorSimulator` executes a bound or parametric
+:class:`~repro.quantum.circuit.QuantumCircuit` on an initial state and
+produces the final :class:`~repro.quantum.statevector.Statevector`,
+expectation values of :class:`~repro.quantum.operators.PauliSum`
+observables, and measurement samples.  It plays the role of the QuTiP
+simulator in the paper's optimization loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operators import PauliSum
+from repro.quantum.parameter import Parameter
+from repro.quantum.statevector import Statevector
+from repro.utils.rng import RandomState, ensure_rng
+
+Bindings = Union[Dict[Parameter, float], Sequence[float], None]
+
+
+class StatevectorSimulator:
+    """Ideal (noise-free) statevector simulator.
+
+    Parameters
+    ----------
+    max_qubits:
+        Safety limit on register size; dense simulation above ~20 qubits is
+        rarely intentional on a laptop.
+    """
+
+    def __init__(self, max_qubits: int = 22):
+        if max_qubits <= 0:
+            raise SimulationError(f"max_qubits must be positive, got {max_qubits}")
+        self._max_qubits = max_qubits
+        self._executed_circuits = 0
+
+    @property
+    def max_qubits(self) -> int:
+        """The largest register this simulator instance will accept."""
+        return self._max_qubits
+
+    @property
+    def executed_circuits(self) -> int:
+        """Number of circuit executions performed so far (monotone counter)."""
+        return self._executed_circuits
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values: Bindings = None,
+        initial_state: Optional[Statevector] = None,
+    ) -> Statevector:
+        """Execute *circuit* and return the final statevector.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to execute.  If it has free parameters,
+            *parameter_values* must bind all of them.
+        parameter_values:
+            A ``{Parameter: value}`` mapping or a flat value sequence in
+            :attr:`QuantumCircuit.parameters` order.
+        initial_state:
+            Starting state; defaults to ``|0...0>``.
+        """
+        if circuit.num_qubits > self._max_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, exceeding the "
+                f"simulator limit of {self._max_qubits}"
+            )
+        if circuit.num_parameters > 0:
+            if parameter_values is None:
+                raise SimulationError(
+                    "circuit has unbound parameters and no parameter_values given"
+                )
+            circuit = circuit.bind(parameter_values)
+
+        if initial_state is None:
+            state = Statevector.zero_state(circuit.num_qubits)
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise SimulationError(
+                    "initial state size does not match the circuit register"
+                )
+            state = initial_state.copy()
+
+        for instruction in circuit:
+            state.apply_matrix(instruction.matrix(), instruction.qubits)
+        self._executed_circuits += 1
+        return state
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable: PauliSum,
+        parameter_values: Bindings = None,
+        initial_state: Optional[Statevector] = None,
+    ) -> float:
+        """Run *circuit* and return ``<psi|observable|psi>``."""
+        state = self.run(circuit, parameter_values, initial_state)
+        return observable.expectation(state)
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        parameter_values: Bindings = None,
+        rng: RandomState = None,
+    ) -> Dict[str, int]:
+        """Run *circuit* and sample measurement outcomes in the Z basis."""
+        state = self.run(circuit, parameter_values)
+        return state.sample_counts(shots, rng=ensure_rng(rng))
+
+    def unitary(self, circuit: QuantumCircuit, parameter_values: Bindings = None) -> np.ndarray:
+        """Dense unitary matrix of the whole circuit (small registers only).
+
+        Built column by column by running the circuit on every basis state;
+        intended for verification in tests, not for performance.
+        """
+        if circuit.num_qubits > 10:
+            raise SimulationError("unitary extraction is limited to 10 qubits")
+        dim = 2**circuit.num_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for column in range(dim):
+            basis = np.zeros(dim, dtype=complex)
+            basis[column] = 1.0
+            initial = Statevector(basis, copy=False, validate=False)
+            final = self.run(circuit, parameter_values, initial_state=initial)
+            matrix[:, column] = final.data
+        return matrix

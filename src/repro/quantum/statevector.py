@@ -1,0 +1,236 @@
+"""Pure-state representation and gate application.
+
+The state of an ``n``-qubit register is stored as a flat ``complex128`` array
+of length ``2**n``.  Qubit 0 is the *least-significant bit* of the basis
+index, i.e. the amplitude of ``|q_{n-1} ... q_1 q_0>`` lives at index
+``sum(q_k << k)``.  This matches the convention used by Qiskit and keeps
+bit-twiddling in the MaxCut code straightforward.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_qubit_index
+
+
+class Statevector:
+    """An ``n``-qubit pure state with in-place gate application."""
+
+    __slots__ = ("_data", "_num_qubits")
+
+    def __init__(self, data: Sequence[complex], *, copy: bool = True, validate: bool = True):
+        array = np.array(data, dtype=complex, copy=copy).reshape(-1)
+        size = array.size
+        num_qubits = int(round(math.log2(size))) if size > 0 else -1
+        if size == 0 or 2**num_qubits != size:
+            raise SimulationError(
+                f"statevector length must be a power of two, got {size}"
+            )
+        if validate and not np.isclose(float(np.vdot(array, array).real), 1.0, atol=1e-8):
+            raise SimulationError("statevector is not normalised")
+        self._data = array
+        self._num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state ``|0...0>``."""
+        if num_qubits <= 0:
+            raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, copy=False, validate=False)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Build a computational basis state from a bit-string label.
+
+        The label is written most-significant qubit first, e.g. ``"10"`` is
+        the state with qubit 1 set and qubit 0 clear.
+        """
+        if not label or any(ch not in "01" for ch in label):
+            raise SimulationError(f"label must be a non-empty bit-string, got {label!r}")
+        index = int(label, 2)
+        data = np.zeros(2 ** len(label), dtype=complex)
+        data[index] = 1.0
+        return cls(data, copy=False, validate=False)
+
+    @classmethod
+    def uniform_superposition(cls, num_qubits: int) -> "Statevector":
+        """The equal superposition ``H^{(x)n} |0...0>``."""
+        if num_qubits <= 0:
+            raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
+        dim = 2**num_qubits
+        data = np.full(dim, 1.0 / math.sqrt(dim), dtype=complex)
+        return cls(data, copy=False, validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the underlying Hilbert space (``2**num_qubits``)."""
+        return self._data.size
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw amplitude array (a view; do not mutate)."""
+        return self._data
+
+    def copy(self) -> "Statevector":
+        """Return an independent copy of the state."""
+        return Statevector(self._data, copy=True, validate=False)
+
+    def norm(self) -> float:
+        """The 2-norm of the amplitude vector (1 for a physical state)."""
+        return float(np.linalg.norm(self._data))
+
+    def is_normalized(self, atol: float = 1e-8) -> bool:
+        """Whether the state has unit norm within *atol*."""
+        return bool(abs(self.norm() - 1.0) <= atol)
+
+    def inner(self, other: "Statevector") -> complex:
+        """The inner product ``<self|other>``."""
+        if other.num_qubits != self.num_qubits:
+            raise SimulationError("inner product requires equal register sizes")
+        return complex(np.vdot(self._data, other._data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """State fidelity ``|<self|other>|^2`` (global-phase insensitive)."""
+        return float(abs(self.inner(other)) ** 2)
+
+    def equiv(self, other: "Statevector", atol: float = 1e-8) -> bool:
+        """Whether two states are equal up to a global phase."""
+        return bool(abs(self.fidelity(other) - 1.0) <= atol)
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Apply a ``2^k x 2^k`` unitary to the listed qubits, in place.
+
+        The first entry of *qubits* is the most-significant bit of the
+        operator's sub-space basis index (matching
+        :mod:`repro.quantum.gates`).  Returns ``self`` for chaining.
+        """
+        qubits = list(qubits)
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"matrix shape {matrix.shape} does not match {k} qubit(s)"
+            )
+        if len(set(qubits)) != k:
+            raise SimulationError(f"duplicate qubits in {qubits}")
+        for qubit in qubits:
+            check_qubit_index(qubit, self._num_qubits)
+
+        n = self._num_qubits
+        # Axis for qubit q in the (2,)*n tensor view (C order => axis 0 is the
+        # most-significant bit, i.e. qubit n-1).
+        axes = [n - 1 - q for q in qubits]
+        tensor = self._data.reshape((2,) * n)
+        tensor = np.moveaxis(tensor, axes, range(k))
+        shape = tensor.shape
+        tensor = matrix @ tensor.reshape(2**k, -1)
+        tensor = tensor.reshape(shape)
+        tensor = np.moveaxis(tensor, range(k), axes)
+        self._data = np.ascontiguousarray(tensor).reshape(-1)
+        return self
+
+    def apply_diagonal(self, diagonal: np.ndarray) -> "Statevector":
+        """Multiply the state element-wise by a full-register diagonal."""
+        diagonal = np.asarray(diagonal, dtype=complex).reshape(-1)
+        if diagonal.size != self.dim:
+            raise SimulationError(
+                f"diagonal length {diagonal.size} does not match dimension {self.dim}"
+            )
+        self._data = self._data * diagonal
+        return self
+
+    # ------------------------------------------------------------------
+    # Measurement statistics
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities for every computational basis state."""
+        return np.abs(self._data) ** 2
+
+    def probability(self, bitstring: str) -> float:
+        """Probability of observing the given bit-string (MSB first)."""
+        if len(bitstring) != self._num_qubits or any(ch not in "01" for ch in bitstring):
+            raise SimulationError(
+                f"bitstring must have {self._num_qubits} binary digits, got {bitstring!r}"
+            )
+        return float(self.probabilities()[int(bitstring, 2)])
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation value of a real diagonal observable."""
+        diagonal = np.asarray(diagonal, dtype=float).reshape(-1)
+        if diagonal.size != self.dim:
+            raise SimulationError(
+                f"diagonal length {diagonal.size} does not match dimension {self.dim}"
+            )
+        return float(np.dot(self.probabilities(), diagonal))
+
+    def sample_counts(
+        self, shots: int, rng: RandomState = None
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes; returns ``{bitstring: count}``.
+
+        Bit-strings are rendered most-significant qubit first.
+        """
+        if shots <= 0:
+            raise SimulationError(f"shots must be positive, got {shots}")
+        generator = ensure_rng(rng)
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        outcomes = generator.choice(self.dim, size=shots, p=probabilities)
+        counts: Dict[str, int] = {}
+        width = self._num_qubits
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def most_probable_bitstring(self) -> str:
+        """The basis state with the largest probability (MSB first)."""
+        index = int(np.argmax(self.probabilities()))
+        return format(index, f"0{self._num_qubits}b")
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.dim
+
+    def __repr__(self) -> str:
+        return f"Statevector(num_qubits={self._num_qubits})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statevector):
+            return NotImplemented
+        return self.num_qubits == other.num_qubits and np.allclose(
+            self._data, other._data
+        )
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable object
+        raise TypeError("Statevector is mutable and unhashable")
+
+
+def tensor_product(first: Statevector, second: Statevector) -> Statevector:
+    """Kronecker product of two states (*first* occupies the high qubits)."""
+    data = np.kron(first.data, second.data)
+    return Statevector(data, copy=False, validate=False)

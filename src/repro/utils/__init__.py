@@ -1,0 +1,33 @@
+"""Shared low-level utilities: RNG handling, validation, statistics, I/O."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.statistics import (
+    SummaryStatistics,
+    pearson_correlation,
+    percentage_error,
+    summarize,
+)
+from repro.utils.tables import Table
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "SummaryStatistics",
+    "pearson_correlation",
+    "percentage_error",
+    "summarize",
+    "Table",
+    "load_json",
+    "save_json",
+]

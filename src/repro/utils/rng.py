@@ -1,0 +1,64 @@
+"""Random-number-generator helpers.
+
+Every stochastic component of the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalises it through :func:`ensure_rng`.  Keeping this in one place makes the
+experiments reproducible end to end: an experiment seeds a single generator
+and spawns independent child generators for each graph / restart with
+:func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a deterministic generator, or
+        an existing generator which is returned unchanged.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: RandomState, count: int) -> Sequence[np.random.Generator]:
+    """Spawn *count* statistically independent child generators.
+
+    The children are derived through :class:`numpy.random.SeedSequence`
+    spawning, so results do not depend on the order in which the children are
+    consumed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(seed)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(value)) for value in seeds]
+
+
+def random_seed(rng: RandomState = None) -> int:
+    """Draw a fresh integer seed from *rng* (useful for child processes)."""
+    generator = ensure_rng(rng)
+    return int(generator.integers(0, 2**31 - 1))
+
+
+def as_optional_seed(seed: RandomState) -> Optional[int]:
+    """Convert *seed* to a plain ``int`` seed when possible (else ``None``)."""
+    if seed is None or isinstance(seed, np.random.Generator):
+        return None
+    return int(seed)

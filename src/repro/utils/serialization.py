@@ -1,0 +1,48 @@
+"""JSON serialization helpers that understand NumPy scalar and array types.
+
+Training data-sets and experiment reports are persisted as plain JSON so they
+can be inspected and versioned without any binary tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder accepting NumPy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:  # noqa: D102 - inherited
+        if isinstance(obj, np.integer):
+            return int(obj)
+        if isinstance(obj, np.floating):
+            return float(obj)
+        if isinstance(obj, np.bool_):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def dumps_json(data: Any, *, indent: int = 2) -> str:
+    """Serialize *data* to a JSON string, accepting NumPy types."""
+    return json.dumps(data, cls=_NumpyJSONEncoder, indent=indent, sort_keys=True)
+
+
+def save_json(data: Any, path: PathLike, *, indent: int = 2) -> Path:
+    """Write *data* as JSON to *path*, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_json(data, indent=indent), encoding="utf-8")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load JSON content from *path*."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

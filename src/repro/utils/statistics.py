@@ -1,0 +1,106 @@
+"""Descriptive statistics used throughout the experiments.
+
+The paper reports means, standard deviations, Pearson correlation
+coefficients (Fig. 5, Sec. III-B) and absolute percentage errors (Fig. 6);
+this module provides exactly those primitives on top of NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean / standard deviation / extrema / count of a sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mean={self.mean:.4f} std={self.std:.4f} "
+            f"min={self.minimum:.4f} max={self.maximum:.4f} n={self.count}"
+        )
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Compute :class:`SummaryStatistics` for a non-empty sample.
+
+    The standard deviation is the population standard deviation (``ddof=0``)
+    to match the paper's reporting of SD over a fixed test set.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    if not np.all(np.isfinite(array)):
+        raise ValueError("sample contains non-finite values")
+    return SummaryStatistics(
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        count=int(array.size),
+    )
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient R between two equal-length samples.
+
+    Returns 0.0 when either sample has zero variance (the correlation is then
+    undefined; 0 is the conservative choice for the correlation heat-maps of
+    Fig. 5).
+    """
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError(
+            f"samples must have the same length, got {x_arr.size} and {y_arr.size}"
+        )
+    if x_arr.size < 2:
+        raise ValueError("need at least two observations for a correlation")
+    x_centered = x_arr - x_arr.mean()
+    y_centered = y_arr - y_arr.mean()
+    denom = np.sqrt(np.sum(x_centered**2) * np.sum(y_centered**2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.sum(x_centered * y_centered) / denom)
+
+
+def percentage_error(predicted: float, actual: float, *, scale: float = None) -> float:
+    """Absolute percentage error of *predicted* with respect to *actual*.
+
+    Parameters
+    ----------
+    predicted, actual:
+        The predicted and reference values.
+    scale:
+        Optional normalisation constant.  When the reference value is close to
+        zero a plain relative error blows up, so callers (e.g. the Fig. 6
+        reproduction) can normalise by the parameter-domain width instead.
+    """
+    reference = abs(actual) if scale is None else abs(scale)
+    if reference == 0.0:
+        raise ValueError("reference scale for percentage error is zero")
+    return 100.0 * abs(predicted - actual) / reference
+
+
+def mean_absolute_percentage_error(
+    predicted: Sequence[float], actual: Sequence[float], *, scale: float = None
+) -> float:
+    """Mean of :func:`percentage_error` over two equal-length samples."""
+    predicted_arr = np.asarray(list(predicted), dtype=float)
+    actual_arr = np.asarray(list(actual), dtype=float)
+    if predicted_arr.shape != actual_arr.shape:
+        raise ValueError("predicted and actual must have the same length")
+    errors = [
+        percentage_error(p, a, scale=scale)
+        for p, a in zip(predicted_arr, actual_arr)
+    ]
+    return float(np.mean(errors))

@@ -1,0 +1,114 @@
+"""A tiny column-oriented table used for experiment reports.
+
+The experiment modules render results as plain-text tables (the repository has
+no plotting dependency), so this module provides a minimal, dependency-free
+tabular container with pretty-printing and CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+class Table:
+    """An ordered collection of rows with a fixed set of column names."""
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {list(columns)}")
+        self._columns: List[str] = list(columns)
+        self._rows: List[Dict[str, Any]] = []
+
+    @property
+    def columns(self) -> List[str]:
+        """The column names, in display order."""
+        return list(self._columns)
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """A copy of the rows as dictionaries."""
+        return [dict(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; every column must be provided as a keyword."""
+        missing = [column for column in self._columns if column not in values]
+        extra = [key for key in values if key not in self._columns]
+        if missing:
+            raise ValueError(f"missing values for columns {missing}")
+        if extra:
+            raise ValueError(f"unknown columns {extra}")
+        self._rows.append({column: values[column] for column in self._columns})
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of one column."""
+        if name not in self._columns:
+            raise KeyError(name)
+        return [row[name] for row in self._rows]
+
+    def sorted_by(self, *names: str) -> "Table":
+        """Return a new table sorted by the given columns."""
+        table = Table(self._columns)
+        for row in sorted(self._rows, key=lambda r: tuple(r[n] for n in names)):
+            table.add_row(**row)
+        return table
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self._columns)
+        writer.writeheader()
+        for row in self._rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_text(self, float_format: str = "{:.4f}") -> str:
+        """Render the table as an aligned plain-text grid."""
+        rendered_rows = [
+            [_format_cell(row[column], float_format) for column in self._columns]
+            for row in self._rows
+        ]
+        widths = [
+            max(len(column), *(len(row[i]) for row in rendered_rows)) if rendered_rows else len(column)
+            for i, column in enumerate(self._columns)
+        ]
+        lines = [
+            " | ".join(column.ljust(width) for column, width in zip(self._columns, widths)),
+            "-+-".join("-" * width for width in widths),
+        ]
+        for row in rendered_rows:
+            lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def from_records(records: Iterable[Dict[str, Any]], columns: Sequence[str] = None) -> Table:
+    """Build a :class:`Table` from an iterable of dictionaries."""
+    records = list(records)
+    if columns is None:
+        if not records:
+            raise ValueError("cannot infer columns from an empty record list")
+        columns = list(records[0].keys())
+    table = Table(columns)
+    for record in records:
+        table.add_row(**{column: record[column] for column in columns})
+    return table

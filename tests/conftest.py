@@ -1,0 +1,83 @@
+"""Shared fixtures for the test-suite.
+
+Expensive artefacts (the tiny training data-set and the predictor trained on
+it) are session-scoped so the whole suite pays their generation cost once.
+All fixtures use fixed seeds for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.ensembles import erdos_renyi_ensemble
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, random_regular_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.graphs.model import Graph
+from repro.prediction.dataset import DatasetGenerationConfig, TrainingDataset
+from repro.prediction.predictor import ParameterPredictor
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def triangle_graph():
+    """The 3-node triangle (MaxCut optimum = 2)."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], name="triangle")
+
+
+@pytest.fixture
+def triangle_problem(triangle_graph):
+    """MaxCut problem on the triangle."""
+    return MaxCutProblem(triangle_graph)
+
+
+@pytest.fixture
+def square_problem():
+    """MaxCut problem on the 4-cycle (bipartite, optimum = 4)."""
+    return MaxCutProblem(cycle_graph(4))
+
+
+@pytest.fixture
+def small_graph():
+    """A 6-node Erdős–Rényi graph with a fixed seed."""
+    return erdos_renyi_graph(6, 0.5, seed=42)
+
+
+@pytest.fixture
+def small_problem(small_graph):
+    """MaxCut problem on the 6-node graph."""
+    return MaxCutProblem(small_graph)
+
+
+@pytest.fixture
+def regular_problem():
+    """MaxCut problem on an 8-node 3-regular graph."""
+    return MaxCutProblem(random_regular_graph(3, 8, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_ensemble():
+    """A small 6-node Erdős–Rényi ensemble shared across the session."""
+    return erdos_renyi_ensemble(6, num_nodes=6, edge_probability=0.5, seed=2021)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_ensemble):
+    """A small optimal-parameter data-set (6 graphs, depths 1-3)."""
+    config = DatasetGenerationConfig(
+        depths=(1, 2, 3), optimizer="L-BFGS-B", num_restarts=2
+    )
+    return TrainingDataset.generate(tiny_ensemble, config, seed=77)
+
+
+@pytest.fixture(scope="session")
+def tiny_predictor(tiny_dataset):
+    """A GPR predictor fitted on :func:`tiny_dataset`."""
+    predictor = ParameterPredictor("gpr")
+    predictor.fit(tiny_dataset, target_depths=(2, 3))
+    return predictor

@@ -1,0 +1,127 @@
+"""Tests for repro.acceleration (baseline, two-level flow, comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.acceleration.baseline import NaiveQAOARunner
+from repro.acceleration.comparison import (
+    ComparisonRecord,
+    aggregate_records,
+    compare_on_problem,
+)
+from repro.acceleration.two_level import TwoLevelQAOARunner
+from repro.exceptions import ConfigurationError
+from repro.graphs.maxcut import MaxCutProblem
+from repro.prediction.predictor import ParameterPredictor
+
+
+class TestNaiveRunner:
+    def test_outcome_statistics(self, small_problem):
+        runner = NaiveQAOARunner("L-BFGS-B", num_restarts=3, seed=0)
+        outcome = runner.run(small_problem, 2)
+        assert len(outcome.approximation_ratios) == 3
+        assert len(outcome.function_calls) == 3
+        assert outcome.total_function_calls == sum(outcome.function_calls)
+        assert outcome.mean_function_calls == pytest.approx(
+            np.mean(outcome.function_calls)
+        )
+        assert outcome.best_approximation_ratio >= outcome.mean_approximation_ratio - 1e-9
+        assert 0.0 < outcome.mean_approximation_ratio <= 1.0 + 1e-9
+
+    def test_restart_override(self, small_problem):
+        runner = NaiveQAOARunner("COBYLA", num_restarts=5, max_iterations=300, seed=1)
+        outcome = runner.run(small_problem, 1, num_restarts=2)
+        assert len(outcome.function_calls) == 2
+
+
+class TestTwoLevelRunner:
+    def test_outcome_structure(self, small_problem, tiny_predictor):
+        runner = TwoLevelQAOARunner(tiny_predictor, "L-BFGS-B", seed=0)
+        outcome = runner.run(small_problem, 3)
+        assert outcome.target_depth == 3
+        assert outcome.level1_result.depth == 1
+        assert outcome.level2_result.depth == 3
+        assert outcome.predicted_parameters.depth == 3
+        assert outcome.total_function_calls == (
+            outcome.level1_function_calls + outcome.level2_function_calls
+        )
+        assert 0.0 < outcome.approximation_ratio <= 1.0 + 1e-9
+        assert 0.0 <= outcome.predicted_approximation_ratio <= 1.0 + 1e-9
+
+    def test_refinement_does_not_hurt(self, small_problem, tiny_predictor):
+        runner = TwoLevelQAOARunner(tiny_predictor, "L-BFGS-B", seed=0)
+        outcome = runner.run(small_problem, 2)
+        assert outcome.approximation_ratio >= outcome.predicted_approximation_ratio - 1e-6
+
+    def test_unfitted_predictor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelQAOARunner(ParameterPredictor(), "L-BFGS-B")
+
+    def test_target_depth_one_rejected(self, small_problem, tiny_predictor):
+        runner = TwoLevelQAOARunner(tiny_predictor, seed=0)
+        with pytest.raises(ConfigurationError):
+            runner.run(small_problem, 1)
+
+    def test_invalid_level1_restarts(self, tiny_predictor):
+        with pytest.raises(ConfigurationError):
+            TwoLevelQAOARunner(tiny_predictor, level1_restarts=0)
+
+
+class TestComparison:
+    def test_compare_on_problem_record(self, small_problem, tiny_predictor):
+        record = compare_on_problem(
+            small_problem,
+            2,
+            tiny_predictor,
+            optimizer="L-BFGS-B",
+            num_restarts=3,
+            seed=0,
+        )
+        assert record.problem_name == small_problem.name
+        assert record.optimizer_name == "L-BFGS-B"
+        assert record.naive_mean_fc > 0
+        assert record.two_level_fc == record.level1_fc + record.level2_fc
+        assert record.fc_reduction_percent == pytest.approx(
+            100.0 * (1.0 - record.two_level_fc / record.naive_mean_fc)
+        )
+        assert isinstance(record.ar_improvement, float)
+
+    def test_aggregate_records(self, small_problem, tiny_predictor):
+        records = [
+            compare_on_problem(
+                small_problem, 2, tiny_predictor, num_restarts=2, seed=seed
+            )
+            for seed in (0, 1)
+        ]
+        summary = aggregate_records(records)
+        assert summary.num_problems == 2
+        assert summary.naive_mean_ar == pytest.approx(
+            np.mean([r.naive_mean_ar for r in records])
+        )
+        assert summary.two_level_mean_fc == pytest.approx(
+            np.mean([r.two_level_fc for r in records])
+        )
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_records([])
+
+    def test_aggregate_mixed_groups_raises(self, small_problem, tiny_predictor):
+        a = compare_on_problem(small_problem, 2, tiny_predictor, num_restarts=1, seed=0)
+        b = compare_on_problem(small_problem, 3, tiny_predictor, num_restarts=1, seed=0)
+        with pytest.raises(ConfigurationError):
+            aggregate_records([a, b])
+
+    def test_two_level_reduces_calls_at_depth_three(self, tiny_predictor):
+        # Aggregate over a few graphs: the ML warm start should need fewer
+        # calls than the random baseline at depth 3 (the paper's key claim).
+        from repro.graphs.generators import erdos_renyi_graph
+
+        reductions = []
+        for seed in (11, 12, 13):
+            problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=seed))
+            record = compare_on_problem(
+                problem, 3, tiny_predictor, num_restarts=3, seed=seed
+            )
+            reductions.append(record.fc_reduction_percent)
+        assert np.mean(reductions) > 0.0

@@ -1,0 +1,64 @@
+"""Tests for repro.graphs.ensembles."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.ensembles import GraphEnsemble, erdos_renyi_ensemble, regular_ensemble
+
+
+class TestEnsembleGeneration:
+    def test_erdos_renyi_ensemble_size_and_nodes(self):
+        ensemble = erdos_renyi_ensemble(5, num_nodes=8, edge_probability=0.5, seed=1)
+        assert len(ensemble) == 5
+        assert all(graph.num_nodes == 8 for graph in ensemble)
+        assert ensemble.metadata.kind == "erdos_renyi"
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_ensemble(4, seed=3)
+        b = erdos_renyi_ensemble(4, seed=3)
+        assert a.graphs == b.graphs
+
+    def test_regular_ensemble(self):
+        ensemble = regular_ensemble(3, num_nodes=8, degree=3, seed=2)
+        assert all(graph.degrees() == [3] * 8 for graph in ensemble)
+
+    def test_graph_names_unique(self):
+        ensemble = erdos_renyi_ensemble(6, seed=4)
+        names = [graph.name for graph in ensemble]
+        assert len(set(names)) == len(names)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(GraphError):
+            GraphEnsemble([])
+
+
+class TestSplitAndSerialization:
+    def test_train_test_split_partition(self):
+        ensemble = erdos_renyi_ensemble(10, seed=5)
+        train, test = ensemble.train_test_split(0.2, seed=0)
+        assert len(train) == 2
+        assert len(test) == 8
+        train_names = {g.name for g in train}
+        test_names = {g.name for g in test}
+        assert not train_names & test_names
+
+    def test_split_deterministic(self):
+        ensemble = erdos_renyi_ensemble(10, seed=5)
+        first = ensemble.train_test_split(0.3, seed=9)[0]
+        second = ensemble.train_test_split(0.3, seed=9)[0]
+        assert [g.name for g in first] == [g.name for g in second]
+
+    def test_degenerate_split_raises(self):
+        ensemble = erdos_renyi_ensemble(3, seed=5)
+        with pytest.raises(GraphError):
+            ensemble.train_test_split(0.01, seed=0)
+
+    def test_dict_roundtrip(self):
+        ensemble = erdos_renyi_ensemble(4, seed=6)
+        rebuilt = GraphEnsemble.from_dict(ensemble.to_dict())
+        assert rebuilt.graphs == ensemble.graphs
+        assert rebuilt.metadata.kind == "erdos_renyi"
+
+    def test_indexing(self):
+        ensemble = erdos_renyi_ensemble(4, seed=7)
+        assert ensemble[0] == ensemble.graphs[0]

@@ -1,0 +1,106 @@
+"""Tests for repro.graphs.generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import (
+    barbell_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    weighted_erdos_renyi_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi_graph(8, 0.5, seed=5)
+        b = erdos_renyi_graph(8, 0.5, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        graphs = {erdos_renyi_graph(8, 0.5, seed=s) for s in range(6)}
+        assert len(graphs) > 1
+
+    def test_edge_probability_one_gives_complete_graph(self):
+        graph = erdos_renyi_graph(5, 1.0, seed=1)
+        assert graph.num_edges == 10
+
+    def test_requires_at_least_one_edge(self):
+        graph = erdos_renyi_graph(4, 0.2, seed=2)
+        assert graph.num_edges >= 1
+
+    def test_zero_probability_without_requirement(self):
+        graph = erdos_renyi_graph(4, 0.0, seed=3, require_edges=False)
+        assert graph.num_edges == 0
+
+    def test_zero_probability_with_requirement_raises(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(4, 0.0, seed=3)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(4, 1.5, seed=0)
+
+
+class TestWeightedErdosRenyi:
+    def test_weights_in_range(self):
+        graph = weighted_erdos_renyi_graph(
+            8, 0.6, weight_low=0.5, weight_high=1.5, seed=4
+        )
+        for _, _, weight in graph.edges:
+            assert 0.5 <= weight <= 1.5
+
+    def test_invalid_weight_range_raises(self):
+        with pytest.raises(GraphError):
+            weighted_erdos_renyi_graph(4, 0.5, weight_low=2.0, weight_high=1.0, seed=0)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("degree,nodes", [(3, 8), (2, 6), (4, 9)])
+    def test_degrees_are_uniform(self, degree, nodes):
+        graph = random_regular_graph(degree, nodes, seed=11)
+        assert graph.degrees() == [degree] * nodes
+
+    def test_deterministic_with_seed(self):
+        assert random_regular_graph(3, 8, seed=2) == random_regular_graph(3, 8, seed=2)
+
+    def test_odd_product_raises(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(3, 7, seed=0)
+
+    def test_degree_too_large_raises(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(8, 8, seed=0)
+
+
+class TestStructuredGraphs:
+    def test_complete_graph(self):
+        assert complete_graph(5).num_edges == 10
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert graph.degrees() == [2] * 5
+
+    def test_cycle_too_small_raises(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        graph = path_graph(4)
+        assert graph.num_edges == 3
+        assert graph.degree(0) == 1
+
+    def test_star_graph(self):
+        graph = star_graph(5)
+        assert graph.degree(0) == 4
+        assert graph.num_edges == 4
+
+    def test_barbell_graph(self):
+        graph = barbell_graph(3)
+        assert graph.num_nodes == 6
+        assert graph.num_edges == 2 * 3 + 1

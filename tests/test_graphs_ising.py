@@ -1,0 +1,79 @@
+"""Tests for repro.graphs.ising."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.ising import IsingModel, maxcut_qubo, maxcut_to_ising, qubo_to_ising
+from repro.graphs.maxcut import MaxCutProblem
+from repro.graphs.model import Graph
+
+
+class TestIsingModel:
+    def test_energy_evaluation(self):
+        model = IsingModel(2, fields={0: 0.5}, couplings={(0, 1): 1.0}, constant=0.25)
+        assert model.energy([1, 1]) == pytest.approx(0.5 + 1.0 + 0.25)
+        assert model.energy([-1, 1]) == pytest.approx(-0.5 - 1.0 + 0.25)
+
+    def test_energy_from_bits(self):
+        model = IsingModel(2, couplings={(0, 1): 1.0})
+        assert model.energy_from_bits([0, 1]) == model.energy([1, -1])
+
+    def test_invalid_spins_raise(self):
+        model = IsingModel(2)
+        with pytest.raises(GraphError):
+            model.energy([0, 1])
+        with pytest.raises(GraphError):
+            model.energy([1])
+
+    def test_coupling_on_same_spin_raises(self):
+        with pytest.raises(GraphError):
+            IsingModel(2, couplings={(1, 1): 1.0})
+
+    def test_out_of_range_index_raises(self):
+        with pytest.raises(GraphError):
+            IsingModel(2, fields={5: 1.0})
+
+    def test_ground_state_ferromagnet(self):
+        model = IsingModel(3, couplings={(0, 1): -1.0, (1, 2): -1.0})
+        energy, spins = model.ground_state()
+        assert energy == pytest.approx(-2.0)
+        assert abs(sum(spins)) == 3  # all aligned
+
+
+class TestMaxCutMapping:
+    def test_ising_energy_is_negated_cut(self, small_problem):
+        model = maxcut_to_ising(small_problem)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            bits = rng.integers(0, 2, size=small_problem.num_qubits)
+            assert model.energy_from_bits(bits) == pytest.approx(
+                -small_problem.cut_value(bits)
+            )
+
+    def test_ground_state_matches_maxcut(self, small_problem):
+        model = maxcut_to_ising(small_problem)
+        energy, _ = model.ground_state()
+        assert -energy == pytest.approx(small_problem.max_cut_value())
+
+
+class TestQuboConversion:
+    def test_maxcut_qubo_matches_cut(self, triangle_problem):
+        qubo = maxcut_qubo(triangle_problem.graph)
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            bits = rng.integers(0, 2, size=3)
+            value = float(bits @ qubo @ bits)
+            assert value == pytest.approx(-triangle_problem.cut_value(bits))
+
+    def test_qubo_to_ising_preserves_values(self):
+        qubo = np.array([[1.0, -2.0], [0.0, 3.0]])
+        model = qubo_to_ising(qubo)
+        for bits in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            bits_arr = np.array(bits)
+            qubo_value = float(bits_arr @ (0.5 * (qubo + qubo.T)) @ bits_arr)
+            assert model.energy_from_bits(bits) == pytest.approx(qubo_value)
+
+    def test_non_square_qubo_raises(self):
+        with pytest.raises(GraphError):
+            qubo_to_ising(np.zeros((2, 3)))

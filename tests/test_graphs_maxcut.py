@@ -1,0 +1,108 @@
+"""Tests for repro.graphs.maxcut."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.generators import complete_graph, cycle_graph, erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem, goemans_williamson_bound
+from repro.graphs.model import Graph
+from repro.quantum.statevector import Statevector
+
+
+class TestCutValues:
+    def test_triangle_optimum(self, triangle_problem):
+        assert triangle_problem.max_cut_value() == pytest.approx(2.0)
+
+    def test_square_is_bipartite(self, square_problem):
+        assert square_problem.max_cut_value() == pytest.approx(4.0)
+        assert "0101" in square_problem.optimal_assignments()
+
+    def test_cut_value_string_and_sequence_agree(self, triangle_problem):
+        # String labels are MSB-first; the sequence is indexed by node.
+        assert triangle_problem.cut_value("001") == triangle_problem.cut_value([1, 0, 0])
+
+    def test_cut_value_counts_crossing_edges(self):
+        problem = MaxCutProblem(Graph(3, [(0, 1, 2.0), (1, 2, 3.0)]))
+        assert problem.cut_value([0, 1, 0]) == pytest.approx(5.0)
+        assert problem.cut_value([0, 0, 0]) == pytest.approx(0.0)
+
+    def test_invalid_assignment_raises(self, triangle_problem):
+        with pytest.raises(GraphError):
+            triangle_problem.cut_value("01")
+        with pytest.raises(GraphError):
+            triangle_problem.cut_value([0, 1, 2])
+
+    def test_complement_symmetry(self, small_problem, rng):
+        bits = rng.integers(0, 2, size=small_problem.num_qubits)
+        assert small_problem.cut_value(bits) == pytest.approx(
+            small_problem.cut_value(1 - bits)
+        )
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(GraphError):
+            MaxCutProblem(Graph(3, []))
+
+
+class TestCutTable:
+    def test_table_matches_per_assignment_evaluation(self, small_problem):
+        table = small_problem.cut_values_table()
+        n = small_problem.num_qubits
+        for index in [0, 1, 7, 13, len(table) - 1]:
+            bits = [(index >> q) & 1 for q in range(n)]
+            assert table[index] == pytest.approx(small_problem.cut_value(bits))
+
+    def test_table_is_cached(self, small_problem):
+        assert small_problem.cut_values_table() is small_problem.cut_values_table()
+
+    def test_random_cut_expectation_is_half_weight(self, small_problem):
+        table = small_problem.cut_values_table()
+        assert small_problem.random_cut_expectation() == pytest.approx(table.mean())
+
+    def test_approximation_ratio(self, triangle_problem):
+        assert triangle_problem.approximation_ratio(1.0) == pytest.approx(0.5)
+
+
+class TestCostHamiltonian:
+    def test_diagonal_equals_cut_table(self, small_problem):
+        operator = small_problem.cost_hamiltonian()
+        np.testing.assert_allclose(
+            operator.z_diagonal(), small_problem.cut_values_table(), atol=1e-10
+        )
+
+    def test_expectation_on_optimal_basis_state(self, triangle_problem):
+        optimal = triangle_problem.optimal_assignments()[0]
+        state = Statevector.from_label(optimal)
+        operator = triangle_problem.cost_hamiltonian()
+        assert operator.expectation(state) == pytest.approx(
+            triangle_problem.max_cut_value()
+        )
+
+    def test_uniform_state_gives_average_cut(self, small_problem):
+        state = Statevector.uniform_superposition(small_problem.num_qubits)
+        operator = small_problem.cost_hamiltonian()
+        assert operator.expectation(state) == pytest.approx(
+            small_problem.random_cut_expectation()
+        )
+
+    def test_weighted_graph_hamiltonian(self):
+        problem = MaxCutProblem(Graph(2, [(0, 1, 2.5)]))
+        assert problem.max_cut_value() == pytest.approx(2.5)
+        assert problem.cost_hamiltonian().max_eigenvalue() == pytest.approx(2.5)
+
+
+class TestReferenceValues:
+    def test_complete_graph_even_split(self):
+        problem = MaxCutProblem(complete_graph(4))
+        assert problem.max_cut_value() == pytest.approx(4.0)
+
+    def test_odd_cycle(self):
+        problem = MaxCutProblem(cycle_graph(5))
+        assert problem.max_cut_value() == pytest.approx(4.0)
+
+    def test_gw_bound_below_optimum(self, small_problem):
+        assert goemans_williamson_bound(small_problem) < small_problem.max_cut_value()
+
+    def test_er_graph_optimum_at_least_half_edges(self):
+        problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=9))
+        assert problem.max_cut_value() >= problem.random_cut_expectation()

@@ -1,0 +1,97 @@
+"""Tests for repro.graphs.model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.model import Graph
+
+
+class TestGraphConstruction:
+    def test_basic_properties(self):
+        graph = Graph(4, [(0, 1), (1, 2, 2.0)])
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 2
+        assert graph.weight(1, 2) == 2.0
+        assert graph.weight(0, 1) == 1.0
+
+    def test_edges_sorted_canonical(self):
+        graph = Graph(3, [(2, 0), (1, 0)])
+        assert graph.edges == [(0, 1, 1.0), (0, 2, 1.0)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 0)])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2)])
+
+    def test_bad_edge_tuple_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0,)])
+
+    def test_duplicate_edge_overwrites_weight(self):
+        graph = Graph(2, [(0, 1, 1.0), (0, 1, 3.0)])
+        assert graph.num_edges == 1
+        assert graph.weight(0, 1) == 3.0
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, float("inf"))])
+
+
+class TestGraphQueries:
+    def test_neighbors_and_degree(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.neighbors(0) == [1, 2, 3]
+        assert graph.degree(0) == 3
+        assert graph.degrees() == [3, 1, 1, 1]
+
+    def test_missing_edge_weight_raises(self):
+        graph = Graph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.weight(0, 2)
+
+    def test_total_weight(self):
+        graph = Graph(3, [(0, 1, 1.5), (1, 2, 2.5)])
+        assert graph.total_weight() == pytest.approx(4.0)
+
+    def test_connectivity(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+    def test_adjacency_matrix_symmetric(self):
+        graph = Graph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        matrix = graph.adjacency_matrix()
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert matrix[0, 1] == 2.0
+
+    def test_equality_and_hash(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Graph(3, [(0, 1)])
+
+
+class TestConversions:
+    def test_dict_roundtrip(self):
+        graph = Graph(3, [(0, 1, 2.0), (1, 2)], name="g")
+        rebuilt = Graph.from_dict(graph.to_dict())
+        assert rebuilt == graph
+        assert rebuilt.name == "g"
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(GraphError):
+            Graph.from_dict({"nodes": 3})
+
+    def test_networkx_roundtrip(self):
+        graph = Graph(4, [(0, 1), (2, 3, 2.0)])
+        rebuilt = Graph.from_networkx(graph.to_networkx())
+        assert rebuilt == graph
+
+    def test_relabeled(self):
+        graph = Graph(2, [(0, 1)], name="old")
+        assert graph.relabeled("new").name == "new"
+        assert graph.relabeled("new") == graph

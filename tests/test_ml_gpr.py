@@ -1,0 +1,96 @@
+"""Tests for repro.ml.gaussian_process."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.gaussian_process import GaussianProcessRegressor
+
+
+@pytest.fixture
+def smooth_data(rng):
+    features = np.sort(rng.uniform(-3, 3, size=40)).reshape(-1, 1)
+    targets = np.sin(features[:, 0]) + rng.normal(scale=0.01, size=40)
+    return features, targets
+
+
+class TestFitPredict:
+    def test_interpolates_training_points(self, smooth_data):
+        features, targets = smooth_data
+        model = GaussianProcessRegressor(num_restarts=1, seed=0).fit(features, targets)
+        predictions = model.predict(features)
+        assert np.max(np.abs(predictions - targets)) < 0.1
+
+    def test_generalises_between_points(self, smooth_data):
+        features, targets = smooth_data
+        model = GaussianProcessRegressor(num_restarts=1, seed=0).fit(features, targets)
+        test_points = np.array([[0.5], [-1.2], [2.0]])
+        np.testing.assert_allclose(
+            model.predict(test_points), np.sin(test_points[:, 0]), atol=0.15
+        )
+
+    def test_without_hyperparameter_optimization(self, smooth_data):
+        features, targets = smooth_data
+        model = GaussianProcessRegressor(
+            length_scale=1.0, optimize_hyperparameters=False
+        ).fit(features, targets)
+        assert model.length_scale == 1.0
+        assert model.score(features, targets) > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            GaussianProcessRegressor().predict([[0.0]])
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ModelError):
+            GaussianProcessRegressor(length_scale=-1.0)
+        with pytest.raises(ModelError):
+            GaussianProcessRegressor(noise_variance=0.0)
+        with pytest.raises(ModelError):
+            GaussianProcessRegressor(num_restarts=-1)
+
+    def test_constant_targets(self):
+        features = np.arange(5, dtype=float).reshape(-1, 1)
+        targets = np.full(5, 2.5)
+        model = GaussianProcessRegressor(num_restarts=0, seed=1).fit(features, targets)
+        np.testing.assert_allclose(model.predict([[10.0]]), [2.5], atol=1e-6)
+
+
+class TestUncertainty:
+    def test_predict_with_std_shapes(self, smooth_data):
+        features, targets = smooth_data
+        model = GaussianProcessRegressor(num_restarts=0, seed=0).fit(features, targets)
+        mean, std = model.predict_with_std(np.array([[0.0], [5.0]]))
+        assert mean.shape == (2,)
+        assert std.shape == (2,)
+        assert np.all(std >= 0.0)
+
+    def test_uncertainty_grows_away_from_data(self, smooth_data):
+        features, targets = smooth_data
+        model = GaussianProcessRegressor(num_restarts=1, seed=0).fit(features, targets)
+        _, std_near = model.predict_with_std(np.array([[0.0]]))
+        _, std_far = model.predict_with_std(np.array([[30.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_log_marginal_likelihood_available(self, smooth_data):
+        features, targets = smooth_data
+        model = GaussianProcessRegressor(num_restarts=1, seed=0).fit(features, targets)
+        assert model.log_marginal_likelihood is not None
+        assert np.isfinite(model.log_marginal_likelihood)
+
+    def test_hyperparameter_optimization_improves_likelihood(self, smooth_data):
+        features, targets = smooth_data
+        fixed = GaussianProcessRegressor(
+            length_scale=20.0, optimize_hyperparameters=False
+        ).fit(features, targets)
+        tuned = GaussianProcessRegressor(
+            length_scale=20.0, optimize_hyperparameters=True, num_restarts=2, seed=0
+        ).fit(features, targets)
+        assert tuned.log_marginal_likelihood >= fixed.log_marginal_likelihood - 1e-6
+
+    def test_clone_preserves_settings(self):
+        model = GaussianProcessRegressor(length_scale=2.0, num_restarts=3)
+        clone = model.clone()
+        assert clone.length_scale == 2.0
+        assert clone.num_restarts == 3
+        assert not clone.is_fitted

@@ -1,0 +1,81 @@
+"""Tests for repro.ml.kernels."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.kernels import (
+    ConstantKernel,
+    RBFKernel,
+    SumKernel,
+    WhiteNoiseKernel,
+    squared_distances,
+)
+
+
+class TestSquaredDistances:
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(squared_distances(a, b), [[1.0], [2.0]])
+
+    def test_self_distances_zero_diagonal(self, rng):
+        points = rng.normal(size=(6, 3))
+        distances = squared_distances(points, points)
+        np.testing.assert_allclose(np.diag(distances), 0.0, atol=1e-10)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            squared_distances(np.ones((2, 2)), np.ones((2, 3)))
+
+
+class TestRBFKernel:
+    def test_unit_diagonal(self, rng):
+        kernel = RBFKernel(length_scale=1.3, signal_variance=2.0)
+        points = rng.normal(size=(5, 2))
+        np.testing.assert_allclose(np.diag(kernel(points, points)), 2.0)
+        np.testing.assert_allclose(kernel.diagonal(points), 2.0)
+
+    def test_decays_with_distance(self):
+        kernel = RBFKernel(length_scale=1.0)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[3.0]]))[0, 0]
+        assert near > far
+
+    def test_gram_matrix_positive_semidefinite(self, rng):
+        kernel = RBFKernel(length_scale=0.8)
+        points = rng.normal(size=(10, 2))
+        eigenvalues = np.linalg.eigvalsh(kernel(points, points))
+        assert eigenvalues.min() > -1e-10
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            RBFKernel(length_scale=0.0)
+        with pytest.raises(ModelError):
+            RBFKernel(signal_variance=-1.0)
+
+
+class TestOtherKernels:
+    def test_white_noise_only_on_identical_sets(self, rng):
+        kernel = WhiteNoiseKernel(noise_variance=0.5)
+        points = rng.normal(size=(4, 2))
+        np.testing.assert_allclose(kernel(points, points), 0.5 * np.eye(4))
+        np.testing.assert_allclose(kernel(points, points + 1.0), np.zeros((4, 4)))
+
+    def test_constant_kernel(self):
+        kernel = ConstantKernel(2.0)
+        assert kernel(np.ones((2, 1)), np.ones((3, 1))).shape == (2, 3)
+        np.testing.assert_allclose(kernel.diagonal(np.ones((2, 1))), 2.0)
+
+    def test_sum_kernel_adds(self, rng):
+        points = rng.normal(size=(4, 1))
+        combined = RBFKernel() + WhiteNoiseKernel(0.1)
+        assert isinstance(combined, SumKernel)
+        np.testing.assert_allclose(
+            combined(points, points),
+            RBFKernel()(points, points) + 0.1 * np.eye(4),
+        )
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ModelError):
+            WhiteNoiseKernel(-0.1)

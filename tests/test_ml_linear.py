@@ -1,0 +1,92 @@
+"""Tests for repro.ml.linear."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.linear import LinearRegression, RidgeRegression
+
+
+@pytest.fixture
+def linear_data(rng):
+    features = rng.normal(size=(60, 3))
+    coefficients = np.array([2.0, -1.0, 0.5])
+    targets = features @ coefficients + 3.0 + rng.normal(scale=0.01, size=60)
+    return features, targets, coefficients
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, linear_data):
+        features, targets, coefficients = linear_data
+        model = LinearRegression().fit(features, targets)
+        np.testing.assert_allclose(model.coefficients, coefficients, atol=0.05)
+        assert model.intercept == pytest.approx(3.0, abs=0.05)
+
+    def test_score_is_high_on_linear_data(self, linear_data):
+        features, targets, _ = linear_data
+        model = LinearRegression().fit(features, targets)
+        assert model.score(features, targets) > 0.99
+
+    def test_without_intercept(self):
+        features = np.array([[1.0], [2.0], [3.0]])
+        targets = np.array([2.0, 4.0, 6.0])
+        model = LinearRegression(fit_intercept=False).fit(features, targets)
+        assert model.intercept == 0.0
+        assert model.coefficients[0] == pytest.approx(2.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            LinearRegression().predict([[1.0]])
+
+    def test_coefficients_before_fit_raise(self):
+        with pytest.raises(ModelError):
+            LinearRegression().coefficients
+
+    def test_feature_count_mismatch_raises(self, linear_data):
+        features, targets, _ = linear_data
+        model = LinearRegression().fit(features, targets)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_sample_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_non_finite_input_raises(self):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.array([[np.nan]]), np.array([1.0]))
+
+    def test_clone_is_unfitted_copy(self, linear_data):
+        features, targets, _ = linear_data
+        model = LinearRegression(fit_intercept=False).fit(features, targets)
+        clone = model.clone()
+        assert not clone.is_fitted
+        assert clone.fit_intercept is False
+
+    def test_one_dimensional_features_accepted(self):
+        model = LinearRegression().fit(np.array([1.0, 2.0, 3.0]), [2.0, 4.0, 6.0])
+        assert model.predict([4.0])[0] == pytest.approx(8.0)
+
+
+class TestRidgeRegression:
+    def test_zero_alpha_matches_ols(self, linear_data):
+        features, targets, _ = linear_data
+        ols = LinearRegression().fit(features, targets)
+        ridge = RidgeRegression(alpha=0.0).fit(features, targets)
+        np.testing.assert_allclose(ridge.coefficients, ols.coefficients, atol=1e-8)
+
+    def test_large_alpha_shrinks_coefficients(self, linear_data):
+        features, targets, _ = linear_data
+        small = RidgeRegression(alpha=1e-6).fit(features, targets)
+        large = RidgeRegression(alpha=1e4).fit(features, targets)
+        assert np.linalg.norm(large.coefficients) < np.linalg.norm(small.coefficients)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ModelError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_intercept_not_regularised(self):
+        features = np.array([[0.0], [0.0], [0.0], [0.0]])
+        targets = np.array([5.0, 5.0, 5.0, 5.0])
+        model = RidgeRegression(alpha=100.0).fit(features, targets)
+        assert model.predict([[0.0]])[0] == pytest.approx(5.0)

@@ -1,0 +1,86 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.metrics import (
+    adjusted_r2_score,
+    evaluate_regression,
+    explained_variance,
+    max_error,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestBasicMetrics:
+    def test_perfect_predictions(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0.0
+        assert root_mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert max_error(y, y) == 0.0
+
+    def test_known_values(self):
+        y_true = np.array([1.0, 2.0, 3.0, 4.0])
+        y_pred = np.array([1.0, 2.0, 3.0, 2.0])
+        assert mean_squared_error(y_true, y_pred) == pytest.approx(1.0)
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(1.0)
+        assert mean_absolute_error(y_true, y_pred) == pytest.approx(0.5)
+        assert max_error(y_true, y_pred) == pytest.approx(2.0)
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.full(3, 2.0)
+        assert r2_score(y_true, y_pred) == pytest.approx(0.0)
+
+    def test_r2_constant_targets(self):
+        y = np.full(4, 3.0)
+        assert r2_score(y, y) == 0.0
+        assert r2_score(y, y + 1.0) == -np.inf
+
+    def test_explained_variance(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        assert explained_variance(y_true, y_true + 0.5) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ModelError):
+            mean_squared_error([], [])
+
+
+class TestAdjustedR2:
+    def test_penalises_feature_count(self):
+        y_true = np.arange(10, dtype=float)
+        y_pred = y_true + 0.5
+        r2_few = adjusted_r2_score(y_true, y_pred, num_features=1)
+        r2_many = adjusted_r2_score(y_true, y_pred, num_features=5)
+        assert r2_many < r2_few <= 1.0
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ModelError):
+            adjusted_r2_score([1.0, 2.0], [1.0, 2.0], num_features=3)
+
+    def test_invalid_feature_count(self):
+        with pytest.raises(ModelError):
+            adjusted_r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], num_features=0)
+
+
+class TestEvaluateRegression:
+    def test_bundle_consistency(self, rng):
+        y_true = rng.normal(size=30)
+        y_pred = y_true + rng.normal(scale=0.1, size=30)
+        metrics = evaluate_regression(y_true, y_pred, num_features=3)
+        assert metrics.rmse == pytest.approx(np.sqrt(metrics.mse))
+        assert metrics.adjusted_r2 <= metrics.r2
+        assert metrics.max_error >= metrics.mae
+        assert set(metrics.as_dict()) == {
+            "mse", "rmse", "mae", "r2", "adjusted_r2", "max_error"
+        }

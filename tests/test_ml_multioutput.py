@@ -1,0 +1,78 @@
+"""Tests for repro.ml.multioutput and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.base import Regressor
+from repro.ml.linear import LinearRegression
+from repro.ml.multioutput import MultiOutputRegressor
+from repro.ml.registry import PAPER_MODEL_NAMES, available_models, get_model
+
+
+@pytest.fixture
+def multi_output_data(rng):
+    features = rng.normal(size=(50, 2))
+    targets = np.column_stack(
+        [features @ [1.0, 2.0] + 0.5, features @ [-1.0, 0.5] - 1.0]
+    )
+    return features, targets
+
+
+class TestMultiOutputRegressor:
+    def test_fits_each_output(self, multi_output_data):
+        features, targets = multi_output_data
+        model = MultiOutputRegressor(LinearRegression()).fit(features, targets)
+        predictions = model.predict(features)
+        assert predictions.shape == targets.shape
+        np.testing.assert_allclose(predictions, targets, atol=1e-8)
+
+    def test_accepts_factory_callable(self, multi_output_data):
+        features, targets = multi_output_data
+        model = MultiOutputRegressor(LinearRegression).fit(features, targets)
+        assert model.num_outputs == 2
+        assert len(model.models) == 2
+
+    def test_single_column_targets(self, multi_output_data):
+        features, targets = multi_output_data
+        model = MultiOutputRegressor(LinearRegression()).fit(features, targets[:, 0])
+        assert model.predict(features).shape == (50, 1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            MultiOutputRegressor(LinearRegression()).predict(np.ones((2, 2)))
+
+    def test_sample_mismatch_raises(self, multi_output_data):
+        features, targets = multi_output_data
+        with pytest.raises(ModelError):
+            MultiOutputRegressor(LinearRegression()).fit(features, targets[:10])
+
+    def test_invalid_base_model_rejected(self):
+        with pytest.raises(ModelError):
+            MultiOutputRegressor("not-a-model")
+
+    def test_factory_must_return_regressor(self, multi_output_data):
+        features, targets = multi_output_data
+        with pytest.raises(ModelError):
+            MultiOutputRegressor(lambda: object()).fit(features, targets)
+
+
+class TestModelRegistry:
+    @pytest.mark.parametrize("name", ["GPR", "LM", "RTREE", "RSVM"])
+    def test_paper_models_available(self, name):
+        assert isinstance(get_model(name), Regressor)
+
+    def test_paper_model_names_constant(self):
+        assert PAPER_MODEL_NAMES == ("GPR", "LM", "RTREE", "RSVM")
+
+    def test_kwargs_forwarded(self):
+        model = get_model("rtree", max_depth=2)
+        assert model.max_depth == 2
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ModelError):
+            get_model("transformer")
+
+    def test_available_models_contains_aliases(self):
+        names = available_models()
+        assert "gpr" in names and "svr" in names

@@ -1,0 +1,90 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler, train_test_split
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(loc=5.0, scale=2.0, size=(100, 3))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_transform_roundtrip(self, rng):
+        data = rng.normal(size=(20, 2))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12
+        )
+
+    def test_constant_column_untouched(self):
+        data = np.column_stack([np.ones(5), np.arange(5.0)])
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch_raises(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(5, 2)))
+        with pytest.raises(ModelError):
+            scaler.transform(rng.normal(size=(5, 3)))
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self, rng):
+        data = rng.uniform(-10, 10, size=(50, 2))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_inverse_transform_roundtrip(self, rng):
+        data = rng.uniform(size=(10, 3))
+        scaler = MinMaxScaler().fit(data)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(data)), data, atol=1e-12
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            MinMaxScaler().transform(np.ones((2, 2)))
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self, rng):
+        features = rng.normal(size=(50, 2))
+        targets = rng.normal(size=50)
+        x_train, x_test, y_train, y_test = train_test_split(
+            features, targets, train_fraction=0.2, seed=0
+        )
+        assert x_train.shape == (10, 2)
+        assert x_test.shape == (40, 2)
+        assert y_train.shape == (10,)
+        assert y_test.shape == (40,)
+
+    def test_no_overlap_and_full_coverage(self, rng):
+        features = np.arange(20, dtype=float).reshape(-1, 1)
+        targets = np.arange(20, dtype=float)
+        x_train, x_test, _, _ = train_test_split(features, targets, seed=1)
+        combined = np.sort(np.concatenate([x_train[:, 0], x_test[:, 0]]))
+        np.testing.assert_allclose(combined, np.arange(20))
+
+    def test_deterministic_with_seed(self, rng):
+        features = rng.normal(size=(30, 2))
+        targets = rng.normal(size=30)
+        first = train_test_split(features, targets, seed=5)[0]
+        second = train_test_split(features, targets, seed=5)[0]
+        np.testing.assert_allclose(first, second)
+
+    def test_invalid_fraction_raises(self, rng):
+        with pytest.raises(ModelError):
+            train_test_split(np.ones((4, 1)), np.ones(4), train_fraction=1.0)
+
+    def test_sample_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.ones((4, 1)), np.ones(5))

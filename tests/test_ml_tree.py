@@ -1,0 +1,74 @@
+"""Tests for repro.ml.tree."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.tree import RegressionTree
+
+
+@pytest.fixture
+def step_data(rng):
+    features = rng.uniform(0, 1, size=(80, 1))
+    targets = np.where(features[:, 0] < 0.5, 1.0, 3.0)
+    return features, targets
+
+
+class TestRegressionTree:
+    def test_learns_step_function(self, step_data):
+        features, targets = step_data
+        model = RegressionTree(max_depth=3).fit(features, targets)
+        assert model.predict([[0.2]])[0] == pytest.approx(1.0, abs=0.2)
+        assert model.predict([[0.8]])[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_perfect_fit_on_training_data_when_deep(self, rng):
+        features = rng.uniform(size=(30, 2))
+        targets = rng.uniform(size=30)
+        model = RegressionTree(max_depth=20, min_samples_leaf=1, min_samples_split=2)
+        model.fit(features, targets)
+        assert model.score(features, targets) > 0.95
+
+    def test_stump_predicts_mean(self, step_data):
+        features, targets = step_data
+        model = RegressionTree(max_depth=1, min_samples_split=1000).fit(features, targets)
+        assert model.predict([[0.3]])[0] == pytest.approx(targets.mean())
+
+    def test_depth_and_leaves_bounded(self, step_data):
+        features, targets = step_data
+        model = RegressionTree(max_depth=3).fit(features, targets)
+        assert model.depth() <= 3
+        assert model.num_leaves() <= 2**3
+
+    def test_constant_targets_give_single_leaf(self):
+        features = np.arange(10, dtype=float).reshape(-1, 1)
+        model = RegressionTree().fit(features, np.ones(10))
+        assert model.num_leaves() == 1
+        assert model.predict([[100.0]])[0] == pytest.approx(1.0)
+
+    def test_min_samples_leaf_respected(self, step_data):
+        features, targets = step_data
+        generous = RegressionTree(max_depth=8, min_samples_leaf=1).fit(features, targets)
+        strict = RegressionTree(max_depth=8, min_samples_leaf=30).fit(features, targets)
+        assert strict.num_leaves() <= generous.num_leaves()
+
+    def test_multivariate_split_selection(self, rng):
+        # Only feature 1 is informative; the tree should still learn the step.
+        features = rng.uniform(size=(100, 2))
+        targets = np.where(features[:, 1] < 0.5, -1.0, 1.0)
+        model = RegressionTree(max_depth=3).fit(features, targets)
+        assert model.predict([[0.9, 0.1]])[0] == pytest.approx(-1.0, abs=0.2)
+        assert model.predict([[0.1, 0.9]])[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ModelError):
+            RegressionTree(min_samples_split=1)
+        with pytest.raises(ModelError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_introspection_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            RegressionTree().depth()
+        with pytest.raises(ModelError):
+            RegressionTree().num_leaves()

@@ -1,0 +1,107 @@
+"""Package-level tests: exports, version, exception hierarchy, configuration."""
+
+import math
+
+import pytest
+
+import repro
+from repro.config import (
+    BETA_MAX,
+    BETA_SYMMETRY_PERIOD,
+    DEFAULT_TOLERANCE,
+    GAMMA_MAX,
+    PaperSetup,
+    paper_setup,
+)
+from repro.exceptions import (
+    CircuitError,
+    ConfigurationError,
+    DatasetError,
+    GraphError,
+    ModelError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_subpackages_importable(self):
+        import repro.acceleration
+        import repro.experiments
+        import repro.graphs
+        import repro.ml
+        import repro.optimizers
+        import repro.prediction
+        import repro.qaoa
+        import repro.quantum
+        import repro.utils
+
+        for module in (
+            repro.quantum,
+            repro.graphs,
+            repro.ml,
+            repro.optimizers,
+            repro.qaoa,
+            repro.prediction,
+            repro.acceleration,
+            repro.experiments,
+            repro.utils,
+        ):
+            assert module.__doc__
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            CircuitError,
+            SimulationError,
+            GraphError,
+            OptimizationError,
+            ModelError,
+            DatasetError,
+            ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception):
+        assert issubclass(exception, ReproError)
+        assert issubclass(exception, Exception)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise GraphError("boom")
+
+
+class TestPaperConstants:
+    def test_parameter_domains(self):
+        assert BETA_MAX == pytest.approx(math.pi)
+        assert GAMMA_MAX == pytest.approx(2 * math.pi)
+        assert BETA_SYMMETRY_PERIOD == pytest.approx(math.pi / 2)
+        assert DEFAULT_TOLERANCE == 1e-6
+
+    def test_paper_setup_values(self):
+        setup = paper_setup()
+        assert setup.num_graphs == 330
+        assert setup.num_nodes == 8
+        assert setup.depths == (1, 2, 3, 4, 5, 6)
+        assert setup.target_depths == (2, 3, 4, 5)
+        assert setup.num_restarts == 20
+        assert setup.train_fraction == pytest.approx(0.2)
+        assert setup.num_optimal_parameters == 13860
+
+    def test_paper_setup_is_frozen(self):
+        with pytest.raises(Exception):
+            paper_setup().num_graphs = 10
+
+    def test_custom_setup(self):
+        setup = PaperSetup(num_graphs=10, depths=(1, 2))
+        assert setup.num_optimal_parameters == 10 * (2 + 4)

@@ -1,0 +1,143 @@
+"""Tests for repro.prediction.dataset."""
+
+import pytest
+
+from repro.config import paper_setup
+from repro.exceptions import DatasetError
+from repro.graphs.ensembles import erdos_renyi_ensemble
+from repro.prediction.dataset import (
+    DatasetGenerationConfig,
+    DepthEntry,
+    GraphRecord,
+    TrainingDataset,
+)
+from repro.qaoa.parameters import QAOAParameters
+
+
+class TestDatasetGenerationConfig:
+    def test_defaults_match_paper(self):
+        config = DatasetGenerationConfig()
+        assert config.depths == (1, 2, 3, 4, 5, 6)
+        assert config.num_restarts == 20
+        assert config.optimizer == "L-BFGS-B"
+        assert config.tolerance == 1e-6
+
+    def test_depth_one_required(self):
+        with pytest.raises(DatasetError):
+            DatasetGenerationConfig(depths=(2, 3))
+
+    def test_invalid_depths_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetGenerationConfig(depths=())
+        with pytest.raises(DatasetError):
+            DatasetGenerationConfig(depths=(0, 1))
+
+    def test_invalid_restarts_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetGenerationConfig(num_restarts=0)
+
+    def test_paper_parameter_count_is_13860(self):
+        assert paper_setup().num_optimal_parameters == 13860
+
+
+class TestGeneratedDataset:
+    def test_records_cover_all_depths(self, tiny_dataset):
+        assert tiny_dataset.depths == [1, 2, 3]
+        for record in tiny_dataset:
+            assert record.depths == [1, 2, 3]
+
+    def test_parameters_are_canonical(self, tiny_dataset):
+        from repro.config import BETA_SYMMETRY_PERIOD
+
+        for record in tiny_dataset:
+            for depth in record.depths:
+                params = record.entry(depth).parameters
+                assert all(0.0 <= b < BETA_SYMMETRY_PERIOD + 1e-9 for b in params.betas)
+
+    def test_expectation_below_optimum(self, tiny_dataset):
+        for record in tiny_dataset:
+            for depth in record.depths:
+                entry = record.entry(depth)
+                assert entry.expectation <= entry.max_cut_value + 1e-9
+                assert 0.0 < entry.approximation_ratio <= 1.0 + 1e-9
+
+    def test_ar_improves_with_depth_on_average(self, tiny_dataset):
+        shallow = [record.entry(1).approximation_ratio for record in tiny_dataset]
+        deep = [record.entry(3).approximation_ratio for record in tiny_dataset]
+        assert sum(deep) / len(deep) >= sum(shallow) / len(shallow) - 1e-6
+
+    def test_num_optimal_parameters(self, tiny_dataset):
+        expected_per_graph = 2 * (1 + 2 + 3)
+        assert tiny_dataset.num_optimal_parameters == expected_per_graph * len(tiny_dataset)
+
+    def test_missing_depth_raises(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset[0].entry(6)
+
+    def test_generation_respects_warm_seed_flag(self):
+        ensemble = erdos_renyi_ensemble(2, num_nodes=5, edge_probability=0.6, seed=3)
+        config = DatasetGenerationConfig(
+            depths=(1, 2), num_restarts=1, warm_seed_from_lower_depth=False
+        )
+        dataset = TrainingDataset.generate(ensemble, config, seed=0)
+        assert dataset.num_graphs == 2
+
+    def test_progress_callback_invoked(self):
+        ensemble = erdos_renyi_ensemble(2, num_nodes=5, edge_probability=0.6, seed=4)
+        calls = []
+        TrainingDataset.generate(
+            ensemble,
+            DatasetGenerationConfig(depths=(1,), num_restarts=1),
+            seed=0,
+            progress_callback=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 2), (2, 2)]
+
+
+class TestSplitAndPersistence:
+    def test_train_test_split(self, tiny_dataset):
+        train, test = tiny_dataset.train_test_split(0.34, seed=0)
+        assert len(train) + len(test) == len(tiny_dataset)
+        train_names = {record.graph.name for record in train}
+        test_names = {record.graph.name for record in test}
+        assert not train_names & test_names
+
+    def test_invalid_split_fraction(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.train_test_split(0.0)
+
+    def test_json_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        tiny_dataset.save(path)
+        loaded = TrainingDataset.load(path)
+        assert loaded.num_graphs == tiny_dataset.num_graphs
+        assert loaded.depths == tiny_dataset.depths
+        original = tiny_dataset[0].entry(2).parameters.to_vector()
+        restored = loaded[0].entry(2).parameters.to_vector()
+        assert list(original) == pytest.approx(list(restored))
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(DatasetError):
+            TrainingDataset.from_dict({"records": []})
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            TrainingDataset([])
+
+    def test_record_roundtrip(self, tiny_dataset):
+        record = tiny_dataset[0]
+        rebuilt = GraphRecord.from_dict(record.to_dict())
+        assert rebuilt.graph == record.graph
+        assert rebuilt.depths == record.depths
+
+    def test_depth_entry_roundtrip(self):
+        entry = DepthEntry(
+            depth=2,
+            parameters=QAOAParameters((0.1, 0.2), (0.3, 0.4)),
+            expectation=3.0,
+            max_cut_value=4.0,
+            num_function_calls=120,
+        )
+        rebuilt = DepthEntry.from_dict(entry.to_dict())
+        assert rebuilt == entry
+        assert rebuilt.approximation_ratio == pytest.approx(0.75)

@@ -1,0 +1,85 @@
+"""Tests for repro.prediction.features."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.prediction.features import (
+    NUM_TWO_LEVEL_FEATURES,
+    hierarchical_feature_vector,
+    per_depth_training_rows,
+    pooled_training_rows,
+    response_vector,
+    stage_response,
+    two_level_feature_vector,
+)
+
+
+class TestFeatureVectors:
+    def test_two_level_features(self, tiny_dataset):
+        record = tiny_dataset[0]
+        features = two_level_feature_vector(record, 3)
+        assert features.shape == (NUM_TWO_LEVEL_FEATURES,)
+        base = record.entry(1).parameters
+        assert features[0] == pytest.approx(base.gammas[0])
+        assert features[1] == pytest.approx(base.betas[0])
+        assert features[2] == 3.0
+
+    def test_two_level_requires_depth_at_least_two(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            two_level_feature_vector(tiny_dataset[0], 1)
+
+    def test_hierarchical_features(self, tiny_dataset):
+        record = tiny_dataset[0]
+        features = hierarchical_feature_vector(record, 2, 3)
+        # 2 (depth-1) + 4 (intermediate depth 2) + 1 (target depth)
+        assert features.shape == (7,)
+        assert features[-1] == 3.0
+
+    def test_hierarchical_ordering_constraint(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            hierarchical_feature_vector(tiny_dataset[0], 3, 2)
+        with pytest.raises(DatasetError):
+            hierarchical_feature_vector(tiny_dataset[0], 1, 3)
+
+    def test_response_vector_layout(self, tiny_dataset):
+        record = tiny_dataset[0]
+        response = response_vector(record, 2)
+        params = record.entry(2).parameters
+        np.testing.assert_allclose(response, params.to_vector())
+
+    def test_stage_response(self, tiny_dataset):
+        record = tiny_dataset[0]
+        params = record.entry(3).parameters
+        assert stage_response(record, 3, 2, "gamma") == pytest.approx(params.gamma(2))
+        assert stage_response(record, 3, 3, "beta") == pytest.approx(params.beta(3))
+
+    def test_stage_response_invalid_kind(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            stage_response(tiny_dataset[0], 2, 1, "delta")
+
+
+class TestTrainingRows:
+    def test_pooled_rows_shapes(self, tiny_dataset):
+        features, responses = pooled_training_rows(tiny_dataset, 1, "gamma", (2, 3))
+        assert features.shape == (2 * len(tiny_dataset), NUM_TWO_LEVEL_FEATURES)
+        assert responses.shape == (2 * len(tiny_dataset),)
+
+    def test_pooled_rows_stage_restricts_depths(self, tiny_dataset):
+        features, _ = pooled_training_rows(tiny_dataset, 3, "beta", (2, 3))
+        # Stage 3 only exists at depth 3.
+        assert features.shape[0] == len(tiny_dataset)
+        assert set(features[:, 2]) == {3.0}
+
+    def test_pooled_rows_empty_raises(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            pooled_training_rows(tiny_dataset, 4, "gamma", (2, 3))
+
+    def test_per_depth_rows(self, tiny_dataset):
+        features, responses = per_depth_training_rows(tiny_dataset, 3)
+        assert features.shape == (len(tiny_dataset), 2)
+        assert responses.shape == (len(tiny_dataset), 6)
+
+    def test_per_depth_missing_depth_raises(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            per_depth_training_rows(tiny_dataset, 6)

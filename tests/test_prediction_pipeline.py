@@ -1,0 +1,62 @@
+"""Tests for repro.prediction.pipeline."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.ensembles import erdos_renyi_ensemble
+from repro.prediction.pipeline import (
+    PredictorPipelineConfig,
+    train_default_predictor,
+    train_predictor_from_ensemble,
+)
+
+
+class TestPipelineConfig:
+    def test_default_is_valid(self):
+        config = PredictorPipelineConfig()
+        assert 1 in config.depths
+        assert config.model == "gpr"
+
+    def test_dataset_config_mirrors_settings(self):
+        config = PredictorPipelineConfig(depths=(1, 2), num_restarts=4)
+        dataset_config = config.dataset_config()
+        assert dataset_config.depths == (1, 2)
+        assert dataset_config.num_restarts == 4
+
+    def test_too_few_graphs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PredictorPipelineConfig(num_graphs=1)
+
+    def test_depths_must_include_one_and_a_target(self):
+        with pytest.raises(ConfigurationError):
+            PredictorPipelineConfig(depths=(2, 3))
+        with pytest.raises(ConfigurationError):
+            PredictorPipelineConfig(depths=(1,))
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        config = PredictorPipelineConfig(
+            num_graphs=4, num_nodes=6, depths=(1, 2), num_restarts=1, model="lm"
+        )
+        return train_default_predictor(config, seed=3)
+
+    def test_returns_fitted_predictor_and_dataset(self, trained):
+        predictor, dataset = trained
+        assert predictor.is_fitted
+        assert predictor.fitted_depths == [2]
+        assert dataset.num_graphs == 4
+
+    def test_predictor_usable(self, trained):
+        predictor, _ = trained
+        assert predictor.predict(0.6, 0.3, 2).depth == 2
+
+    def test_train_from_existing_ensemble(self):
+        ensemble = erdos_renyi_ensemble(4, num_nodes=6, edge_probability=0.5, seed=8)
+        config = PredictorPipelineConfig(
+            num_graphs=4, num_nodes=6, depths=(1, 2), num_restarts=1, model="lm"
+        )
+        predictor, dataset = train_predictor_from_ensemble(ensemble, config, seed=1)
+        assert predictor.is_fitted
+        assert dataset.num_graphs == len(ensemble)

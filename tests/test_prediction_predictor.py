@@ -1,0 +1,143 @@
+"""Tests for repro.prediction.predictor and hierarchical prediction."""
+
+import numpy as np
+import pytest
+
+from repro.config import BETA_MAX, GAMMA_MAX
+from repro.exceptions import ModelError
+from repro.ml.linear import LinearRegression
+from repro.prediction.hierarchical import HierarchicalParameterPredictor
+from repro.prediction.predictor import ParameterPredictor
+
+
+class TestFitAndPredict:
+    def test_fitted_depths(self, tiny_predictor):
+        assert tiny_predictor.fitted_depths == [2, 3]
+        assert tiny_predictor.is_fitted
+
+    def test_prediction_shape_and_domain(self, tiny_predictor):
+        prediction = tiny_predictor.predict(0.5, 0.3, 3)
+        assert prediction.depth == 3
+        assert all(0.0 <= g <= GAMMA_MAX for g in prediction.gammas)
+        assert all(0.0 <= b <= BETA_MAX for b in prediction.betas)
+
+    def test_predict_vector_matches_predict(self, tiny_predictor):
+        vector = tiny_predictor.predict_vector(0.5, 0.3, 2)
+        params = tiny_predictor.predict(0.5, 0.3, 2)
+        np.testing.assert_allclose(vector, params.to_vector())
+
+    def test_predict_for_record_uses_depth1_optimum(self, tiny_dataset, tiny_predictor):
+        record = tiny_dataset[0]
+        base = record.entry(1).parameters
+        by_record = tiny_predictor.predict_for_record(record, 2)
+        by_values = tiny_predictor.predict(base.gammas[0], base.betas[0], 2)
+        np.testing.assert_allclose(by_record.to_vector(), by_values.to_vector())
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ModelError):
+            ParameterPredictor().predict(0.5, 0.3, 2)
+
+    def test_depth_beyond_training_raises(self, tiny_predictor):
+        with pytest.raises(ModelError):
+            tiny_predictor.predict(0.5, 0.3, 5)
+
+    def test_depth_below_two_raises(self, tiny_predictor):
+        with pytest.raises(ModelError):
+            tiny_predictor.predict(0.5, 0.3, 1)
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ModelError):
+            ParameterPredictor(strategy="stacked")
+
+    def test_fit_requires_depth_one(self, tiny_dataset):
+        predictor = ParameterPredictor("lm")
+        with pytest.raises(ModelError):
+            predictor.fit(tiny_dataset, target_depths=(4,))
+
+    def test_custom_model_factory(self, tiny_dataset):
+        predictor = ParameterPredictor(lambda: LinearRegression())
+        predictor.fit(tiny_dataset, target_depths=(2,))
+        assert predictor.predict(0.5, 0.3, 2).depth == 2
+
+    def test_per_depth_strategy(self, tiny_dataset):
+        predictor = ParameterPredictor("lm", strategy="per-depth")
+        predictor.fit(tiny_dataset, target_depths=(2, 3))
+        prediction = predictor.predict(0.5, 0.3, 3)
+        assert prediction.depth == 3
+
+    def test_per_depth_unknown_depth_raises(self, tiny_dataset):
+        predictor = ParameterPredictor("lm", strategy="per-depth")
+        predictor.fit(tiny_dataset, target_depths=(2,))
+        with pytest.raises(ModelError):
+            predictor.predict(0.5, 0.3, 3)
+
+
+class TestPredictionQuality:
+    def test_training_set_errors_are_moderate(self, tiny_dataset, tiny_predictor):
+        report = tiny_predictor.prediction_errors(tiny_dataset, 2)
+        assert report.num_graphs == len(tiny_dataset)
+        assert 0.0 <= report.mean_abs_percent_error < 60.0
+        assert report.std_abs_percent_error >= 0.0
+        assert report.max_abs_percent_error >= report.mean_abs_percent_error
+        assert len(report.per_parameter_mean_error) == 4
+
+    def test_prediction_better_than_random_guess(self, tiny_dataset, tiny_predictor):
+        rng = np.random.default_rng(0)
+        predicted_errors = []
+        random_errors = []
+        for record in tiny_dataset:
+            actual = record.entry(3).parameters.to_vector()
+            predicted = tiny_predictor.predict_for_record(record, 3).to_vector()
+            random_guess = np.concatenate(
+                [rng.uniform(0, GAMMA_MAX, 3), rng.uniform(0, BETA_MAX, 3)]
+            )
+            predicted_errors.append(np.abs(predicted - actual).mean())
+            random_errors.append(np.abs(random_guess - actual).mean())
+        assert np.mean(predicted_errors) < np.mean(random_errors)
+
+    def test_error_report_missing_depth_raises(self, tiny_dataset, tiny_predictor):
+        with pytest.raises(ModelError):
+            tiny_predictor.prediction_errors(tiny_dataset, 5)
+
+
+class TestHierarchicalPredictor:
+    def test_fit_and_predict(self, tiny_dataset):
+        predictor = HierarchicalParameterPredictor(2, "lm")
+        predictor.fit(tiny_dataset, target_depths=(3,))
+        assert predictor.fitted_depths == [3]
+        record = tiny_dataset[0]
+        prediction = predictor.predict_for_record(record, 3)
+        assert prediction.depth == 3
+
+    def test_predict_with_explicit_parameters(self, tiny_dataset):
+        predictor = HierarchicalParameterPredictor(2, "lm")
+        predictor.fit(tiny_dataset, target_depths=(3,))
+        record = tiny_dataset[0]
+        base = record.entry(1).parameters
+        prediction = predictor.predict(
+            base.gammas[0], base.betas[0], record.entry(2).parameters, 3
+        )
+        expected = predictor.predict_for_record(record, 3)
+        np.testing.assert_allclose(prediction.to_vector(), expected.to_vector())
+
+    def test_intermediate_depth_validation(self):
+        with pytest.raises(ModelError):
+            HierarchicalParameterPredictor(1)
+
+    def test_target_not_greater_than_intermediate_raises(self, tiny_dataset):
+        predictor = HierarchicalParameterPredictor(2, "lm")
+        with pytest.raises(ModelError):
+            predictor.fit(tiny_dataset, target_depths=(2,))
+
+    def test_wrong_intermediate_parameters_raise(self, tiny_dataset):
+        predictor = HierarchicalParameterPredictor(2, "lm")
+        predictor.fit(tiny_dataset, target_depths=(3,))
+        record = tiny_dataset[0]
+        with pytest.raises(ModelError):
+            predictor.predict(0.5, 0.3, record.entry(3).parameters, 3)
+
+    def test_unfitted_depth_raises(self, tiny_dataset):
+        predictor = HierarchicalParameterPredictor(2, "lm")
+        predictor.fit(tiny_dataset, target_depths=(3,))
+        with pytest.raises(ModelError):
+            predictor.predict_for_record(tiny_dataset[0], 4)

@@ -1,0 +1,127 @@
+"""Tests for repro.quantum.circuit."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.parameter import Parameter
+from repro.quantum.simulator import StatevectorSimulator
+
+
+class TestInstruction:
+    def test_valid_instruction(self):
+        instruction = Instruction("rx", (0,), (0.5,))
+        assert instruction.name == "rx"
+        assert instruction.matrix().shape == (2, 2)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("foo", (0,))
+
+    def test_wrong_qubit_count_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (0,))
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(CircuitError):
+            Instruction("rx", (0,))
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(CircuitError):
+            Instruction("cx", (1, 1))
+
+    def test_free_parameters(self):
+        theta = Parameter("theta")
+        instruction = Instruction("rx", (0,), (theta,))
+        assert instruction.free_parameters == [theta]
+
+
+class TestCircuitConstruction:
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rx(0.3, 1)
+        assert circuit.size() == 3
+        assert circuit.count_ops() == {"h": 1, "cx": 1, "rx": 1}
+
+    def test_out_of_range_qubit_raises(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).h(2)
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_sequential_gates(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert circuit.depth() == 3
+
+    def test_two_qubit_gate_count(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cz(1, 2).h(0)
+        assert circuit.two_qubit_gate_count() == 2
+
+    def test_cnot_alias(self):
+        circuit = QuantumCircuit(2).cnot(0, 1)
+        assert circuit.count_ops() == {"cx": 1}
+
+
+class TestParameterBinding:
+    def test_parameters_in_order(self):
+        gamma, beta = Parameter("gamma"), Parameter("beta")
+        circuit = QuantumCircuit(1).rz(gamma, 0).rx(beta, 0).rz(gamma, 0)
+        assert circuit.parameters == [gamma, beta]
+        assert circuit.num_parameters == 2
+
+    def test_bind_with_sequence(self):
+        gamma = Parameter("gamma")
+        circuit = QuantumCircuit(1).rz(gamma, 0)
+        bound = circuit.bind([0.7])
+        assert bound.num_parameters == 0
+        assert bound.instructions[0].params == (0.7,)
+
+    def test_bind_with_mapping_and_expression(self):
+        gamma = Parameter("gamma")
+        circuit = QuantumCircuit(1).rz(2.0 * gamma, 0)
+        bound = circuit.bind({gamma: 0.5})
+        assert bound.instructions[0].params == (1.0,)
+
+    def test_bind_wrong_length_raises(self):
+        gamma = Parameter("gamma")
+        circuit = QuantumCircuit(1).rz(gamma, 0)
+        with pytest.raises(CircuitError):
+            circuit.bind([0.1, 0.2])
+
+    def test_bind_missing_parameter_raises(self):
+        gamma, beta = Parameter("gamma"), Parameter("beta")
+        circuit = QuantumCircuit(1).rz(gamma, 0).rx(beta, 0)
+        with pytest.raises(CircuitError):
+            circuit.bind({gamma: 0.1})
+
+
+class TestComposeAndInverse:
+    def test_compose_concatenates(self):
+        first = QuantumCircuit(2).h(0)
+        second = QuantumCircuit(2).cx(0, 1)
+        combined = first.compose(second)
+        assert combined.size() == 2
+        assert first.size() == 1
+
+    def test_compose_size_mismatch_raises(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).compose(QuantumCircuit(2))
+
+    def test_inverse_restores_initial_state(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rz(0.3, 1).rx(0.7, 0).s(1)
+        roundtrip = circuit.compose(circuit.inverse())
+        simulator = StatevectorSimulator()
+        final = simulator.run(roundtrip)
+        assert final.probability("00") == pytest.approx(1.0, abs=1e-10)
+
+    def test_inverse_with_free_parameters_raises(self):
+        gamma = Parameter("gamma")
+        circuit = QuantumCircuit(1).rz(gamma, 0)
+        with pytest.raises(CircuitError):
+            circuit.inverse()
+
+    def test_invalid_num_qubits(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)

@@ -1,0 +1,95 @@
+"""Tests for repro.quantum.gates."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import (
+    GATE_REGISTRY,
+    cnot_matrix,
+    gate_matrix,
+    h_matrix,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    rzz_matrix,
+    x_matrix,
+    y_matrix,
+    z_matrix,
+)
+
+
+def is_unitary(matrix: np.ndarray) -> bool:
+    return np.allclose(matrix @ matrix.conj().T, np.eye(matrix.shape[0]), atol=1e-10)
+
+
+class TestFixedGates:
+    @pytest.mark.parametrize("name", sorted(GATE_REGISTRY))
+    def test_all_registry_gates_are_unitary(self, name):
+        definition = GATE_REGISTRY[name]
+        params = [0.37] * definition.num_params
+        assert is_unitary(gate_matrix(name, *params))
+
+    def test_pauli_algebra(self):
+        x, y, z = x_matrix(), y_matrix(), z_matrix()
+        np.testing.assert_allclose(x @ y, 1j * z, atol=1e-12)
+        np.testing.assert_allclose(x @ x, np.eye(2), atol=1e-12)
+
+    def test_hadamard_maps_z_to_x(self):
+        h = h_matrix()
+        np.testing.assert_allclose(h @ z_matrix() @ h, x_matrix(), atol=1e-12)
+
+    def test_cnot_flips_target_when_control_set(self):
+        cnot = cnot_matrix()
+        state = np.zeros(4)
+        state[2] = 1.0  # |10> : control (first qubit) set
+        np.testing.assert_allclose(cnot @ state, [0, 0, 0, 1], atol=1e-12)
+
+    def test_cnot_leaves_control_clear_states(self):
+        cnot = cnot_matrix()
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        np.testing.assert_allclose(cnot @ state, state, atol=1e-12)
+
+
+class TestRotations:
+    def test_rx_pi_equals_minus_i_x(self):
+        np.testing.assert_allclose(rx_matrix(np.pi), -1j * x_matrix(), atol=1e-12)
+
+    def test_ry_pi_equals_minus_i_y(self):
+        np.testing.assert_allclose(ry_matrix(np.pi), -1j * y_matrix(), atol=1e-12)
+
+    def test_rz_pi_equals_minus_i_z(self):
+        np.testing.assert_allclose(rz_matrix(np.pi), -1j * z_matrix(), atol=1e-12)
+
+    def test_rotation_composition(self):
+        np.testing.assert_allclose(
+            rx_matrix(0.3) @ rx_matrix(0.4), rx_matrix(0.7), atol=1e-12
+        )
+
+    def test_zero_angle_is_identity(self):
+        for fn in (rx_matrix, ry_matrix, rz_matrix, rzz_matrix):
+            matrix = fn(0.0)
+            np.testing.assert_allclose(matrix, np.eye(matrix.shape[0]), atol=1e-12)
+
+    def test_rzz_is_diagonal(self):
+        matrix = rzz_matrix(0.7)
+        np.testing.assert_allclose(matrix, np.diag(np.diag(matrix)), atol=1e-12)
+
+
+class TestGateMatrixLookup:
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_matrix("not-a-gate")
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rx")
+        with pytest.raises(ValueError):
+            gate_matrix("h", 0.1)
+
+    def test_inverse_metadata_consistency(self):
+        s = GATE_REGISTRY["s"]
+        sdg = GATE_REGISTRY["sdg"]
+        np.testing.assert_allclose(
+            s.matrix_fn() @ sdg.matrix_fn(), np.eye(2), atol=1e-12
+        )

@@ -1,0 +1,108 @@
+"""Tests for repro.quantum.operators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.operators import PauliString, PauliSum
+from repro.quantum.statevector import Statevector
+
+
+class TestPauliString:
+    def test_invalid_label_raises(self):
+        with pytest.raises(SimulationError):
+            PauliString("AZ")
+        with pytest.raises(SimulationError):
+            PauliString("")
+
+    def test_is_diagonal(self):
+        assert PauliString("IZ").is_diagonal
+        assert not PauliString("XZ").is_diagonal
+
+    def test_z_diagonal_single_qubit(self):
+        np.testing.assert_allclose(PauliString("Z").z_diagonal(), [1.0, -1.0])
+
+    def test_z_diagonal_ordering_matches_statevector(self):
+        # Label "ZI" acts with Z on qubit 1 (the MSB of the basis index).
+        diag = PauliString("ZI").z_diagonal()
+        np.testing.assert_allclose(diag, [1.0, 1.0, -1.0, -1.0])
+
+    def test_z_diagonal_non_diagonal_raises(self):
+        with pytest.raises(SimulationError):
+            PauliString("X").z_diagonal()
+
+    def test_to_matrix_matches_diagonal(self):
+        pauli = PauliString("ZZ")
+        np.testing.assert_allclose(np.diag(pauli.to_matrix()).real, pauli.z_diagonal())
+
+    def test_expectation_on_basis_state(self):
+        state = Statevector.from_label("01")
+        assert PauliString("ZZ").expectation(state) == pytest.approx(-1.0)
+        assert PauliString("IZ").expectation(state) == pytest.approx(-1.0)
+        assert PauliString("ZI").expectation(state) == pytest.approx(1.0)
+
+    def test_expectation_x_on_plus_state(self):
+        state = Statevector.uniform_superposition(1)
+        assert PauliString("X").expectation(state) == pytest.approx(1.0)
+
+    def test_apply_size_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            PauliString("Z").apply(Statevector.zero_state(2))
+
+
+class TestPauliSum:
+    def test_add_term_and_len(self):
+        operator = PauliSum([(1.0, "ZZ"), (0.5, "IZ")])
+        assert len(operator) == 2
+        assert operator.num_qubits == 2
+
+    def test_mixed_sizes_raise(self):
+        operator = PauliSum([(1.0, "ZZ")])
+        with pytest.raises(SimulationError):
+            operator.add_term(1.0, "Z")
+
+    def test_empty_sum_has_no_qubits(self):
+        with pytest.raises(SimulationError):
+            PauliSum().num_qubits
+
+    def test_simplify_merges_terms(self):
+        operator = PauliSum([(1.0, "Z"), (2.0, "Z"), (1.0, "X"), (-1.0, "X")])
+        simplified = operator.simplify()
+        assert simplified.num_terms == 1
+        coefficient, pauli = simplified.terms[0]
+        assert coefficient == pytest.approx(3.0)
+        assert pauli.label == "Z"
+
+    def test_algebra(self):
+        a = PauliSum([(1.0, "Z")])
+        b = PauliSum([(2.0, "X")])
+        combined = (a + b) * 2.0
+        assert combined.num_terms == 2
+        assert {c for c, _ in combined.terms} == {2.0, 4.0}
+        negated = -a
+        assert negated.terms[0][0] == pytest.approx(-1.0)
+
+    def test_expectation_matches_dense_matrix(self, rng):
+        operator = PauliSum([(0.7, "ZZI"), (-0.3, "IXZ"), (0.2, "YIY")])
+        amplitudes = rng.normal(size=8) + 1j * rng.normal(size=8)
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = Statevector(amplitudes)
+        dense = operator.to_matrix()
+        expected = float(np.real(state.data.conj() @ dense @ state.data))
+        assert operator.expectation(state) == pytest.approx(expected, abs=1e-10)
+
+    def test_diagonal_expectation_path(self):
+        operator = PauliSum([(1.0, "ZZ"), (0.5, "II")])
+        state = Statevector.from_label("01")
+        assert operator.is_diagonal
+        assert operator.expectation(state) == pytest.approx(-0.5)
+
+    def test_eigenvalue_bounds(self):
+        operator = PauliSum([(1.0, "Z")])
+        assert operator.ground_state_energy() == pytest.approx(-1.0)
+        assert operator.max_eigenvalue() == pytest.approx(1.0)
+
+    def test_identity_constructor(self):
+        operator = PauliSum.identity(2, coefficient=3.0)
+        state = Statevector.uniform_superposition(2)
+        assert operator.expectation(state) == pytest.approx(3.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.quantum.parameter."""
+
+import pytest
+
+from repro.quantum.parameter import (
+    Parameter,
+    ParameterExpression,
+    ParameterVector,
+    bind_value,
+    parameters_of,
+)
+
+
+class TestParameter:
+    def test_name(self):
+        assert Parameter("gamma").name == "gamma"
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError):
+            Parameter("")
+
+    def test_identity_equality(self):
+        a, b = Parameter("x"), Parameter("x")
+        assert a == a
+        assert a != b
+
+    def test_multiplication_builds_expression(self):
+        p = Parameter("g")
+        expression = 2.0 * p
+        assert isinstance(expression, ParameterExpression)
+        assert expression.bind(3.0) == pytest.approx(6.0)
+
+    def test_negation_and_addition(self):
+        p = Parameter("g")
+        assert (-p).bind(2.0) == pytest.approx(-2.0)
+        assert (p + 1.0).bind(2.0) == pytest.approx(3.0)
+        assert (p - 1.0).bind(2.0) == pytest.approx(1.0)
+
+
+class TestParameterExpression:
+    def test_chained_arithmetic(self):
+        p = Parameter("g")
+        expression = (2.0 * p + 1.0) * 3.0
+        assert expression.bind(1.0) == pytest.approx(9.0)
+
+    def test_wraps_only_parameters(self):
+        with pytest.raises(TypeError):
+            ParameterExpression(3.0)
+
+
+class TestBindValue:
+    def test_bind_plain_number(self):
+        assert bind_value(1.5, {}) == 1.5
+
+    def test_bind_parameter(self):
+        p = Parameter("g")
+        assert bind_value(p, {p: 0.4}) == pytest.approx(0.4)
+
+    def test_bind_expression(self):
+        p = Parameter("g")
+        assert bind_value(2.0 * p, {p: 0.5}) == pytest.approx(1.0)
+
+    def test_missing_binding_raises(self):
+        p = Parameter("g")
+        with pytest.raises(KeyError):
+            bind_value(p, {})
+
+    def test_parameters_of(self):
+        p = Parameter("g")
+        assert parameters_of(p) == [p]
+        assert parameters_of(2.0 * p) == [p]
+        assert parameters_of(1.0) == []
+
+
+class TestParameterVector:
+    def test_length_and_names(self):
+        vector = ParameterVector("beta", 3)
+        assert len(vector) == 3
+        assert vector[1].name == "beta[1]"
+
+    def test_iteration(self):
+        vector = ParameterVector("gamma", 2)
+        assert [p.name for p in vector] == ["gamma[0]", "gamma[1]"]
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            ParameterVector("x", -1)

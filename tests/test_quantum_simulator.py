@@ -1,0 +1,91 @@
+"""Tests for repro.quantum.simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.operators import PauliSum
+from repro.quantum.parameter import Parameter
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.statevector import Statevector
+
+
+@pytest.fixture
+def simulator():
+    return StatevectorSimulator()
+
+
+class TestRun:
+    def test_empty_circuit_returns_zero_state(self, simulator):
+        state = simulator.run(QuantumCircuit(2))
+        assert state.probability("00") == pytest.approx(1.0)
+
+    def test_bell_state(self, simulator):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        state = simulator.run(circuit)
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[3] == pytest.approx(0.5)
+
+    def test_ghz_state(self, simulator):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        state = simulator.run(circuit)
+        assert state.probability("000") == pytest.approx(0.5)
+        assert state.probability("111") == pytest.approx(0.5)
+
+    def test_parametric_circuit_requires_values(self, simulator):
+        theta = Parameter("theta")
+        circuit = QuantumCircuit(1).rx(theta, 0)
+        with pytest.raises(SimulationError):
+            simulator.run(circuit)
+        state = simulator.run(circuit, [np.pi])
+        assert state.probability("1") == pytest.approx(1.0)
+
+    def test_initial_state(self, simulator):
+        circuit = QuantumCircuit(1).x(0)
+        state = simulator.run(circuit, initial_state=Statevector.from_label("1"))
+        assert state.probability("0") == pytest.approx(1.0)
+
+    def test_initial_state_size_mismatch(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.run(QuantumCircuit(2), initial_state=Statevector.zero_state(1))
+
+    def test_max_qubits_enforced(self):
+        simulator = StatevectorSimulator(max_qubits=2)
+        with pytest.raises(SimulationError):
+            simulator.run(QuantumCircuit(3))
+
+    def test_execution_counter(self, simulator):
+        simulator.run(QuantumCircuit(1).h(0))
+        simulator.run(QuantumCircuit(1).h(0))
+        assert simulator.executed_circuits == 2
+
+
+class TestExpectationAndSampling:
+    def test_expectation_of_z_after_x(self, simulator):
+        circuit = QuantumCircuit(1).x(0)
+        observable = PauliSum([(1.0, "Z")])
+        assert simulator.expectation(circuit, observable) == pytest.approx(-1.0)
+
+    def test_sampling_distribution(self, simulator):
+        circuit = QuantumCircuit(1).h(0)
+        counts = simulator.sample(circuit, shots=2000, rng=3)
+        assert set(counts) <= {"0", "1"}
+        assert abs(counts.get("0", 0) - 1000) < 150
+
+    def test_unitary_extraction(self, simulator):
+        circuit = QuantumCircuit(1).h(0)
+        unitary = simulator.unitary(circuit)
+        np.testing.assert_allclose(
+            unitary, np.array([[1, 1], [1, -1]]) / np.sqrt(2), atol=1e-12
+        )
+
+    def test_unitary_is_unitary_for_random_circuit(self, simulator, rng):
+        circuit = QuantumCircuit(2)
+        circuit.rx(rng.uniform(0, np.pi), 0).ry(rng.uniform(0, np.pi), 1).cx(0, 1)
+        circuit.rz(rng.uniform(0, np.pi), 0).cz(0, 1)
+        unitary = simulator.unitary(circuit)
+        np.testing.assert_allclose(
+            unitary @ unitary.conj().T, np.eye(4), atol=1e-10
+        )

@@ -1,0 +1,137 @@
+"""Tests for repro.quantum.statevector."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.gates import cnot_matrix, h_matrix, x_matrix
+from repro.quantum.statevector import Statevector, tensor_product
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        state = Statevector.zero_state(3)
+        assert state.num_qubits == 3
+        assert state.probability("000") == pytest.approx(1.0)
+
+    def test_from_label(self):
+        state = Statevector.from_label("10")
+        assert state.probability("10") == pytest.approx(1.0)
+        assert state.probability("01") == pytest.approx(0.0)
+
+    def test_uniform_superposition(self):
+        state = Statevector.uniform_superposition(2)
+        np.testing.assert_allclose(state.probabilities(), [0.25] * 4, atol=1e-12)
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(SimulationError):
+            Statevector([1.0, 0.0, 0.0])
+
+    def test_unnormalised_raises(self):
+        with pytest.raises(SimulationError):
+            Statevector([1.0, 1.0])
+
+    def test_invalid_label_raises(self):
+        with pytest.raises(SimulationError):
+            Statevector.from_label("2a")
+
+
+class TestGateApplication:
+    def test_x_flips_qubit(self):
+        state = Statevector.zero_state(2)
+        state.apply_matrix(x_matrix(), (0,))
+        assert state.probability("01") == pytest.approx(1.0)
+
+    def test_hadamard_then_cnot_gives_bell_state(self):
+        state = Statevector.zero_state(2)
+        state.apply_matrix(h_matrix(), (1,))
+        state.apply_matrix(cnot_matrix(), (1, 0))
+        probabilities = state.probabilities()
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[3] == pytest.approx(0.5)
+
+    def test_norm_preserved_by_unitaries(self):
+        state = Statevector.uniform_superposition(3)
+        state.apply_matrix(h_matrix(), (2,))
+        assert state.is_normalized()
+
+    def test_wrong_matrix_size_raises(self):
+        state = Statevector.zero_state(2)
+        with pytest.raises(SimulationError):
+            state.apply_matrix(np.eye(4), (0,))
+
+    def test_duplicate_qubits_raise(self):
+        state = Statevector.zero_state(2)
+        with pytest.raises(SimulationError):
+            state.apply_matrix(cnot_matrix(), (0, 0))
+
+    def test_apply_diagonal(self):
+        state = Statevector.uniform_superposition(1)
+        state.apply_diagonal(np.array([1.0, -1.0]))
+        assert state.data[1] == pytest.approx(-state.data[0])
+
+
+class TestMeasurementStatistics:
+    def test_probabilities_sum_to_one(self):
+        state = Statevector.uniform_superposition(4)
+        assert state.probabilities().sum() == pytest.approx(1.0)
+
+    def test_expectation_diagonal(self):
+        state = Statevector.from_label("1")
+        assert state.expectation_diagonal(np.array([0.0, 5.0])) == pytest.approx(5.0)
+
+    def test_sample_counts_total(self, rng):
+        state = Statevector.uniform_superposition(2)
+        counts = state.sample_counts(100, rng=rng)
+        assert sum(counts.values()) == 100
+        assert all(len(key) == 2 for key in counts)
+
+    def test_sample_deterministic_state(self, rng):
+        state = Statevector.from_label("101")
+        counts = state.sample_counts(50, rng=rng)
+        assert counts == {"101": 50}
+
+    def test_most_probable_bitstring(self):
+        assert Statevector.from_label("011").most_probable_bitstring() == "011"
+
+    def test_invalid_shots_raise(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(1).sample_counts(0)
+
+
+class TestInnerProductsAndCopies:
+    def test_inner_product_orthogonal(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_label("1")
+        assert a.inner(b) == pytest.approx(0.0)
+
+    def test_fidelity_self(self):
+        state = Statevector.uniform_superposition(2)
+        assert state.fidelity(state) == pytest.approx(1.0)
+
+    def test_equiv_up_to_global_phase(self):
+        state = Statevector.uniform_superposition(2)
+        phased = Statevector(state.data * np.exp(1j * 0.7), validate=False)
+        assert state.equiv(phased)
+        assert not (state == phased)
+
+    def test_copy_is_independent(self):
+        state = Statevector.zero_state(1)
+        clone = state.copy()
+        clone.apply_matrix(x_matrix(), (0,))
+        assert state.probability("0") == pytest.approx(1.0)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(1).inner(Statevector.zero_state(2))
+
+    def test_tensor_product(self):
+        combined = tensor_product(
+            Statevector.from_label("1"), Statevector.from_label("0")
+        )
+        assert combined.num_qubits == 2
+        assert combined.probability("10") == pytest.approx(1.0)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Statevector.zero_state(1))

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_optional_seed, ensure_rng, random_seed, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        first = ensure_rng(123).random(5)
+        second = ensure_rng(123).random(5)
+        np.testing.assert_allclose(first, second)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent_objects(self):
+        children = spawn_rngs(0, 3)
+        assert len({id(child) for child in children}) == 3
+
+    def test_deterministic_given_seed(self):
+        first = [g.random() for g in spawn_rngs(42, 4)]
+        second = [g.random() for g in spawn_rngs(42, 4)]
+        np.testing.assert_allclose(first, second)
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestHelpers:
+    def test_random_seed_range(self):
+        seed = random_seed(3)
+        assert 0 <= seed < 2**31
+
+    def test_as_optional_seed_int(self):
+        assert as_optional_seed(5) == 5
+
+    def test_as_optional_seed_none_for_generator(self):
+        assert as_optional_seed(np.random.default_rng(0)) is None
+        assert as_optional_seed(None) is None

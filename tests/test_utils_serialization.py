@@ -1,0 +1,34 @@
+"""Tests for repro.utils.serialization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import dumps_json, load_json, save_json
+
+
+class TestDumpsJson:
+    def test_handles_numpy_scalars(self):
+        text = dumps_json({"a": np.int64(3), "b": np.float64(1.5), "c": np.bool_(True)})
+        assert '"a": 3' in text
+        assert '"b": 1.5' in text
+        assert '"c": true' in text
+
+    def test_handles_numpy_arrays(self):
+        text = dumps_json({"v": np.array([1.0, 2.0])})
+        assert "[" in text and "2.0" in text
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            dumps_json({"x": object()})
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        payload = {"numbers": [1, 2, 3], "nested": {"pi": 3.14}}
+        path = save_json(payload, tmp_path / "sub" / "data.json")
+        assert path.exists()
+        assert load_json(path) == payload
+
+    def test_numpy_array_becomes_list(self, tmp_path):
+        path = save_json({"v": np.arange(3)}, tmp_path / "v.json")
+        assert load_json(path) == {"v": [0, 1, 2]}

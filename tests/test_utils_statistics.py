@@ -1,0 +1,83 @@
+"""Tests for repro.utils.statistics."""
+
+import numpy as np
+import pytest
+
+from repro.utils.statistics import (
+    mean_absolute_percentage_error,
+    pearson_correlation,
+    percentage_error,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.count == 4
+        assert stats.std == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_single_value(self):
+        stats = summarize([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_non_finite_raises(self):
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_gives_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_symmetry(self):
+        x = [1.0, 4.0, 2.0, 8.0]
+        y = [0.3, 1.1, 0.2, 2.0]
+        assert pearson_correlation(x, y) == pytest.approx(pearson_correlation(y, x))
+
+    def test_bounded(self, rng):
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        assert -1.0 <= pearson_correlation(x, y) <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1], [2])
+
+
+class TestPercentageError:
+    def test_relative_error(self):
+        assert percentage_error(1.1, 1.0) == pytest.approx(10.0)
+
+    def test_with_scale(self):
+        assert percentage_error(1.5, 1.0, scale=2.0) == pytest.approx(25.0)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            percentage_error(1.0, 0.0)
+
+    def test_mean_absolute_percentage_error(self):
+        value = mean_absolute_percentage_error([1.1, 0.9], [1.0, 1.0])
+        assert value == pytest.approx(10.0)
+
+    def test_mape_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])

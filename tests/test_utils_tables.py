@@ -1,0 +1,93 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import Table, from_records
+
+
+class TestTableConstruction:
+    def test_columns_preserved(self):
+        table = Table(["a", "b"])
+        assert table.columns == ["a", "b"]
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_duplicate_columns_raise(self):
+        with pytest.raises(ValueError):
+            Table(["a", "a"])
+
+
+class TestTableRows:
+    def test_add_and_read_rows(self):
+        table = Table(["name", "value"])
+        table.add_row(name="x", value=1)
+        table.add_row(name="y", value=2)
+        assert len(table) == 2
+        assert table.column("value") == [1, 2]
+
+    def test_missing_column_raises(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1)
+
+    def test_extra_column_raises(self):
+        table = Table(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(a=1, b=2)
+
+    def test_unknown_column_lookup_raises(self):
+        table = Table(["a"])
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_rows_are_copies(self):
+        table = Table(["a"])
+        table.add_row(a=1)
+        rows = table.rows
+        rows[0]["a"] = 99
+        assert table.column("a") == [1]
+
+    def test_sorted_by(self):
+        table = Table(["k", "v"])
+        table.add_row(k=2, v="b")
+        table.add_row(k=1, v="a")
+        ordered = table.sorted_by("k")
+        assert ordered.column("k") == [1, 2]
+        # original unchanged
+        assert table.column("k") == [2, 1]
+
+
+class TestRendering:
+    def test_to_text_contains_all_cells(self):
+        table = Table(["a", "b"])
+        table.add_row(a="x", b=1.23456)
+        text = table.to_text()
+        assert "x" in text
+        assert "1.2346" in text
+
+    def test_to_csv_roundtrip_header(self):
+        table = Table(["a", "b"])
+        table.add_row(a=1, b=2)
+        csv_text = table.to_csv()
+        assert csv_text.splitlines()[0] == "a,b"
+        assert "1,2" in csv_text
+
+    def test_to_text_empty_table(self):
+        table = Table(["only"])
+        assert "only" in table.to_text()
+
+
+class TestFromRecords:
+    def test_builds_table(self):
+        table = from_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert table.column("a") == [1, 3]
+
+    def test_explicit_columns_subset(self):
+        table = from_records([{"a": 1, "b": 2}], columns=["a"])
+        assert table.columns == ["a"]
+
+    def test_empty_records_raise(self):
+        with pytest.raises(ValueError):
+            from_records([])
