@@ -10,6 +10,13 @@ the authors' exact optimizer settings.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+CI exercises the same code paths on every PR through the ``--bench-smoke``
+option, which shrinks the shared configuration to the tiniest scale that
+still produces meaningful assertions (combine with ``--benchmark-disable``
+to skip timing repetitions)::
+
+    pytest benchmarks/ -q --bench-smoke --benchmark-disable
 """
 
 from __future__ import annotations
@@ -20,9 +27,40 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-smoke",
+        action="store_true",
+        default=False,
+        help="run the benchmark suite at minimal problem sizes (CI smoke mode)",
+    )
+
+
 @pytest.fixture(scope="session")
-def bench_config() -> ExperimentConfig:
+def bench_smoke(request) -> bool:
+    """Whether the harness runs in CI smoke mode."""
+    return bool(request.config.getoption("--bench-smoke"))
+
+
+@pytest.fixture(scope="session")
+def bench_config(bench_smoke) -> ExperimentConfig:
     """The scaled-down configuration shared by every benchmark."""
+    if bench_smoke:
+        return ExperimentConfig(
+            num_graphs=8,
+            num_nodes=8,
+            dataset_depths=(1, 2, 3),
+            dataset_restarts=2,
+            target_depths=(2, 3),
+            evaluation_optimizers=("L-BFGS-B", "COBYLA"),
+            naive_restarts=3,
+            num_test_graphs=3,
+            num_regular_graphs=2,
+            regular_depths=(1, 2, 3),
+            regular_restarts=2,
+            max_iterations=2000,
+            seed=2020,
+        )
     return ExperimentConfig(
         num_graphs=12,
         num_nodes=8,

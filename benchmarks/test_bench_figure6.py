@@ -3,7 +3,7 @@
 from repro.experiments.figure6 import run_figure6
 
 
-def test_bench_figure6(benchmark, bench_config, bench_context):
+def test_bench_figure6(benchmark, bench_config, bench_context, bench_smoke):
     result = benchmark.pedantic(
         lambda: run_figure6(bench_config, bench_context), rounds=1, iterations=1
     )
@@ -14,7 +14,10 @@ def test_bench_figure6(benchmark, bench_config, bench_context):
     depths = sorted(errors)
     # Paper shape: prediction error grows with the target depth
     # (5.7% -> 10.2% in the paper); allow slack for the reduced ensemble.
-    assert errors[depths[-1]] >= errors[depths[0]] * 0.8
+    # The trend is statistical — at --bench-smoke scale (a handful of test
+    # graphs) it is not reliable, so smoke mode only checks sanity bounds.
+    if not bench_smoke:
+        assert errors[depths[-1]] >= errors[depths[0]] * 0.8
     # Predictions must be far better than chance: the paper reports ~6-10%,
     # the reduced-scale reproduction should stay well under 60%.
     for depth in depths:

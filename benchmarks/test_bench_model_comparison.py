@@ -5,7 +5,7 @@ import numpy as np
 from repro.experiments.model_comparison import run_model_comparison
 
 
-def test_bench_model_comparison(benchmark, bench_config, bench_context):
+def test_bench_model_comparison(benchmark, bench_config, bench_context, bench_smoke):
     result = benchmark.pedantic(
         lambda: run_model_comparison(bench_config, bench_context), rounds=1, iterations=1
     )
@@ -20,6 +20,8 @@ def test_bench_model_comparison(benchmark, bench_config, bench_context):
         assert row["r2"] <= 1.0 + 1e-9
     # The paper selects GPR as its predictor; at reduced scale we only require
     # that GPR is competitive (within 50% of the best RMSE) rather than
-    # strictly the winner.
-    best_rmse = min(row["rmse"] for row in result.table)
-    assert result.metric("GPR", "rmse") <= 1.5 * best_rmse
+    # strictly the winner.  At --bench-smoke scale the training set is too
+    # small for the ranking to be meaningful, so smoke mode stops at sanity.
+    if not bench_smoke:
+        best_rmse = min(row["rmse"] for row in result.table)
+        assert result.metric("GPR", "rmse") <= 1.5 * best_rmse

@@ -11,7 +11,7 @@ best restart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -72,6 +72,7 @@ class NaiveQAOARunner:
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
         backend: str = "fast",
+        candidate_pool: Optional[int] = None,
         seed: RandomState = None,
     ):
         self._solver = QAOASolver(
@@ -80,6 +81,7 @@ class NaiveQAOARunner:
             tolerance=tolerance,
             max_iterations=max_iterations,
             backend=backend,
+            candidate_pool=candidate_pool,
             seed=seed,
         )
 

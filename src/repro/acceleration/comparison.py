@@ -10,14 +10,14 @@ percentage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Union
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from repro.config import DEFAULT_NUM_RESTARTS, DEFAULT_TOLERANCE
 from repro.exceptions import ConfigurationError
-from repro.acceleration.baseline import NaiveOutcome, NaiveQAOARunner
-from repro.acceleration.two_level import TwoLevelOutcome, TwoLevelQAOARunner
+from repro.acceleration.baseline import NaiveQAOARunner
+from repro.acceleration.two_level import TwoLevelQAOARunner
 from repro.graphs.maxcut import MaxCutProblem
 from repro.prediction.predictor import ParameterPredictor
 from repro.utils.rng import RandomState, ensure_rng
@@ -96,9 +96,15 @@ def compare_on_problem(
     tolerance: float = DEFAULT_TOLERANCE,
     max_iterations: int = 10000,
     backend: str = "fast",
+    candidate_pool: Optional[int] = None,
     seed: RandomState = None,
 ) -> ComparisonRecord:
-    """Measure the naive and two-level flows on one problem instance."""
+    """Measure the naive and two-level flows on one problem instance.
+
+    *candidate_pool* (optional) enables the solver's batched restart
+    screening for both flows; it is accounted for in the function-call
+    totals, so the comparison stays apples-to-apples.
+    """
     rng = ensure_rng(seed)
     naive_runner = NaiveQAOARunner(
         optimizer,
@@ -106,6 +112,7 @@ def compare_on_problem(
         tolerance=tolerance,
         max_iterations=max_iterations,
         backend=backend,
+        candidate_pool=candidate_pool,
         seed=rng,
     )
     two_level_runner = TwoLevelQAOARunner(
@@ -114,6 +121,7 @@ def compare_on_problem(
         tolerance=tolerance,
         max_iterations=max_iterations,
         backend=backend,
+        candidate_pool=candidate_pool,
         seed=rng,
     )
     naive = naive_runner.run(problem, target_depth)

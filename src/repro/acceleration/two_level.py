@@ -20,7 +20,7 @@ from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.prediction.pipeline import PredictorPipelineConfig, train_default_predictor
 from repro.prediction.predictor import ParameterPredictor
-from repro.qaoa.fast_backend import FastMaxCutEvaluator
+from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.parameters import QAOAParameters, canonicalize_for_graph
 from repro.qaoa.result import QAOAResult
 from repro.qaoa.solver import QAOASolver
@@ -81,6 +81,7 @@ class TwoLevelQAOARunner:
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
         backend: str = "fast",
+        candidate_pool: Optional[int] = None,
         seed: RandomState = None,
     ):
         if not predictor.is_fitted:
@@ -99,6 +100,7 @@ class TwoLevelQAOARunner:
             tolerance=tolerance,
             max_iterations=max_iterations,
             backend=backend,
+            candidate_pool=candidate_pool,
             seed=seed,
         )
 
@@ -161,9 +163,13 @@ class TwoLevelQAOARunner:
         )
         gamma1, beta1 = level1_canonical.gammas[0], level1_canonical.betas[0]
 
-        # Level 2: predict the target-depth angles and refine locally.
+        # Level 2: predict the target-depth angles and refine locally.  The
+        # diagnostic warm-start expectation goes through the same backend as
+        # the optimization loop so "circuit" runs stay circuit-level only.
         predicted = self._predictor.predict(gamma1, beta1, target_depth)
-        predicted_expectation = FastMaxCutEvaluator(problem).expectation(predicted)
+        predicted_expectation = ExpectationEvaluator(
+            problem, target_depth, backend=self._solver.backend
+        ).expectation(predicted.to_vector())
         level2 = self._solver.solve(
             problem, target_depth, initial_parameters=predicted, seed=seed
         )

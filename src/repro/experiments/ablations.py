@@ -16,15 +16,15 @@ Three ablations called out in DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
-from repro.graphs.maxcut import MaxCutProblem
 from repro.prediction.hierarchical import HierarchicalParameterPredictor
 from repro.prediction.predictor import ParameterPredictor
+from repro.qaoa.ensemble import EnsembleEvaluator
 from repro.qaoa.parameters import (
     interpolate_parameters,
     linear_ramp_parameters,
@@ -130,6 +130,67 @@ def run_initialization_ablation(
                 num_graphs=len(problems),
             )
     return InitializationAblationResult(table=table, config=config)
+
+
+@dataclass
+class WarmStartSweepResult:
+    """Pre-optimization quality of the shared linear-ramp warm start."""
+
+    table: Table
+    config: ExperimentConfig
+
+    def to_text(self) -> str:
+        """Plain-text rendering."""
+        return "\n".join(
+            [
+                "Sweep: linear-ramp warm-start AR across the test ensemble "
+                "(no refinement)",
+                self.table.to_text(),
+            ]
+        )
+
+    def mean_start_ar(self, depth: int) -> float:
+        """Mean pre-optimization AR of the ramp start at one depth."""
+        for row in self.table:
+            if row["p"] == depth:
+                return row["mean_start_ar"]
+        raise KeyError(depth)
+
+
+def run_linear_ramp_sweep(
+    config: ExperimentConfig = None,
+    context: ExperimentContext = None,
+    *,
+    max_workers: Optional[int] = None,
+) -> WarmStartSweepResult:
+    """Measure the raw (unrefined) linear-ramp start across the test graphs.
+
+    The ramp schedule depends only on the depth, so one angle set per depth
+    is fanned across the whole test ensemble through
+    :class:`~repro.qaoa.ensemble.EnsembleEvaluator` — a single batched sweep
+    per depth rather than a per-graph Python loop.  This isolates how much AR
+    the annealing-inspired start provides before any optimization, the
+    baseline against which the ML warm start's pre-refinement quality
+    (:attr:`TwoLevelOutcome.predicted_approximation_ratio`) is judged.
+    """
+    config = config or ExperimentConfig()
+    context = context or ExperimentContext(config)
+    problems = context.test_problems()
+
+    table = Table(["p", "mean_start_ar", "std_start_ar", "min_start_ar", "num_graphs"])
+    for depth in config.target_depths:
+        evaluator = EnsembleEvaluator(problems, depth, max_workers=max_workers)
+        ratios = evaluator.approximation_ratios(
+            linear_ramp_parameters(depth).to_vector()
+        )
+        table.add_row(
+            p=depth,
+            mean_start_ar=float(np.mean(ratios)),
+            std_start_ar=float(np.std(ratios)),
+            min_start_ar=float(np.min(ratios)),
+            num_graphs=len(problems),
+        )
+    return WarmStartSweepResult(table=table, config=config)
 
 
 @dataclass

@@ -12,8 +12,8 @@ Two presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from repro.config import (
     DEFAULT_EDGE_PROBABILITY,
@@ -56,6 +56,11 @@ class ExperimentConfig:
     num_regular_graphs: int = 4
     regular_depths: Tuple[int, ...] = (1, 2, 3, 4, 5)
     regular_restarts: int = 5
+
+    #: Process-pool width for the data-set generation step (``None`` = serial).
+    #: Purely a wall-clock knob: per-graph RNG spawning keeps the generated
+    #: records bit-identical to a serial run.
+    max_workers: Optional[int] = None
 
     # Reproducibility.
     seed: int = 2020

@@ -16,7 +16,6 @@ from repro.graphs.ensembles import GraphEnsemble, erdos_renyi_ensemble, regular_
 from repro.graphs.maxcut import MaxCutProblem
 from repro.prediction.dataset import DatasetGenerationConfig, TrainingDataset
 from repro.prediction.predictor import ParameterPredictor
-from repro.utils.rng import ensure_rng
 
 
 class ExperimentContext:
@@ -70,7 +69,10 @@ class ExperimentContext:
                 tolerance=self._config.tolerance,
             )
             self._dataset = TrainingDataset.generate(
-                self.ensemble(), generation, seed=self._config.seed + 2
+                self.ensemble(),
+                generation,
+                seed=self._config.seed + 2,
+                max_workers=self._config.max_workers,
             )
         return self._dataset
 

@@ -81,7 +81,10 @@ def run_figure2(
         tolerance=config.tolerance,
     )
     dataset = TrainingDataset.generate(
-        context.regular_graphs(), generation, seed=config.seed + 20
+        context.regular_graphs(),
+        generation,
+        seed=config.seed + 20,
+        max_workers=config.max_workers,
     )
 
     table = Table(["graph", "depth", "stage", "gamma_opt", "beta_opt"])

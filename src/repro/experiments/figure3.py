@@ -8,9 +8,8 @@ increases.  This is the correlation the ML predictor ultimately exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
-import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext

@@ -9,7 +9,7 @@ although :class:`~repro.graphs.model.Graph` interoperates with it.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

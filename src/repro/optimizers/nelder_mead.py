@@ -8,7 +8,6 @@ the same qualitative behaviour for the two-level flow to be credible as
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

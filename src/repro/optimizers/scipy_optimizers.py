@@ -9,7 +9,7 @@ it would on a real quantum processor.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 from scipy import optimize as scipy_optimize

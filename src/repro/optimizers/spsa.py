@@ -8,7 +8,6 @@ by the optimizer-agnosticism ablation bench.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -10,10 +10,10 @@ cost can be amortised across experiments.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.config import DATASET_DEPTHS, DEFAULT_NUM_RESTARTS, DEFAULT_TOLERANCE
 from repro.exceptions import DatasetError
@@ -149,6 +149,61 @@ class DatasetGenerationConfig:
             raise DatasetError(f"num_restarts must be >= 1, got {self.num_restarts}")
 
 
+def _generate_graph_record(
+    graph: Graph, config: "DatasetGenerationConfig", rng
+) -> GraphRecord:
+    """Optimize one graph at every configured depth (one unit of generation).
+
+    Top-level (rather than a closure) so :meth:`TrainingDataset.generate` can
+    ship it to a :class:`~concurrent.futures.ProcessPoolExecutor`; the
+    per-graph RNGs come from :func:`~repro.utils.rng.spawn_rngs`, so serial
+    and pooled runs produce identical records.
+    """
+    solver = QAOASolver(
+        config.optimizer,
+        num_restarts=config.num_restarts,
+        tolerance=config.tolerance,
+        backend=config.backend,
+    )
+    problem = MaxCutProblem(graph)
+    record = GraphRecord(graph=graph)
+    previous_parameters: Optional[QAOAParameters] = None
+    for depth in sorted(config.depths):
+        result = solver.solve(
+            problem, depth, num_restarts=config.num_restarts, seed=rng
+        )
+        total_calls = result.num_function_calls
+        best_parameters = result.optimal_parameters
+        best_expectation = result.optimal_expectation
+
+        if config.warm_seed_from_lower_depth and previous_parameters is not None:
+            warm_start = interpolate_parameters(previous_parameters, depth)
+            warm_result = solver.solve(
+                problem, depth, initial_parameters=warm_start, seed=rng
+            )
+            total_calls += warm_result.num_function_calls
+            # QAOA landscapes have exactly degenerate symmetric optima
+            # (see QAOAParameters.canonicalized); prefer the
+            # schedule-consistent warm-seeded optimum unless a random
+            # restart is *meaningfully* better, so that the recorded
+            # optima of one graph stay on the same parameter family
+            # across depths (the paper's Figs. 2-3 regularity).
+            if warm_result.optimal_expectation >= best_expectation - 1e-4:
+                best_parameters = warm_result.optimal_parameters
+                best_expectation = warm_result.optimal_expectation
+
+        canonical = canonicalize_for_graph(best_parameters, graph)
+        record.entries[depth] = DepthEntry(
+            depth=depth,
+            parameters=canonical,
+            expectation=best_expectation,
+            max_cut_value=result.max_cut_value,
+            num_function_calls=total_calls,
+        )
+        previous_parameters = canonical
+    return record
+
+
 class TrainingDataset:
     """A collection of :class:`GraphRecord` with generation provenance."""
 
@@ -172,64 +227,36 @@ class TrainingDataset:
         config: DatasetGenerationConfig = None,
         *,
         seed: RandomState = None,
+        max_workers: Optional[int] = None,
         progress_callback=None,
     ) -> "TrainingDataset":
         """Optimize every graph of *ensemble* at every configured depth.
 
         This is the paper's "one-time cost" data-generation step.  The
-        per-graph work is independent, so a *progress_callback(graph_index,
-        num_graphs)* hook is provided for long runs.
+        per-graph work is independent: with *max_workers* > 1 the graphs are
+        fanned over a :class:`~concurrent.futures.ProcessPoolExecutor`
+        (records are bit-identical to a serial run because every graph owns a
+        spawned RNG), and a *progress_callback(graph_index, num_graphs)* hook
+        is provided for long runs.
         """
         config = config or DatasetGenerationConfig()
-        solver = QAOASolver(
-            config.optimizer,
-            num_restarts=config.num_restarts,
-            tolerance=config.tolerance,
-            backend=config.backend,
-        )
+        graphs = list(ensemble)
+        rngs = spawn_rngs(seed, len(graphs))
         records: List[GraphRecord] = []
-        rngs = spawn_rngs(seed, len(ensemble))
-        sorted_depths = sorted(config.depths)
-        for index, (graph, rng) in enumerate(zip(ensemble, rngs)):
-            problem = MaxCutProblem(graph)
-            record = GraphRecord(graph=graph)
-            previous_parameters: Optional[QAOAParameters] = None
-            for depth in sorted_depths:
-                result = solver.solve(
-                    problem, depth, num_restarts=config.num_restarts, seed=rng
+        if max_workers is not None and max_workers > 1:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = pool.map(
+                    _generate_graph_record, graphs, [config] * len(graphs), rngs
                 )
-                total_calls = result.num_function_calls
-                best_parameters = result.optimal_parameters
-                best_expectation = result.optimal_expectation
-
-                if config.warm_seed_from_lower_depth and previous_parameters is not None:
-                    warm_start = interpolate_parameters(previous_parameters, depth)
-                    warm_result = solver.solve(
-                        problem, depth, initial_parameters=warm_start, seed=rng
-                    )
-                    total_calls += warm_result.num_function_calls
-                    # QAOA landscapes have exactly degenerate symmetric optima
-                    # (see QAOAParameters.canonicalized); prefer the
-                    # schedule-consistent warm-seeded optimum unless a random
-                    # restart is *meaningfully* better, so that the recorded
-                    # optima of one graph stay on the same parameter family
-                    # across depths (the paper's Figs. 2-3 regularity).
-                    if warm_result.optimal_expectation >= best_expectation - 1e-4:
-                        best_parameters = warm_result.optimal_parameters
-                        best_expectation = warm_result.optimal_expectation
-
-                canonical = canonicalize_for_graph(best_parameters, graph)
-                record.entries[depth] = DepthEntry(
-                    depth=depth,
-                    parameters=canonical,
-                    expectation=best_expectation,
-                    max_cut_value=result.max_cut_value,
-                    num_function_calls=total_calls,
-                )
-                previous_parameters = canonical
-            records.append(record)
-            if progress_callback is not None:
-                progress_callback(index + 1, len(ensemble))
+                for index, record in enumerate(futures):
+                    records.append(record)
+                    if progress_callback is not None:
+                        progress_callback(index + 1, len(graphs))
+        else:
+            for index, (graph, rng) in enumerate(zip(graphs, rngs)):
+                records.append(_generate_graph_record(graph, config, rng))
+                if progress_callback is not None:
+                    progress_callback(index + 1, len(graphs))
         return cls(records, config)
 
     # ------------------------------------------------------------------

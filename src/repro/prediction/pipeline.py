@@ -33,6 +33,9 @@ class PredictorPipelineConfig:
     tolerance: float = 1e-6
     model: str = "gpr"
     strategy: str = "pooled"
+    #: Process-pool width for the data-set generation step (``None`` = serial).
+    #: Results are identical either way; see :meth:`TrainingDataset.generate`.
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_graphs < 2:
@@ -63,7 +66,7 @@ def train_predictor_from_ensemble(
     """Generate a data-set from *ensemble* and fit a predictor on it."""
     config = config or PredictorPipelineConfig()
     dataset = TrainingDataset.generate(
-        ensemble, config.dataset_config(), seed=seed
+        ensemble, config.dataset_config(), seed=seed, max_workers=config.max_workers
     )
     predictor = ParameterPredictor(config.model, strategy=config.strategy)
     predictor.fit(dataset)

@@ -14,8 +14,8 @@ Two training strategies are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -29,7 +29,6 @@ from repro.prediction.features import (
     per_depth_training_rows,
     pooled_training_rows,
     response_vector,
-    two_level_feature_vector,
 )
 from repro.qaoa.parameters import QAOAParameters
 

@@ -9,8 +9,14 @@ from repro.qaoa.parameters import (
     random_parameters,
 )
 from repro.qaoa.circuit_builder import build_maxcut_qaoa_circuit, build_parametric_qaoa_circuit
-from repro.qaoa.fast_backend import FastMaxCutEvaluator
+from repro.qaoa.fast_backend import (
+    DenseMaxCutEvaluator,
+    FastMaxCutEvaluator,
+    fwht_inplace,
+    walsh_hadamard_matrix,
+)
 from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.ensemble import EnsembleEvaluator
 from repro.qaoa.result import QAOAResult, RestartRecord
 from repro.qaoa.solver import QAOASolver
 from repro.qaoa.landscape import depth_one_landscape
@@ -24,8 +30,12 @@ __all__ = [
     "canonicalize_for_graph",
     "build_maxcut_qaoa_circuit",
     "build_parametric_qaoa_circuit",
+    "DenseMaxCutEvaluator",
     "FastMaxCutEvaluator",
+    "fwht_inplace",
+    "walsh_hadamard_matrix",
     "ExpectationEvaluator",
+    "EnsembleEvaluator",
     "QAOAResult",
     "RestartRecord",
     "QAOASolver",

@@ -12,7 +12,7 @@ uniform superposition, then each of the ``p`` stages applies
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.graphs.maxcut import MaxCutProblem

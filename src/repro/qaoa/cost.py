@@ -109,6 +109,33 @@ class ExpectationEvaluator:
         circuit = build_maxcut_qaoa_circuit(self._problem, parameters)
         return self._simulator.expectation(circuit, self._hamiltonian)
 
+    def expectation_batch(self, params_matrix) -> np.ndarray:
+        """Cost expectations for a whole ``(batch, 2p)`` matrix of angle sets.
+
+        The fast backend evolves all columns through one vectorized FWHT pass
+        (see :meth:`FastMaxCutEvaluator.expectation_batch`); the circuit
+        backend falls back to a per-row loop, so the two backends stay
+        interchangeable for consumers such as the landscape scan and the
+        solver's restart screening.
+        """
+        matrix = np.asarray(params_matrix, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2 or (matrix.size and matrix.shape[1] != self.num_parameters):
+            raise ConfigurationError(
+                f"expected a (batch, {self.num_parameters}) parameter matrix for "
+                f"depth {self._depth}, got shape {matrix.shape}"
+            )
+        self._num_evaluations += matrix.shape[0]
+        if self._backend == "fast":
+            return self._fast.expectation_batch(matrix)
+        values = np.empty(matrix.shape[0], dtype=float)
+        for index, row in enumerate(matrix):
+            parameters = QAOAParameters.from_vector(row)
+            circuit = build_maxcut_qaoa_circuit(self._problem, parameters)
+            values[index] = self._simulator.expectation(circuit, self._hamiltonian)
+        return values
+
     def negative_expectation(self, vector: Sequence[float]) -> float:
         """The minimization objective handed to the classical optimizer."""
         return -self.expectation(vector)

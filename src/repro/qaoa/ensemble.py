@@ -1,0 +1,149 @@
+"""Ensemble-level QAOA evaluation: one set of angles, many graphs.
+
+The training-set generation in :mod:`repro.prediction` and the sweeps in
+:mod:`repro.experiments` repeatedly ask the same question for every graph of
+an ensemble — "what is the cost expectation of these angles on this
+instance?".  :class:`EnsembleEvaluator` owns one
+:class:`~repro.qaoa.cost.ExpectationEvaluator` per problem and fans a
+parameter set (or a whole batch of parameter sets) across all of them,
+optionally through a :mod:`concurrent.futures` process pool for large
+ensembles or qubit counts where per-problem evaluation dominates.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.graphs.maxcut import MaxCutProblem
+from repro.graphs.model import Graph
+from repro.qaoa.cost import ExpectationEvaluator
+
+
+def _evaluate_batch_worker(graph_payload: dict, depth: int, backend: str, matrix) -> np.ndarray:
+    """Process-pool worker: rebuild the problem and evaluate one batch."""
+    problem = MaxCutProblem(Graph.from_dict(graph_payload))
+    evaluator = ExpectationEvaluator(problem, depth, backend=backend)
+    return evaluator.expectation_batch(matrix)
+
+
+class EnsembleEvaluator:
+    """Evaluate cost expectations of shared angle sets over many problems."""
+
+    def __init__(
+        self,
+        problems: Sequence[Union[MaxCutProblem, Graph]],
+        depth: int,
+        *,
+        backend: str = "fast",
+        max_workers: Optional[int] = None,
+    ):
+        problems = [
+            problem if isinstance(problem, MaxCutProblem) else MaxCutProblem(problem)
+            for problem in problems
+        ]
+        if not problems:
+            raise ConfigurationError("EnsembleEvaluator needs at least one problem")
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self._problems: List[MaxCutProblem] = problems
+        self._depth = int(depth)
+        self._backend = backend
+        self._max_workers = max_workers
+        # Per-problem evaluators, built lazily (the pool path never needs them
+        # in the parent process).
+        self._evaluators: Optional[List[ExpectationEvaluator]] = None
+        # Validate depth/backend eagerly so configuration errors surface here.
+        self._evaluator_for(0)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def problems(self) -> List[MaxCutProblem]:
+        """The problem instances (copy of the list)."""
+        return list(self._problems)
+
+    @property
+    def num_problems(self) -> int:
+        """Number of graph instances fanned over."""
+        return len(self._problems)
+
+    @property
+    def depth(self) -> int:
+        """QAOA depth shared by every per-problem evaluator."""
+        return self._depth
+
+    @property
+    def backend(self) -> str:
+        """Expectation backend name (``"fast"`` or ``"circuit"``)."""
+        return self._backend
+
+    def _evaluator_for(self, index: int) -> ExpectationEvaluator:
+        if self._evaluators is None:
+            self._evaluators = [None] * len(self._problems)
+        if self._evaluators[index] is None:
+            self._evaluators[index] = ExpectationEvaluator(
+                self._problems[index], self._depth, backend=self._backend
+            )
+        return self._evaluators[index]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def expectation_batch(self, params_matrix) -> np.ndarray:
+        """Expectations of every (problem, angle-set) pair.
+
+        *params_matrix* is a ``(batch, 2p)`` matrix (or sequence of parameter
+        vectors); the result has shape ``(num_problems, batch)``.  With
+        ``max_workers`` set, problems are distributed over a process pool —
+        worthwhile once per-problem batches are expensive (many qubits or a
+        large batch), since each worker re-derives the cost diagonal.
+        """
+        matrix = np.asarray(params_matrix, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if self._max_workers is not None and self._max_workers > 1:
+            payloads = [problem.graph.to_dict() for problem in self._problems]
+            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+                rows = list(
+                    pool.map(
+                        _evaluate_batch_worker,
+                        payloads,
+                        [self._depth] * len(payloads),
+                        [self._backend] * len(payloads),
+                        [matrix] * len(payloads),
+                    )
+                )
+        else:
+            rows = [
+                self._evaluator_for(index).expectation_batch(matrix)
+                for index in range(len(self._problems))
+            ]
+        return np.vstack(rows)
+
+    def expectation(self, vector) -> np.ndarray:
+        """Expectation of one angle set on every problem, shape ``(num_problems,)``."""
+        return self.expectation_batch(np.asarray(vector, dtype=float).reshape(1, -1))[:, 0]
+
+    def approximation_ratios(self, vector) -> np.ndarray:
+        """Approximation ratio of one angle set on every problem."""
+        expectations = self.expectation(vector)
+        optima = np.array([problem.max_cut_value() for problem in self._problems])
+        return expectations / optima
+
+    def mean_expectation(self, vector) -> float:
+        """Ensemble-mean expectation of one angle set (scalar objective)."""
+        return float(self.expectation(vector).mean())
+
+    def __len__(self) -> int:
+        return len(self._problems)
+
+    def __repr__(self) -> str:
+        return (
+            f"EnsembleEvaluator(num_problems={self.num_problems}, depth={self._depth}, "
+            f"backend={self._backend!r}, max_workers={self._max_workers})"
+        )

@@ -49,12 +49,13 @@ def depth_one_landscape(
     evaluator = FastMaxCutEvaluator(problem)
     gamma_values = np.linspace(0.0, GAMMA_MAX, gamma_resolution, endpoint=False)
     beta_values = np.linspace(0.0, BETA_MAX, beta_resolution, endpoint=False)
-    expectations = np.zeros((gamma_resolution, beta_resolution))
-    for i, gamma in enumerate(gamma_values):
-        for j, beta in enumerate(beta_values):
-            expectations[i, j] = evaluator.expectation(
-                QAOAParameters((float(gamma),), (float(beta),))
-            )
+    # The whole grid is one (R*C, 2) parameter batch: every grid point rides
+    # the same vectorized FWHT sweep instead of R*C scalar evaluations.
+    gamma_grid, beta_grid = np.meshgrid(gamma_values, beta_values, indexing="ij")
+    batch = np.column_stack([gamma_grid.ravel(), beta_grid.ravel()])
+    expectations = evaluator.expectation_batch(batch).reshape(
+        gamma_resolution, beta_resolution
+    )
     best_index = np.unravel_index(np.argmax(expectations), expectations.shape)
     best_parameters = QAOAParameters(
         (float(gamma_values[best_index[0]]),), (float(beta_values[best_index[1]]),)

@@ -46,6 +46,15 @@ class QAOASolver:
         When true, the angle domain ``gamma in [0, 2*pi]``, ``beta in [0, pi]``
         is also enforced during optimization (the paper restricts only the
         random initialization, which is the default behaviour here).
+    candidate_pool:
+        When set to a value larger than the restart count, random
+        initialization draws that many candidate angle sets, scores them all
+        in **one** batched expectation evaluation
+        (:meth:`~repro.qaoa.cost.ExpectationEvaluator.expectation_batch`),
+        and only the best ``num_restarts`` starts enter the (expensive)
+        optimization loop.  ``None`` (default) keeps the classic behaviour —
+        every random start is optimized — so fixed-seed results are unchanged
+        unless screening is explicitly requested.
     """
 
     def __init__(
@@ -57,10 +66,15 @@ class QAOASolver:
         max_iterations: int = 10000,
         backend: str = "fast",
         use_bounds: bool = False,
+        candidate_pool: Optional[int] = None,
         seed: RandomState = None,
     ):
         if num_restarts < 1:
             raise ConfigurationError(f"num_restarts must be >= 1, got {num_restarts}")
+        if candidate_pool is not None and candidate_pool < 1:
+            raise ConfigurationError(
+                f"candidate_pool must be >= 1, got {candidate_pool}"
+            )
         if isinstance(optimizer, Optimizer):
             self._optimizer = optimizer
         else:
@@ -70,6 +84,7 @@ class QAOASolver:
         self._num_restarts = int(num_restarts)
         self._backend = backend
         self._use_bounds = bool(use_bounds)
+        self._candidate_pool = None if candidate_pool is None else int(candidate_pool)
         self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------
@@ -90,6 +105,11 @@ class QAOASolver:
         """Expectation-evaluation backend name."""
         return self._backend
 
+    @property
+    def candidate_pool(self) -> Optional[int]:
+        """Size of the batched start-screening pool (``None`` = no screening)."""
+        return self._candidate_pool
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -100,6 +120,7 @@ class QAOASolver:
         *,
         initial_parameters: InitialParameters = None,
         num_restarts: Optional[int] = None,
+        candidate_pool: Optional[int] = None,
         seed: RandomState = None,
     ) -> QAOAResult:
         """Optimize a depth-*depth* QAOA instance of *problem*.
@@ -107,11 +128,15 @@ class QAOASolver:
         When *initial_parameters* is provided the loop starts exactly there
         (single run, ``initialization="warm"`` in the result); otherwise
         *num_restarts* random initializations are optimized independently and
-        the best restart is reported as the optimum.
+        the best restart is reported as the optimum.  A *candidate_pool*
+        larger than the restart count turns on batched start screening (see
+        the class docstring); the screening evaluations are included in the
+        reported function-call count.
         """
         evaluator = ExpectationEvaluator(problem, depth, backend=self._backend)
         rng = ensure_rng(seed) if seed is not None else self._rng
         bounds = parameter_bounds(depth) if self._use_bounds else None
+        screening_calls = 0
 
         if initial_parameters is not None:
             starts = [self._coerce_parameters(initial_parameters, depth)]
@@ -120,8 +145,19 @@ class QAOASolver:
             restarts = num_restarts if num_restarts is not None else self._num_restarts
             if restarts < 1:
                 raise ConfigurationError(f"num_restarts must be >= 1, got {restarts}")
-            starts = [random_parameters(depth, rng) for _ in range(restarts)]
-            initialization = "random"
+            pool = candidate_pool if candidate_pool is not None else self._candidate_pool
+            if pool is not None and pool > restarts:
+                candidates = [random_parameters(depth, rng) for _ in range(pool)]
+                scores = evaluator.expectation_batch(
+                    np.array([candidate.to_vector() for candidate in candidates])
+                )
+                screening_calls = len(candidates)
+                keep = np.argsort(scores)[::-1][:restarts]
+                starts = [candidates[index] for index in keep]
+                initialization = "screened"
+            else:
+                starts = [random_parameters(depth, rng) for _ in range(restarts)]
+                initialization = "random"
 
         records = []
         best_record: Optional[RestartRecord] = None
@@ -131,7 +167,9 @@ class QAOASolver:
             if best_record is None or record.optimal_expectation > best_record.optimal_expectation:
                 best_record = record
 
-        total_calls = int(sum(record.num_function_calls for record in records))
+        total_calls = screening_calls + int(
+            sum(record.num_function_calls for record in records)
+        )
         return QAOAResult(
             problem_name=problem.name,
             depth=depth,

@@ -10,19 +10,13 @@ circuits are bound to concrete angles with :meth:`QuantumCircuit.bind`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import CircuitError
 from repro.quantum.gates import GATE_REGISTRY, gate_matrix
-from repro.quantum.parameter import (
-    Parameter,
-    ParameterExpression,
-    ParameterLike,
-    bind_value,
-    parameters_of,
-)
+from repro.quantum.parameter import Parameter, ParameterLike, bind_value, parameters_of
 from repro.utils.validation import check_positive_int
 
 Number = Union[int, float]

@@ -10,7 +10,7 @@ bit-twiddling in the MaxCut code straightforward.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -198,12 +198,14 @@ class Statevector:
         probabilities = self.probabilities()
         probabilities = probabilities / probabilities.sum()
         outcomes = generator.choice(self.dim, size=shots, p=probabilities)
-        counts: Dict[str, int] = {}
+        # Aggregate in numpy instead of a per-shot Python loop: at high shot
+        # counts only the number of *distinct* outcomes costs Python time.
+        values, multiplicities = np.unique(outcomes, return_counts=True)
         width = self._num_qubits
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{width}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return {
+            format(int(value), f"0{width}b"): int(count)
+            for value, count in zip(values, multiplicities)
+        }
 
     def most_probable_bitstring(self) -> str:
         """The basis state with the largest probability (MSB first)."""

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.acceleration.baseline import NaiveQAOARunner
-from repro.acceleration.comparison import (
-    ComparisonRecord,
-    aggregate_records,
-    compare_on_problem,
-)
+from repro.acceleration.comparison import aggregate_records, compare_on_problem
 from repro.acceleration.two_level import TwoLevelQAOARunner
 from repro.exceptions import ConfigurationError
 from repro.graphs.maxcut import MaxCutProblem

@@ -5,8 +5,6 @@ import pytest
 
 from repro.exceptions import GraphError
 from repro.graphs.ising import IsingModel, maxcut_qubo, maxcut_to_ising, qubo_to_ising
-from repro.graphs.maxcut import MaxCutProblem
-from repro.graphs.model import Graph
 
 
 class TestIsingModel:

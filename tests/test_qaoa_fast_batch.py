@@ -1,0 +1,260 @@
+"""Tests for the FWHT evaluation engine: butterflies, batching, ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.ensemble import EnsembleEvaluator
+from repro.qaoa.fast_backend import (
+    DenseMaxCutEvaluator,
+    FastMaxCutEvaluator,
+    fwht_inplace,
+    walsh_hadamard_matrix,
+)
+from repro.qaoa.landscape import depth_one_landscape
+from repro.qaoa.parameters import QAOAParameters, random_parameters
+from repro.qaoa.solver import QAOASolver
+
+
+class TestFWHT:
+    @pytest.mark.parametrize("num_qubits", range(1, 11))
+    def test_matches_dense_matrix_on_random_states(self, num_qubits, rng):
+        dim = 2**num_qubits
+        state = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        dense = walsh_hadamard_matrix(num_qubits) @ state
+        butterfly = fwht_inplace(state.copy()) / np.sqrt(dim)
+        np.testing.assert_allclose(butterfly, dense, atol=1e-10)
+
+    def test_transforms_batch_columns_independently(self, rng):
+        dim, batch = 64, 7
+        matrix = rng.normal(size=(dim, batch)) + 1j * rng.normal(size=(dim, batch))
+        expected = np.column_stack(
+            [fwht_inplace(matrix[:, j].copy()) for j in range(batch)]
+        )
+        np.testing.assert_allclose(fwht_inplace(matrix.copy()), expected, atol=1e-10)
+
+    def test_is_an_involution_up_to_scale(self, rng):
+        state = rng.normal(size=32)
+        twice = fwht_inplace(fwht_inplace(state.copy()))
+        np.testing.assert_allclose(twice, 32 * state, atol=1e-10)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            fwht_inplace(np.zeros(12))
+
+    def test_reuses_caller_scratch(self, rng):
+        state = rng.normal(size=16)
+        scratch = np.empty(8)
+        np.testing.assert_allclose(
+            fwht_inplace(state.copy(), scratch), fwht_inplace(state.copy()), atol=1e-12
+        )
+
+
+class TestFastAgainstDenseOracle:
+    @pytest.mark.parametrize("num_nodes", [4, 7, 10])
+    def test_statevector_matches_dense(self, num_nodes, rng):
+        problem = MaxCutProblem(erdos_renyi_graph(num_nodes, 0.5, seed=num_nodes))
+        fast = FastMaxCutEvaluator(problem)
+        dense = DenseMaxCutEvaluator(problem)
+        for _ in range(3):
+            parameters = random_parameters(2, rng)
+            np.testing.assert_allclose(
+                fast.statevector(parameters).data,
+                dense.statevector(parameters).data,
+                atol=1e-10,
+            )
+
+    def test_expectation_matches_dense(self, small_problem, rng):
+        fast = FastMaxCutEvaluator(small_problem)
+        dense = DenseMaxCutEvaluator(small_problem)
+        for depth in (1, 3):
+            parameters = random_parameters(depth, rng)
+            assert fast.expectation(parameters) == pytest.approx(
+                dense.expectation(parameters), abs=1e-10
+            )
+
+    def test_no_dense_matrix_attribute(self, small_problem):
+        # The FWHT evaluator must never materialise the 2^n x 2^n transform.
+        evaluator = FastMaxCutEvaluator(small_problem)
+        held = [
+            value
+            for value in vars(evaluator).values()
+            if isinstance(value, np.ndarray)
+        ]
+        assert all(array.ndim == 1 for array in held)
+        assert all(array.size <= evaluator.dim for array in held)
+
+    def test_dense_oracle_refuses_oversized_problems(self):
+        problem = MaxCutProblem(erdos_renyi_graph(16, 0.2, seed=0))
+        with pytest.raises(SimulationError):
+            DenseMaxCutEvaluator(problem)
+
+    def test_fast_ceiling_is_raised(self, small_problem):
+        # Construction succeeds with the new default ceiling; the old dense
+        # backend capped out at 20 with max_qubits and ~14 in practice.
+        assert FastMaxCutEvaluator(small_problem, max_qubits=26) is not None
+
+
+class TestExpectationBatch:
+    def test_matches_looped_scalar_calls(self, small_problem, rng):
+        evaluator = FastMaxCutEvaluator(small_problem)
+        matrix = np.array([random_parameters(3, rng).to_vector() for _ in range(9)])
+        batch = evaluator.expectation_batch(matrix)
+        scalars = np.array([evaluator.expectation(row) for row in matrix])
+        np.testing.assert_allclose(batch, scalars, atol=1e-12)
+
+    def test_accepts_parameter_objects(self, triangle_problem, rng):
+        evaluator = FastMaxCutEvaluator(triangle_problem)
+        params = [random_parameters(2, rng) for _ in range(4)]
+        batch = evaluator.expectation_batch(params)
+        scalars = [evaluator.expectation(p) for p in params]
+        np.testing.assert_allclose(batch, scalars, atol=1e-12)
+
+    def test_counts_evaluations(self, triangle_problem, rng):
+        evaluator = FastMaxCutEvaluator(triangle_problem)
+        evaluator.expectation_batch(
+            np.array([random_parameters(1, rng).to_vector() for _ in range(5)])
+        )
+        assert evaluator.num_evaluations == 5
+
+    def test_empty_batch(self, triangle_problem):
+        evaluator = FastMaxCutEvaluator(triangle_problem)
+        assert evaluator.expectation_batch(np.zeros((0, 2))).shape == (0,)
+
+    def test_statevector_batch_columns_are_states(self, small_problem, rng):
+        evaluator = FastMaxCutEvaluator(small_problem)
+        matrix = np.array([random_parameters(2, rng).to_vector() for _ in range(3)])
+        columns = evaluator.statevector_batch(matrix)
+        norms = np.linalg.norm(columns, axis=0)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-10)
+
+    def test_mixed_depth_batch_rejected(self, triangle_problem, rng):
+        evaluator = FastMaxCutEvaluator(triangle_problem)
+        with pytest.raises(SimulationError):
+            evaluator.expectation_batch(
+                [random_parameters(1, rng), random_parameters(2, rng)]
+            )
+
+    def test_cost_evaluator_batch_both_backends_agree(self, triangle_problem, rng):
+        matrix = np.array([random_parameters(2, rng).to_vector() for _ in range(3)])
+        fast = ExpectationEvaluator(triangle_problem, 2, backend="fast")
+        circuit = ExpectationEvaluator(triangle_problem, 2, backend="circuit")
+        np.testing.assert_allclose(
+            fast.expectation_batch(matrix),
+            circuit.expectation_batch(matrix),
+            atol=1e-9,
+        )
+        assert fast.num_evaluations == 3
+        assert circuit.num_evaluations == 3
+
+    def test_cost_evaluator_batch_validates_width(self, triangle_problem):
+        evaluator = ExpectationEvaluator(triangle_problem, 2, backend="fast")
+        with pytest.raises(ConfigurationError):
+            evaluator.expectation_batch(np.zeros((2, 3)))
+
+
+class TestSolverRewire:
+    def test_results_identical_at_fixed_seed(self, small_problem):
+        # The batched engine must not change the default optimization flow.
+        first = QAOASolver("L-BFGS-B", num_restarts=3, seed=11).solve(small_problem, 2)
+        second = QAOASolver("L-BFGS-B", num_restarts=3, seed=11).solve(small_problem, 2)
+        assert first.optimal_expectation == second.optimal_expectation
+        assert first.optimal_parameters == second.optimal_parameters
+        assert first.num_function_calls == second.num_function_calls
+        assert first.initialization == "random"
+
+    def test_candidate_pool_screens_starts(self, small_problem):
+        solver = QAOASolver("L-BFGS-B", num_restarts=2, candidate_pool=12, seed=4)
+        result = solver.solve(small_problem, 2)
+        assert result.initialization == "screened"
+        assert result.num_restarts == 2
+        # Screening evaluations are charged to the function-call budget.
+        assert result.num_function_calls >= 12 + sum(
+            record.num_function_calls for record in result.restarts
+        )
+
+    def test_candidate_pool_finds_no_worse_optimum(self, small_problem):
+        plain = QAOASolver("L-BFGS-B", num_restarts=2, seed=8).solve(small_problem, 2)
+        screened = QAOASolver(
+            "L-BFGS-B", num_restarts=2, candidate_pool=16, seed=8
+        ).solve(small_problem, 2)
+        assert screened.optimal_expectation >= plain.optimal_expectation - 0.1
+
+    def test_invalid_candidate_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QAOASolver("L-BFGS-B", candidate_pool=0)
+
+    def test_landscape_matches_scalar_scan(self, triangle_problem):
+        scan = depth_one_landscape(triangle_problem, gamma_resolution=6, beta_resolution=5)
+        evaluator = FastMaxCutEvaluator(triangle_problem)
+        for i, gamma in enumerate(scan.gamma_values):
+            for j, beta in enumerate(scan.beta_values):
+                assert scan.expectations[i, j] == pytest.approx(
+                    evaluator.expectation(
+                        QAOAParameters((float(gamma),), (float(beta),))
+                    ),
+                    abs=1e-12,
+                )
+
+
+class TestEnsembleEvaluator:
+    @pytest.fixture(scope="class")
+    def problems(self):
+        return [
+            MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=seed)) for seed in range(4)
+        ]
+
+    def test_fans_vector_across_problems(self, problems, rng):
+        evaluator = EnsembleEvaluator(problems, 2)
+        vector = random_parameters(2, rng).to_vector()
+        values = evaluator.expectation(vector)
+        assert values.shape == (4,)
+        for problem, value in zip(problems, values):
+            expected = FastMaxCutEvaluator(problem).expectation(vector)
+            assert value == pytest.approx(expected, abs=1e-12)
+
+    def test_batch_shape(self, problems, rng):
+        evaluator = EnsembleEvaluator(problems, 2)
+        matrix = np.array([random_parameters(2, rng).to_vector() for _ in range(5)])
+        assert evaluator.expectation_batch(matrix).shape == (4, 5)
+
+    def test_process_pool_matches_serial(self, problems, rng):
+        matrix = np.array([random_parameters(2, rng).to_vector() for _ in range(3)])
+        serial = EnsembleEvaluator(problems, 2).expectation_batch(matrix)
+        pooled = EnsembleEvaluator(problems, 2, max_workers=2).expectation_batch(matrix)
+        np.testing.assert_allclose(serial, pooled, atol=1e-12)
+
+    def test_approximation_ratios_bounded(self, problems, rng):
+        evaluator = EnsembleEvaluator(problems, 1)
+        ratios = evaluator.approximation_ratios(random_parameters(1, rng).to_vector())
+        assert np.all(ratios >= 0.0) and np.all(ratios <= 1.0 + 1e-9)
+
+    def test_accepts_graphs(self, rng):
+        graphs = [erdos_renyi_graph(5, 0.5, seed=s) for s in range(2)]
+        evaluator = EnsembleEvaluator(graphs, 1)
+        assert evaluator.num_problems == 2
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleEvaluator([], 1)
+
+
+class TestSampleCountsVectorized:
+    def test_counts_sum_to_shots(self, small_problem, rng):
+        state = FastMaxCutEvaluator(small_problem).statevector(
+            random_parameters(1, rng)
+        )
+        counts = state.sample_counts(500, rng=rng)
+        assert sum(counts.values()) == 500
+        assert all(len(key) == small_problem.num_qubits for key in counts)
+
+    def test_deterministic_given_seeded_rng(self, small_problem):
+        state = FastMaxCutEvaluator(small_problem).statevector(
+            QAOAParameters((0.4,), (0.3,))
+        )
+        first = state.sample_counts(200, rng=np.random.default_rng(42))
+        second = state.sample_counts(200, rng=np.random.default_rng(42))
+        assert first == second

@@ -1,6 +1,5 @@
 """Tests for repro.quantum.circuit."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import CircuitError
