@@ -41,9 +41,14 @@ def build_parametric_qaoa_circuit(
 ) -> Tuple[QuantumCircuit, ParameterVector, ParameterVector]:
     """Build a symbolic QAOA circuit; returns ``(circuit, gammas, betas)``.
 
-    The returned parameter vectors can be bound later via
-    :meth:`QuantumCircuit.bind` with the concatenation
-    ``list(gammas) + list(betas)`` as the ordering.
+    The returned parameter vectors can be bound later through
+    :meth:`QuantumCircuit.bind` with a ``{parameter: value}`` mapping built
+    from *gammas* and *betas*.  Note that binding by flat *sequence* follows
+    :attr:`QuantumCircuit.parameters` first-appearance order, which
+    interleaves ``gamma[k]``/``beta[k]`` stage by stage — use the mapping
+    form (or a column permutation, as
+    :class:`~repro.qaoa.cost.ExpectationEvaluator` does) rather than
+    concatenating the vectors.
     """
     if depth < 1:
         raise ConfigurationError(f"depth must be >= 1, got {depth}")

@@ -6,12 +6,19 @@ given a flat parameter vector it returns the cost expectation
 
 * ``"fast"`` (default) — the MaxCut-specialised
   :class:`~repro.qaoa.fast_backend.FastMaxCutEvaluator`;
-* ``"circuit"`` — builds the gate-level circuit and runs it through the
-  general :class:`~repro.quantum.simulator.StatevectorSimulator`.
+* ``"circuit"`` — the gate-level circuit through the general
+  :class:`~repro.quantum.simulator.StatevectorSimulator`.
 
 Both produce identical expectation values; the circuit backend exists to keep
 the reproduction honest (the paper's flow is circuit-level) and as a
 cross-check in the test-suite.
+
+The circuit backend builds its parametric QAOA circuit **once** per evaluator
+and lets the simulator's compiled-program cache re-bind it per evaluation, so
+neither :class:`~repro.quantum.circuit.QuantumCircuit` objects nor gate
+matrices are rebuilt inside the optimization loop; whole parameter batches
+run through :meth:`StatevectorSimulator.expectation_batch` in vectorised
+``(dim, batch)`` sweeps.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.graphs.maxcut import MaxCutProblem
-from repro.qaoa.circuit_builder import build_maxcut_qaoa_circuit
+from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
 from repro.qaoa.fast_backend import FastMaxCutEvaluator
 from repro.qaoa.parameters import QAOAParameters
 from repro.quantum.operators import PauliSum
@@ -53,11 +60,24 @@ class ExpectationEvaluator:
         self._fast: Optional[FastMaxCutEvaluator] = None
         self._simulator: Optional[StatevectorSimulator] = None
         self._hamiltonian: Optional[PauliSum] = None
+        self._circuit = None
+        self._column_order: Optional[np.ndarray] = None
         if backend == "fast":
             self._fast = FastMaxCutEvaluator(problem)
         else:
             self._simulator = StatevectorSimulator()
             self._hamiltonian = problem.cost_hamiltonian()
+            # Build the parametric circuit once; every evaluation re-binds the
+            # simulator's compiled program instead of rebuilding circuits.
+            circuit, gammas, betas = build_parametric_qaoa_circuit(problem, self._depth)
+            self._circuit = circuit
+            flat_index = {g: i for i, g in enumerate(gammas)}
+            flat_index.update({b: self._depth + i for i, b in enumerate(betas)})
+            # Column permutation mapping the flat [gammas..., betas...] vector
+            # onto the circuit's first-appearance parameter order.
+            self._column_order = np.array(
+                [flat_index[p] for p in circuit.parameters], dtype=np.intp
+            )
         self._num_evaluations = 0
 
     # ------------------------------------------------------------------
@@ -106,15 +126,17 @@ class ExpectationEvaluator:
         self._num_evaluations += 1
         if self._backend == "fast":
             return self._fast.expectation(parameters)
-        circuit = build_maxcut_qaoa_circuit(self._problem, parameters)
-        return self._simulator.expectation(circuit, self._hamiltonian)
+        values = parameters.to_vector()[self._column_order]
+        return self._simulator.expectation(self._circuit, self._hamiltonian, values)
 
     def expectation_batch(self, params_matrix) -> np.ndarray:
         """Cost expectations for a whole ``(batch, 2p)`` matrix of angle sets.
 
         The fast backend evolves all columns through one vectorized FWHT pass
         (see :meth:`FastMaxCutEvaluator.expectation_batch`); the circuit
-        backend falls back to a per-row loop, so the two backends stay
+        backend re-binds its compiled parametric circuit and sweeps the whole
+        batch through :meth:`StatevectorSimulator.expectation_batch` — no
+        per-row Python loop on either backend, so the two stay
         interchangeable for consumers such as the landscape scan and the
         solver's restart screening.
         """
@@ -129,12 +151,11 @@ class ExpectationEvaluator:
         self._num_evaluations += matrix.shape[0]
         if self._backend == "fast":
             return self._fast.expectation_batch(matrix)
-        values = np.empty(matrix.shape[0], dtype=float)
-        for index, row in enumerate(matrix):
-            parameters = QAOAParameters.from_vector(row)
-            circuit = build_maxcut_qaoa_circuit(self._problem, parameters)
-            values[index] = self._simulator.expectation(circuit, self._hamiltonian)
-        return values
+        if matrix.shape[0] == 0:
+            return np.zeros(0, dtype=float)
+        return self._simulator.expectation_batch(
+            self._circuit, self._hamiltonian, matrix[:, self._column_order]
+        )
 
     def negative_expectation(self, vector: Sequence[float]) -> float:
         """The minimization objective handed to the classical optimizer."""

@@ -36,6 +36,7 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.graphs.maxcut import MaxCutProblem
 from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.engine import BATCH_ELEMENT_BUDGET
 from repro.quantum.statevector import Statevector
 
 #: Default qubit ceiling of the FWHT backend.  The limiting resource is the
@@ -46,11 +47,12 @@ FAST_BACKEND_MAX_QUBITS = 26
 #: 2 GiB of float64 already at n = 14).
 DENSE_BACKEND_MAX_QUBITS = 14
 
-#: Peak complex128 elements evolved per batched sweep (~256 MiB).  Batches
-#: wider than ``budget // dim`` columns are processed in chunks of that
-#: width, which bounds transient memory without losing vectorization at the
+#: Peak complex128 elements evolved per batched sweep (~256 MiB); the single
+#: shared budget lives in :mod:`repro.quantum.engine`.  Batches wider than
+#: ``budget // dim`` columns are processed in chunks of that width, which
+#: bounds transient memory without losing vectorization at the
 #: small-to-medium qubit counts where batching matters most.
-_BATCH_ELEMENT_BUDGET = 2**24
+_BATCH_ELEMENT_BUDGET = BATCH_ELEMENT_BUDGET
 
 ParameterBatch = Union[np.ndarray, Sequence[Union[QAOAParameters, Sequence[float]]]]
 

@@ -7,6 +7,7 @@ This subpackage replaces the QuTiP simulator used in the paper.  It provides:
 * :mod:`repro.quantum.circuit` — the :class:`QuantumCircuit` container,
 * :mod:`repro.quantum.statevector` — the :class:`Statevector` state object,
 * :mod:`repro.quantum.operators` — Pauli-string observables,
+* :mod:`repro.quantum.engine` — the compiled gate-kernel execution engine,
 * :mod:`repro.quantum.simulator` — the :class:`StatevectorSimulator` engine.
 """
 
@@ -15,6 +16,7 @@ from repro.quantum.gates import GATE_REGISTRY, GateDefinition, gate_matrix
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.statevector import Statevector
 from repro.quantum.operators import PauliString, PauliSum
+from repro.quantum.engine import CompiledProgram, compile_circuit
 from repro.quantum.simulator import StatevectorSimulator
 
 __all__ = [
@@ -29,5 +31,7 @@ __all__ = [
     "Statevector",
     "PauliString",
     "PauliSum",
+    "CompiledProgram",
+    "compile_circuit",
     "StatevectorSimulator",
 ]

@@ -72,6 +72,7 @@ class QuantumCircuit:
         self._num_qubits = num_qubits
         self._name = name
         self._instructions: List[Instruction] = []
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -90,6 +91,16 @@ class QuantumCircuit:
     def instructions(self) -> List[Instruction]:
         """A copy of the instruction list."""
         return list(self._instructions)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped on every :meth:`append`.
+
+        Execution engines key their compiled-program caches on
+        ``(id(circuit), circuit.version)`` so a circuit mutated after
+        compilation is transparently recompiled.
+        """
+        return self._version
 
     @property
     def parameters(self) -> List[Parameter]:
@@ -146,6 +157,7 @@ class QuantumCircuit:
                     f"qubit {qubit} out of range for {self._num_qubits}-qubit circuit"
                 )
         self._instructions.append(instruction)
+        self._version += 1
         return self
 
     def add_gate(

@@ -178,6 +178,7 @@ class GateDefinition:
     self_inverse: bool = False
     inverse_name: str = None
     negate_params_on_inverse: bool = False
+    diagonal: bool = False
 
 
 def _definition(
@@ -189,6 +190,7 @@ def _definition(
     self_inverse: bool = False,
     inverse_name: str = None,
     negate_params_on_inverse: bool = False,
+    diagonal: bool = False,
 ) -> Tuple[str, GateDefinition]:
     return name, GateDefinition(
         name=name,
@@ -198,33 +200,77 @@ def _definition(
         self_inverse=self_inverse,
         inverse_name=inverse_name,
         negate_params_on_inverse=negate_params_on_inverse,
+        diagonal=diagonal,
     )
 
 
 GATE_REGISTRY: Dict[str, GateDefinition] = dict(
     [
-        _definition("id", 1, 0, identity_matrix, self_inverse=True),
+        _definition("id", 1, 0, identity_matrix, self_inverse=True, diagonal=True),
         _definition("x", 1, 0, x_matrix, self_inverse=True),
         _definition("y", 1, 0, y_matrix, self_inverse=True),
-        _definition("z", 1, 0, z_matrix, self_inverse=True),
+        _definition("z", 1, 0, z_matrix, self_inverse=True, diagonal=True),
         _definition("h", 1, 0, h_matrix, self_inverse=True),
-        _definition("s", 1, 0, s_matrix, inverse_name="sdg"),
-        _definition("sdg", 1, 0, sdg_matrix, inverse_name="s"),
-        _definition("t", 1, 0, t_matrix, inverse_name="tdg"),
-        _definition("tdg", 1, 0, tdg_matrix, inverse_name="t"),
+        _definition("s", 1, 0, s_matrix, inverse_name="sdg", diagonal=True),
+        _definition("sdg", 1, 0, sdg_matrix, inverse_name="s", diagonal=True),
+        _definition("t", 1, 0, t_matrix, inverse_name="tdg", diagonal=True),
+        _definition("tdg", 1, 0, tdg_matrix, inverse_name="t", diagonal=True),
         _definition("rx", 1, 1, rx_matrix, negate_params_on_inverse=True),
         _definition("ry", 1, 1, ry_matrix, negate_params_on_inverse=True),
-        _definition("rz", 1, 1, rz_matrix, negate_params_on_inverse=True),
-        _definition("p", 1, 1, phase_matrix, negate_params_on_inverse=True),
+        _definition("rz", 1, 1, rz_matrix, negate_params_on_inverse=True, diagonal=True),
+        _definition("p", 1, 1, phase_matrix, negate_params_on_inverse=True, diagonal=True),
         _definition("u3", 1, 3, u3_matrix),
         _definition("cx", 2, 0, cnot_matrix, self_inverse=True),
-        _definition("cz", 2, 0, cz_matrix, self_inverse=True),
+        _definition("cz", 2, 0, cz_matrix, self_inverse=True, diagonal=True),
         _definition("swap", 2, 0, swap_matrix, self_inverse=True),
-        _definition("crz", 2, 1, crz_matrix, negate_params_on_inverse=True),
-        _definition("rzz", 2, 1, rzz_matrix, negate_params_on_inverse=True),
+        _definition("crz", 2, 1, crz_matrix, negate_params_on_inverse=True, diagonal=True),
+        _definition("rzz", 2, 1, rzz_matrix, negate_params_on_inverse=True, diagonal=True),
         _definition("rxx", 2, 1, rxx_matrix, negate_params_on_inverse=True),
     ]
 )
+
+
+#: Phase-angle decomposition of every diagonal gate: the gate's matrix is
+#: ``diag(exp(i * (const + coeff * theta)))`` over its ``2^k``-dimensional
+#: sub-space basis, with ``theta`` the (single) gate parameter and ``coeff``
+#: ``None`` for parameter-free gates.  Every registry gate whose angle is
+#: affine in its parameter belongs here; the compiled execution engine uses
+#: this table to fuse runs of diagonal gates into a single phase vector.
+DIAGONAL_ANGLES: Dict[str, Tuple[Tuple[float, ...], "Tuple[float, ...] | None"]] = {
+    "id": ((0.0, 0.0), None),
+    "z": ((0.0, math.pi), None),
+    "s": ((0.0, math.pi / 2.0), None),
+    "sdg": ((0.0, -math.pi / 2.0), None),
+    "t": ((0.0, math.pi / 4.0), None),
+    "tdg": ((0.0, -math.pi / 4.0), None),
+    "rz": ((0.0, 0.0), (-0.5, 0.5)),
+    "p": ((0.0, 0.0), (0.0, 1.0)),
+    "cz": ((0.0, 0.0, 0.0, math.pi), None),
+    "crz": ((0.0, 0.0, 0.0, 0.0), (0.0, 0.0, -0.5, 0.5)),
+    "rzz": ((0.0, 0.0, 0.0, 0.0), (-0.5, 0.5, 0.5, -0.5)),
+}
+
+
+# Keep the two sources of truth in sync at import time: a gate flagged
+# diagonal without an angle decomposition (or vice versa) would otherwise
+# only surface as a bare KeyError on first compile.
+assert {
+    name for name, definition in GATE_REGISTRY.items() if definition.diagonal
+} == set(DIAGONAL_ANGLES), "GATE_REGISTRY diagonal flags and DIAGONAL_ANGLES disagree"
+
+
+def diagonal_angles(name: str) -> Tuple[np.ndarray, "np.ndarray | None"]:
+    """Return ``(const, coeff)`` angle vectors of diagonal gate *name*.
+
+    The gate's unitary is ``diag(exp(i * (const + coeff * theta)))``; *coeff*
+    is ``None`` for parameter-free gates.  Raises :class:`KeyError` for gates
+    that are not diagonal in the computational basis.
+    """
+    const, coeff = DIAGONAL_ANGLES[name]
+    return (
+        np.asarray(const, dtype=float),
+        None if coeff is None else np.asarray(coeff, dtype=float),
+    )
 
 
 def gate_matrix(name: str, *params: float) -> np.ndarray:

@@ -110,6 +110,7 @@ class PauliSum:
     def __init__(self, terms: Iterable[Tuple[float, str]] = ()):
         self._terms: List[Tuple[float, PauliString]] = []
         self._num_qubits: int = None
+        self._z_diagonal_cache: "np.ndarray | None" = None
         for coefficient, label in terms:
             self.add_term(coefficient, label)
 
@@ -126,6 +127,7 @@ class PauliSum:
                 f"term {label!r} has {pauli.num_qubits} qubits, expected {self._num_qubits}"
             )
         self._terms.append((float(coefficient), pauli))
+        self._z_diagonal_cache = None
         return self
 
     @classmethod
@@ -213,13 +215,24 @@ class PauliSum:
         return matrix
 
     def z_diagonal(self) -> np.ndarray:
-        """Diagonal of a purely I/Z operator as a real vector."""
+        """Diagonal of a purely I/Z operator as a real vector (a copy)."""
+        return self.z_diagonal_view().copy()
+
+    def z_diagonal_view(self) -> np.ndarray:
+        """The cached combined z-diagonal (shared array; do not mutate).
+
+        The per-term diagonal expansion runs once per operator; every
+        subsequent expectation is a single dot product against this cache.
+        :meth:`add_term` invalidates it.
+        """
         if not self.is_diagonal:
             raise SimulationError("PauliSum is not diagonal in the Z basis")
-        diagonal = np.zeros(2**self.num_qubits, dtype=float)
-        for coefficient, pauli in self._terms:
-            diagonal += coefficient * pauli.z_diagonal()
-        return diagonal
+        if self._z_diagonal_cache is None:
+            diagonal = np.zeros(2**self.num_qubits, dtype=float)
+            for coefficient, pauli in self._terms:
+                diagonal += coefficient * pauli.z_diagonal()
+            self._z_diagonal_cache = diagonal
+        return self._z_diagonal_cache
 
     def expectation(self, state: Statevector) -> float:
         """Expectation value ``<state|H|state>``."""
@@ -228,20 +241,20 @@ class PauliSum:
                 f"operator acts on {self.num_qubits} qubits, state has {state.num_qubits}"
             )
         if self.is_diagonal:
-            return float(np.dot(state.probabilities(), self.z_diagonal()))
+            return float(np.dot(state.probabilities(), self.z_diagonal_view()))
         return float(sum(c * p.expectation(state) for c, p in self._terms))
 
     def ground_state_energy(self) -> float:
         """Smallest eigenvalue (dense diagonalisation; small registers only)."""
         if self.is_diagonal:
-            return float(self.z_diagonal().min())
+            return float(self.z_diagonal_view().min())
         eigenvalues = np.linalg.eigvalsh(self.to_matrix())
         return float(eigenvalues[0])
 
     def max_eigenvalue(self) -> float:
         """Largest eigenvalue (dense diagonalisation; small registers only)."""
         if self.is_diagonal:
-            return float(self.z_diagonal().max())
+            return float(self.z_diagonal_view().max())
         eigenvalues = np.linalg.eigvalsh(self.to_matrix())
         return float(eigenvalues[-1])
 

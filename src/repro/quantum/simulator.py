@@ -6,16 +6,34 @@ produces the final :class:`~repro.quantum.statevector.Statevector`,
 expectation values of :class:`~repro.quantum.operators.PauliSum`
 observables, and measurement samples.  It plays the role of the QuTiP
 simulator in the paper's optimization loop.
+
+Circuits are lowered once to a :class:`~repro.quantum.engine.CompiledProgram`
+of fused diagonal segments and strided in-place kernels, and the program is
+cached on the simulator — re-running the *same circuit object* with new
+parameter values only refreshes the bound phases/matrices.  The batched entry
+points (:meth:`StatevectorSimulator.run_batch`,
+:meth:`StatevectorSimulator.expectation_batch`) evolve a whole
+``(dim, batch)`` matrix of amplitude columns through the kernels in one
+sweep, mirroring the fast backend's API.  The seed per-instruction generic
+dispatch survives behind ``compiled=False`` as a correctness oracle and
+benchmark baseline.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.engine import (
+    BATCH_ELEMENT_BUDGET,
+    CompiledProgram,
+    normalize_bindings_batch,
+)
 from repro.quantum.operators import PauliSum
 from repro.quantum.parameter import Parameter
 from repro.quantum.statevector import Statevector
@@ -32,13 +50,24 @@ class StatevectorSimulator:
     max_qubits:
         Safety limit on register size; dense simulation above ~20 qubits is
         rarely intentional on a laptop.
+    compiled:
+        When True (default), circuits are compiled once into specialised
+        in-place kernels and cached; when False, every run re-binds the
+        circuit and applies each gate through the generic dense dispatch of
+        :meth:`Statevector.apply_matrix` (the seed behaviour — slow, kept as
+        an independent oracle for tests and benchmarks).
     """
 
-    def __init__(self, max_qubits: int = 22):
+    _PROGRAM_CACHE_CAPACITY = 16
+
+    def __init__(self, max_qubits: int = 22, compiled: bool = True):
         if max_qubits <= 0:
             raise SimulationError(f"max_qubits must be positive, got {max_qubits}")
         self._max_qubits = max_qubits
+        self._compiled = bool(compiled)
         self._executed_circuits = 0
+        # id(circuit) -> (weakref, circuit.version, CompiledProgram); LRU.
+        self._programs: "OrderedDict[int, tuple]" = OrderedDict()
 
     @property
     def max_qubits(self) -> int:
@@ -46,9 +75,65 @@ class StatevectorSimulator:
         return self._max_qubits
 
     @property
+    def compiled(self) -> bool:
+        """Whether circuits run through the compiled kernel engine."""
+        return self._compiled
+
+    @property
     def executed_circuits(self) -> int:
-        """Number of circuit executions performed so far (monotone counter)."""
+        """Number of circuit executions performed so far (monotone counter).
+
+        Batched runs count one execution per column.
+        """
         return self._executed_circuits
+
+    # ------------------------------------------------------------------
+    # Compilation cache
+    # ------------------------------------------------------------------
+    def compile(self, circuit: QuantumCircuit) -> CompiledProgram:
+        """The cached :class:`CompiledProgram` for *circuit* (compiling once).
+
+        The cache is keyed on object identity plus the circuit's mutation
+        :attr:`~repro.quantum.circuit.QuantumCircuit.version`, so appending
+        to a circuit after a run transparently recompiles it.
+        """
+        key = id(circuit)
+        entry = self._programs.get(key)
+        if entry is not None:
+            ref, version, program = entry
+            if ref() is circuit and version == circuit.version:
+                self._programs.move_to_end(key)
+                return program
+            del self._programs[key]
+        program = CompiledProgram(circuit)
+
+        def _evict(_ref, programs=self._programs, key=key):
+            programs.pop(key, None)
+
+        self._programs[key] = (weakref.ref(circuit, _evict), circuit.version, program)
+        if len(self._programs) > self._PROGRAM_CACHE_CAPACITY:
+            self._programs.popitem(last=False)
+        return program
+
+    def _check_register(self, circuit: QuantumCircuit) -> None:
+        if circuit.num_qubits > self._max_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, exceeding the "
+                f"simulator limit of {self._max_qubits}"
+            )
+
+    def _initial_array(
+        self, circuit: QuantumCircuit, initial_state: Optional[Statevector]
+    ) -> np.ndarray:
+        if initial_state is None:
+            array = np.zeros(2**circuit.num_qubits, dtype=np.complex128)
+            array[0] = 1.0
+            return array
+        if initial_state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                "initial state size does not match the circuit register"
+            )
+        return np.array(initial_state.data, dtype=np.complex128, copy=True)
 
     # ------------------------------------------------------------------
     # Execution
@@ -72,30 +157,100 @@ class StatevectorSimulator:
         initial_state:
             Starting state; defaults to ``|0...0>``.
         """
-        if circuit.num_qubits > self._max_qubits:
+        self._check_register(circuit)
+        if not self._compiled:
+            return self._run_generic(circuit, parameter_values, initial_state)
+        program = self.compile(circuit)
+        if program.num_parameters > 0 and parameter_values is None:
             raise SimulationError(
-                f"circuit has {circuit.num_qubits} qubits, exceeding the "
-                f"simulator limit of {self._max_qubits}"
+                "circuit has unbound parameters and no parameter_values given"
             )
+        values = program.resolve_bindings(parameter_values)
+        state = program.apply(self._initial_array(circuit, initial_state), values)
+        self._executed_circuits += 1
+        return Statevector(state, copy=False, validate=False)
+
+    def _run_generic(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values: Bindings,
+        initial_state: Optional[Statevector],
+    ) -> Statevector:
+        """The seed execution path: bind, then dense per-gate dispatch."""
         if circuit.num_parameters > 0:
             if parameter_values is None:
                 raise SimulationError(
                     "circuit has unbound parameters and no parameter_values given"
                 )
             circuit = circuit.bind(parameter_values)
-
-        if initial_state is None:
-            state = Statevector.zero_state(circuit.num_qubits)
-        else:
-            if initial_state.num_qubits != circuit.num_qubits:
-                raise SimulationError(
-                    "initial state size does not match the circuit register"
-                )
-            state = initial_state.copy()
-
+        state = Statevector(
+            self._initial_array(circuit, initial_state), copy=False, validate=False
+        )
         for instruction in circuit:
             state.apply_matrix(instruction.matrix(), instruction.qubits)
         self._executed_circuits += 1
+        return state
+
+    def run_batch(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values_batch,
+        initial_state: Optional[Statevector] = None,
+    ) -> np.ndarray:
+        """Execute *circuit* for a whole batch of parameter bindings at once.
+
+        Parameters
+        ----------
+        circuit:
+            The (typically parametric) circuit to execute.
+        parameter_values_batch:
+            A ``(batch, P)`` float matrix, one row per binding, columns in
+            :attr:`QuantumCircuit.parameters` order (a single ``(P,)`` row is
+            promoted to a batch of one).
+        initial_state:
+            Starting state shared by every column; defaults to ``|0...0>``.
+
+        Returns
+        -------
+        numpy.ndarray
+            A ``(dim, batch)`` complex matrix of final amplitude columns
+            (batch axis last, matching the fast backend).
+        """
+        rows = self._run_batch_rows(circuit, parameter_values_batch, initial_state)
+        return np.ascontiguousarray(rows.T)
+
+    def _run_batch_rows(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values_batch,
+        initial_state: Optional[Statevector] = None,
+    ) -> np.ndarray:
+        """Batch-major execution: final states as ``(batch, dim)`` rows.
+
+        This is the engine's native layout (each row is contiguous and
+        per-row gate matrices become stacked BLAS matmuls); :meth:`run_batch`
+        transposes it to the fast backend's column convention for the public
+        API, while internal consumers such as :meth:`expectation_batch` use
+        the rows directly.
+        """
+        self._check_register(circuit)
+        if not self._compiled:
+            # Honest seed semantics: one generic run per row, and no
+            # compilation at all (this mode is the seed baseline).
+            num_parameters = circuit.num_parameters
+            values = normalize_bindings_batch(num_parameters, parameter_values_batch)
+            rows = np.empty((values.shape[0], 2**circuit.num_qubits), dtype=np.complex128)
+            for index, row in enumerate(values):
+                rows[index] = self._run_generic(
+                    circuit, row if num_parameters else None, initial_state
+                ).data
+            return rows
+        program = self.compile(circuit)
+        values = program.resolve_bindings_batch(parameter_values_batch)
+        batch = values.shape[0]
+        state = np.tile(self._initial_array(circuit, initial_state), (batch, 1))
+        state = program.apply(state, values if program.num_parameters else None)
+        self._executed_circuits += batch
         return state
 
     def expectation(
@@ -108,6 +263,49 @@ class StatevectorSimulator:
         """Run *circuit* and return ``<psi|observable|psi>``."""
         state = self.run(circuit, parameter_values, initial_state)
         return observable.expectation(state)
+
+    def expectation_batch(
+        self,
+        circuit: QuantumCircuit,
+        observable: PauliSum,
+        parameter_values_batch,
+        initial_state: Optional[Statevector] = None,
+    ) -> np.ndarray:
+        """Expectation values for a whole batch of parameter bindings.
+
+        Evolves ``(dim, chunk)`` amplitude blocks through the compiled
+        kernels (chunked to bound transient memory) and reduces a diagonal
+        observable with one matrix-vector product per chunk.  Returns a
+        ``(batch,)`` float array.
+        """
+        self._check_register(circuit)
+        if observable.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"observable acts on {observable.num_qubits} qubits, "
+                f"circuit has {circuit.num_qubits}"
+            )
+        if self._compiled:
+            values = self.compile(circuit).resolve_bindings_batch(parameter_values_batch)
+        else:  # the seed-oracle mode never compiles
+            values = normalize_bindings_batch(circuit.num_parameters, parameter_values_batch)
+        batch = values.shape[0]
+        if batch == 0:
+            return np.zeros(0, dtype=float)
+        dim = 2**circuit.num_qubits
+        diagonal = observable.z_diagonal_view() if observable.is_diagonal else None
+        chunk = max(1, BATCH_ELEMENT_BUDGET // dim)
+        results = np.empty(batch, dtype=float)
+        for start in range(0, batch, chunk):
+            stop = min(start + chunk, batch)
+            rows = self._run_batch_rows(circuit, values[start:stop], initial_state)
+            if diagonal is not None:
+                probabilities = rows.real**2 + rows.imag**2
+                results[start:stop] = probabilities @ diagonal
+            else:
+                for offset in range(stop - start):
+                    state = Statevector(rows[offset], copy=False, validate=False)
+                    results[start + offset] = observable.expectation(state)
+        return results
 
     def sample(
         self,
@@ -123,17 +321,31 @@ class StatevectorSimulator:
     def unitary(self, circuit: QuantumCircuit, parameter_values: Bindings = None) -> np.ndarray:
         """Dense unitary matrix of the whole circuit (small registers only).
 
-        Built column by column by running the circuit on every basis state;
-        intended for verification in tests, not for performance.
+        Computed as one batched run over the ``2^n`` identity columns through
+        the compiled kernels (the seed implementation ran the circuit once
+        per column); intended for verification in tests, not performance.
         """
+        self._check_register(circuit)
         if circuit.num_qubits > 10:
             raise SimulationError("unitary extraction is limited to 10 qubits")
         dim = 2**circuit.num_qubits
-        matrix = np.zeros((dim, dim), dtype=complex)
-        for column in range(dim):
-            basis = np.zeros(dim, dtype=complex)
-            basis[column] = 1.0
-            initial = Statevector(basis, copy=False, validate=False)
-            final = self.run(circuit, parameter_values, initial_state=initial)
-            matrix[:, column] = final.data
-        return matrix
+        if not self._compiled:
+            matrix = np.zeros((dim, dim), dtype=complex)
+            for column in range(dim):
+                basis = np.zeros(dim, dtype=complex)
+                basis[column] = 1.0
+                initial = Statevector(basis, copy=False, validate=False)
+                final = self.run(circuit, parameter_values, initial_state=initial)
+                matrix[:, column] = final.data
+            return matrix
+        program = self.compile(circuit)
+        if program.num_parameters > 0 and parameter_values is None:
+            raise SimulationError(
+                "circuit has unbound parameters and no parameter_values given"
+            )
+        values = program.resolve_bindings(parameter_values)
+        # Rows of the batch are the evolved basis columns, so the unitary is
+        # the transpose of the batched identity run.
+        rows = program.apply(np.eye(dim, dtype=np.complex128), values)
+        self._executed_circuits += dim
+        return np.ascontiguousarray(rows.T)

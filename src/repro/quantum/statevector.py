@@ -166,7 +166,9 @@ class Statevector:
     # ------------------------------------------------------------------
     def probabilities(self) -> np.ndarray:
         """Measurement probabilities for every computational basis state."""
-        return np.abs(self._data) ** 2
+        # real**2 + imag**2 avoids the sqrt/square round-trip of abs()**2 on
+        # the hottest observable path.
+        return self._data.real**2 + self._data.imag**2
 
     def probability(self, bitstring: str) -> float:
         """Probability of observing the given bit-string (MSB first)."""
