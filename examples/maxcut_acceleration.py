@@ -3,37 +3,49 @@
 This is the paper's headline experiment at a reduced scale.  Run with::
 
     python examples/maxcut_acceleration.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
 """
+
+import os
 
 from repro.acceleration import aggregate_records, compare_on_problem
 from repro.graphs import MaxCutProblem, erdos_renyi_ensemble
 from repro.prediction import PredictorPipelineConfig, train_default_predictor
 from repro.utils.tables import Table
 
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
 
 def main() -> None:
     # One-time cost: train the GPR parameter predictor.
     predictor, _ = train_default_predictor(
-        PredictorPipelineConfig(num_graphs=10, depths=(1, 2, 3, 4), num_restarts=3),
+        PredictorPipelineConfig(
+            num_graphs=4 if SMOKE else 10,
+            depths=(1, 2) if SMOKE else (1, 2, 3, 4),
+            num_restarts=1 if SMOKE else 3,
+        ),
         seed=2020,
     )
 
     # A handful of unseen test graphs.
-    test_graphs = erdos_renyi_ensemble(4, num_nodes=8, edge_probability=0.5, seed=999)
+    test_graphs = erdos_renyi_ensemble(
+        2 if SMOKE else 4, num_nodes=8, edge_probability=0.5, seed=999
+    )
     problems = [MaxCutProblem(graph) for graph in test_graphs]
 
     table = Table(
         ["optimizer", "p", "naive_ar", "naive_fc", "two_level_ar", "two_level_fc", "reduction_%"]
     )
-    for optimizer in ("L-BFGS-B", "COBYLA"):
-        for depth in (2, 3, 4):
+    for optimizer in ("L-BFGS-B",) if SMOKE else ("L-BFGS-B", "COBYLA"):
+        for depth in (2,) if SMOKE else (2, 3, 4):
             records = [
                 compare_on_problem(
                     problem,
                     depth,
                     predictor,
                     optimizer=optimizer,
-                    num_restarts=4,
+                    num_restarts=2 if SMOKE else 4,
                     max_iterations=2000,
                     seed=index,
                 )

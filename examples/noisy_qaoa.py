@@ -1,0 +1,87 @@
+"""QAOA against a realistic oracle: finite shots and depolarizing noise.
+
+The paper's cost model counts quantum-circuit evaluations; this example shows
+what each of those evaluations actually costs on a NISQ device by re-running
+the optimization loop with a finite shot budget and a depolarizing noise
+model, then printing how much approximation ratio is lost relative to the
+exact-oracle baseline.  Run with::
+
+    python examples/noisy_qaoa.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
+"""
+
+import os
+
+from repro.graphs import MaxCutProblem, erdos_renyi_graph
+from repro.qaoa import ExpectationEvaluator, QAOASolver
+from repro.quantum import NoiseModel
+from repro.utils.tables import Table
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
+
+def main() -> None:
+    problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=7))
+    depth = 2
+    print(f"Problem: {problem.name}, depth p={depth}, "
+          f"exact optimum {problem.max_cut_value():.1f}")
+
+    # Exact-oracle baseline: noiseless L-BFGS-B, the flow used everywhere
+    # else in this repository.
+    exact_solver = QAOASolver("L-BFGS-B", seed=1)
+    baseline = exact_solver.solve(problem, depth, seed=11)
+    print(
+        f"\nExact oracle    : AR = {baseline.approximation_ratio:.4f} "
+        f"({baseline.optimizer_name}, {baseline.num_function_calls} evaluations, "
+        f"0 shots)"
+    )
+
+    # The exact evaluator re-scores the angles each noisy run returns, so the
+    # table reports the true quality of the optimization outcome.
+    exact_evaluator = ExpectationEvaluator(problem, depth)
+
+    shot_budgets = (128, 1024) if SMOKE else (128, 1024, 8192)
+    noise_strengths = (0.0, 0.02) if SMOKE else (0.0, 0.005, 0.02)
+    trajectories = 2 if SMOKE else 8
+
+    table = Table(["shots", "depol_1q", "true_ar", "ar_loss", "fc", "total_shots"])
+    for noise_1q in noise_strengths:
+        noise_model = (
+            NoiseModel.uniform_depolarizing(noise_1q) if noise_1q > 0 else None
+        )
+        for shots in shot_budgets:
+            # No optimizer named: the solver wires in SPSA for the
+            # stochastic oracle automatically.
+            solver = QAOASolver(
+                shots=shots,
+                noise_model=noise_model,
+                trajectories=trajectories,
+                max_iterations=100 if SMOKE else 200,
+                seed=2,
+            )
+            result = solver.solve(problem, depth, seed=11)
+            true_ar = problem.approximation_ratio(
+                exact_evaluator.expectation(result.optimal_parameters.to_vector())
+            )
+            table.add_row(
+                shots=shots,
+                depol_1q=noise_1q,
+                true_ar=true_ar,
+                ar_loss=baseline.approximation_ratio - true_ar,
+                fc=result.num_function_calls,
+                total_shots=result.num_shots,
+            )
+
+    print("\nStochastic oracle (SPSA; angles re-scored with the exact evaluator):")
+    print(table.to_text())
+    print(
+        "\nReading guide: ar_loss > 0 is approximation ratio forfeited to the "
+        "finite shot budget\nand/or gate noise; total_shots = shots x function "
+        "calls is the physical cost the\npaper's function-call reduction "
+        "ultimately saves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,11 @@ Runs the naive and ML-accelerated flows with the paper's four SciPy optimizers
 plus the library's native SPSA extension on one problem instance.  Run with::
 
     python examples/optimizer_comparison.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
 """
+
+import os
 
 from repro.acceleration import NaiveQAOARunner, TwoLevelQAOARunner
 from repro.graphs import MaxCutProblem, erdos_renyi_graph
@@ -12,19 +16,26 @@ from repro.optimizers import SPSAOptimizer
 from repro.prediction import PredictorPipelineConfig, train_default_predictor
 from repro.utils.tables import Table
 
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
 
 def main() -> None:
     predictor, _ = train_default_predictor(
-        PredictorPipelineConfig(num_graphs=8, depths=(1, 2, 3), num_restarts=3),
+        PredictorPipelineConfig(
+            num_graphs=4 if SMOKE else 8,
+            depths=(1, 2) if SMOKE else (1, 2, 3),
+            num_restarts=1 if SMOKE else 3,
+        ),
         seed=42,
     )
     problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=321))
-    target_depth = 3
+    target_depth = 2 if SMOKE else 3
+    restarts = 2 if SMOKE else 4
 
-    optimizers = ["L-BFGS-B", "Nelder-Mead", "SLSQP", "COBYLA"]
+    optimizers = ["L-BFGS-B"] if SMOKE else ["L-BFGS-B", "Nelder-Mead", "SLSQP", "COBYLA"]
     table = Table(["optimizer", "naive_ar", "naive_fc", "two_level_ar", "two_level_fc"])
     for name in optimizers:
-        naive = NaiveQAOARunner(name, num_restarts=4, max_iterations=2000, seed=0)
+        naive = NaiveQAOARunner(name, num_restarts=restarts, max_iterations=2000, seed=0)
         naive_outcome = naive.run(problem, target_depth)
         accelerated = TwoLevelQAOARunner(predictor, name, max_iterations=2000, seed=0)
         outcome = accelerated.run(problem, target_depth)
@@ -37,9 +48,14 @@ def main() -> None:
         )
 
     # The native SPSA optimizer (not in the paper) as an extra data point.
-    spsa_naive = NaiveQAOARunner(SPSAOptimizer(max_iterations=250, seed=1), num_restarts=4)
+    spsa_iterations = 50 if SMOKE else 250
+    spsa_naive = NaiveQAOARunner(
+        SPSAOptimizer(max_iterations=spsa_iterations, seed=1), num_restarts=restarts
+    )
     spsa_outcome = spsa_naive.run(problem, target_depth)
-    spsa_accelerated = TwoLevelQAOARunner(predictor, SPSAOptimizer(max_iterations=250, seed=1))
+    spsa_accelerated = TwoLevelQAOARunner(
+        predictor, SPSAOptimizer(max_iterations=spsa_iterations, seed=1)
+    )
     spsa_two_level = spsa_accelerated.run(problem, target_depth)
     table.add_row(
         optimizer="SPSA (native)",

@@ -4,25 +4,32 @@ Reproduces the qualitative content of Figs. 2, 3 and 5 of the paper on a
 3-regular graph and a small Erdos-Renyi ensemble.  Run with::
 
     python examples/parameter_trends.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
 """
+
+import os
 
 from repro.graphs import GraphEnsemble, erdos_renyi_ensemble, random_regular_graph
 from repro.prediction import DatasetGenerationConfig, TrainingDataset
 from repro.utils.statistics import pearson_correlation
 from repro.utils.tables import Table
 
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
 
 def intra_depth_trends() -> None:
     """Fig. 2: gamma_i grows and beta_i shrinks across the stages of one circuit."""
     graph = random_regular_graph(3, 8, seed=11)
+    depths = (1, 3) if SMOKE else (1, 3, 5)
     dataset = TrainingDataset.generate(
         GraphEnsemble([graph]),
-        DatasetGenerationConfig(depths=(1, 3, 5), num_restarts=5),
+        DatasetGenerationConfig(depths=depths, num_restarts=2 if SMOKE else 5),
         seed=0,
     )
     record = dataset[0]
     table = Table(["depth", "stage", "gamma_opt", "beta_opt"])
-    for depth in (3, 5):
+    for depth in depths[1:]:
         params = record.entry(depth).parameters
         for stage in range(1, depth + 1):
             table.add_row(
@@ -38,9 +45,13 @@ def intra_depth_trends() -> None:
 
 def cross_depth_correlations() -> None:
     """Fig. 5: the depth-1 optimum is highly informative about deeper circuits."""
-    ensemble = erdos_renyi_ensemble(12, num_nodes=8, edge_probability=0.5, seed=5)
+    ensemble = erdos_renyi_ensemble(
+        6 if SMOKE else 12, num_nodes=8, edge_probability=0.5, seed=5
+    )
     dataset = TrainingDataset.generate(
-        ensemble, DatasetGenerationConfig(depths=(1, 2, 3), num_restarts=3), seed=1
+        ensemble,
+        DatasetGenerationConfig(depths=(1, 2, 3), num_restarts=1 if SMOKE else 3),
+        seed=1,
     )
     gamma1 = [r.entry(1).parameters.gamma(1) for r in dataset]
     beta1 = [r.entry(1).parameters.beta(1) for r in dataset]

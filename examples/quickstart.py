@@ -3,11 +3,17 @@
 Run with::
 
     python examples/quickstart.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
 """
+
+import os
 
 from repro.acceleration import NaiveQAOARunner, TwoLevelQAOARunner
 from repro.graphs import MaxCutProblem, erdos_renyi_graph
 from repro.prediction import PredictorPipelineConfig, train_default_predictor
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
 
 
 def main() -> None:
@@ -18,17 +24,21 @@ def main() -> None:
     print(f"Exact MaxCut optimum (brute force): {problem.max_cut_value():.1f}")
 
     # 2. Train a small parameter predictor (one-time cost; seconds at this scale).
-    config = PredictorPipelineConfig(num_graphs=10, depths=(1, 2, 3), num_restarts=3)
+    config = PredictorPipelineConfig(
+        num_graphs=4 if SMOKE else 10,
+        depths=(1, 2) if SMOKE else (1, 2, 3),
+        num_restarts=1 if SMOKE else 3,
+    )
     predictor, dataset = train_default_predictor(config, seed=2020)
     print(
         f"Trained GPR predictor on {dataset.num_graphs} graphs "
         f"({dataset.num_optimal_parameters} optimal parameters)"
     )
 
-    target_depth = 3
+    target_depth = 2 if SMOKE else 3
 
     # 3. Baseline: random-initialization QAOA (the paper's naive flow).
-    naive = NaiveQAOARunner("L-BFGS-B", num_restarts=5, seed=1)
+    naive = NaiveQAOARunner("L-BFGS-B", num_restarts=2 if SMOKE else 5, seed=1)
     naive_outcome = naive.run(problem, target_depth)
     print(
         f"\nNaive flow      (p={target_depth}): "

@@ -5,7 +5,11 @@ gate-level QAOA circuit, and (c) sampling cut distributions from the final
 state.  Run with::
 
     python examples/weighted_maxcut.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
 """
+
+import os
 
 from repro.graphs import MaxCutProblem, weighted_erdos_renyi_graph
 from repro.qaoa import (
@@ -14,6 +18,8 @@ from repro.qaoa import (
     build_maxcut_qaoa_circuit,
     depth_one_landscape,
 )
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
 
 
 def main() -> None:
@@ -25,18 +31,30 @@ def main() -> None:
     print(f"Exact optimum: {problem.max_cut_value():.3f}")
 
     # Scan the depth-1 landscape to see where the optimum lives.
-    scan = depth_one_landscape(problem, gamma_resolution=24, beta_resolution=16)
+    scan = depth_one_landscape(
+        problem,
+        gamma_resolution=12 if SMOKE else 24,
+        beta_resolution=8 if SMOKE else 16,
+    )
     print(
         f"Depth-1 landscape optimum ~ {scan.best_expectation:.3f} at "
         f"gamma={scan.best_parameters.gammas[0]:.3f}, beta={scan.best_parameters.betas[0]:.3f}"
     )
 
-    # Optimize a depth-3 circuit.  The candidate pool pre-screens 32 random
-    # starts in one batched FWHT evaluation and only optimizes the best 5.
-    solver = QAOASolver("L-BFGS-B", num_restarts=5, candidate_pool=32, seed=3)
-    result = solver.solve(problem, 3)
+    # Optimize a deeper circuit.  The candidate pool pre-screens random
+    # starts in one batched FWHT evaluation and only optimizes the best few.
+    depth = 2 if SMOKE else 3
+    pool = 16 if SMOKE else 32
+    solver = QAOASolver(
+        "L-BFGS-B",
+        num_restarts=2 if SMOKE else 5,
+        candidate_pool=pool,
+        seed=3,
+    )
+    result = solver.solve(problem, depth)
     print(
-        f"Depth-3 QAOA: AR = {result.approximation_ratio:.4f} "
+        f"Depth-{depth} QAOA ({pool} screened starts): "
+        f"AR = {result.approximation_ratio:.4f} "
         f"using {result.num_function_calls} circuit evaluations"
     )
 
@@ -47,7 +65,9 @@ def main() -> None:
 
     # Sample measurement outcomes and report the best sampled cut.
     evaluator = FastMaxCutEvaluator(problem)
-    samples = evaluator.sample_cut_distribution(result.optimal_parameters, shots=500, rng=0)
+    samples = evaluator.sample_cut_distribution(
+        result.optimal_parameters, shots=200 if SMOKE else 500, rng=0
+    )
     best_bitstring = max(samples, key=lambda key: samples[key]["cut_value"])
     print(
         f"Best sampled assignment {best_bitstring} cuts "

@@ -20,6 +20,7 @@ from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.qaoa.result import QAOAResult
 from repro.qaoa.solver import QAOASolver
+from repro.quantum.noise import NoiseModel
 from repro.utils.rng import RandomState
 
 
@@ -60,19 +61,32 @@ class NaiveOutcome:
         """Total calls spent across all restarts."""
         return int(np.sum(self.function_calls))
 
+    @property
+    def total_shots(self) -> int:
+        """Measurement shots consumed by the whole run (0 = exact oracle)."""
+        return self.result.num_shots
+
 
 class NaiveQAOARunner:
-    """Run the random-initialization baseline flow."""
+    """Run the random-initialization baseline flow.
+
+    Accepts the same oracle configuration as
+    :class:`~repro.qaoa.solver.QAOASolver`, including the stochastic
+    finite-shot / noise knobs.
+    """
 
     def __init__(
         self,
-        optimizer: Union[str, Optimizer] = "L-BFGS-B",
+        optimizer: Union[str, Optimizer, None] = None,
         *,
         num_restarts: int = DEFAULT_NUM_RESTARTS,
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
         backend: str = "fast",
         candidate_pool: Optional[int] = None,
+        shots: Optional[int] = None,
+        noise_model: Optional[NoiseModel] = None,
+        trajectories: Optional[int] = None,
         seed: RandomState = None,
     ):
         self._solver = QAOASolver(
@@ -82,6 +96,9 @@ class NaiveQAOARunner:
             max_iterations=max_iterations,
             backend=backend,
             candidate_pool=candidate_pool,
+            shots=shots,
+            noise_model=noise_model,
+            trajectories=trajectories,
             seed=seed,
         )
 

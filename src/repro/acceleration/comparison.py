@@ -38,6 +38,9 @@ class ComparisonRecord:
     two_level_fc: int
     level1_fc: int
     level2_fc: int
+    #: Shot budgets consumed by each flow (0 when the oracle is exact).
+    naive_total_shots: int = 0
+    two_level_total_shots: int = 0
 
     @property
     def fc_reduction_percent(self) -> float:
@@ -68,6 +71,8 @@ class ComparisonSummary:
     two_level_mean_fc: float
     two_level_std_fc: float
     mean_fc_reduction_percent: float
+    naive_mean_shots: float = 0.0
+    two_level_mean_shots: float = 0.0
 
     def as_dict(self) -> Dict:
         """Dictionary form for tabular rendering."""
@@ -83,6 +88,8 @@ class ComparisonSummary:
             "two_level_mean_fc": self.two_level_mean_fc,
             "two_level_std_fc": self.two_level_std_fc,
             "fc_reduction_percent": self.mean_fc_reduction_percent,
+            "naive_mean_shots": self.naive_mean_shots,
+            "two_level_mean_shots": self.two_level_mean_shots,
         }
 
 
@@ -91,19 +98,25 @@ def compare_on_problem(
     target_depth: int,
     predictor: ParameterPredictor,
     *,
-    optimizer: str = "L-BFGS-B",
+    optimizer: Optional[str] = None,
     num_restarts: int = DEFAULT_NUM_RESTARTS,
     tolerance: float = DEFAULT_TOLERANCE,
     max_iterations: int = 10000,
     backend: str = "fast",
     candidate_pool: Optional[int] = None,
+    shots: Optional[int] = None,
+    noise_model=None,
+    trajectories: Optional[int] = None,
     seed: RandomState = None,
 ) -> ComparisonRecord:
     """Measure the naive and two-level flows on one problem instance.
 
     *candidate_pool* (optional) enables the solver's batched restart
     screening for both flows; it is accounted for in the function-call
-    totals, so the comparison stays apples-to-apples.
+    totals, so the comparison stays apples-to-apples.  *shots* /
+    *noise_model* / *trajectories* (optional) run **both** flows against the
+    same stochastic oracle configuration, and the record then reports each
+    flow's consumed shot budget alongside its function calls.
     """
     rng = ensure_rng(seed)
     naive_runner = NaiveQAOARunner(
@@ -113,6 +126,9 @@ def compare_on_problem(
         max_iterations=max_iterations,
         backend=backend,
         candidate_pool=candidate_pool,
+        shots=shots,
+        noise_model=noise_model,
+        trajectories=trajectories,
         seed=rng,
     )
     two_level_runner = TwoLevelQAOARunner(
@@ -122,6 +138,9 @@ def compare_on_problem(
         max_iterations=max_iterations,
         backend=backend,
         candidate_pool=candidate_pool,
+        shots=shots,
+        noise_model=noise_model,
+        trajectories=trajectories,
         seed=rng,
     )
     naive = naive_runner.run(problem, target_depth)
@@ -138,6 +157,8 @@ def compare_on_problem(
         two_level_fc=accelerated.total_function_calls,
         level1_fc=accelerated.level1_function_calls,
         level2_fc=accelerated.level2_function_calls,
+        naive_total_shots=naive.total_shots,
+        two_level_total_shots=accelerated.total_shots,
     )
 
 
@@ -163,6 +184,8 @@ def aggregate_records(records: Iterable[ComparisonRecord]) -> ComparisonSummary:
     two_ar = np.array([record.two_level_ar for record in records])
     two_fc = np.array([record.two_level_fc for record in records], dtype=float)
     reductions = np.array([record.fc_reduction_percent for record in records])
+    naive_shots = np.array([record.naive_total_shots for record in records], dtype=float)
+    two_shots = np.array([record.two_level_total_shots for record in records], dtype=float)
     return ComparisonSummary(
         optimizer_name=records[0].optimizer_name,
         target_depth=records[0].target_depth,
@@ -176,4 +199,6 @@ def aggregate_records(records: Iterable[ComparisonRecord]) -> ComparisonSummary:
         two_level_mean_fc=float(two_fc.mean()),
         two_level_std_fc=float(two_fc.std()),
         mean_fc_reduction_percent=float(reductions.mean()),
+        naive_mean_shots=float(naive_shots.mean()),
+        two_level_mean_shots=float(two_shots.mean()),
     )

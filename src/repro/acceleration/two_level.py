@@ -6,7 +6,26 @@ depth to the trained :class:`~repro.prediction.predictor.ParameterPredictor`,
 and run the target-depth optimization loop from the predicted angles.
 
 The reported cost is the sum of the function calls of both levels, which is
-exactly how the paper accounts for the two-level run-time (Sec. IV).
+exactly how the paper accounts for the two-level run-time (Sec. IV).  Both
+levels can run against the stochastic finite-shot / Pauli-noise oracle
+(``shots=...``, ``noise_model=...``), in which case the outcome additionally
+reports the total shot budget.
+
+Examples
+--------
+Train a deliberately tiny predictor and run the accelerated flow (for
+reproduction-quality results use the default pipeline scale):
+
+>>> from repro.acceleration.two_level import TwoLevelQAOARunner
+>>> from repro.graphs import MaxCutProblem, erdos_renyi_graph
+>>> from repro.prediction import PredictorPipelineConfig
+>>> config = PredictorPipelineConfig(num_graphs=4, depths=(1, 2), num_restarts=1)
+>>> runner = TwoLevelQAOARunner.with_default_predictor(pipeline_config=config, seed=7)
+>>> outcome = runner.run(MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=1)), 2)
+>>> outcome.target_depth, outcome.total_shots
+(2, 0)
+>>> outcome.total_function_calls == outcome.level1_function_calls + outcome.level2_function_calls
+True
 """
 
 from __future__ import annotations
@@ -24,6 +43,7 @@ from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.parameters import QAOAParameters, canonicalize_for_graph
 from repro.qaoa.result import QAOAResult
 from repro.qaoa.solver import QAOASolver
+from repro.quantum.noise import NoiseModel
 from repro.utils.rng import RandomState
 
 
@@ -68,20 +88,33 @@ class TwoLevelOutcome:
         """The paper's two-level cost: level-1 calls + level-2 calls."""
         return self.level1_function_calls + self.level2_function_calls
 
+    @property
+    def total_shots(self) -> int:
+        """Measurement shots consumed across both levels (0 = exact oracle)."""
+        return self.level1_result.num_shots + self.level2_result.num_shots
+
 
 class TwoLevelQAOARunner:
-    """Run the ML-initialized two-level QAOA flow."""
+    """Run the ML-initialized two-level QAOA flow.
+
+    Accepts the same oracle configuration as
+    :class:`~repro.qaoa.solver.QAOASolver` (*backend*, *shots*,
+    *noise_model*, *trajectories*), shared by both levels.
+    """
 
     def __init__(
         self,
         predictor: ParameterPredictor,
-        optimizer: Union[str, Optimizer] = "L-BFGS-B",
+        optimizer: Union[str, Optimizer, None] = None,
         *,
         level1_restarts: int = 1,
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
         backend: str = "fast",
         candidate_pool: Optional[int] = None,
+        shots: Optional[int] = None,
+        noise_model: Optional[NoiseModel] = None,
+        trajectories: Optional[int] = None,
         seed: RandomState = None,
     ):
         if not predictor.is_fitted:
@@ -101,6 +134,9 @@ class TwoLevelQAOARunner:
             max_iterations=max_iterations,
             backend=backend,
             candidate_pool=candidate_pool,
+            shots=shots,
+            noise_model=noise_model,
+            trajectories=trajectories,
             seed=seed,
         )
 
@@ -111,7 +147,7 @@ class TwoLevelQAOARunner:
     def with_default_predictor(
         cls,
         *,
-        optimizer: Union[str, Optimizer] = "L-BFGS-B",
+        optimizer: Union[str, Optimizer, None] = None,
         pipeline_config: PredictorPipelineConfig = None,
         seed: RandomState = 2020,
         **kwargs,
@@ -165,7 +201,9 @@ class TwoLevelQAOARunner:
 
         # Level 2: predict the target-depth angles and refine locally.  The
         # diagnostic warm-start expectation goes through the same backend as
-        # the optimization loop so "circuit" runs stay circuit-level only.
+        # the optimization loop so "circuit" runs stay circuit-level only; it
+        # stays *exact* even under a stochastic oracle — it measures the
+        # prediction's true quality, not one noisy readout of it.
         predicted = self._predictor.predict(gamma1, beta1, target_depth)
         predicted_expectation = ExpectationEvaluator(
             problem, target_depth, backend=self._solver.backend

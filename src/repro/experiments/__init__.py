@@ -14,6 +14,7 @@ from repro.experiments.figure5 import Figure5Result, run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.model_comparison import ModelComparisonResult, run_model_comparison
+from repro.experiments.noise_robustness import NoiseRobustnessResult, run_noise_robustness
 
 __all__ = [
     "ExperimentConfig",
@@ -35,4 +36,6 @@ __all__ = [
     "Table1Result",
     "run_model_comparison",
     "ModelComparisonResult",
+    "run_noise_robustness",
+    "NoiseRobustnessResult",
 ]

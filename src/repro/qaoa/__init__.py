@@ -15,7 +15,7 @@ from repro.qaoa.fast_backend import (
     fwht_inplace,
     walsh_hadamard_matrix,
 )
-from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.cost import BACKENDS, ExpectationEvaluator
 from repro.qaoa.ensemble import EnsembleEvaluator
 from repro.qaoa.result import QAOAResult, RestartRecord
 from repro.qaoa.solver import QAOASolver
@@ -34,6 +34,7 @@ __all__ = [
     "FastMaxCutEvaluator",
     "fwht_inplace",
     "walsh_hadamard_matrix",
+    "BACKENDS",
     "ExpectationEvaluator",
     "EnsembleEvaluator",
     "QAOAResult",

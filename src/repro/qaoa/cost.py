@@ -13,12 +13,42 @@ Both produce identical expectation values; the circuit backend exists to keep
 the reproduction honest (the paper's flow is circuit-level) and as a
 cross-check in the test-suite.
 
+On top of the exact oracle, the evaluator models the two realities of a NISQ
+device (see :mod:`repro.quantum.noise`): a **finite shot budget**
+(``shots=N`` samples N bit-strings per evaluation and averages their cut
+values) and **gate noise** (``noise_model=...`` averages stochastic
+Pauli-trajectories).  Both knobs work on both backends, are deterministic
+for a seeded ``rng``, and leave the default configuration bit-identical to
+the exact evaluator.
+
 The circuit backend builds its parametric QAOA circuit **once** per evaluator
 and lets the simulator's compiled-program cache re-bind it per evaluation, so
 neither :class:`~repro.quantum.circuit.QuantumCircuit` objects nor gate
 matrices are rebuilt inside the optimization loop; whole parameter batches
 run through :meth:`StatevectorSimulator.expectation_batch` in vectorised
 ``(dim, batch)`` sweeps.
+
+Examples
+--------
+The exact oracle (default), and a finite-shot estimate of the same point:
+
+>>> from repro.graphs import MaxCutProblem, erdos_renyi_graph
+>>> from repro.qaoa.cost import ExpectationEvaluator
+>>> problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
+>>> exact = ExpectationEvaluator(problem, depth=1)
+>>> noisy = ExpectationEvaluator(problem, depth=1, shots=4096, rng=11)
+>>> point = [0.4, 0.3]
+>>> abs(exact.expectation(point) - noisy.expectation(point)) < 0.5
+True
+>>> noisy.shots_used
+4096
+
+Seeded stochastic evaluators are exactly reproducible:
+
+>>> first = ExpectationEvaluator(problem, depth=1, shots=64, rng=5)
+>>> second = ExpectationEvaluator(problem, depth=1, shots=64, rng=5)
+>>> first.expectation(point) == second.expectation(point)
+True
 """
 
 from __future__ import annotations
@@ -32,14 +62,48 @@ from repro.graphs.maxcut import MaxCutProblem
 from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
 from repro.qaoa.fast_backend import FastMaxCutEvaluator
 from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.engine import BATCH_ELEMENT_BUDGET
+from repro.quantum.noise import (
+    DEFAULT_TRAJECTORIES,
+    NoiseModel,
+    ShotEstimator,
+    split_shots,
+)
 from repro.quantum.operators import PauliSum
 from repro.quantum.simulator import StatevectorSimulator
+from repro.utils.rng import RandomState, ensure_rng
 
 BACKENDS = ("fast", "circuit")
 
 
 class ExpectationEvaluator:
-    """Cost-expectation oracle for one (problem, depth) pair."""
+    """Cost-expectation oracle for one (problem, depth) pair.
+
+    Parameters
+    ----------
+    problem:
+        The MaxCut instance to evaluate.
+    depth:
+        QAOA depth ``p`` (the flat parameter vector has length ``2 p``).
+    backend:
+        ``"fast"`` (default) or ``"circuit"``; see the module docstring.
+    shots:
+        ``None`` (default) reads expectations off the exact state; an integer
+        samples that many measurement outcomes per evaluation and averages
+        their cut values instead — the finite-precision oracle a real device
+        provides.
+    noise_model:
+        Optional :class:`~repro.quantum.noise.NoiseModel`.  Each evaluation
+        averages *trajectories* stochastic Pauli-error trajectories (and
+        splits the shot budget across them when *shots* is also set).
+    trajectories:
+        Number of noise trajectories per evaluation (default
+        :data:`~repro.quantum.noise.DEFAULT_TRAJECTORIES`; forced to 1
+        without a noise model).
+    rng:
+        Seed or generator driving shot sampling and trajectory noise.  A
+        fixed seed makes every stochastic evaluation reproducible.
+    """
 
     def __init__(
         self,
@@ -47,6 +111,10 @@ class ExpectationEvaluator:
         depth: int,
         *,
         backend: str = "fast",
+        shots: Optional[int] = None,
+        noise_model: Optional[NoiseModel] = None,
+        trajectories: Optional[int] = None,
+        rng: RandomState = None,
     ):
         if depth < 1:
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
@@ -54,9 +122,32 @@ class ExpectationEvaluator:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
             )
+        if shots is not None and shots < 1:
+            raise ConfigurationError(f"shots must be >= 1, got {shots}")
+        if trajectories is not None and trajectories < 1:
+            raise ConfigurationError(
+                f"trajectories must be >= 1, got {trajectories}"
+            )
         self._problem = problem
         self._depth = int(depth)
         self._backend = backend
+        if noise_model is not None and noise_model.is_empty:
+            noise_model = None
+        self._shots = None if shots is None else int(shots)
+        self._noise_model = noise_model
+        if noise_model is None:
+            self._trajectories = 1
+        else:
+            self._trajectories = int(trajectories or DEFAULT_TRAJECTORIES)
+        self._rng = ensure_rng(rng) if self.is_stochastic else None
+        self._estimator: Optional[ShotEstimator] = None
+        self._stochastic_diagonal: Optional[np.ndarray] = None
+        if self.is_stochastic:
+            self._stochastic_diagonal = problem.cost_diagonal()
+            if self._shots is not None:
+                self._estimator = ShotEstimator(
+                    self._stochastic_diagonal, self._shots, rng=self._rng
+                )
         self._fast: Optional[FastMaxCutEvaluator] = None
         self._simulator: Optional[StatevectorSimulator] = None
         self._hamiltonian: Optional[PauliSum] = None
@@ -79,6 +170,7 @@ class ExpectationEvaluator:
                 [flat_index[p] for p in circuit.parameters], dtype=np.intp
             )
         self._num_evaluations = 0
+        self._trajectories_run = 0
 
     # ------------------------------------------------------------------
     # Properties
@@ -99,9 +191,39 @@ class ExpectationEvaluator:
         return self._backend
 
     @property
+    def shots(self) -> Optional[int]:
+        """Shot budget per evaluation (``None`` = exact readout)."""
+        return self._shots
+
+    @property
+    def noise_model(self) -> Optional[NoiseModel]:
+        """The attached noise model, if any."""
+        return self._noise_model
+
+    @property
+    def trajectories(self) -> int:
+        """Noise trajectories averaged per evaluation (1 without noise)."""
+        return self._trajectories
+
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether evaluations involve shot sampling or trajectory noise."""
+        return self._shots is not None or self._noise_model is not None
+
+    @property
     def num_evaluations(self) -> int:
         """Number of expectation evaluations performed through this object."""
         return self._num_evaluations
+
+    @property
+    def shots_used(self) -> int:
+        """Total measurement shots consumed so far (0 for exact readout)."""
+        return 0 if self._estimator is None else self._estimator.shots_used
+
+    @property
+    def trajectories_run(self) -> int:
+        """Total stochastic trajectories simulated so far."""
+        return self._trajectories_run
 
     @property
     def num_parameters(self) -> int:
@@ -121,13 +243,56 @@ class ExpectationEvaluator:
         return QAOAParameters.from_vector(vector)
 
     def expectation(self, vector: Sequence[float]) -> float:
-        """Cost expectation at the flat parameter vector *vector*."""
+        """Cost expectation at the flat parameter vector *vector*.
+
+        Exact by default; with ``shots`` and/or ``noise_model`` configured it
+        is the corresponding stochastic estimate (see the class docstring).
+        """
         parameters = self._validate(vector)
         self._num_evaluations += 1
+        if self.is_stochastic:
+            return self._estimate(parameters)
         if self._backend == "fast":
             return self._fast.expectation(parameters)
         values = parameters.to_vector()[self._column_order]
         return self._simulator.expectation(self._circuit, self._hamiltonian, values)
+
+    def _trajectory_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
+        """Outcome probabilities of one (possibly noisy) trajectory."""
+        self._trajectories_run += 1
+        if self._backend == "fast":
+            if self._noise_model is None:
+                state = self._fast.statevector(parameters)
+            else:
+                state = self._fast.noisy_statevector(
+                    parameters, self._noise_model, self._rng
+                )
+            return state.probabilities()
+        values = parameters.to_vector()[self._column_order]
+        state = self._simulator.run(
+            self._circuit, values, noise_model=self._noise_model, rng=self._rng
+        )
+        return state.probabilities()
+
+    def _estimate(self, parameters: QAOAParameters) -> float:
+        """One stochastic estimate: trajectories x (shots | exact readout)."""
+        trajectories = self._trajectories
+        if self._shots is None:
+            total = 0.0
+            for _ in range(trajectories):
+                probabilities = self._trajectory_probabilities(parameters)
+                total += float(probabilities @ self._stochastic_diagonal)
+            return total / trajectories
+        budgets = split_shots(self._shots, trajectories)
+        total = 0.0
+        for budget in budgets:
+            if budget == 0:
+                continue
+            probabilities = self._trajectory_probabilities(parameters)
+            total += budget * self._estimator.estimate_probabilities(
+                probabilities, budget
+            )
+        return total / self._shots
 
     def expectation_batch(self, params_matrix) -> np.ndarray:
         """Cost expectations for a whole ``(batch, 2p)`` matrix of angle sets.
@@ -139,6 +304,12 @@ class ExpectationEvaluator:
         per-row Python loop on either backend, so the two stay
         interchangeable for consumers such as the landscape scan and the
         solver's restart screening.
+
+        A pure shot budget (no noise model) stays vectorized: the exact
+        probability columns are computed in one batched sweep and each column
+        receives an independent multinomial shot draw.  Trajectory noise
+        falls back to one estimate per row (each row needs its own error
+        samples).
         """
         matrix = np.asarray(params_matrix, dtype=float)
         if matrix.ndim == 1:
@@ -149,12 +320,47 @@ class ExpectationEvaluator:
                 f"depth {self._depth}, got shape {matrix.shape}"
             )
         self._num_evaluations += matrix.shape[0]
-        if self._backend == "fast":
-            return self._fast.expectation_batch(matrix)
         if matrix.shape[0] == 0:
             return np.zeros(0, dtype=float)
-        return self._simulator.expectation_batch(
-            self._circuit, self._hamiltonian, matrix[:, self._column_order]
+        if not self.is_stochastic:
+            if self._backend == "fast":
+                return self._fast.expectation_batch(matrix)
+            return self._simulator.expectation_batch(
+                self._circuit, self._hamiltonian, matrix[:, self._column_order]
+            )
+        if self._noise_model is None:
+            # Pure finite shots: batched exact amplitudes, per-column draws.
+            # Chunked to the shared element budget like the exact batch
+            # paths — the estimator consumes one probability column at a
+            # time, so there is no reason to materialise the whole
+            # (dim, batch) amplitude matrix at once.
+            dim = 2 ** self._problem.num_qubits
+            chunk = max(1, BATCH_ELEMENT_BUDGET // dim)
+            estimates = np.empty(matrix.shape[0], dtype=float)
+            for start in range(0, matrix.shape[0], chunk):
+                block = matrix[start : start + chunk]
+                if self._backend == "fast":
+                    columns = self._fast.statevector_batch(block)
+                    probabilities = columns.real**2 + columns.imag**2
+                else:
+                    # Batch-major rows are the engine's native layout; only
+                    # the cheap real probability matrix is transposed (a
+                    # view), skipping run_batch's full complex-copy
+                    # transpose.
+                    rows = self._simulator._run_batch_rows(
+                        self._circuit, block[:, self._column_order]
+                    )
+                    probabilities = (rows.real**2 + rows.imag**2).T
+                estimates[start : start + chunk] = self._estimator.estimate_batch(
+                    probabilities
+                )
+            self._trajectories_run += matrix.shape[0]
+            return estimates
+        return np.array(
+            [
+                self._estimate(QAOAParameters.from_vector(row))
+                for row in matrix
+            ]
         )
 
     def negative_expectation(self, vector: Sequence[float]) -> float:

@@ -35,6 +35,10 @@ class QAOAResult:
     num_restarts: int
     restarts: List[RestartRecord] = field(default_factory=list)
     initialization: str = "random"
+    #: Total measurement shots consumed by the run (0 = exact readout).  The
+    #: paper counts quantum cost in function calls; on shot-budgeted
+    #: hardware this is the matching physical cost.
+    num_shots: int = 0
 
     @property
     def approximation_ratio(self) -> float:
@@ -74,6 +78,7 @@ class QAOAResult:
             "num_function_calls": self.num_function_calls,
             "num_restarts": self.num_restarts,
             "initialization": self.initialization,
+            "num_shots": self.num_shots,
         }
 
     def __repr__(self) -> str:

@@ -7,6 +7,31 @@ optimizer update the angles until the functional tolerance is met.  The
 solver supports both random initialization (the paper's naive baseline,
 possibly multi-restart) and explicit initial parameters (the ML-predicted
 warm start of the two-level flow).
+
+The loop can also be driven by the *stochastic* oracle of a finite-shot,
+noisy device (``shots=...``, ``noise_model=...``); when no optimizer is
+named explicitly the solver then defaults to SPSA, whose two-evaluation
+gradient estimate tolerates a noisy objective, and the result reports the
+total shot budget next to the function-call count.
+
+Examples
+--------
+>>> from repro.graphs import MaxCutProblem, erdos_renyi_graph
+>>> from repro.qaoa.solver import QAOASolver
+>>> problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
+>>> result = QAOASolver(seed=0).solve(problem, depth=1)
+>>> result.optimizer_name, result.num_shots
+('L-BFGS-B', 0)
+>>> result.approximation_ratio > 0.7
+True
+
+A shot-budgeted solve picks SPSA and accounts for every shot:
+
+>>> noisy = QAOASolver(shots=128, seed=0).solve(problem, depth=1)
+>>> noisy.optimizer_name
+'SPSA'
+>>> noisy.num_shots == 128 * noisy.num_function_calls
+True
 """
 
 from __future__ import annotations
@@ -20,12 +45,23 @@ from repro.exceptions import ConfigurationError
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.optimizers.registry import get_optimizer
+from repro.optimizers.spsa import SPSAOptimizer
 from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.parameters import QAOAParameters, parameter_bounds, random_parameters
 from repro.qaoa.result import QAOAResult, RestartRecord
+from repro.quantum.noise import NoiseModel
 from repro.utils.rng import RandomState, ensure_rng
 
 InitialParameters = Union[None, QAOAParameters, Sequence[float]]
+
+#: Iteration cap of the default SPSA optimizer wired in for stochastic
+#: oracles (each iteration costs two evaluations x shots; the classic
+#: 10000-iteration cap of the exact optimizers would burn millions of shots).
+STOCHASTIC_SPSA_MAX_ITERATIONS = 200
+
+#: Functional tolerance of the default stochastic SPSA (shot noise makes the
+#: exact 1e-6 tolerance unreachable; SPSA stalls out against this instead).
+STOCHASTIC_SPSA_TOLERANCE = 1e-3
 
 
 class QAOASolver:
@@ -34,8 +70,11 @@ class QAOASolver:
     Parameters
     ----------
     optimizer:
-        Optimizer name (e.g. ``"L-BFGS-B"``) or an
-        :class:`~repro.optimizers.base.Optimizer` instance.
+        Optimizer name (e.g. ``"L-BFGS-B"``), an
+        :class:`~repro.optimizers.base.Optimizer` instance, or ``None``
+        (default) to auto-select: ``"L-BFGS-B"`` for the exact oracle, a
+        noise-tolerant SPSA (see :data:`STOCHASTIC_SPSA_MAX_ITERATIONS`)
+        when *shots* or *noise_model* make the oracle stochastic.
     num_restarts:
         Number of random restarts used when no initial parameters are given.
     tolerance:
@@ -55,11 +94,22 @@ class QAOASolver:
         optimization loop.  ``None`` (default) keeps the classic behaviour —
         every random start is optimized — so fixed-seed results are unchanged
         unless screening is explicitly requested.
+    shots:
+        Finite shot budget per expectation evaluation (``None`` = exact);
+        forwarded to every :class:`~repro.qaoa.cost.ExpectationEvaluator`
+        the solver builds.  The consumed budget is reported as
+        :attr:`QAOAResult.num_shots`.
+    noise_model:
+        Optional :class:`~repro.quantum.noise.NoiseModel` applied to every
+        evaluation (*trajectories* stochastic trajectories each).
+    trajectories:
+        Noise trajectories per evaluation (see
+        :class:`~repro.qaoa.cost.ExpectationEvaluator`).
     """
 
     def __init__(
         self,
-        optimizer: Union[str, Optimizer] = "L-BFGS-B",
+        optimizer: Union[str, Optimizer, None] = None,
         *,
         num_restarts: int = 1,
         tolerance: float = DEFAULT_TOLERANCE,
@@ -67,6 +117,9 @@ class QAOASolver:
         backend: str = "fast",
         use_bounds: bool = False,
         candidate_pool: Optional[int] = None,
+        shots: Optional[int] = None,
+        noise_model: Optional[NoiseModel] = None,
+        trajectories: Optional[int] = None,
         seed: RandomState = None,
     ):
         if num_restarts < 1:
@@ -75,17 +128,44 @@ class QAOASolver:
             raise ConfigurationError(
                 f"candidate_pool must be >= 1, got {candidate_pool}"
             )
+        self._rng = ensure_rng(seed)
+        self._shots = None if shots is None else int(shots)
+        if noise_model is not None and noise_model.is_empty:
+            noise_model = None
+        self._noise_model = noise_model
+        self._trajectories = trajectories
+        stochastic = self._shots is not None or noise_model is not None
+        # Auto-wired SPSA is rebuilt per solve() seeded from the call-level
+        # rng, so an explicit per-solve seed reproduces the whole stochastic
+        # run (optimizer perturbations included); these settings are kept to
+        # do that.
+        self._auto_spsa_settings = None
         if isinstance(optimizer, Optimizer):
             self._optimizer = optimizer
+        elif optimizer is None and stochastic:
+            # The natural default for a noisy oracle: gradient estimates from
+            # two evaluations per iteration, bounded iteration/shot budget,
+            # and a tolerance the shot noise can actually reach.
+            self._auto_spsa_settings = (
+                min(max_iterations, STOCHASTIC_SPSA_MAX_ITERATIONS),
+                max(tolerance, STOCHASTIC_SPSA_TOLERANCE),
+            )
+            # Template instance backing the .optimizer property / name only;
+            # every solve() rebuilds it on the call-level generator.
+            self._optimizer = SPSAOptimizer(
+                max_iterations=self._auto_spsa_settings[0],
+                tolerance=self._auto_spsa_settings[1],
+            )
         else:
             self._optimizer = get_optimizer(
-                optimizer, tolerance=tolerance, max_iterations=max_iterations
+                optimizer if optimizer is not None else "L-BFGS-B",
+                tolerance=tolerance,
+                max_iterations=max_iterations,
             )
         self._num_restarts = int(num_restarts)
         self._backend = backend
         self._use_bounds = bool(use_bounds)
         self._candidate_pool = None if candidate_pool is None else int(candidate_pool)
-        self._rng = ensure_rng(seed)
 
     # ------------------------------------------------------------------
     # Properties
@@ -110,6 +190,16 @@ class QAOASolver:
         """Size of the batched start-screening pool (``None`` = no screening)."""
         return self._candidate_pool
 
+    @property
+    def shots(self) -> Optional[int]:
+        """Shot budget per evaluation (``None`` = exact readout)."""
+        return self._shots
+
+    @property
+    def noise_model(self) -> Optional[NoiseModel]:
+        """The noise model applied to every evaluation, if any."""
+        return self._noise_model
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -133,8 +223,27 @@ class QAOASolver:
         the class docstring); the screening evaluations are included in the
         reported function-call count.
         """
-        evaluator = ExpectationEvaluator(problem, depth, backend=self._backend)
         rng = ensure_rng(seed) if seed is not None else self._rng
+        optimizer = self._optimizer
+        if self._auto_spsa_settings is not None:
+            # Rebuild the auto-wired SPSA on the call-level generator so a
+            # per-solve seed reproduces the optimizer's perturbation draws
+            # too (a long-lived instance would leak state across solves).
+            spsa_iterations, spsa_tolerance = self._auto_spsa_settings
+            optimizer = SPSAOptimizer(
+                max_iterations=spsa_iterations,
+                tolerance=spsa_tolerance,
+                seed=rng,
+            )
+        evaluator = ExpectationEvaluator(
+            problem,
+            depth,
+            backend=self._backend,
+            shots=self._shots,
+            noise_model=self._noise_model,
+            trajectories=self._trajectories,
+            rng=rng,
+        )
         bounds = parameter_bounds(depth) if self._use_bounds else None
         screening_calls = 0
 
@@ -162,7 +271,7 @@ class QAOASolver:
         records = []
         best_record: Optional[RestartRecord] = None
         for start in starts:
-            record = self._run_single(evaluator, start, bounds)
+            record = self._run_single(evaluator, start, bounds, optimizer)
             records.append(record)
             if best_record is None or record.optimal_expectation > best_record.optimal_expectation:
                 best_record = record
@@ -181,6 +290,7 @@ class QAOASolver:
             num_restarts=len(records),
             restarts=records,
             initialization=initialization,
+            num_shots=evaluator.shots_used,
         )
 
     def _run_single(
@@ -188,8 +298,10 @@ class QAOASolver:
         evaluator: ExpectationEvaluator,
         start: QAOAParameters,
         bounds,
+        optimizer: Optional[Optimizer] = None,
     ) -> RestartRecord:
-        result = self._optimizer.maximize(
+        optimizer = optimizer if optimizer is not None else self._optimizer
+        result = optimizer.maximize(
             evaluator.expectation, start.to_vector(), bounds
         )
         return RestartRecord(

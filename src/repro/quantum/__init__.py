@@ -8,6 +8,7 @@ This subpackage replaces the QuTiP simulator used in the paper.  It provides:
 * :mod:`repro.quantum.statevector` — the :class:`Statevector` state object,
 * :mod:`repro.quantum.operators` — Pauli-string observables,
 * :mod:`repro.quantum.engine` — the compiled gate-kernel execution engine,
+* :mod:`repro.quantum.noise` — Pauli noise channels and finite-shot estimation,
 * :mod:`repro.quantum.simulator` — the :class:`StatevectorSimulator` engine.
 """
 
@@ -16,6 +17,15 @@ from repro.quantum.gates import GATE_REGISTRY, GateDefinition, gate_matrix
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.statevector import Statevector
 from repro.quantum.operators import PauliString, PauliSum
+from repro.quantum.noise import (
+    AmplitudeDampingApprox,
+    BitFlip,
+    DepolarizingChannel,
+    NoiseModel,
+    PauliChannel,
+    PhaseFlip,
+    ShotEstimator,
+)
 from repro.quantum.engine import CompiledProgram, compile_circuit
 from repro.quantum.simulator import StatevectorSimulator
 
@@ -31,6 +41,13 @@ __all__ = [
     "Statevector",
     "PauliString",
     "PauliSum",
+    "PauliChannel",
+    "DepolarizingChannel",
+    "BitFlip",
+    "PhaseFlip",
+    "AmplitudeDampingApprox",
+    "NoiseModel",
+    "ShotEstimator",
     "CompiledProgram",
     "compile_circuit",
     "StatevectorSimulator",

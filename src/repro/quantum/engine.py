@@ -42,6 +42,7 @@ import numpy as np
 from repro.exceptions import CircuitError, SimulationError
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.gates import GATE_REGISTRY, diagonal_angles, gate_matrix
+from repro.quantum.noise import apply_pauli
 from repro.quantum.parameter import Parameter, ParameterExpression
 
 _SQRT1_2 = 1.0 / np.sqrt(2.0)
@@ -518,6 +519,12 @@ class CompiledProgram:
         self._num_qubits = circuit.num_qubits
         self._dim = 1 << circuit.num_qubits
         self._parameters: List[Parameter] = list(circuit.parameters)
+        # Original instruction index -> index of the compiled op *after*
+        # which a Pauli error attached to that instruction is inserted
+        # (-1 = before the first op).  Fusion never reorders across segment
+        # boundaries, so this anchor is the tightest noise slot that does not
+        # break any fused kernel (see repro.quantum.noise for the semantics).
+        self._noise_anchor: dict = {}
         slot_of = {p: slot for slot, p in enumerate(self._parameters)}
         self._ops = self._compile(list(circuit), slot_of)
 
@@ -554,8 +561,10 @@ class CompiledProgram:
     def _compile(self, instructions, slot_of) -> list:
         # Pass 1: peephole-rewrite CX(a,b) RZ(t, b) CX(a,b) sandwiches (the
         # textbook RZZ decomposition emitted by the QAOA circuit builder)
-        # into diagonal RZZ items, and tag every diagonal gate.
-        items = []  # ("diag", qubits, const, coeff, ref) | ("gate", instruction)
+        # into diagonal RZZ items, and tag every diagonal gate.  Each item
+        # carries the original instruction indices it covers so noise
+        # insertions can be anchored after the compiled op that absorbs it.
+        items = []  # ("diag", qubits, const, coeff, ref, indices) | ("gate", inst, index)
         index = 0
         while index < len(instructions):
             inst = instructions[index]
@@ -570,7 +579,10 @@ class CompiledProgram:
                 ):
                     const, coeff = diagonal_angles("rzz")
                     ref = _param_ref(middle.params[0], slot_of)
-                    items.append(("diag", inst.qubits, const, coeff, ref))
+                    items.append(
+                        ("diag", inst.qubits, const, coeff, ref,
+                         (index, index + 1, index + 2))
+                    )
                     index += 3
                     continue
             definition = GATE_REGISTRY[inst.name]
@@ -581,9 +593,9 @@ class CompiledProgram:
                     if definition.num_params
                     else None
                 )
-                items.append(("diag", inst.qubits, const, coeff, ref))
+                items.append(("diag", inst.qubits, const, coeff, ref, (index,)))
             else:
-                items.append(("gate", inst))
+                items.append(("gate", inst, index))
             index += 1
 
         # Pass 2: fuse maximal diagonal runs and maximal runs of single-qubit
@@ -592,32 +604,51 @@ class CompiledProgram:
         # because the two kinds need not commute on shared qubits.
         ops: list = []
         diag_run: list = []
-        oneq_run: list = []
+        oneq_run: list = []  # (factor, instruction_index) pairs
 
         def flush_diag() -> None:
             self._flush_diagonal_run(ops, diag_run)
+            # Whether or not the run emitted an op (a run of identities
+            # compiles to nothing), errors attached inside it belong at this
+            # point of the stream: after the op just emitted, or after the
+            # previous op when the run vanished.
+            anchor = len(ops) - 1
+            for item in diag_run:
+                for covered in item[5]:
+                    self._noise_anchor[covered] = anchor
             diag_run.clear()
 
         def flush_oneq() -> None:
-            if oneq_run:
-                ops.extend(self._lower_single_qubit_run(oneq_run))
-                oneq_run.clear()
+            if not oneq_run:
+                return
+            produced = self._lower_single_qubit_run([f for f, _ in oneq_run])
+            base = len(ops)
+            ops.extend(produced)
+            qubit_anchor = {}
+            for offset, op in enumerate(produced):
+                for bit, factor in zip(op.bits, op.factors):
+                    if factor is not None:
+                        qubit_anchor[bit] = base + offset
+            for factor, covered in oneq_run:
+                self._noise_anchor[covered] = qubit_anchor[factor[0]]
+            oneq_run.clear()
 
         for item in items:
             if item[0] == "diag":
                 flush_oneq()
                 diag_run.append(item)
                 continue
-            inst = item[1]
+            inst, inst_index = item[1], item[2]
             flush_diag()
             factor = self._single_qubit_factor(inst, slot_of)
             if factor is not None:
-                if any(f[0] == factor[0] for f in oneq_run):
+                if any(f[0] == factor[0] for f, _ in oneq_run):
                     flush_oneq()
-                oneq_run.append(factor)
+                oneq_run.append((factor, inst_index))
             else:
                 flush_oneq()
                 ops.append(self._build_kernel(inst, slot_of))
+                self._noise_anchor[inst_index] = len(ops) - 1
         flush_diag()
         flush_oneq()
         return ops
@@ -675,7 +706,7 @@ class CompiledProgram:
         indices = np.arange(self._dim)
         const_angle = np.zeros(self._dim, dtype=float)
         coeff_by_slot: dict = {}
-        for _, qubits, const, coeff, ref in run:
+        for _, qubits, const, coeff, ref, _indices in run:
             sub = _expand_sub_index(indices, qubits)
             const_angle += const[sub]
             if coeff is None or ref is None:
@@ -753,14 +784,51 @@ class CompiledProgram:
         """Normalise a batch of bindings to a ``(batch, P)`` float matrix."""
         return normalize_bindings_batch(len(self._parameters), parameter_values_batch)
 
+    # -- noise -----------------------------------------------------------
+    def noise_anchor(self, instruction_index: int) -> int:
+        """The op index after which errors of *instruction_index* insert.
+
+        ``-1`` means before the first compiled op.  Raises
+        :class:`SimulationError` for indices outside the compiled circuit.
+        """
+        try:
+            return self._noise_anchor[instruction_index]
+        except KeyError:
+            raise SimulationError(
+                f"instruction index {instruction_index} is not part of the "
+                f"compiled circuit"
+            ) from None
+
+    def _group_errors(self, errors) -> dict:
+        """Group sampled ``(index, qubit, pauli)`` errors by anchor op."""
+        boundary: dict = {}
+        for instruction_index, qubit, pauli in errors:
+            anchor = self.noise_anchor(instruction_index)
+            boundary.setdefault(anchor, []).append((qubit, pauli))
+        return boundary
+
     # -- execution -------------------------------------------------------
-    def apply(self, state: np.ndarray, values: Optional[np.ndarray] = None) -> np.ndarray:
+    def apply(
+        self,
+        state: np.ndarray,
+        values: Optional[np.ndarray] = None,
+        *,
+        errors=None,
+    ) -> np.ndarray:
         """Run the program on *state* and return the final amplitude array.
 
         *state* is a C-contiguous ``complex128`` array of shape ``(dim,)`` or
         batch-major ``(batch, dim)`` (one state per row).  *values* is
         ``None`` (no free parameters), a ``(P,)`` vector applied to every
         row, or a ``(batch, P)`` matrix of per-row values.
+
+        *errors* is an optional sampled Pauli error pattern (a sequence of
+        ``(instruction_index, qubit, pauli)`` triples, see
+        :meth:`~repro.quantum.noise.NoiseModel.sample_errors`); each error is
+        inserted at the boundary of the fused op containing its instruction,
+        leaving the compiled program — and therefore the simulator's program
+        cache — untouched.  With a batched *state*, every row receives the
+        same error pattern (one trajectory fanned over many bindings).
 
         The kernels ping-pong between *state* and an internal scratch buffer
         of the same shape, so the returned array is not always the object
@@ -786,8 +854,17 @@ class CompiledProgram:
                 f"state shape {state.shape}"
             )
         scratch = np.empty_like(state)
-        for op in self._ops:
+        if not errors:
+            for op in self._ops:
+                state, scratch = op.apply(state, values, scratch)
+            return state
+        boundary = self._group_errors(errors)
+        for qubit, pauli in boundary.get(-1, ()):
+            apply_pauli(state, qubit, pauli)
+        for op_index, op in enumerate(self._ops):
             state, scratch = op.apply(state, values, scratch)
+            for qubit, pauli in boundary.get(op_index, ()):
+                apply_pauli(state, qubit, pauli)
         return state
 
 

@@ -17,6 +17,31 @@ points (:meth:`StatevectorSimulator.run_batch`,
 sweep, mirroring the fast backend's API.  The seed per-instruction generic
 dispatch survives behind ``compiled=False`` as a correctness oracle and
 benchmark baseline.
+
+Scalar runs optionally simulate gate noise: passing a
+:class:`~repro.quantum.noise.NoiseModel` samples one Pauli-error trajectory
+per :meth:`StatevectorSimulator.run` and inserts the errors into the
+evolution (exactly per instruction on the generic path, at fused-segment
+boundaries on the compiled path) without invalidating the program cache.
+
+Examples
+--------
+>>> from repro.quantum import QuantumCircuit, StatevectorSimulator
+>>> bell = QuantumCircuit(2)
+>>> _ = bell.h(0)
+>>> _ = bell.cx(0, 1)
+>>> state = StatevectorSimulator().run(bell)
+>>> [round(float(p), 3) for p in state.probabilities()]
+[0.5, 0.0, 0.0, 0.5]
+
+A certain bit-flip after every gate is a deterministic trajectory — here it
+turns the Bell pair into its anti-correlated twin:
+
+>>> from repro.quantum.noise import BitFlip, NoiseModel
+>>> noisy = NoiseModel().add_channel(BitFlip(1.0), gates=("cx",), qubits=(1,))
+>>> state = StatevectorSimulator().run(bell, noise_model=noisy, rng=0)
+>>> [round(float(p), 3) for p in state.probabilities()]
+[0.0, 0.5, 0.5, 0.0]
 """
 
 from __future__ import annotations
@@ -34,6 +59,7 @@ from repro.quantum.engine import (
     CompiledProgram,
     normalize_bindings_batch,
 )
+from repro.quantum.noise import NoiseModel, apply_pauli
 from repro.quantum.operators import PauliSum
 from repro.quantum.parameter import Parameter
 from repro.quantum.statevector import Statevector
@@ -143,6 +169,9 @@ class StatevectorSimulator:
         circuit: QuantumCircuit,
         parameter_values: Bindings = None,
         initial_state: Optional[Statevector] = None,
+        *,
+        noise_model: Optional[NoiseModel] = None,
+        rng: RandomState = None,
     ) -> Statevector:
         """Execute *circuit* and return the final statevector.
 
@@ -156,17 +185,35 @@ class StatevectorSimulator:
             :attr:`QuantumCircuit.parameters` order.
         initial_state:
             Starting state; defaults to ``|0...0>``.
+        noise_model:
+            Optional :class:`~repro.quantum.noise.NoiseModel`; one Pauli
+            error pattern is sampled from *rng* and inserted into this run
+            (a single stochastic trajectory).  ``None`` — the default — is
+            the exact, bit-identical-to-before path.
+        rng:
+            Seed or generator for the trajectory sampling (only consulted
+            when *noise_model* is given).
         """
         self._check_register(circuit)
+        if noise_model is not None and noise_model.is_empty:
+            noise_model = None
         if not self._compiled:
-            return self._run_generic(circuit, parameter_values, initial_state)
+            return self._run_generic(
+                circuit, parameter_values, initial_state,
+                noise_model=noise_model, rng=rng,
+            )
         program = self.compile(circuit)
         if program.num_parameters > 0 and parameter_values is None:
             raise SimulationError(
                 "circuit has unbound parameters and no parameter_values given"
             )
         values = program.resolve_bindings(parameter_values)
-        state = program.apply(self._initial_array(circuit, initial_state), values)
+        errors = (
+            noise_model.sample_errors(circuit, rng) if noise_model is not None else None
+        )
+        state = program.apply(
+            self._initial_array(circuit, initial_state), values, errors=errors
+        )
         self._executed_circuits += 1
         return Statevector(state, copy=False, validate=False)
 
@@ -175,8 +222,15 @@ class StatevectorSimulator:
         circuit: QuantumCircuit,
         parameter_values: Bindings,
         initial_state: Optional[Statevector],
+        noise_model: Optional[NoiseModel] = None,
+        rng: RandomState = None,
     ) -> Statevector:
-        """The seed execution path: bind, then dense per-gate dispatch."""
+        """The seed execution path: bind, then dense per-gate dispatch.
+
+        Sampled noise is inserted exactly after the instruction it is
+        attached to, making this path the placement oracle for the compiled
+        engine's segment-boundary insertion.
+        """
         if circuit.num_parameters > 0:
             if parameter_values is None:
                 raise SimulationError(
@@ -186,8 +240,17 @@ class StatevectorSimulator:
         state = Statevector(
             self._initial_array(circuit, initial_state), copy=False, validate=False
         )
-        for instruction in circuit:
-            state.apply_matrix(instruction.matrix(), instruction.qubits)
+        if noise_model is None or noise_model.is_empty:
+            for instruction in circuit:
+                state.apply_matrix(instruction.matrix(), instruction.qubits)
+        else:
+            errors_by_index: Dict[int, list] = {}
+            for index, qubit, pauli in noise_model.sample_errors(circuit, rng):
+                errors_by_index.setdefault(index, []).append((qubit, pauli))
+            for index, instruction in enumerate(circuit):
+                state.apply_matrix(instruction.matrix(), instruction.qubits)
+                for qubit, pauli in errors_by_index.get(index, ()):
+                    apply_pauli(state.data, qubit, pauli)
         self._executed_circuits += 1
         return state
 
@@ -313,10 +376,19 @@ class StatevectorSimulator:
         shots: int,
         parameter_values: Bindings = None,
         rng: RandomState = None,
+        *,
+        noise_model: Optional[NoiseModel] = None,
     ) -> Dict[str, int]:
-        """Run *circuit* and sample measurement outcomes in the Z basis."""
-        state = self.run(circuit, parameter_values)
-        return state.sample_counts(shots, rng=ensure_rng(rng))
+        """Run *circuit* and sample measurement outcomes in the Z basis.
+
+        With a *noise_model*, all *shots* are drawn from a single sampled
+        trajectory; consumers needing shot-level noise independence should
+        average several calls (as
+        :class:`~repro.qaoa.cost.ExpectationEvaluator` does).
+        """
+        generator = ensure_rng(rng)
+        state = self.run(circuit, parameter_values, noise_model=noise_model, rng=generator)
+        return state.sample_counts(shots, rng=generator)
 
     def unitary(self, circuit: QuantumCircuit, parameter_values: Bindings = None) -> np.ndarray:
         """Dense unitary matrix of the whole circuit (small registers only).

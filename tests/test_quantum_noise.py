@@ -1,0 +1,344 @@
+"""Tests for the Pauli-noise subsystem (channels, model, trajectory runs)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.fast_backend import FastMaxCutEvaluator
+from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise import (
+    AmplitudeDampingApprox,
+    BitFlip,
+    DepolarizingChannel,
+    NoiseModel,
+    PauliChannel,
+    PhaseFlip,
+    apply_pauli,
+)
+from repro.quantum.operators import PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.statevector import Statevector
+
+
+def _problem(seed: int = 3, nodes: int = 6) -> MaxCutProblem:
+    return MaxCutProblem(erdos_renyi_graph(nodes, 0.5, seed=seed))
+
+
+def _bound_circuit(problem: MaxCutProblem, depth: int):
+    circuit, gammas, betas = build_parametric_qaoa_circuit(problem, depth)
+    values = {g: 0.3 + 0.1 * i for i, g in enumerate(gammas)}
+    values.update({b: 0.2 + 0.05 * i for i, b in enumerate(betas)})
+    return circuit, values
+
+
+# ---------------------------------------------------------------------------
+# Channels
+# ---------------------------------------------------------------------------
+
+class TestChannels:
+    def test_probabilities_and_error_probability(self):
+        channel = PauliChannel(0.1, 0.2, 0.3)
+        assert channel.pauli_probabilities() == (0.1, 0.2, 0.3)
+        assert channel.error_probability == pytest.approx(0.6)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PauliChannel(-0.1, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            PauliChannel(0.5, 0.4, 0.3)
+
+    def test_depolarizing_splits_evenly(self):
+        channel = DepolarizingChannel(0.03)
+        assert channel.pauli_probabilities() == pytest.approx((0.01, 0.01, 0.01))
+        assert channel.probability == 0.03
+
+    def test_bit_and_phase_flip(self):
+        assert BitFlip(0.2).pauli_probabilities() == pytest.approx((0.2, 0.0, 0.0))
+        assert PhaseFlip(0.2).pauli_probabilities() == pytest.approx((0.0, 0.0, 0.2))
+
+    def test_amplitude_damping_approx_probabilities(self):
+        gamma = 0.4
+        channel = AmplitudeDampingApprox(gamma)
+        px, py, pz = channel.pauli_probabilities()
+        assert px == pytest.approx(gamma / 4.0)
+        assert py == pytest.approx(gamma / 4.0)
+        assert pz == pytest.approx((2.0 - gamma - 2.0 * np.sqrt(1.0 - gamma)) / 4.0)
+        assert channel.gamma == gamma
+        with pytest.raises(ConfigurationError):
+            AmplitudeDampingApprox(1.5)
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            PauliChannel(0.1, 0.2, 0.3),
+            DepolarizingChannel(0.05),
+            BitFlip(0.1),
+            PhaseFlip(0.1),
+            AmplitudeDampingApprox(0.3),
+        ],
+    )
+    def test_kraus_trace_preserving(self, channel):
+        total = sum(k.conj().T @ k for k in channel.kraus_operators())
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            PauliChannel(0.1, 0.2, 0.3),
+            DepolarizingChannel(0.05),
+            BitFlip(0.1),
+            PhaseFlip(0.1),
+            AmplitudeDampingApprox(0.3),
+        ],
+    )
+    def test_channel_is_unital(self, channel):
+        """Every Pauli channel fixes the maximally mixed state."""
+        mixed = np.eye(2, dtype=complex) / 2.0
+        assert np.allclose(channel.apply_to_density_matrix(mixed), mixed, atol=1e-12)
+
+    def test_sample_extremes(self):
+        rng = np.random.default_rng(0)
+        assert PauliChannel(0.0, 0.0, 0.0).sample(rng) is None
+        assert BitFlip(1.0).sample(rng) == "X"
+        assert PhaseFlip(1.0).sample(rng) == "Z"
+        assert PauliChannel(0.0, 1.0, 0.0).sample(rng) == "Y"
+
+    def test_trajectory_average_matches_kraus_map(self):
+        """Trajectory sampling converges to the exact Kraus map.
+
+        ``H|0> = |+>`` has ``<X> = 1``; a depolarizing channel of strength
+        ``p`` scales it to ``1 - 4p/3``.  The trajectory mean must land
+        within 4 standard errors of that analytic value.
+        """
+        p = 0.3
+        model = NoiseModel().add_channel(DepolarizingChannel(p), gates=("h",))
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        observable = PauliSum().add_term(1.0, "X")
+        simulator = StatevectorSimulator()
+        rng = np.random.default_rng(42)
+        samples = 4000
+        mean = np.mean(
+            [
+                observable.expectation(
+                    simulator.run(circuit, noise_model=model, rng=rng)
+                )
+                for _ in range(samples)
+            ]
+        )
+        expected = 1.0 - 4.0 * p / 3.0
+        sigma = np.sqrt((1.0 - expected**2) / samples)
+        assert abs(mean - expected) < 4.0 * sigma
+
+
+# ---------------------------------------------------------------------------
+# apply_pauli
+# ---------------------------------------------------------------------------
+
+class TestApplyPauli:
+    @pytest.mark.parametrize("pauli", ["X", "Y", "Z"])
+    @pytest.mark.parametrize("qubit", [0, 1, 2])
+    def test_matches_dense_gate_up_to_global_phase(self, pauli, qubit):
+        rng = np.random.default_rng(7)
+        amplitudes = rng.normal(size=8) + 1j * rng.normal(size=8)
+        amplitudes /= np.linalg.norm(amplitudes)
+        expected = Statevector(amplitudes.copy(), validate=False)
+        matrix = {
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }[pauli]
+        expected.apply_matrix(matrix, [qubit])
+        actual = apply_pauli(amplitudes.copy(), qubit, pauli)
+        fidelity = abs(np.vdot(expected.data, actual)) ** 2
+        assert fidelity == pytest.approx(1.0, abs=1e-12)
+
+    def test_batch_rows_supported(self):
+        rows = np.array([[1.0, 0.0], [0.0, 1.0]], dtype=complex)
+        apply_pauli(rows, 0, "X")
+        assert np.allclose(rows, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_invalid_arguments(self):
+        state = np.zeros(4, dtype=complex)
+        with pytest.raises(SimulationError):
+            apply_pauli(state, 2, "X")
+        with pytest.raises(SimulationError):
+            apply_pauli(state, 0, "W")
+
+
+# ---------------------------------------------------------------------------
+# NoiseModel
+# ---------------------------------------------------------------------------
+
+class TestNoiseModel:
+    def test_empty_model(self):
+        model = NoiseModel()
+        assert model.is_empty and model.num_rules == 0
+        assert model.sample_errors([("h", (0,))], np.random.default_rng(0)) == []
+
+    def test_rejects_non_channel(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel().add_channel("not a channel")
+
+    def test_gate_filter(self):
+        model = NoiseModel().add_channel(BitFlip(1.0), gates=("cx",))
+        stream = [("h", (0,)), ("cx", (0, 1)), ("rx", (1,))]
+        errors = model.sample_errors(stream, np.random.default_rng(0))
+        assert errors == [(1, 0, "X"), (1, 1, "X")]
+
+    def test_qubit_filter(self):
+        model = NoiseModel().add_qubit_noise(BitFlip(1.0), qubits=(1,))
+        stream = [("h", (0,)), ("cx", (0, 1)), ("rx", (1,))]
+        errors = model.sample_errors(stream, np.random.default_rng(0))
+        assert errors == [(1, 1, "X"), (2, 1, "X")]
+
+    def test_arity_filter(self):
+        model = NoiseModel().add_channel(BitFlip(1.0), arity=2)
+        stream = [("h", (0,)), ("cx", (0, 1)), ("rx", (1,))]
+        errors = model.sample_errors(stream, np.random.default_rng(0))
+        assert errors == [(1, 0, "X"), (1, 1, "X")]
+
+    def test_uniform_depolarizing_defaults(self):
+        model = NoiseModel.uniform_depolarizing(0.001)
+        assert model.num_rules == 2
+        counts = model.expected_error_count([("h", (0,)), ("cx", (0, 1))])
+        # 1q gate: 0.001; 2q gate: 2 qubits x 0.01.
+        assert counts == pytest.approx(0.001 + 2 * 0.01)
+
+    def test_sampling_is_seed_deterministic(self):
+        model = NoiseModel.uniform_depolarizing(0.2)
+        stream = [("h", (q,)) for q in range(4)] + [("cx", (0, 1)), ("cx", (2, 3))]
+        first = model.sample_errors(stream, np.random.default_rng(5))
+        second = model.sample_errors(stream, np.random.default_rng(5))
+        assert first == second
+
+    def test_accepts_circuit_instructions(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        model = NoiseModel().add_channel(BitFlip(1.0))
+        errors = model.sample_errors(circuit, np.random.default_rng(0))
+        assert errors == [(0, 0, "X"), (1, 0, "X"), (1, 1, "X")]
+
+    def test_zero_strength_never_fires(self):
+        model = NoiseModel().add_channel(DepolarizingChannel(0.0))
+        stream = [("h", (q,)) for q in range(8)] * 50
+        assert model.sample_errors(stream, np.random.default_rng(1)) == []
+
+
+# ---------------------------------------------------------------------------
+# Simulator integration
+# ---------------------------------------------------------------------------
+
+class TestNoisySimulation:
+    def test_no_noise_model_is_bit_identical(self):
+        problem = _problem()
+        circuit, values = _bound_circuit(problem, 2)
+        simulator = StatevectorSimulator()
+        plain = simulator.run(circuit, values)
+        with_kwarg = simulator.run(circuit, values, noise_model=None, rng=0)
+        empty = simulator.run(circuit, values, noise_model=NoiseModel(), rng=0)
+        assert np.array_equal(plain.data, with_kwarg.data)
+        assert np.array_equal(plain.data, empty.data)
+
+    def test_certain_bitflip_is_deterministic(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        model = NoiseModel().add_channel(BitFlip(1.0), gates=("cx",), qubits=(1,))
+        state = StatevectorSimulator().run(circuit, noise_model=model, rng=0)
+        assert np.allclose(state.probabilities(), [0.0, 0.5, 0.5, 0.0])
+
+    def test_compiled_matches_generic_for_commuting_placement(self):
+        """Noise on H/RX gates anchors identically on both execution paths."""
+        problem = _problem()
+        circuit, values = _bound_circuit(problem, 2)
+        model = NoiseModel().add_channel(DepolarizingChannel(0.3), gates=("h", "rx"))
+        compiled = StatevectorSimulator().run(circuit, values, noise_model=model, rng=3)
+        generic = StatevectorSimulator(compiled=False).run(
+            circuit, values, noise_model=model, rng=3
+        )
+        assert compiled.fidelity(generic) == pytest.approx(1.0, abs=1e-10)
+
+    def test_noisy_run_does_not_recompile(self):
+        problem = _problem()
+        circuit, values = _bound_circuit(problem, 2)
+        simulator = StatevectorSimulator()
+        simulator.run(circuit, values)
+        program = simulator.compile(circuit)
+        model = NoiseModel.uniform_depolarizing(0.1)
+        simulator.run(circuit, values, noise_model=model, rng=0)
+        assert simulator.compile(circuit) is program
+
+    def test_noise_preserves_normalisation(self):
+        problem = _problem()
+        circuit, values = _bound_circuit(problem, 2)
+        model = NoiseModel.uniform_depolarizing(0.2)
+        state = StatevectorSimulator().run(circuit, values, noise_model=model, rng=9)
+        assert state.is_normalized()
+
+    def test_unknown_instruction_index_raises(self):
+        problem = _problem()
+        circuit, values = _bound_circuit(problem, 1)
+        simulator = StatevectorSimulator()
+        program = simulator.compile(circuit)
+        with pytest.raises(SimulationError):
+            program.noise_anchor(10_000)
+
+    def test_sample_with_noise_model(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        model = NoiseModel().add_channel(BitFlip(1.0), gates=("cx",), qubits=(1,))
+        counts = StatevectorSimulator().sample(circuit, 100, rng=1, noise_model=model)
+        assert set(counts) <= {"01", "10"}
+        assert sum(counts.values()) == 100
+
+
+# ---------------------------------------------------------------------------
+# Fast-backend trajectories and cross-backend parity
+# ---------------------------------------------------------------------------
+
+class TestFastBackendNoise:
+    def test_noisy_statevector_deterministic(self):
+        problem = _problem()
+        evaluator = FastMaxCutEvaluator(problem)
+        model = NoiseModel.uniform_depolarizing(0.05)
+        parameters = QAOAParameters(gammas=(0.4,), betas=(0.3,))
+        first = evaluator.noisy_statevector(parameters, model, rng=2)
+        second = evaluator.noisy_statevector(parameters, model, rng=2)
+        assert np.array_equal(first.data, second.data)
+
+    def test_matches_circuit_backend_trajectory(self):
+        """Same seed, same trajectory on the fast and circuit backends."""
+        problem = _problem()
+        circuit, _ = _bound_circuit(problem, 2)
+        model = NoiseModel.uniform_depolarizing(0.05)
+        parameters = QAOAParameters(gammas=(0.4, 0.1), betas=(0.3, 0.2))
+        for seed in range(4):
+            fast_state = FastMaxCutEvaluator(problem).noisy_statevector(
+                parameters, model, rng=seed
+            )
+            evaluator = ExpectationEvaluator(
+                problem, 2, backend="circuit", noise_model=model,
+                trajectories=1, rng=seed,
+            )
+            fast_value = float(
+                fast_state.probabilities() @ problem.cost_diagonal()
+            )
+            circuit_value = evaluator.expectation(parameters.to_vector())
+            assert fast_value == pytest.approx(circuit_value, abs=1e-9)
+
+    def test_zero_noise_trajectory_equals_exact_state(self):
+        problem = _problem()
+        evaluator = FastMaxCutEvaluator(problem)
+        model = NoiseModel().add_channel(DepolarizingChannel(0.0))
+        parameters = QAOAParameters(gammas=(0.4,), betas=(0.3,))
+        noisy = evaluator.noisy_statevector(parameters, model, rng=0)
+        exact = evaluator.statevector(parameters)
+        assert np.allclose(noisy.data, exact.data, atol=1e-12)
