@@ -1,0 +1,226 @@
+"""Gates and measurements for the density-matrix channel oracle.
+
+Exercises ``repro.quantum.density`` end to end — noiseless agreement with
+the statevector engine, the closed-form depolarizing expectation, the
+density-vs-trajectory convergence that replaces Monte-Carlo
+self-consistency, readout-mitigation recovery, and the runtime of the
+double-sweep compiled path — and appends every measurement to
+``BENCH_density.json`` in the repository root (uploaded by CI as part of
+the ``bench-results`` artifact, like every other ``BENCH_*.json``).
+
+The hard gates mirror the acceptance bar of the subsystem: 1e-12 purity
+agreement for noiseless circuits, 1e-9 against the analytic depolarizing
+formula at n = 6, trajectory means inside a 4-sigma band around the oracle
+(never around their own average), and exact confusion-inversion recovery in
+the infinite-shot limit.
+"""
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.noise_robustness import run_noise_robustness
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.parameters import random_parameters
+from repro.quantum.density import DensityMatrixSimulator
+from repro.quantum.noise import DepolarizingChannel, NoiseModel, ReadoutErrorModel
+from repro.quantum.simulator import StatevectorSimulator
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_density.json"
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_results_json(bench_smoke):
+    """Write every recorded measurement to ``BENCH_density.json``."""
+    yield
+    payload = {
+        "benchmark": "density",
+        "smoke": bool(bench_smoke),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": _RESULTS,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _problem(num_nodes: int) -> MaxCutProblem:
+    return MaxCutProblem(erdos_renyi_graph(num_nodes, 0.5, seed=num_nodes))
+
+
+def _bound_circuit(problem: MaxCutProblem, depth: int):
+    circuit, gammas, betas = build_parametric_qaoa_circuit(problem, depth)
+    values = {g: 0.3 + 0.1 * i for i, g in enumerate(gammas)}
+    values.update({b: 0.2 + 0.05 * i for i, b in enumerate(betas)})
+    return circuit, values
+
+
+def _best_of(repeats: int, func) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_noiseless_density_matches_statevector(bench_smoke):
+    """Both density paths reproduce the pure state projector to 1e-12."""
+    problem = _problem(8)
+    circuit, values = _bound_circuit(problem, 2)
+    state = StatevectorSimulator().run(circuit, values)
+    projector = np.outer(state.data, state.data.conj())
+    diffs = {}
+    for label, compiled in (("compiled", True), ("generic", False)):
+        rho = DensityMatrixSimulator(compiled=compiled).run(circuit, values)
+        diffs[label] = float(np.abs(rho.data - projector).max())
+    _RESULTS["noiseless_projector_max_abs_diff"] = diffs
+    assert all(diff < 1e-12 for diff in diffs.values()), diffs
+
+
+def test_closed_form_depolarizing_expectation(bench_smoke):
+    """The acceptance gate: oracle vs analytic formula to 1e-9 at n = 6.
+
+    Depolarizing strength p after the final RX of every qubit scales each
+    ideal <Z_u Z_v> by (1 - 4p/3)^2, giving a closed form for the noisy cut
+    expectation that the density oracle must hit to 1e-9.
+    """
+    problem = _problem(6)
+    worst = 0.0
+    for p in (0.01, 0.05, 0.2):
+        circuit, gammas, betas = build_parametric_qaoa_circuit(problem, 1)
+        values = {gammas[0]: 0.4, betas[0]: 0.3}
+        ideal = StatevectorSimulator().run(circuit, values).probabilities()
+        eta = 1.0 - 4.0 * p / 3.0
+        indices = np.arange(ideal.size)
+        expected = 0.0
+        for u, v, weight in problem.graph.edges:
+            signs = 1.0 - 2.0 * (((indices >> u) & 1) ^ ((indices >> v) & 1))
+            expected += weight / 2.0 * (1.0 - eta * eta * float(ideal @ signs))
+        model = NoiseModel().add_channel(DepolarizingChannel(p), gates=("rx",))
+        rho = DensityMatrixSimulator().run(circuit, values, noise_model=model)
+        noisy = rho.expectation_diagonal(problem.cost_diagonal())
+        worst = max(worst, abs(noisy - expected))
+    _RESULTS["closed_form_depolarizing_max_abs_err"] = worst
+    assert worst < 1e-9, worst
+
+
+def test_trajectory_mean_converges_to_density_oracle(bench_smoke):
+    """Trajectory averages must centre on the oracle, not on themselves.
+
+    The noise attaches to H/RX gates only, where fused-segment and
+    per-instruction placement coincide, so the compiled trajectory sampler
+    targets exactly the channel the density oracle evaluates.  The gate is a
+    4-sigma band around the *oracle* value — the Monte-Carlo
+    self-consistency bound this subsystem was built to replace.
+    """
+    problem = _problem(6)
+    model = NoiseModel().add_channel(DepolarizingChannel(0.05), gates=("h", "rx"))
+    point = random_parameters(2, 0).to_vector()
+    oracle = ExpectationEvaluator(
+        problem, 2, backend="circuit", density=True, noise_model=model
+    ).expectation(point)
+    trajectories = 300 if bench_smoke else 2000
+    sampler = ExpectationEvaluator(
+        problem, 2, backend="circuit", noise_model=model,
+        trajectories=trajectories, rng=23,
+    )
+    estimate = sampler.expectation(point)
+    diagonal = problem.cost_diagonal()
+    spread = float(diagonal.max() - diagonal.min())
+    sigma = spread / np.sqrt(trajectories)
+    _RESULTS["trajectory_vs_oracle"] = {
+        "trajectories": trajectories,
+        "oracle": oracle,
+        "trajectory_mean": estimate,
+        "abs_diff": abs(estimate - oracle),
+        "sigma_bound": 4.0 * sigma,
+    }
+    assert abs(estimate - oracle) < 4.0 * sigma, (estimate, oracle)
+
+
+def test_readout_mitigation_recovers_exact_value(bench_smoke):
+    """Confusion-inversion must recover the exact expectation identically."""
+    problem = _problem(8)
+    point = random_parameters(2, 4).to_vector()
+    readout = ReadoutErrorModel(8, p0_to_1=0.04, p1_to_0=0.09)
+    exact = ExpectationEvaluator(problem, 2).expectation(point)
+    raw = ExpectationEvaluator(
+        problem, 2, readout_error=readout
+    ).expectation(point)
+    mitigated = ExpectationEvaluator(
+        problem, 2, readout_error=readout, mitigate_readout=True
+    ).expectation(point)
+    _RESULTS["readout_mitigation"] = {
+        "exact": exact,
+        "raw_bias": raw - exact,
+        "mitigated_abs_err": abs(mitigated - exact),
+    }
+    assert abs(raw - exact) > 1e-3  # the corruption is measurable
+    assert abs(mitigated - exact) < 1e-10, (mitigated, exact)
+
+
+def test_density_runtime(bench_smoke):
+    """Measure the double-sweep compiled path against its per-gate baseline.
+
+    The compiled path reuses the engine's fused kernels on both sides of
+    rho; it must not be slower than the dense per-instruction conjugation
+    (the gate is deliberately loose — this is a measurement, not a race).
+    """
+    num_nodes = 6 if bench_smoke else 10
+    problem = _problem(num_nodes)
+    circuit, values = _bound_circuit(problem, 2)
+    compiled = DensityMatrixSimulator(compiled=True)
+    generic = DensityMatrixSimulator(compiled=False)
+    statevector = StatevectorSimulator()
+    compiled.run(circuit, values)  # warm the program cache
+    compiled_time = _best_of(3, lambda: compiled.run(circuit, values))
+    generic_time = _best_of(3, lambda: generic.run(circuit, values))
+    statevector_time = _best_of(3, lambda: statevector.run(circuit, values))
+    _RESULTS["runtime"] = {
+        "num_nodes": num_nodes,
+        "depth": 2,
+        "compiled_ms": compiled_time * 1e3,
+        "generic_ms": generic_time * 1e3,
+        "statevector_ms": statevector_time * 1e3,
+        "compiled_vs_generic_speedup": generic_time / compiled_time,
+    }
+    assert compiled_time < generic_time * 1.5, (compiled_time, generic_time)
+
+
+def test_noise_robustness_readout_sweep(bench_smoke, bench_config):
+    """The ablation grows raw/mitigated rows and accounts every shot."""
+    readout = ReadoutErrorModel(bench_config.num_nodes, p0_to_1=0.06, p1_to_0=0.1)
+    result = run_noise_robustness(
+        bench_config.scaled(max_iterations=150),
+        depth=1,
+        shot_budgets=(64,) if bench_smoke else (64, 512),
+        noise_strengths=(0.0,),
+        num_graphs=2,
+        trajectories=2,
+        readout_error=readout,
+    )
+    rows = [dict(row) for row in result.table]
+    _RESULTS["noise_robustness_readout"] = {
+        "rows": rows,
+        "mitigation_gain_max_shots": result.mitigation_gain(
+            max(row["shots"] for row in rows), 0.0
+        ),
+    }
+    labels = {row["readout"] for row in rows}
+    assert labels == {"raw", "mitigated"}, labels
+    for row in rows:
+        assert 0.0 < row["mean_ar"] <= 1.0 + 1e-9, row
+        assert row["mean_total_shots"] == pytest.approx(
+            row["shots"] * row["mean_fc"]
+        ), row
+    assert np.isfinite(result.mitigation_gain(64, 0.0))

@@ -1,0 +1,101 @@
+"""Readout assignment errors and confusion-matrix-inversion mitigation.
+
+Real devices misreport measurement outcomes: qubit ``q`` reads 1 when it was
+0 with probability ``p0_to_1`` and vice versa.  This example corrupts the
+QAOA cut estimate with a per-qubit :class:`ReadoutErrorModel` and shows how
+much of the bias the standard confusion-matrix-inversion mitigation removes
+at each shot budget — and that in the infinite-shot limit the mitigation
+recovers the exact expectation *identically* (it is an unbiased linear
+estimator; finite shots only add variance, never bias).  Run with::
+
+    python examples/readout_mitigation.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
+"""
+
+import os
+
+import numpy as np
+
+from repro.graphs import MaxCutProblem, erdos_renyi_graph
+from repro.qaoa import ExpectationEvaluator, QAOASolver
+from repro.quantum import ReadoutErrorModel
+from repro.utils.tables import Table
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
+
+def main() -> None:
+    problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=7))
+    depth = 2
+    readout = ReadoutErrorModel(problem.num_qubits, p0_to_1=0.03, p1_to_0=0.08)
+    print(
+        f"Problem: {problem.name}, depth p={depth}\n"
+        f"Readout model: {readout!r}"
+    )
+
+    # Good angles from one exact solve; every estimator below re-measures
+    # this single fixed point so the comparison isolates the readout stage.
+    angles = (
+        QAOASolver("L-BFGS-B", seed=1)
+        .solve(problem, depth, seed=11)
+        .optimal_parameters.to_vector()
+    )
+    exact = ExpectationEvaluator(problem, depth).expectation(angles)
+    print(f"\nExact cut expectation at the optimum: {exact:.6f}")
+
+    # The deterministic infinite-shot limit: corruption shifts the value,
+    # inversion recovers it exactly.
+    raw_limit = ExpectationEvaluator(
+        problem, depth, readout_error=readout
+    ).expectation(angles)
+    mitigated_limit = ExpectationEvaluator(
+        problem, depth, readout_error=readout, mitigate_readout=True
+    ).expectation(angles)
+    print(
+        f"Infinite-shot corrupted value : {raw_limit:.6f} "
+        f"(bias {raw_limit - exact:+.6f})"
+    )
+    print(
+        f"Infinite-shot mitigated value : {mitigated_limit:.6f} "
+        f"(bias {mitigated_limit - exact:+.2e})"
+    )
+
+    shot_budgets = (128, 1024) if SMOKE else (64, 256, 1024, 8192)
+    repeats = 20 if SMOKE else 100
+
+    table = Table(
+        ["shots", "raw_mean", "raw_bias", "mitigated_mean", "mitigated_bias", "mitigated_std"]
+    )
+    for shots in shot_budgets:
+        raw = ExpectationEvaluator(
+            problem, depth, shots=shots, readout_error=readout, rng=5
+        )
+        mitigated = ExpectationEvaluator(
+            problem, depth, shots=shots, readout_error=readout,
+            mitigate_readout=True, rng=5,
+        )
+        raw_estimates = [raw.expectation(angles) for _ in range(repeats)]
+        mitigated_estimates = [mitigated.expectation(angles) for _ in range(repeats)]
+        table.add_row(
+            shots=shots,
+            raw_mean=float(np.mean(raw_estimates)),
+            raw_bias=float(np.mean(raw_estimates) - exact),
+            mitigated_mean=float(np.mean(mitigated_estimates)),
+            mitigated_bias=float(np.mean(mitigated_estimates) - exact),
+            mitigated_std=float(np.std(mitigated_estimates)),
+        )
+
+    print(f"\nMean over {repeats} estimates per shot budget:")
+    print(table.to_text())
+    print(
+        "\nReading guide: raw_bias is the systematic error the assignment "
+        "noise locks in no\nmatter how many shots are spent; mitigated_bias "
+        "shrinks with averaging because\nthe mitigated estimator is "
+        "unbiased — its residual error is pure variance\n(mitigated_std), "
+        "which more shots always reduce."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,12 @@ Angles found under a stochastic oracle are **re-scored with the exact
 evaluator**, so the reported approximation ratio measures the true quality
 of the optimization outcome rather than one noisy readout of it.
 
+Passing a :class:`~repro.quantum.noise.ReadoutErrorModel` additionally
+splits every swept cell into a ``raw`` and a ``mitigated`` row (measurement
+outcomes corrupted by the assignment errors, without and with
+confusion-matrix-inversion mitigation), measuring how much of the lost
+approximation ratio the standard mitigation recovers.
+
 Run from the command line::
 
     PYTHONPATH=src python -m repro.experiments.noise_robustness
@@ -30,7 +36,7 @@ from repro.graphs.ensembles import erdos_renyi_ensemble
 from repro.graphs.maxcut import MaxCutProblem
 from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.solver import QAOASolver
-from repro.quantum.noise import NoiseModel
+from repro.quantum.noise import NoiseModel, ReadoutErrorModel
 from repro.utils.tables import Table
 
 #: Default shot budgets swept by the ablation (per expectation evaluation).
@@ -64,20 +70,36 @@ class NoiseRobustnessResult:
             ]
         )
 
-    def row(self, shots: int, noise_1q: float) -> dict:
-        """The swept row for one (shots, noise strength) combination."""
+    def row(self, shots: int, noise_1q: float, readout: Optional[str] = None) -> dict:
+        """The swept row for one (shots, noise strength) combination.
+
+        *readout* selects among the row labels: ``"none"`` (no readout model
+        swept) or ``"raw"`` / ``"mitigated"`` (readout sweep).  ``None``
+        returns the **first** matching row — the single ``"none"`` row of a
+        sweep without a readout model, but the ``"raw"`` row of a readout
+        sweep; pass an explicit label when comparing across sweep kinds.
+        """
         for entry in self.table:
             if entry["shots"] == shots and entry["noise_1q"] == noise_1q:
-                return entry
-        raise KeyError((shots, noise_1q))
+                if readout is None or entry["readout"] == readout:
+                    return entry
+        raise KeyError((shots, noise_1q, readout))
 
-    def mean_ar(self, shots: int, noise_1q: float) -> float:
+    def mean_ar(self, shots: int, noise_1q: float, readout: Optional[str] = None) -> float:
         """Mean exact-rescored AR for one combination."""
-        return self.row(shots, noise_1q)["mean_ar"]
+        return self.row(shots, noise_1q, readout)["mean_ar"]
 
-    def ar_degradation(self, shots: int, noise_1q: float) -> float:
+    def ar_degradation(
+        self, shots: int, noise_1q: float, readout: Optional[str] = None
+    ) -> float:
         """AR lost relative to the exact-oracle baseline (positive = worse)."""
-        return self.exact_mean_ar - self.mean_ar(shots, noise_1q)
+        return self.exact_mean_ar - self.mean_ar(shots, noise_1q, readout)
+
+    def mitigation_gain(self, shots: int, noise_1q: float) -> float:
+        """AR recovered by readout mitigation (mitigated minus raw row)."""
+        return self.mean_ar(shots, noise_1q, "mitigated") - self.mean_ar(
+            shots, noise_1q, "raw"
+        )
 
 
 def run_noise_robustness(
@@ -89,6 +111,7 @@ def run_noise_robustness(
     num_graphs: int = 3,
     trajectories: int = 4,
     backend: str = "fast",
+    readout_error: Optional[ReadoutErrorModel] = None,
 ) -> NoiseRobustnessResult:
     """Sweep shot budgets x depolarizing strengths against the exact baseline.
 
@@ -111,12 +134,24 @@ def run_noise_robustness(
         Noise trajectories per evaluation when the strength is non-zero.
     backend:
         Expectation backend for every solve (both support shots and noise).
+    readout_error:
+        Optional :class:`~repro.quantum.noise.ReadoutErrorModel`.  When
+        given, every (shots, strength) cell is solved twice — once with the
+        corrupted readout (``readout="raw"``) and once with
+        confusion-matrix-inversion mitigation (``readout="mitigated"``) —
+        so the table exposes how much AR the mitigation recovers.  The model
+        must cover ``config.num_nodes`` qubits.
     """
     if depth < 1:
         raise ConfigurationError(f"depth must be >= 1, got {depth}")
     if not shot_budgets or not noise_strengths:
         raise ConfigurationError("shot_budgets and noise_strengths must be non-empty")
     config = config or ExperimentConfig()
+    if readout_error is not None and readout_error.num_qubits != config.num_nodes:
+        raise ConfigurationError(
+            f"readout model covers {readout_error.num_qubits} qubits, "
+            f"the swept graphs have {config.num_nodes} nodes"
+        )
     graphs = erdos_renyi_ensemble(
         num_graphs,
         num_nodes=config.num_nodes,
@@ -141,10 +176,17 @@ def run_noise_robustness(
     exact_mean_ar = float(np.mean(exact_ars))
     exact_mean_fc = float(np.mean(exact_fcs))
 
+    readout_modes = (
+        [("none", None, False)]
+        if readout_error is None
+        else [("raw", readout_error, False), ("mitigated", readout_error, True)]
+    )
+
     table = Table(
         [
             "shots",
             "noise_1q",
+            "readout",
             "mean_ar",
             "ar_degradation",
             "mean_fc",
@@ -157,36 +199,40 @@ def run_noise_robustness(
             NoiseModel.uniform_depolarizing(noise_1q) if noise_1q > 0.0 else None
         )
         for shots in shot_budgets:
-            solver = QAOASolver(
-                shots=int(shots),
-                noise_model=noise_model,
-                trajectories=trajectories,
-                backend=backend,
-                tolerance=config.tolerance,
-                max_iterations=config.max_iterations,
-                seed=config.seed + 7300,
-            )
-            ars, fcs, budgets = [], [], []
-            for index, problem in enumerate(problems):
-                result = solver.solve(
-                    problem, depth, seed=config.seed + 7400 + index
+            for readout_label, readout_model, mitigate in readout_modes:
+                solver = QAOASolver(
+                    shots=int(shots),
+                    noise_model=noise_model,
+                    trajectories=trajectories,
+                    backend=backend,
+                    readout_error=readout_model,
+                    mitigate_readout=mitigate,
+                    tolerance=config.tolerance,
+                    max_iterations=config.max_iterations,
+                    seed=config.seed + 7300,
                 )
-                # Re-score the returned angles with the exact oracle.
-                true_expectation = exact_evaluators[index].expectation(
-                    result.optimal_parameters.to_vector()
+                ars, fcs, budgets = [], [], []
+                for index, problem in enumerate(problems):
+                    result = solver.solve(
+                        problem, depth, seed=config.seed + 7400 + index
+                    )
+                    # Re-score the returned angles with the exact oracle.
+                    true_expectation = exact_evaluators[index].expectation(
+                        result.optimal_parameters.to_vector()
+                    )
+                    ars.append(problem.approximation_ratio(true_expectation))
+                    fcs.append(result.num_function_calls)
+                    budgets.append(result.num_shots)
+                table.add_row(
+                    shots=int(shots),
+                    noise_1q=float(noise_1q),
+                    readout=readout_label,
+                    mean_ar=float(np.mean(ars)),
+                    ar_degradation=float(exact_mean_ar - np.mean(ars)),
+                    mean_fc=float(np.mean(fcs)),
+                    mean_total_shots=float(np.mean(budgets)),
+                    num_graphs=len(problems),
                 )
-                ars.append(problem.approximation_ratio(true_expectation))
-                fcs.append(result.num_function_calls)
-                budgets.append(result.num_shots)
-            table.add_row(
-                shots=int(shots),
-                noise_1q=float(noise_1q),
-                mean_ar=float(np.mean(ars)),
-                ar_degradation=float(exact_mean_ar - np.mean(ars)),
-                mean_fc=float(np.mean(fcs)),
-                mean_total_shots=float(np.mean(budgets)),
-                num_graphs=len(problems),
-            )
     return NoiseRobustnessResult(
         table=table,
         config=config,

@@ -13,13 +13,21 @@ Both produce identical expectation values; the circuit backend exists to keep
 the reproduction honest (the paper's flow is circuit-level) and as a
 cross-check in the test-suite.
 
-On top of the exact oracle, the evaluator models the two realities of a NISQ
+On top of the exact oracle, the evaluator models the realities of a NISQ
 device (see :mod:`repro.quantum.noise`): a **finite shot budget**
 (``shots=N`` samples N bit-strings per evaluation and averages their cut
-values) and **gate noise** (``noise_model=...`` averages stochastic
-Pauli-trajectories).  Both knobs work on both backends, are deterministic
-for a seeded ``rng``, and leave the default configuration bit-identical to
-the exact evaluator.
+values), **gate noise** (``noise_model=...`` averages stochastic
+Pauli-trajectories), and **readout assignment errors**
+(``readout_error=...`` corrupts the measured distribution, optionally undone
+by ``mitigate_readout=True`` confusion-matrix inversion).  All knobs work on
+both backends, are deterministic for a seeded ``rng``, and leave the default
+configuration bit-identical to the exact evaluator.
+
+``density=True`` (circuit backend only) swaps the trajectory sampler for the
+exact density-matrix oracle of :mod:`repro.quantum.density`: gate noise is
+applied as exact Kraus maps, so ``noise_model`` alone no longer makes the
+evaluator stochastic — the noisy expectation is a deterministic number, and
+non-Pauli channels (true amplitude damping) become representable.
 
 The circuit backend builds its parametric QAOA circuit **once** per evaluator
 and lets the simulator's compiled-program cache re-bind it per evaluation, so
@@ -62,10 +70,12 @@ from repro.graphs.maxcut import MaxCutProblem
 from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
 from repro.qaoa.fast_backend import FastMaxCutEvaluator
 from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.density import DensityMatrixSimulator
 from repro.quantum.engine import BATCH_ELEMENT_BUDGET
 from repro.quantum.noise import (
     DEFAULT_TRAJECTORIES,
     NoiseModel,
+    ReadoutErrorModel,
     ShotEstimator,
     split_shots,
 )
@@ -95,11 +105,26 @@ class ExpectationEvaluator:
     noise_model:
         Optional :class:`~repro.quantum.noise.NoiseModel`.  Each evaluation
         averages *trajectories* stochastic Pauli-error trajectories (and
-        splits the shot budget across them when *shots* is also set).
+        splits the shot budget across them when *shots* is also set) —
+        unless *density* is set, in which case the channels are applied
+        exactly instead of sampled.
     trajectories:
         Number of noise trajectories per evaluation (default
         :data:`~repro.quantum.noise.DEFAULT_TRAJECTORIES`; forced to 1
-        without a noise model).
+        without a noise model and in density mode).
+    density:
+        Evaluate through the exact
+        :class:`~repro.quantum.density.DensityMatrixSimulator` (circuit
+        backend only).  Gate noise becomes a deterministic Kraus map and the
+        noise model may contain non-Pauli channels; *shots* still samples
+        from the exact noisy distribution when given.
+    readout_error:
+        Optional :class:`~repro.quantum.noise.ReadoutErrorModel` corrupting
+        the measured outcome distribution.  Without *shots* the corruption
+        is applied to the exact probabilities (the infinite-shot limit).
+    mitigate_readout:
+        Undo *readout_error* by confusion-matrix inversion before reducing
+        outcomes against the cut diagonal.
     rng:
         Seed or generator driving shot sampling and trajectory noise.  A
         fixed seed makes every stochastic evaluation reproducible.
@@ -114,6 +139,9 @@ class ExpectationEvaluator:
         shots: Optional[int] = None,
         noise_model: Optional[NoiseModel] = None,
         trajectories: Optional[int] = None,
+        density: bool = False,
+        readout_error: Optional[ReadoutErrorModel] = None,
+        mitigate_readout: bool = False,
         rng: RandomState = None,
     ):
         if depth < 1:
@@ -128,28 +156,56 @@ class ExpectationEvaluator:
             raise ConfigurationError(
                 f"trajectories must be >= 1, got {trajectories}"
             )
+        if density and backend != "circuit":
+            raise ConfigurationError(
+                "density=True runs the gate-level circuit exactly and "
+                "requires backend='circuit'"
+            )
+        if mitigate_readout and readout_error is None:
+            raise ConfigurationError(
+                "mitigate_readout requires a readout_error model"
+            )
+        if readout_error is not None and readout_error.num_qubits != problem.num_qubits:
+            raise ConfigurationError(
+                f"readout model covers {readout_error.num_qubits} qubits, "
+                f"the problem has {problem.num_qubits}"
+            )
         self._problem = problem
         self._depth = int(depth)
         self._backend = backend
         if noise_model is not None and noise_model.is_empty:
             noise_model = None
+        if noise_model is not None and not density and not noise_model.is_pauli_only:
+            raise ConfigurationError(
+                "the noise model contains non-Pauli channels, which "
+                "trajectory sampling cannot represent; pass density=True "
+                "(circuit backend) to evaluate them exactly"
+            )
         self._shots = None if shots is None else int(shots)
         self._noise_model = noise_model
-        if noise_model is None:
+        self._density = bool(density)
+        self._readout_error = readout_error
+        self._mitigate_readout = bool(mitigate_readout)
+        if noise_model is None or self._density:
             self._trajectories = 1
         else:
             self._trajectories = int(trajectories or DEFAULT_TRAJECTORIES)
         self._rng = ensure_rng(rng) if self.is_stochastic else None
         self._estimator: Optional[ShotEstimator] = None
         self._stochastic_diagonal: Optional[np.ndarray] = None
-        if self.is_stochastic:
+        if self.is_stochastic or self._density or readout_error is not None:
             self._stochastic_diagonal = problem.cost_diagonal()
             if self._shots is not None:
                 self._estimator = ShotEstimator(
-                    self._stochastic_diagonal, self._shots, rng=self._rng
+                    self._stochastic_diagonal,
+                    self._shots,
+                    rng=self._rng,
+                    readout_error=readout_error,
+                    mitigate_readout=self._mitigate_readout,
                 )
         self._fast: Optional[FastMaxCutEvaluator] = None
         self._simulator: Optional[StatevectorSimulator] = None
+        self._density_simulator: Optional[DensityMatrixSimulator] = None
         self._hamiltonian: Optional[PauliSum] = None
         self._circuit = None
         self._column_order: Optional[np.ndarray] = None
@@ -157,6 +213,17 @@ class ExpectationEvaluator:
             self._fast = FastMaxCutEvaluator(problem)
         else:
             self._simulator = StatevectorSimulator()
+            if self._density:
+                # Raises for registers beyond the density ceiling (~12
+                # qubits) at construction instead of first evaluation.
+                self._density_simulator = DensityMatrixSimulator()
+                if problem.num_qubits > self._density_simulator.max_qubits:
+                    raise ConfigurationError(
+                        f"density=True is limited to "
+                        f"{self._density_simulator.max_qubits} qubits "
+                        f"(the density matrix costs 4^n memory), the problem "
+                        f"has {problem.num_qubits}"
+                    )
             self._hamiltonian = problem.cost_hamiltonian()
             # Build the parametric circuit once; every evaluation re-binds the
             # simulator's compiled program instead of rebuilding circuits.
@@ -206,8 +273,29 @@ class ExpectationEvaluator:
         return self._trajectories
 
     @property
+    def density(self) -> bool:
+        """Whether evaluations run through the exact density-matrix oracle."""
+        return self._density
+
+    @property
+    def readout_error(self) -> Optional[ReadoutErrorModel]:
+        """The attached readout assignment-error model, if any."""
+        return self._readout_error
+
+    @property
+    def mitigate_readout(self) -> bool:
+        """Whether readout corruption is undone by confusion inversion."""
+        return self._mitigate_readout
+
+    @property
     def is_stochastic(self) -> bool:
-        """Whether evaluations involve shot sampling or trajectory noise."""
+        """Whether evaluations involve shot sampling or trajectory noise.
+
+        In density mode gate noise is exact, so only a finite shot budget
+        makes the evaluator stochastic.
+        """
+        if self._density:
+            return self._shots is not None
         return self._shots is not None or self._noise_model is not None
 
     @property
@@ -246,16 +334,60 @@ class ExpectationEvaluator:
         """Cost expectation at the flat parameter vector *vector*.
 
         Exact by default; with ``shots`` and/or ``noise_model`` configured it
-        is the corresponding stochastic estimate (see the class docstring).
+        is the corresponding stochastic estimate (see the class docstring) —
+        except in density mode, where gate noise and readout corruption are
+        deterministic and only a shot budget samples.
         """
         parameters = self._validate(vector)
         self._num_evaluations += 1
+        if self._density:
+            return self._density_estimate(parameters)
         if self.is_stochastic:
             return self._estimate(parameters)
+        if self._readout_error is not None:
+            # Deterministic (infinite-shot) readout corruption of the exact
+            # outcome distribution; with mitigation it recovers the exact
+            # expectation identically.
+            probabilities = self._readout_transform(
+                self._exact_probabilities(parameters)
+            )
+            return float(probabilities @ self._stochastic_diagonal)
         if self._backend == "fast":
             return self._fast.expectation(parameters)
         values = parameters.to_vector()[self._column_order]
         return self._simulator.expectation(self._circuit, self._hamiltonian, values)
+
+    def _exact_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
+        """Exact outcome distribution at one angle set (no noise, no shots)."""
+        if self._backend == "fast":
+            return self._fast.statevector(parameters).probabilities()
+        values = parameters.to_vector()[self._column_order]
+        return self._simulator.run(self._circuit, values).probabilities()
+
+    def _readout_transform(self, probabilities: np.ndarray) -> np.ndarray:
+        """Infinite-shot readout pipeline: corrupt, then optionally invert."""
+        if self._readout_error is None:
+            return probabilities
+        corrupted = self._readout_error.apply(probabilities)
+        if self._mitigate_readout:
+            return self._readout_error.mitigate(corrupted)
+        return corrupted
+
+    def _density_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
+        """Exact noisy outcome distribution through the density oracle."""
+        values = parameters.to_vector()[self._column_order]
+        rho = self._density_simulator.run(
+            self._circuit, values, noise_model=self._noise_model
+        )
+        return rho.probabilities()
+
+    def _density_estimate(self, parameters: QAOAParameters) -> float:
+        """Density-mode evaluation: exact channels, optional shot sampling."""
+        probabilities = self._density_probabilities(parameters)
+        if self._shots is None:
+            probabilities = self._readout_transform(probabilities)
+            return float(probabilities @ self._stochastic_diagonal)
+        return self._estimator.estimate_probabilities(probabilities)
 
     def _trajectory_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
         """Outcome probabilities of one (possibly noisy) trajectory."""
@@ -280,7 +412,9 @@ class ExpectationEvaluator:
         if self._shots is None:
             total = 0.0
             for _ in range(trajectories):
-                probabilities = self._trajectory_probabilities(parameters)
+                probabilities = self._readout_transform(
+                    self._trajectory_probabilities(parameters)
+                )
                 total += float(probabilities @ self._stochastic_diagonal)
             return total / trajectories
         budgets = split_shots(self._shots, trajectories)
@@ -309,7 +443,8 @@ class ExpectationEvaluator:
         probability columns are computed in one batched sweep and each column
         receives an independent multinomial shot draw.  Trajectory noise
         falls back to one estimate per row (each row needs its own error
-        samples).
+        samples), and density mode evaluates one exact density matrix per
+        row (4^n memory per state).
         """
         matrix = np.asarray(params_matrix, dtype=float)
         if matrix.ndim == 1:
@@ -322,7 +457,18 @@ class ExpectationEvaluator:
         self._num_evaluations += matrix.shape[0]
         if matrix.shape[0] == 0:
             return np.zeros(0, dtype=float)
+        if self._density:
+            # The density matrix is 4^n memory per state: one exact
+            # evaluation per row, never a (4^n, batch) sweep.
+            return np.array(
+                [
+                    self._density_estimate(QAOAParameters.from_vector(row))
+                    for row in matrix
+                ]
+            )
         if not self.is_stochastic:
+            if self._readout_error is not None:
+                return self._readout_expectation_batch(matrix)
             if self._backend == "fast":
                 return self._fast.expectation_batch(matrix)
             return self._simulator.expectation_batch(
@@ -330,30 +476,9 @@ class ExpectationEvaluator:
             )
         if self._noise_model is None:
             # Pure finite shots: batched exact amplitudes, per-column draws.
-            # Chunked to the shared element budget like the exact batch
-            # paths — the estimator consumes one probability column at a
-            # time, so there is no reason to materialise the whole
-            # (dim, batch) amplitude matrix at once.
-            dim = 2 ** self._problem.num_qubits
-            chunk = max(1, BATCH_ELEMENT_BUDGET // dim)
             estimates = np.empty(matrix.shape[0], dtype=float)
-            for start in range(0, matrix.shape[0], chunk):
-                block = matrix[start : start + chunk]
-                if self._backend == "fast":
-                    columns = self._fast.statevector_batch(block)
-                    probabilities = columns.real**2 + columns.imag**2
-                else:
-                    # Batch-major rows are the engine's native layout; only
-                    # the cheap real probability matrix is transposed (a
-                    # view), skipping run_batch's full complex-copy
-                    # transpose.
-                    rows = self._simulator._run_batch_rows(
-                        self._circuit, block[:, self._column_order]
-                    )
-                    probabilities = (rows.real**2 + rows.imag**2).T
-                estimates[start : start + chunk] = self._estimator.estimate_batch(
-                    probabilities
-                )
+            for start, stop, rows in self._probability_rows_chunks(matrix):
+                estimates[start:stop] = self._estimator.estimate_batch(rows.T)
             self._trajectories_run += matrix.shape[0]
             return estimates
         return np.array(
@@ -362,6 +487,39 @@ class ExpectationEvaluator:
                 for row in matrix
             ]
         )
+
+    def _probability_rows_chunks(self, matrix: np.ndarray):
+        """Yield ``(start, stop, rows)`` of exact probability rows.
+
+        One batched backend sweep per chunk, chunked to the shared element
+        budget so the whole ``(dim, batch)`` amplitude matrix is never
+        materialised at once; *rows* is batch-major ``(chunk, dim)``.  The
+        circuit backend stays in the engine's native row layout (skipping
+        ``run_batch``'s full complex-copy transpose); the fast backend's
+        columns are transposed as a cheap real-matrix view.
+        """
+        dim = 2 ** self._problem.num_qubits
+        chunk = max(1, BATCH_ELEMENT_BUDGET // dim)
+        for start in range(0, matrix.shape[0], chunk):
+            block = matrix[start : start + chunk]
+            if self._backend == "fast":
+                columns = self._fast.statevector_batch(block)
+                rows = (columns.real**2 + columns.imag**2).T
+            else:
+                amplitude_rows = self._simulator._run_batch_rows(
+                    self._circuit, block[:, self._column_order]
+                )
+                rows = amplitude_rows.real**2 + amplitude_rows.imag**2
+            yield start, start + block.shape[0], rows
+
+    def _readout_expectation_batch(self, matrix: np.ndarray) -> np.ndarray:
+        """Exact batch sweep with infinite-shot readout corruption per row."""
+        results = np.empty(matrix.shape[0], dtype=float)
+        for start, stop, rows in self._probability_rows_chunks(matrix):
+            results[start:stop] = (
+                self._readout_transform(rows) @ self._stochastic_diagonal
+            )
+        return results
 
     def negative_expectation(self, vector: Sequence[float]) -> float:
         """The minimization objective handed to the classical optimizer."""

@@ -49,7 +49,7 @@ from repro.optimizers.spsa import SPSAOptimizer
 from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.parameters import QAOAParameters, parameter_bounds, random_parameters
 from repro.qaoa.result import QAOAResult, RestartRecord
-from repro.quantum.noise import NoiseModel
+from repro.quantum.noise import NoiseModel, ReadoutErrorModel
 from repro.utils.rng import RandomState, ensure_rng
 
 InitialParameters = Union[None, QAOAParameters, Sequence[float]]
@@ -101,10 +101,19 @@ class QAOASolver:
         :attr:`QAOAResult.num_shots`.
     noise_model:
         Optional :class:`~repro.quantum.noise.NoiseModel` applied to every
-        evaluation (*trajectories* stochastic trajectories each).
+        evaluation (*trajectories* stochastic trajectories each, or exactly
+        when *density* is set).
     trajectories:
         Noise trajectories per evaluation (see
         :class:`~repro.qaoa.cost.ExpectationEvaluator`).
+    density:
+        Evaluate through the exact density-matrix oracle (circuit backend
+        only); gate noise then no longer makes the oracle stochastic.
+    readout_error:
+        Optional :class:`~repro.quantum.noise.ReadoutErrorModel` forwarded
+        to every evaluator (measurement assignment errors).
+    mitigate_readout:
+        Apply confusion-matrix-inversion mitigation to the sampled counts.
     """
 
     def __init__(
@@ -120,6 +129,9 @@ class QAOASolver:
         shots: Optional[int] = None,
         noise_model: Optional[NoiseModel] = None,
         trajectories: Optional[int] = None,
+        density: bool = False,
+        readout_error: Optional[ReadoutErrorModel] = None,
+        mitigate_readout: bool = False,
         seed: RandomState = None,
     ):
         if num_restarts < 1:
@@ -134,7 +146,14 @@ class QAOASolver:
             noise_model = None
         self._noise_model = noise_model
         self._trajectories = trajectories
-        stochastic = self._shots is not None or noise_model is not None
+        self._density = bool(density)
+        self._readout_error = readout_error
+        self._mitigate_readout = bool(mitigate_readout)
+        # With the exact density oracle, gate noise is deterministic — only
+        # a finite shot budget needs the noise-tolerant default optimizer.
+        stochastic = self._shots is not None or (
+            noise_model is not None and not self._density
+        )
         # Auto-wired SPSA is rebuilt per solve() seeded from the call-level
         # rng, so an explicit per-solve seed reproduces the whole stochastic
         # run (optimizer perturbations included); these settings are kept to
@@ -200,6 +219,16 @@ class QAOASolver:
         """The noise model applied to every evaluation, if any."""
         return self._noise_model
 
+    @property
+    def density(self) -> bool:
+        """Whether evaluations run through the exact density-matrix oracle."""
+        return self._density
+
+    @property
+    def readout_error(self) -> Optional[ReadoutErrorModel]:
+        """The readout assignment-error model forwarded to evaluators."""
+        return self._readout_error
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -242,6 +271,9 @@ class QAOASolver:
             shots=self._shots,
             noise_model=self._noise_model,
             trajectories=self._trajectories,
+            density=self._density,
+            readout_error=self._readout_error,
+            mitigate_readout=self._mitigate_readout,
             rng=rng,
         )
         bounds = parameter_bounds(depth) if self._use_bounds else None

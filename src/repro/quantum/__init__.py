@@ -8,8 +8,9 @@ This subpackage replaces the QuTiP simulator used in the paper.  It provides:
 * :mod:`repro.quantum.statevector` — the :class:`Statevector` state object,
 * :mod:`repro.quantum.operators` — Pauli-string observables,
 * :mod:`repro.quantum.engine` — the compiled gate-kernel execution engine,
-* :mod:`repro.quantum.noise` — Pauli noise channels and finite-shot estimation,
-* :mod:`repro.quantum.simulator` — the :class:`StatevectorSimulator` engine.
+* :mod:`repro.quantum.noise` — noise channels, readout errors, finite shots,
+* :mod:`repro.quantum.simulator` — the :class:`StatevectorSimulator` engine,
+* :mod:`repro.quantum.density` — the exact density-matrix channel oracle.
 """
 
 from repro.quantum.parameter import Parameter, ParameterExpression, ParameterVector
@@ -19,15 +20,19 @@ from repro.quantum.statevector import Statevector
 from repro.quantum.operators import PauliString, PauliSum
 from repro.quantum.noise import (
     AmplitudeDampingApprox,
+    AmplitudeDampingChannel,
     BitFlip,
     DepolarizingChannel,
     NoiseModel,
     PauliChannel,
     PhaseFlip,
+    QuantumChannel,
+    ReadoutErrorModel,
     ShotEstimator,
 )
 from repro.quantum.engine import CompiledProgram, compile_circuit
 from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.density import DensityMatrix, DensityMatrixSimulator
 
 __all__ = [
     "Parameter",
@@ -41,14 +46,19 @@ __all__ = [
     "Statevector",
     "PauliString",
     "PauliSum",
+    "QuantumChannel",
     "PauliChannel",
     "DepolarizingChannel",
     "BitFlip",
     "PhaseFlip",
     "AmplitudeDampingApprox",
+    "AmplitudeDampingChannel",
+    "ReadoutErrorModel",
     "NoiseModel",
     "ShotEstimator",
     "CompiledProgram",
     "compile_circuit",
     "StatevectorSimulator",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
 ]

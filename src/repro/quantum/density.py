@@ -1,0 +1,493 @@
+"""Exact density-matrix simulation: the channel oracle.
+
+The trajectory subsystem of :mod:`repro.quantum.noise` simulates noise by
+*sampling*: averages converge to the channel result, but only at Monte-Carlo
+rate, so channel bugs below the statistical floor are invisible and non-Pauli
+channels (true amplitude damping) are unrepresentable.  This module closes
+both gaps with a small exact backend:
+
+* :class:`DensityMatrix` — an ``n``-qubit mixed state ``rho`` stored as the
+  dense ``2^n x 2^n`` matrix, with in-place unitary conjugation
+  ``rho -> U rho U^dag`` and exact Kraus-map application
+  ``rho -> sum_k K_k rho K_k^dag``.
+* :class:`DensityMatrixSimulator` — runs the **same**
+  :class:`~repro.quantum.circuit.QuantumCircuit` objects as the statevector
+  path.  Noiseless circuits are evolved through the compiled kernel engine
+  (:class:`~repro.quantum.engine.CompiledProgram`) applied to *both sides*
+  of ``rho`` — two batch-major sweeps, one per side — so the density path
+  reuses the fused diagonal segments and GEMM blocks instead of a per-gate
+  dense dispatch.  With a :class:`~repro.quantum.noise.NoiseModel`, every
+  instruction's matching channels are applied **exactly** (via their Kraus
+  operators) at the same per-instruction anchors the trajectory sampler
+  draws its errors for, making the simulator the deterministic oracle that
+  trajectory averages must converge to.
+
+The register is capped at ``max_qubits`` (default 12): the density matrix
+costs ``4^n`` complex entries (256 MiB at n = 12), which is exactly the
+regime this backend exists for — validating channels and small noisy
+ablations, not production sweeps.
+
+Examples
+--------
+A noiseless run reproduces the pure state exactly:
+
+>>> import numpy as np
+>>> from repro.quantum import QuantumCircuit
+>>> from repro.quantum.density import DensityMatrixSimulator
+>>> bell = QuantumCircuit(2)
+>>> _ = bell.h(0)
+>>> _ = bell.cx(0, 1)
+>>> rho = DensityMatrixSimulator().run(bell)
+>>> [round(float(p), 3) for p in rho.probabilities()]
+[0.5, 0.0, 0.0, 0.5]
+>>> round(rho.purity(), 12)
+1.0
+
+A depolarizing channel degrades the purity deterministically — no sampling,
+no seed:
+
+>>> from repro.quantum.noise import DepolarizingChannel, NoiseModel
+>>> model = NoiseModel().add_channel(DepolarizingChannel(0.2), gates=("cx",))
+>>> noisy = DensityMatrixSimulator().run(bell, noise_model=model)
+>>> noisy.purity() < 1.0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise import NoiseModel, QuantumChannel
+from repro.quantum.operators import PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.statevector import Statevector
+from repro.utils.validation import check_qubit_index
+
+#: Default register ceiling of the density backend (``4^n`` memory).
+DEFAULT_MAX_QUBITS = 12
+
+InitialState = Union["DensityMatrix", Statevector, None]
+
+
+def _apply_left(
+    array: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Left-multiply a ``2^k`` operator onto the row index of ``(dim, dim)``.
+
+    The same moveaxis/GEMM contraction as
+    :meth:`~repro.quantum.statevector.Statevector.apply_matrix`, with the
+    column index of the density matrix riding along as a flattened batch
+    axis.  Returns a fresh contiguous array.
+    """
+    k = len(qubits)
+    axes = [num_qubits - 1 - q for q in qubits]
+    tensor = array.reshape((2,) * num_qubits + (-1,))
+    tensor = np.moveaxis(tensor, axes, range(k))
+    shape = tensor.shape
+    flat = matrix @ tensor.reshape(2**k, -1)
+    tensor = np.moveaxis(flat.reshape(shape), range(k), axes)
+    return np.ascontiguousarray(tensor).reshape(array.shape)
+
+
+class DensityMatrix:
+    """An ``n``-qubit mixed state with exact unitary and Kraus application.
+
+    The matrix element ``rho[i, j]`` is ``<i| rho |j>`` in the computational
+    basis, with qubit 0 the least-significant bit of the basis index — the
+    same convention as :class:`~repro.quantum.statevector.Statevector`.
+    """
+
+    __slots__ = ("_data", "_num_qubits")
+
+    def __init__(self, data, *, copy: bool = True, validate: bool = True):
+        array = np.array(data, dtype=complex, copy=copy)
+        if array.ndim != 2 or array.shape[0] != array.shape[1]:
+            raise SimulationError(
+                f"density matrix must be square, got shape {array.shape}"
+            )
+        size = array.shape[0]
+        num_qubits = size.bit_length() - 1
+        if size == 0 or 2**num_qubits != size:
+            raise SimulationError(
+                f"density-matrix dimension must be a power of two, got {size}"
+            )
+        if validate:
+            if not np.allclose(array, array.conj().T, atol=1e-8):
+                raise SimulationError("density matrix is not Hermitian")
+            if not np.isclose(float(np.trace(array).real), 1.0, atol=1e-8):
+                raise SimulationError("density matrix does not have unit trace")
+        self._data = array
+        self._num_qubits = num_qubits
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        """The pure state ``|0...0><0...0|``."""
+        if num_qubits <= 0:
+            raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
+        data = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+        data[0, 0] = 1.0
+        return cls(data, copy=False, validate=False)
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        """The pure-state projector ``|psi><psi|``."""
+        return cls(np.outer(state.data, state.data.conj()), copy=False, validate=False)
+
+    @classmethod
+    def from_label(cls, label: str) -> "DensityMatrix":
+        """A computational basis projector from a bit-string label (MSB first)."""
+        return cls.from_statevector(Statevector.from_label(label))
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        """The maximally mixed state ``I / 2^n``."""
+        if num_qubits <= 0:
+            raise SimulationError(f"num_qubits must be positive, got {num_qubits}")
+        dim = 2**num_qubits
+        return cls(np.eye(dim, dtype=complex) / dim, copy=False, validate=False)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension (``2**num_qubits``)."""
+        return self._data.shape[0]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw ``(dim, dim)`` matrix (a view; do not mutate)."""
+        return self._data
+
+    def copy(self) -> "DensityMatrix":
+        """An independent copy of the state."""
+        return DensityMatrix(self._data, copy=True, validate=False)
+
+    def trace(self) -> float:
+        """``Tr(rho)`` (1 for a physical state; preserved by every channel)."""
+        return float(np.trace(self._data).real)
+
+    def purity(self) -> float:
+        """``Tr(rho^2)``: 1 for pure states, ``1 / 2^n`` when maximally mixed."""
+        # Tr(rho^2) = sum |rho_ij|^2 for Hermitian rho — no matmul needed.
+        return float(np.sum(self._data.real**2 + self._data.imag**2))
+
+    def is_hermitian(self, atol: float = 1e-9) -> bool:
+        """Whether the matrix equals its conjugate transpose within *atol*."""
+        return bool(np.allclose(self._data, self._data.conj().T, atol=atol))
+
+    # ------------------------------------------------------------------
+    # Evolution
+    # ------------------------------------------------------------------
+    def apply_unitary(self, matrix: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        """Conjugate: ``rho -> U rho U^dag`` on the listed qubits, in place.
+
+        The first entry of *qubits* is the most-significant bit of the
+        operator's sub-space basis (matching :mod:`repro.quantum.gates`).
+        Returns ``self`` for chaining.
+        """
+        matrix = self._check_operator(matrix, qubits)
+        left = _apply_left(self._data, matrix, qubits, self._num_qubits)
+        # (U (U rho)^dag)^dag = (U rho) U^dag — both sides through the same
+        # left-contraction kernel.
+        self._data = _apply_left(
+            left.conj().T, matrix, qubits, self._num_qubits
+        ).conj().T
+        return self
+
+    def apply_kraus(
+        self, operators: Sequence[np.ndarray], qubits: Sequence[int]
+    ) -> "DensityMatrix":
+        """Exact channel application ``rho -> sum_k K_k rho K_k^dag``, in place."""
+        if not len(operators):
+            raise SimulationError("apply_kraus needs at least one operator")
+        total = None
+        for operator in operators:
+            operator = self._check_operator(operator, qubits)
+            left = _apply_left(self._data, operator, qubits, self._num_qubits)
+            term = _apply_left(
+                left.conj().T, operator, qubits, self._num_qubits
+            ).conj().T
+            total = term if total is None else total + term
+        self._data = total
+        return self
+
+    def apply_channel(self, channel: QuantumChannel, qubit: int) -> "DensityMatrix":
+        """Apply a single-qubit :class:`~repro.quantum.noise.QuantumChannel`."""
+        return self.apply_kraus(channel.kraus_operators(), (qubit,))
+
+    def _check_operator(self, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
+        qubits = list(qubits)
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2**k, 2**k):
+            raise SimulationError(
+                f"operator shape {matrix.shape} does not match {k} qubit(s)"
+            )
+        if len(set(qubits)) != k:
+            raise SimulationError(f"duplicate qubits in {qubits}")
+        for qubit in qubits:
+            check_qubit_index(qubit, self._num_qubits)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Measurement statistics
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities: the (clipped) real diagonal of ``rho``."""
+        return np.clip(np.diagonal(self._data).real, 0.0, None)
+
+    def probability(self, bitstring: str) -> float:
+        """Probability of observing the given bit-string (MSB first)."""
+        if len(bitstring) != self._num_qubits or any(ch not in "01" for ch in bitstring):
+            raise SimulationError(
+                f"bitstring must have {self._num_qubits} binary digits, "
+                f"got {bitstring!r}"
+            )
+        return float(self.probabilities()[int(bitstring, 2)])
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation value of a real diagonal observable."""
+        diagonal = np.asarray(diagonal, dtype=float).reshape(-1)
+        if diagonal.size != self.dim:
+            raise SimulationError(
+                f"diagonal length {diagonal.size} does not match dimension {self.dim}"
+            )
+        return float(np.dot(self.probabilities(), diagonal))
+
+    def expectation(self, observable: PauliSum) -> float:
+        """``Tr(rho H)`` for a :class:`~repro.quantum.operators.PauliSum`."""
+        if observable.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"observable acts on {observable.num_qubits} qubits, "
+                f"the state has {self._num_qubits}"
+            )
+        if observable.is_diagonal:
+            return self.expectation_diagonal(observable.z_diagonal_view())
+        # Tr(rho H) with Hermitian rho and H: sum of the elementwise product
+        # of rho^T and H, which avoids the full matmul.
+        return float(np.sum(self._data.T * observable.to_matrix()).real)
+
+    def fidelity_with_statevector(self, state: Statevector) -> float:
+        """``<psi| rho |psi>`` — overlap with a pure reference state."""
+        if state.num_qubits != self._num_qubits:
+            raise SimulationError("fidelity requires equal register sizes")
+        return float(np.real(np.vdot(state.data, self._data @ state.data)))
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"DensityMatrix(num_qubits={self._num_qubits})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DensityMatrix):
+            return NotImplemented
+        return self._num_qubits == other._num_qubits and np.allclose(
+            self._data, other._data
+        )
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable object
+        raise TypeError("DensityMatrix is mutable and unhashable")
+
+
+class DensityMatrixSimulator:
+    """Exact mixed-state simulator: the oracle for every noise channel.
+
+    Runs the same circuits and :class:`~repro.quantum.noise.NoiseModel`
+    objects as :class:`~repro.quantum.simulator.StatevectorSimulator`, but
+    deterministically: channels are applied as exact Kraus maps instead of
+    sampled Pauli trajectories, so there is no ``rng`` anywhere in this
+    class.
+
+    Parameters
+    ----------
+    max_qubits:
+        Register ceiling (default :data:`DEFAULT_MAX_QUBITS`); the density
+        matrix costs ``4^n`` complex entries.
+    compiled:
+        When True (default), **noiseless** circuits evolve through the
+        compiled kernel engine applied to both sides of ``rho`` (two
+        batch-major sweeps, sharing the statevector simulator's program
+        cache).  When False — or whenever a noise model is attached, since
+        exact channels anchor per instruction — every gate is conjugated
+        through the dense per-gate dispatch.
+    """
+
+    def __init__(self, max_qubits: int = DEFAULT_MAX_QUBITS, compiled: bool = True):
+        if max_qubits <= 0:
+            raise SimulationError(f"max_qubits must be positive, got {max_qubits}")
+        self._max_qubits = int(max_qubits)
+        self._compiled = bool(compiled)
+        # Compilation (and its LRU cache keyed on circuit identity+version)
+        # is delegated to a statevector engine instance.
+        self._engine = StatevectorSimulator(max_qubits=max_qubits)
+        self._executed_circuits = 0
+
+    @property
+    def max_qubits(self) -> int:
+        """The largest register this simulator instance will accept."""
+        return self._max_qubits
+
+    @property
+    def compiled(self) -> bool:
+        """Whether noiseless runs use the compiled kernel engine."""
+        return self._compiled
+
+    @property
+    def executed_circuits(self) -> int:
+        """Number of circuit executions performed so far (monotone counter)."""
+        return self._executed_circuits
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values=None,
+        initial_state: InitialState = None,
+        *,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> DensityMatrix:
+        """Execute *circuit* exactly and return the final density matrix.
+
+        Parameters
+        ----------
+        circuit:
+            The circuit to execute (parametric circuits need
+            *parameter_values*, as for the statevector simulator).
+        parameter_values:
+            A ``{Parameter: value}`` mapping or flat value sequence in
+            :attr:`QuantumCircuit.parameters` order.
+        initial_state:
+            A :class:`DensityMatrix`, a pure
+            :class:`~repro.quantum.statevector.Statevector` (promoted to its
+            projector), or ``None`` for ``|0...0><0...0|``.
+        noise_model:
+            Optional :class:`~repro.quantum.noise.NoiseModel`; every
+            matching channel is applied **exactly** (Kraus map) after the
+            instruction it is attached to — the per-instruction placement of
+            the generic trajectory path, with no sampling involved.  Any
+            :class:`~repro.quantum.noise.QuantumChannel` works here,
+            including non-Pauli ones.
+        """
+        self._check_register(circuit)
+        if noise_model is not None and noise_model.is_empty:
+            noise_model = None
+        state = self._initial_matrix(circuit, initial_state)
+        if noise_model is None and self._compiled:
+            result = self._run_compiled(circuit, parameter_values, state)
+        else:
+            result = self._run_generic(circuit, parameter_values, state, noise_model)
+        self._executed_circuits += 1
+        return result
+
+    def _run_compiled(
+        self, circuit: QuantumCircuit, parameter_values, state: np.ndarray
+    ) -> DensityMatrix:
+        """Noiseless fast path: the compiled program on both sides of rho."""
+        program = self._engine.compile(circuit)
+        if program.num_parameters > 0 and parameter_values is None:
+            raise SimulationError(
+                "circuit has unbound parameters and no parameter_values given"
+            )
+        values = program.resolve_bindings(parameter_values)
+        # Rows of rho^T are the columns of rho, so one batch-major sweep
+        # computes (U rho)^T; conjugating and sweeping again applies U to
+        # the other side: conj((U conj(U rho)) ...) == U rho U^dag.
+        left = program.apply(np.ascontiguousarray(state.T), values)
+        right = program.apply(np.ascontiguousarray(left.T.conj()), values)
+        return DensityMatrix(np.conj(right), copy=False, validate=False)
+
+    def _run_generic(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values,
+        state: np.ndarray,
+        noise_model: Optional[NoiseModel],
+    ) -> DensityMatrix:
+        """Per-instruction path: dense conjugation + exact channel anchors."""
+        if circuit.num_parameters > 0:
+            if parameter_values is None:
+                raise SimulationError(
+                    "circuit has unbound parameters and no parameter_values given"
+                )
+            circuit = circuit.bind(parameter_values)
+        rho = DensityMatrix(state, copy=False, validate=False)
+        for instruction in circuit:
+            rho.apply_unitary(instruction.matrix(), instruction.qubits)
+            if noise_model is not None:
+                for channel, qubit in noise_model.channels_for(
+                    instruction.name, instruction.qubits
+                ):
+                    rho.apply_kraus(channel.kraus_operators(), (qubit,))
+        return rho
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable: PauliSum,
+        parameter_values=None,
+        *,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> float:
+        """The exact (noisy) expectation ``Tr(rho(theta) H)``."""
+        if observable.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                f"observable acts on {observable.num_qubits} qubits, "
+                f"circuit has {circuit.num_qubits}"
+            )
+        return self.run(
+            circuit, parameter_values, noise_model=noise_model
+        ).expectation(observable)
+
+    def probabilities(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values=None,
+        *,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> np.ndarray:
+        """Exact outcome distribution of the (noisy) final state."""
+        return self.run(
+            circuit, parameter_values, noise_model=noise_model
+        ).probabilities()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_register(self, circuit: QuantumCircuit) -> None:
+        if circuit.num_qubits > self._max_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, exceeding the "
+                f"density-matrix limit of {self._max_qubits}"
+            )
+
+    def _initial_matrix(
+        self, circuit: QuantumCircuit, initial_state: InitialState
+    ) -> np.ndarray:
+        dim = 2**circuit.num_qubits
+        if initial_state is None:
+            state = np.zeros((dim, dim), dtype=np.complex128)
+            state[0, 0] = 1.0
+            return state
+        if isinstance(initial_state, Statevector):
+            initial_state = DensityMatrix.from_statevector(initial_state)
+        if initial_state.num_qubits != circuit.num_qubits:
+            raise SimulationError(
+                "initial state size does not match the circuit register"
+            )
+        return np.array(initial_state.data, dtype=np.complex128, copy=True)

@@ -16,6 +16,15 @@ the two missing ingredients as a composable subsystem:
   from the state's probability distribution and the cut value is averaged
   over the shots — turning any exact backend into the noisy, budgeted oracle
   a real quantum processor presents to the classical optimizer.
+* **Readout assignment errors** (:class:`ReadoutErrorModel`): per-qubit
+  bit-flip confusion matrices corrupting the measured distribution, plus
+  the standard confusion-matrix-inversion mitigation, both wired through
+  :class:`ShotEstimator`.
+* **General Kraus channels** (:class:`QuantumChannel`,
+  :class:`AmplitudeDampingChannel`): non-Pauli channels that trajectories
+  cannot represent; they are exact on the density-matrix path of
+  :class:`~repro.quantum.density.DensityMatrixSimulator`, which also serves
+  as the closed-form oracle every trajectory average is validated against.
 
 Both knobs plug into :class:`~repro.qaoa.cost.ExpectationEvaluator`
 (``shots=...``, ``noise_model=...``) and from there into
@@ -127,14 +136,97 @@ def apply_pauli(state: np.ndarray, qubit: int, pauli: str) -> np.ndarray:
 # Channels
 # ---------------------------------------------------------------------------
 
-class PauliChannel:
+class QuantumChannel:
+    """A single-qubit CPTP map given by its Kraus operators.
+
+    Base class of every noise channel.  Construction **validates trace
+    preservation** (``sum_k K_k^dagger K_k = I``) so an inconsistent channel
+    fails loudly at build time instead of producing silently unphysical
+    states, and the operator list is frozen (read-only arrays) so the
+    validated channel cannot drift afterwards.
+
+    Sub-classes fall into two families:
+
+    * :class:`PauliChannel` and its presets — representable as stochastic
+      statevector trajectories (:attr:`is_pauli` is True);
+    * general Kraus channels such as :class:`AmplitudeDampingChannel` —
+      exact only on the density-matrix path of
+      :class:`~repro.quantum.density.DensityMatrixSimulator`.
+
+    >>> import numpy as np
+    >>> channel = QuantumChannel([np.eye(2)], name="identity")
+    >>> channel.is_pauli
+    False
+    >>> len(channel.kraus_operators())
+    1
+    """
+
+    _KRAUS_ATOL = 1e-9
+
+    def __init__(self, kraus: Sequence[np.ndarray], *, name: Optional[str] = None):
+        operators = []
+        for operator in kraus:
+            operator = np.array(operator, dtype=complex)
+            if operator.shape != (2, 2):
+                raise ConfigurationError(
+                    f"Kraus operators must be 2x2, got shape {operator.shape}"
+                )
+            if not np.all(np.isfinite(operator)):
+                raise ConfigurationError("Kraus operators must be finite")
+            operator.setflags(write=False)
+            operators.append(operator)
+        if not operators:
+            raise ConfigurationError("a channel needs at least one Kraus operator")
+        completeness = sum(k.conj().T @ k for k in operators)
+        if not np.allclose(completeness, np.eye(2), atol=self._KRAUS_ATOL):
+            raise ConfigurationError(
+                f"Kraus operators are not trace preserving: "
+                f"sum K^dag K = {completeness}"
+            )
+        self._kraus: Tuple[np.ndarray, ...] = tuple(operators)
+        self._name = name or type(self).__name__
+
+    @property
+    def name(self) -> str:
+        """Display name of the channel."""
+        return self._name
+
+    @property
+    def is_pauli(self) -> bool:
+        """Whether the channel is trajectory-samplable (Pauli insertions)."""
+        return False
+
+    def kraus_operators(self) -> List[np.ndarray]:
+        """The channel's Kraus operators (cached, read-only arrays)."""
+        return list(self._kraus)
+
+    def apply_to_density_matrix(self, rho: np.ndarray) -> np.ndarray:
+        """Exact (Kraus-map) action on a single-qubit density matrix.
+
+        A 2x2 reference implementation: the full-register
+        :class:`~repro.quantum.density.DensityMatrix` path and the
+        trajectory sampling are both validated against this map.
+        """
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != (2, 2):
+            raise ConfigurationError(f"expected a 2x2 density matrix, got {rho.shape}")
+        return sum(k @ rho @ k.conj().T for k in self._kraus)
+
+    def __repr__(self) -> str:
+        return f"{self._name}(num_kraus={len(self._kraus)})"
+
+
+class PauliChannel(QuantumChannel):
     """A single-qubit Pauli channel ``rho -> sum_P p_P P rho P``.
 
     Parameters
     ----------
     px, py, pz:
         Probabilities of inserting an ``X``, ``Y`` or ``Z`` error; the
-        identity fires with probability ``1 - px - py - pz``.
+        identity fires with probability ``1 - px - py - pz``.  Validated at
+        construction: negative, non-finite, or ``> 1``-summing probabilities
+        raise :class:`~repro.exceptions.ConfigurationError` immediately
+        instead of silently mis-sampling later.
     name:
         Display name (defaults to the class name).
 
@@ -152,6 +244,10 @@ class PauliChannel:
 
     def __init__(self, px: float, py: float, pz: float, *, name: Optional[str] = None):
         probabilities = (float(px), float(py), float(pz))
+        if not all(np.isfinite(p) for p in probabilities):
+            raise ConfigurationError(
+                f"Pauli probabilities must be finite, got {probabilities}"
+            )
         if any(p < 0.0 for p in probabilities) or sum(probabilities) > 1.0 + 1e-12:
             raise ConfigurationError(
                 f"Pauli probabilities must be non-negative and sum to <= 1, "
@@ -159,12 +255,20 @@ class PauliChannel:
             )
         self._px, self._py, self._pz = probabilities
         self._cumulative = np.cumsum(probabilities)
-        self._name = name or type(self).__name__
+        weights = (1.0 - sum(probabilities), *probabilities)
+        super().__init__(
+            [
+                np.sqrt(weight) * _PAULI_MATRICES[label]
+                for weight, label in zip(weights, "IXYZ")
+                if weight > 0.0
+            ],
+            name=name,
+        )
 
     @property
-    def name(self) -> str:
-        """Display name of the channel."""
-        return self._name
+    def is_pauli(self) -> bool:
+        """Pauli channels are always trajectory-samplable."""
+        return True
 
     @property
     def error_probability(self) -> float:
@@ -193,26 +297,6 @@ class PauliChannel:
         if uniform < self._cumulative[1]:
             return "Y"
         return "Z"
-
-    def kraus_operators(self) -> List[np.ndarray]:
-        """The channel's Kraus operators ``sqrt(p_P) * P`` (including I)."""
-        weights = (1.0 - self.error_probability, self._px, self._py, self._pz)
-        return [
-            np.sqrt(weight) * _PAULI_MATRICES[label]
-            for weight, label in zip(weights, "IXYZ")
-            if weight > 0.0
-        ]
-
-    def apply_to_density_matrix(self, rho: np.ndarray) -> np.ndarray:
-        """Exact (Kraus-map) action on a single-qubit density matrix.
-
-        A 2x2 reference implementation used to validate the trajectory
-        sampling: trajectory averages converge to this map.
-        """
-        rho = np.asarray(rho, dtype=complex)
-        if rho.shape != (2, 2):
-            raise ConfigurationError(f"expected a 2x2 density matrix, got {rho.shape}")
-        return sum(k @ rho @ k.conj().T for k in self.kraus_operators())
 
     def __repr__(self) -> str:
         return (
@@ -277,6 +361,50 @@ class AmplitudeDampingApprox(PauliChannel):
         return self._gamma
 
 
+class AmplitudeDampingChannel(QuantumChannel):
+    """True (non-twirled) amplitude damping with rate ``gamma``.
+
+    The exact energy-relaxation channel with Kraus operators
+
+    .. math::
+
+        K_0 = \\begin{pmatrix} 1 & 0 \\\\ 0 & \\sqrt{1-\\gamma} \\end{pmatrix},
+        \\qquad
+        K_1 = \\begin{pmatrix} 0 & \\sqrt{\\gamma} \\\\ 0 & 0 \\end{pmatrix}.
+
+    It is **not** a Pauli channel (it is not even unital: it drives every
+    state towards ``|0>``), so it cannot be sampled as Pauli statevector
+    trajectories — attaching it to a :class:`NoiseModel` restricts that
+    model to the exact density-matrix path
+    (:class:`~repro.quantum.density.DensityMatrixSimulator`).  The Pauli
+    twirl :class:`AmplitudeDampingApprox` remains the trajectory-friendly
+    surrogate with the same Pauli-transfer diagonal.
+
+    >>> channel = AmplitudeDampingChannel(0.2)
+    >>> channel.is_pauli
+    False
+    >>> len(channel.kraus_operators())
+    2
+    """
+
+    def __init__(self, gamma: float):
+        gamma = float(gamma)
+        if not 0.0 <= gamma <= 1.0:
+            raise ConfigurationError(f"gamma must lie in [0, 1], got {gamma}")
+        damp = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]], dtype=complex)
+        jump = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=complex)
+        super().__init__([damp, jump] if gamma > 0.0 else [damp])
+        self._gamma = gamma
+
+    @property
+    def gamma(self) -> float:
+        """The damping rate."""
+        return self._gamma
+
+    def __repr__(self) -> str:
+        return f"{self._name}(gamma={self._gamma:.4g})"
+
+
 # ---------------------------------------------------------------------------
 # Noise model
 # ---------------------------------------------------------------------------
@@ -328,25 +456,31 @@ class NoiseModel:
     # -- construction ----------------------------------------------------
     def add_channel(
         self,
-        channel: PauliChannel,
+        channel: QuantumChannel,
         *,
         gates: Optional[Iterable[str]] = None,
         qubits: Optional[Iterable[int]] = None,
         arity: Optional[int] = None,
     ) -> "NoiseModel":
-        """Attach *channel* with the given filters; returns ``self``."""
-        if not isinstance(channel, PauliChannel):
+        """Attach *channel* with the given filters; returns ``self``.
+
+        Any :class:`QuantumChannel` is accepted; attaching a non-Pauli
+        channel (e.g. :class:`AmplitudeDampingChannel`) restricts the model
+        to the exact density-matrix path — trajectory sampling through
+        :meth:`sample_errors` then raises.
+        """
+        if not isinstance(channel, QuantumChannel):
             raise ConfigurationError(
-                f"channel must be a PauliChannel, got {type(channel).__name__}"
+                f"channel must be a QuantumChannel, got {type(channel).__name__}"
             )
         self._rules.append(_NoiseRule(channel, gates, qubits, arity))
         return self
 
-    def add_gate_noise(self, channel: PauliChannel, gates: Iterable[str]) -> "NoiseModel":
+    def add_gate_noise(self, channel: QuantumChannel, gates: Iterable[str]) -> "NoiseModel":
         """Attach *channel* to every operand qubit of the named gates."""
         return self.add_channel(channel, gates=gates)
 
-    def add_qubit_noise(self, channel: PauliChannel, qubits: Iterable[int]) -> "NoiseModel":
+    def add_qubit_noise(self, channel: QuantumChannel, qubits: Iterable[int]) -> "NoiseModel":
         """Attach *channel* to the listed qubits after every gate touching them."""
         return self.add_channel(channel, qubits=qubits)
 
@@ -381,6 +515,22 @@ class NoiseModel:
         """Whether the model attaches no channels at all."""
         return not self._rules
 
+    @property
+    def is_pauli_only(self) -> bool:
+        """Whether every attached channel is trajectory-samplable."""
+        return all(rule.channel.is_pauli for rule in self._rules)
+
+    def _require_pauli_only(self) -> None:
+        offenders = sorted(
+            {rule.channel.name for rule in self._rules if not rule.channel.is_pauli}
+        )
+        if offenders:
+            raise SimulationError(
+                f"channels {offenders} are not Pauli channels and cannot be "
+                f"sampled as statevector trajectories; run this model through "
+                f"the exact DensityMatrixSimulator instead"
+            )
+
     def __repr__(self) -> str:
         return f"NoiseModel(num_rules={len(self._rules)})"
 
@@ -406,6 +556,7 @@ class NoiseModel:
         """
         if not self._rules:
             return []
+        self._require_pauli_only()
         generator = ensure_rng(rng)
         errors: List[PauliError] = []
         for index, operation in enumerate(operations):
@@ -419,12 +570,190 @@ class NoiseModel:
 
     def expected_error_count(self, operations) -> float:
         """Mean number of Pauli insertions per trajectory over a stream."""
+        self._require_pauli_only()
         total = 0.0
         for operation in operations:
             name, qubits = self._operation(operation)
             for rule in self._rules:
                 total += rule.channel.error_probability * len(rule.targets(name, qubits))
         return total
+
+    def channels_for(self, name: str, qubits: Sequence[int]):
+        """Yield every ``(channel, qubit)`` firing on one gate operation.
+
+        The exact counterpart of :meth:`sample_errors`: the density-matrix
+        simulator applies each yielded channel's Kraus map to the yielded
+        qubit, in the **same rule-major order** the trajectory sampler draws
+        its uniforms, so the two paths realise the same per-instruction
+        anchors.
+        """
+        for rule in self._rules:
+            for qubit in rule.targets(name, qubits):
+                yield rule.channel, int(qubit)
+
+
+# ---------------------------------------------------------------------------
+# Readout (assignment) errors and their mitigation
+# ---------------------------------------------------------------------------
+
+class ReadoutErrorModel:
+    """Per-qubit measurement assignment errors and their inversion.
+
+    Models the classical bit-flip noise of the readout stage: qubit ``q``
+    reads ``1`` when it was ``0`` with probability ``p0_to_1[q]`` and reads
+    ``0`` when it was ``1`` with probability ``p1_to_0[q]``, independently
+    across qubits.  The single-qubit assignment (confusion) matrix is
+    column-stochastic::
+
+        A_q = [[1 - p0_to_1, p1_to_0],
+               [p0_to_1,     1 - p1_to_0]]   # A[measured, true]
+
+    and the full register confusion matrix is the Kronecker product over
+    qubits.  :meth:`apply` pushes a true outcome distribution through the
+    confusion matrices (one strided pass per qubit — the full ``4^n`` matrix
+    is never built); :meth:`mitigate` applies the standard
+    confusion-matrix-inversion mitigation, which **exactly** recovers the
+    true distribution in the infinite-shot limit and is the unbiased linear
+    estimator at finite shots (where it may return quasi-probabilities with
+    small negative entries — pass ``clip=True`` to project back onto the
+    simplex when a proper distribution is required).
+
+    >>> import numpy as np
+    >>> readout = ReadoutErrorModel(2, p0_to_1=0.1, p1_to_0=0.05)
+    >>> true = np.array([0.5, 0.0, 0.0, 0.5])
+    >>> corrupted = readout.apply(true)
+    >>> bool(np.allclose(readout.mitigate(corrupted), true))
+    True
+    """
+
+    def __init__(self, num_qubits: int, *, p0_to_1=0.0, p1_to_0=0.0):
+        if num_qubits < 1:
+            raise ConfigurationError(f"num_qubits must be >= 1, got {num_qubits}")
+        self._num_qubits = int(num_qubits)
+        self._p0_to_1 = self._broadcast("p0_to_1", p0_to_1)
+        self._p1_to_0 = self._broadcast("p1_to_0", p1_to_0)
+        # Per-qubit inverse assignment matrices, built on first mitigate()
+        # (lazily, so apply-only use of a singular model stays legal).
+        self._inverses: Optional[List[np.ndarray]] = None
+
+    def _broadcast(self, label: str, values) -> np.ndarray:
+        array = np.asarray(values, dtype=float).reshape(-1)
+        if array.size == 1:
+            array = np.full(self._num_qubits, float(array[0]))
+        if array.size != self._num_qubits:
+            raise ConfigurationError(
+                f"{label} must be a scalar or one value per qubit "
+                f"({self._num_qubits}), got {array.size}"
+            )
+        if not np.all(np.isfinite(array)) or np.any(array < 0.0) or np.any(array > 1.0):
+            raise ConfigurationError(
+                f"{label} entries must be probabilities in [0, 1], got {array}"
+            )
+        return array
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Register size the model describes."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Length of the outcome distributions (``2**num_qubits``)."""
+        return 1 << self._num_qubits
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether every assignment is perfect (no corruption at all)."""
+        return not (self._p0_to_1.any() or self._p1_to_0.any())
+
+    def flip_probabilities(self, qubit: int) -> Tuple[float, float]:
+        """The ``(p0_to_1, p1_to_0)`` pair of one qubit."""
+        return (float(self._p0_to_1[qubit]), float(self._p1_to_0[qubit]))
+
+    def assignment_matrix(self, qubit: int) -> np.ndarray:
+        """The 2x2 column-stochastic confusion matrix ``A[measured, true]``."""
+        a, b = self.flip_probabilities(qubit)
+        return np.array([[1.0 - a, b], [a, 1.0 - b]], dtype=float)
+
+    def confusion_matrix(self) -> np.ndarray:
+        """The full ``2^n x 2^n`` confusion matrix (small registers only)."""
+        if self._num_qubits > 12:
+            raise ConfigurationError(
+                "the dense confusion matrix is limited to 12 qubits; "
+                "use apply()/mitigate() which never build it"
+            )
+        matrix = np.ones((1, 1), dtype=float)
+        for qubit in range(self._num_qubits - 1, -1, -1):
+            matrix = np.kron(matrix, self.assignment_matrix(qubit))
+        return matrix
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadoutErrorModel(num_qubits={self._num_qubits}, "
+            f"mean_p0_to_1={float(self._p0_to_1.mean()):.4g}, "
+            f"mean_p1_to_0={float(self._p1_to_0.mean()):.4g})"
+        )
+
+    # -- application -----------------------------------------------------
+    def _transform(self, probabilities: np.ndarray, matrices) -> np.ndarray:
+        result = np.array(probabilities, dtype=float)
+        if result.shape[-1] != self.dim:
+            raise SimulationError(
+                f"distribution length {result.shape[-1]} does not match the "
+                f"{self._num_qubits}-qubit readout model"
+            )
+        for qubit, matrix in enumerate(matrices):
+            view = result.reshape(
+                result.shape[:-1] + (self.dim >> (qubit + 1), 2, 1 << qubit)
+            )
+            zero = view[..., 0, :].copy()
+            one = view[..., 1, :]
+            view[..., 0, :] = matrix[0, 0] * zero + matrix[0, 1] * one
+            view[..., 1, :] = matrix[1, 0] * zero + matrix[1, 1] * one
+        return result
+
+    def apply(self, probabilities: np.ndarray) -> np.ndarray:
+        """Corrupt a true outcome distribution into the measured one.
+
+        *probabilities* has the outcome dimension on its **last** axis (a
+        ``(dim,)`` vector or stacked rows); returns a new array.
+        """
+        return self._transform(
+            probabilities,
+            (self.assignment_matrix(q) for q in range(self._num_qubits)),
+        )
+
+    def mitigate(self, probabilities: np.ndarray, *, clip: bool = False) -> np.ndarray:
+        """Invert the confusion matrices on a measured distribution.
+
+        The inverse is applied qubit by qubit (each 2x2 inverse, never the
+        dense ``2^n`` inverse); the inverses are computed once and cached on
+        the (immutable) model.  Raises
+        :class:`~repro.exceptions.SimulationError` when a qubit's assignment
+        matrix is singular (``p0_to_1 + p1_to_0 == 1``: the readout carries
+        no information about that qubit).
+        """
+        if self._inverses is None:
+            inverses = []
+            for qubit in range(self._num_qubits):
+                matrix = self.assignment_matrix(qubit)
+                determinant = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+                if abs(determinant) < 1e-12:
+                    raise SimulationError(
+                        f"assignment matrix of qubit {qubit} is singular "
+                        f"(p0_to_1 + p1_to_0 = 1); mitigation is impossible"
+                    )
+                inverses.append(np.linalg.inv(matrix))
+            self._inverses = inverses
+        mitigated = self._transform(probabilities, self._inverses)
+        if clip:
+            mitigated = np.clip(mitigated, 0.0, None)
+            totals = mitigated.sum(axis=-1, keepdims=True)
+            # A distribution clipped to all-zeros cannot be renormalised;
+            # it cannot occur from mitigate(apply(p)) of a distribution.
+            mitigated = mitigated / np.where(totals == 0.0, 1.0, totals)
+        return mitigated
 
 
 # ---------------------------------------------------------------------------
@@ -451,6 +780,15 @@ class ShotEstimator:
         Number of measurement samples per estimate.
     rng:
         Seed or generator consumed by every estimate.
+    readout_error:
+        Optional :class:`ReadoutErrorModel`: measurement outcomes are drawn
+        from the **corrupted** distribution, as a real device reports them.
+        ``None`` (default) keeps the sampling bit-identical to before.
+    mitigate_readout:
+        Apply confusion-matrix-inversion mitigation to the sampled counts
+        before reducing them against the diagonal (requires
+        *readout_error*).  The mitigated estimator is unbiased: it recovers
+        the true expectation exactly in the infinite-shot limit.
 
     >>> import numpy as np
     >>> from repro.quantum.statevector import Statevector
@@ -460,7 +798,15 @@ class ShotEstimator:
     True
     """
 
-    def __init__(self, diagonal: np.ndarray, shots: int, *, rng: RandomState = None):
+    def __init__(
+        self,
+        diagonal: np.ndarray,
+        shots: int,
+        *,
+        rng: RandomState = None,
+        readout_error: Optional[ReadoutErrorModel] = None,
+        mitigate_readout: bool = False,
+    ):
         diagonal = np.asarray(diagonal, dtype=float).reshape(-1)
         if diagonal.size == 0 or diagonal.size & (diagonal.size - 1):
             raise ConfigurationError(
@@ -468,9 +814,20 @@ class ShotEstimator:
             )
         if shots < 1:
             raise ConfigurationError(f"shots must be >= 1, got {shots}")
+        if mitigate_readout and readout_error is None:
+            raise ConfigurationError(
+                "mitigate_readout requires a readout_error model"
+            )
+        if readout_error is not None and readout_error.dim != diagonal.size:
+            raise ConfigurationError(
+                f"readout model covers {readout_error.num_qubits} qubits, "
+                f"the diagonal has {diagonal.size} entries"
+            )
         self._diagonal = diagonal
         self._shots = int(shots)
         self._rng = ensure_rng(rng)
+        self._readout_error = readout_error
+        self._mitigate_readout = bool(mitigate_readout)
         self._shots_used = 0
 
     @property
@@ -488,19 +845,33 @@ class ShotEstimator:
         """The observable diagonal (a view; do not mutate)."""
         return self._diagonal
 
+    @property
+    def readout_error(self) -> Optional[ReadoutErrorModel]:
+        """The attached readout model, if any."""
+        return self._readout_error
+
+    @property
+    def mitigate_readout(self) -> bool:
+        """Whether sampled counts are mitigated before the reduction."""
+        return self._mitigate_readout
+
     def estimate(self, state: Statevector, shots: Optional[int] = None) -> float:
         """Finite-shot estimate of the observable in *state*.
 
         Samples bit-strings through
         :meth:`~repro.quantum.statevector.Statevector.sample_counts` and
-        averages the diagonal entries of the observed outcomes.
+        averages the diagonal entries of the observed outcomes.  With a
+        *readout_error* attached, the outcomes are drawn from the corrupted
+        distribution instead (and mitigated when requested).
         """
-        shots = self._shots if shots is None else int(shots)
         if state.dim != self._diagonal.size:
             raise SimulationError(
                 f"state dimension {state.dim} does not match the "
                 f"{self._diagonal.size}-entry diagonal"
             )
+        if self._readout_error is not None:
+            return self.estimate_probabilities(state.probabilities(), shots)
+        shots = self._shots if shots is None else int(shots)
         counts = state.sample_counts(shots, rng=self._rng)
         self._shots_used += shots
         total = sum(
@@ -516,11 +887,17 @@ class ShotEstimator:
 
         Uses one multinomial draw over the distribution — the same outcome
         law as :meth:`estimate`, but cheaper for batch consumers that already
-        hold probability columns.
+        hold probability columns.  An attached *readout_error* corrupts the
+        distribution before the draw; *mitigate_readout* then inverts the
+        confusion matrices on the **empirical frequencies** (the standard,
+        unbiased linear mitigation) before the diagonal reduction.
         """
         shots = self._shots if shots is None else int(shots)
         counts = self._sample_counts_vector(probabilities, shots)
         self._shots_used += shots
+        if self._mitigate_readout:
+            frequencies = self._readout_error.mitigate(counts / shots)
+            return float(frequencies @ self._diagonal)
         return float(counts @ self._diagonal) / shots
 
     def estimate_batch(self, probability_columns: np.ndarray) -> np.ndarray:
@@ -548,6 +925,10 @@ class ShotEstimator:
         # amplitude squares before handing the vector to the multinomial.
         probabilities = np.clip(probabilities, 0.0, None)
         probabilities = probabilities / probabilities.sum()
+        if self._readout_error is not None:
+            # The confusion matrices are column-stochastic, so the corrupted
+            # vector stays a normalised distribution.
+            probabilities = self._readout_error.apply(probabilities)
         return self._rng.multinomial(shots, probabilities)
 
 

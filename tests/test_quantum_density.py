@@ -1,0 +1,620 @@
+"""Tests for the exact density-matrix channel oracle (repro.quantum.density).
+
+Covers the :class:`DensityMatrix` state object, the
+:class:`DensityMatrixSimulator` (compiled double-sweep and per-instruction
+paths), exactness against the statevector simulator and against closed-form
+channel results, the true :class:`AmplitudeDampingChannel`, readout
+assignment errors + confusion-matrix-inversion mitigation, and the
+``density=True`` mode of :class:`~repro.qaoa.cost.ExpectationEvaluator`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix, DensityMatrixSimulator
+from repro.quantum.noise import (
+    AmplitudeDampingApprox,
+    AmplitudeDampingChannel,
+    BitFlip,
+    DepolarizingChannel,
+    NoiseModel,
+    PauliChannel,
+    PhaseFlip,
+    ReadoutErrorModel,
+    ShotEstimator,
+    apply_pauli,
+)
+from repro.quantum.operators import PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.statevector import Statevector
+
+
+def _problem(seed: int = 3, nodes: int = 6) -> MaxCutProblem:
+    return MaxCutProblem(erdos_renyi_graph(nodes, 0.5, seed=seed))
+
+
+def _bound_circuit(problem: MaxCutProblem, depth: int):
+    circuit, gammas, betas = build_parametric_qaoa_circuit(problem, depth)
+    values = {g: 0.3 + 0.1 * i for i, g in enumerate(gammas)}
+    values.update({b: 0.2 + 0.05 * i for i, b in enumerate(betas)})
+    return circuit, values
+
+
+ALL_CHANNELS = [
+    PauliChannel(0.1, 0.2, 0.3),
+    DepolarizingChannel(0.05),
+    BitFlip(0.1),
+    PhaseFlip(0.1),
+    AmplitudeDampingApprox(0.3),
+    AmplitudeDampingChannel(0.3),
+]
+
+
+# ---------------------------------------------------------------------------
+# DensityMatrix
+# ---------------------------------------------------------------------------
+
+class TestDensityMatrix:
+    def test_constructors(self):
+        zero = DensityMatrix.zero_state(2)
+        assert zero.num_qubits == 2 and zero.dim == 4
+        assert zero.trace() == pytest.approx(1.0)
+        assert zero.purity() == pytest.approx(1.0)
+
+        labelled = DensityMatrix.from_label("10")
+        assert labelled.probability("10") == pytest.approx(1.0)
+
+        mixed = DensityMatrix.maximally_mixed(3)
+        assert mixed.purity() == pytest.approx(1.0 / 8.0)
+        assert mixed.trace() == pytest.approx(1.0)
+
+        state = Statevector.uniform_superposition(2)
+        rho = DensityMatrix.from_statevector(state)
+        assert np.allclose(rho.data, np.full((4, 4), 0.25))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.zeros((3, 3), dtype=complex))  # not a power of two
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.zeros(4, dtype=complex))  # not square
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.eye(2, dtype=complex))  # trace 2
+        skew = np.array([[0.5, 1j], [2j, 0.5]])
+        with pytest.raises(SimulationError):
+            DensityMatrix(skew)  # not Hermitian
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(0)
+        with pytest.raises(TypeError):
+            hash(DensityMatrix.zero_state(1))
+
+    def test_apply_unitary_matches_statevector(self):
+        rng = np.random.default_rng(5)
+        amplitudes = rng.normal(size=8) + 1j * rng.normal(size=8)
+        amplitudes /= np.linalg.norm(amplitudes)
+        state = Statevector(amplitudes.copy(), validate=False)
+        rho = DensityMatrix.from_statevector(state)
+        h = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2.0)
+        cx = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+        )
+        state.apply_matrix(h, [1]).apply_matrix(cx, [2, 0])
+        rho.apply_unitary(h, [1]).apply_unitary(cx, [2, 0])
+        assert np.allclose(
+            rho.data, np.outer(state.data, state.data.conj()), atol=1e-12
+        )
+
+    def test_apply_unitary_validation(self):
+        rho = DensityMatrix.zero_state(2)
+        with pytest.raises(SimulationError):
+            rho.apply_unitary(np.eye(2), [0, 1])  # shape mismatch
+        with pytest.raises(SimulationError):
+            rho.apply_unitary(np.eye(4), [0, 0])  # duplicate qubits
+        with pytest.raises(SimulationError):
+            rho.apply_kraus([], (0,))
+
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_kraus_application_preserves_trace_and_hermiticity(self, channel):
+        rng = np.random.default_rng(11)
+        amplitudes = rng.normal(size=4) + 1j * rng.normal(size=4)
+        amplitudes /= np.linalg.norm(amplitudes)
+        rho = DensityMatrix.from_statevector(Statevector(amplitudes, validate=False))
+        rho.apply_channel(channel, 1)
+        assert rho.trace() == pytest.approx(1.0, abs=1e-12)
+        assert rho.is_hermitian()
+
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_full_register_channel_matches_2x2_reference(self, channel):
+        """apply_kraus on a 1-qubit register equals the channel's own map."""
+        rng = np.random.default_rng(7)
+        amplitudes = rng.normal(size=2) + 1j * rng.normal(size=2)
+        amplitudes /= np.linalg.norm(amplitudes)
+        rho = DensityMatrix.from_statevector(Statevector(amplitudes, validate=False))
+        reference = channel.apply_to_density_matrix(rho.data)
+        rho.apply_channel(channel, 0)
+        assert np.allclose(rho.data, reference, atol=1e-12)
+
+    def test_expectation_diagonal_and_pauli_sum(self):
+        problem = _problem(nodes=4)
+        state = Statevector.uniform_superposition(4)
+        rho = DensityMatrix.from_statevector(state)
+        diagonal = problem.cost_diagonal()
+        expected = float(state.probabilities() @ diagonal)
+        assert rho.expectation_diagonal(diagonal) == pytest.approx(expected)
+        hamiltonian = problem.cost_hamiltonian()
+        assert rho.expectation(hamiltonian) == pytest.approx(expected)
+
+    def test_expectation_non_diagonal_observable(self):
+        observable = PauliSum().add_term(1.0, "X")
+        plus = DensityMatrix.from_statevector(
+            Statevector(np.array([1.0, 1.0]) / np.sqrt(2.0))
+        )
+        assert plus.expectation(observable) == pytest.approx(1.0)
+        assert DensityMatrix.zero_state(1).expectation(observable) == pytest.approx(0.0)
+        with pytest.raises(SimulationError):
+            DensityMatrix.zero_state(2).expectation(observable)
+
+    def test_fidelity_with_statevector(self):
+        state = Statevector.uniform_superposition(2)
+        assert DensityMatrix.from_statevector(state).fidelity_with_statevector(
+            state
+        ) == pytest.approx(1.0)
+        assert DensityMatrix.maximally_mixed(2).fidelity_with_statevector(
+            state
+        ) == pytest.approx(0.25)
+
+
+# ---------------------------------------------------------------------------
+# Channels (true amplitude damping and Kraus completeness)
+# ---------------------------------------------------------------------------
+
+class TestChannels:
+    @pytest.mark.parametrize("channel", ALL_CHANNELS, ids=lambda c: c.name)
+    def test_kraus_completeness(self, channel):
+        total = sum(k.conj().T @ k for k in channel.kraus_operators())
+        assert np.allclose(total, np.eye(2), atol=1e-12)
+
+    def test_amplitude_damping_action(self):
+        gamma = 0.4
+        channel = AmplitudeDampingChannel(gamma)
+        excited = np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex)
+        damped = channel.apply_to_density_matrix(excited)
+        assert np.allclose(damped, [[gamma, 0.0], [0.0, 1.0 - gamma]], atol=1e-12)
+        # |0><0| is the fixed point; the channel is NOT unital.
+        ground = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)
+        assert np.allclose(channel.apply_to_density_matrix(ground), ground)
+        mixed = np.eye(2, dtype=complex) / 2.0
+        assert not np.allclose(channel.apply_to_density_matrix(mixed), mixed)
+
+    def test_amplitude_damping_full_decay(self):
+        channel = AmplitudeDampingChannel(1.0)
+        excited = np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex)
+        assert np.allclose(
+            channel.apply_to_density_matrix(excited), [[1.0, 0.0], [0.0, 0.0]]
+        )
+
+    def test_amplitude_damping_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmplitudeDampingChannel(-0.1)
+        with pytest.raises(ConfigurationError):
+            AmplitudeDampingChannel(1.5)
+        assert not AmplitudeDampingChannel(0.2).is_pauli
+        assert AmplitudeDampingApprox(0.2).is_pauli
+
+    def test_trajectory_sampling_rejects_non_pauli(self):
+        model = NoiseModel().add_channel(AmplitudeDampingChannel(0.1))
+        assert not model.is_pauli_only
+        with pytest.raises(SimulationError):
+            model.sample_errors([("h", (0,))], np.random.default_rng(0))
+        with pytest.raises(SimulationError):
+            model.expected_error_count([("h", (0,))])
+
+    def test_kraus_operators_are_cached_and_read_only(self):
+        channel = DepolarizingChannel(0.1)
+        first = channel.kraus_operators()
+        second = channel.kraus_operators()
+        assert all(a is b for a, b in zip(first, second))
+        with pytest.raises(ValueError):
+            first[0][0, 0] = 99.0
+
+
+# ---------------------------------------------------------------------------
+# DensityMatrixSimulator
+# ---------------------------------------------------------------------------
+
+class TestDensityMatrixSimulator:
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_noiseless_matches_statevector_to_1e12(self, compiled):
+        problem = _problem()
+        circuit, values = _bound_circuit(problem, 2)
+        state = StatevectorSimulator().run(circuit, values)
+        rho = DensityMatrixSimulator(compiled=compiled).run(circuit, values)
+        projector = np.outer(state.data, state.data.conj())
+        assert np.abs(rho.data - projector).max() < 1e-12
+        assert rho.purity() == pytest.approx(1.0, abs=1e-10)
+
+    def test_compiled_and_generic_paths_agree(self):
+        problem = _problem(seed=5)
+        circuit, values = _bound_circuit(problem, 3)
+        compiled = DensityMatrixSimulator(compiled=True).run(circuit, values)
+        generic = DensityMatrixSimulator(compiled=False).run(circuit, values)
+        assert np.abs(compiled.data - generic.data).max() < 1e-12
+
+    def test_parametric_binding_and_errors(self):
+        problem = _problem(nodes=4)
+        circuit, _ = _bound_circuit(problem, 1)
+        simulator = DensityMatrixSimulator()
+        with pytest.raises(SimulationError):
+            simulator.run(circuit)  # unbound parameters
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator(compiled=False).run(circuit)
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator(max_qubits=2).run(circuit, [0.1] * 2)
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator(max_qubits=0)
+
+    def test_initial_state_variants(self):
+        bell = QuantumCircuit(2)
+        bell.h(0)
+        bell.cx(0, 1)
+        simulator = DensityMatrixSimulator()
+        from_default = simulator.run(bell)
+        from_statevector = simulator.run(bell, initial_state=Statevector.zero_state(2))
+        from_density = simulator.run(bell, initial_state=DensityMatrix.zero_state(2))
+        assert np.allclose(from_default.data, from_statevector.data)
+        assert np.allclose(from_default.data, from_density.data)
+        with pytest.raises(SimulationError):
+            simulator.run(bell, initial_state=Statevector.zero_state(3))
+        assert simulator.executed_circuits == 3
+
+    def test_certain_bitflip_matches_deterministic_trajectory(self):
+        bell = QuantumCircuit(2)
+        bell.h(0)
+        bell.cx(0, 1)
+        model = NoiseModel().add_channel(BitFlip(1.0), gates=("cx",), qubits=(1,))
+        trajectory = StatevectorSimulator().run(bell, noise_model=model, rng=0)
+        rho = DensityMatrixSimulator().run(bell, noise_model=model)
+        assert np.allclose(
+            rho.data,
+            np.outer(trajectory.data, trajectory.data.conj()),
+            atol=1e-12,
+        )
+
+    def test_exact_trajectory_mean_equals_oracle(self):
+        """Enumerating the 4 Pauli patterns reproduces the oracle exactly.
+
+        One depolarizing site => the trajectory distribution has exactly four
+        outcomes (I, X, Y, Z) with known weights.  The probability-weighted
+        trajectory mean must equal the density-matrix result to 1e-12 — an
+        *exact* trajectory-vs-oracle statement with no Monte-Carlo bound.
+        """
+        p = 0.3
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        observable = PauliSum().add_term(1.0, "X")
+        model = NoiseModel().add_channel(DepolarizingChannel(p), gates=("h",))
+        plus = StatevectorSimulator().run(circuit).data
+        mean = (1.0 - p) * 1.0  # identity pattern: <+|X|+> = 1
+        for pauli in "XYZ":
+            errored = apply_pauli(plus.copy(), 0, pauli)
+            state = Statevector(errored, copy=False, validate=False)
+            mean += (p / 3.0) * observable.expectation(state)
+        oracle = DensityMatrixSimulator().run(circuit, noise_model=model)
+        assert oracle.expectation(observable) == pytest.approx(mean, abs=1e-12)
+        # And the closed form: depolarizing scales <X> by 1 - 4p/3.
+        assert oracle.expectation(observable) == pytest.approx(
+            1.0 - 4.0 * p / 3.0, abs=1e-12
+        )
+
+    def test_closed_form_depolarizing_expectation(self):
+        """n = 6 oracle vs the analytic depolarizing formula, to 1e-9.
+
+        A depolarizing channel of strength p after the final RX of each
+        qubit (depth 1: the last gate touching every qubit) scales each
+        <Z_u Z_v> by eta^2 with eta = 1 - 4p/3, so the noisy cut expectation
+        has a closed form in terms of the ideal state.
+        """
+        problem = _problem()
+        p = 0.07
+        circuit, gammas, betas = build_parametric_qaoa_circuit(problem, 1)
+        values = {gammas[0]: 0.4, betas[0]: 0.3}
+        ideal = StatevectorSimulator().run(circuit, values).probabilities()
+        eta = 1.0 - 4.0 * p / 3.0
+        indices = np.arange(ideal.size)
+        expected = 0.0
+        for u, v, weight in problem.graph.edges:
+            signs = 1.0 - 2.0 * (((indices >> u) & 1) ^ ((indices >> v) & 1))
+            expected += weight / 2.0 * (1.0 - eta * eta * float(ideal @ signs))
+        model = NoiseModel().add_channel(DepolarizingChannel(p), gates=("rx",))
+        rho = DensityMatrixSimulator().run(circuit, values, noise_model=model)
+        noisy = rho.expectation_diagonal(problem.cost_diagonal())
+        assert noisy == pytest.approx(expected, abs=1e-9)
+
+    def test_purity_decays_monotonically_with_depolarizing_strength(self):
+        problem = _problem(nodes=4)
+        circuit, values = _bound_circuit(problem, 1)
+        simulator = DensityMatrixSimulator()
+        purities = []
+        for strength in (0.0, 0.01, 0.05, 0.2):
+            model = NoiseModel.uniform_depolarizing(strength) if strength else None
+            rho = simulator.run(circuit, values, noise_model=model)
+            purities.append(rho.purity())
+        assert purities[0] == pytest.approx(1.0, abs=1e-10)
+        assert all(a > b for a, b in zip(purities, purities[1:]))
+
+    def test_amplitude_damping_drives_towards_ground_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        model = NoiseModel().add_channel(AmplitudeDampingChannel(1.0))
+        rho = DensityMatrixSimulator().run(circuit, noise_model=model)
+        # Full damping after every gate collapses everything onto |00>.
+        assert rho.probability("00") == pytest.approx(1.0, abs=1e-12)
+
+    def test_expectation_and_probabilities_entry_points(self):
+        problem = _problem(nodes=4)
+        circuit, values = _bound_circuit(problem, 1)
+        simulator = DensityMatrixSimulator()
+        hamiltonian = problem.cost_hamiltonian()
+        direct = simulator.expectation(circuit, hamiltonian, values)
+        via_run = simulator.run(circuit, values).expectation(hamiltonian)
+        assert direct == pytest.approx(via_run, abs=1e-12)
+        probabilities = simulator.probabilities(circuit, values)
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-10)
+        with pytest.raises(SimulationError):
+            simulator.expectation(
+                QuantumCircuit(2), hamiltonian, None
+            )  # observable/register mismatch
+
+
+# ---------------------------------------------------------------------------
+# Readout errors and mitigation
+# ---------------------------------------------------------------------------
+
+class TestReadoutErrorModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReadoutErrorModel(0)
+        with pytest.raises(ConfigurationError):
+            ReadoutErrorModel(2, p0_to_1=-0.1)
+        with pytest.raises(ConfigurationError):
+            ReadoutErrorModel(2, p0_to_1=1.5)
+        with pytest.raises(ConfigurationError):
+            ReadoutErrorModel(2, p0_to_1=[0.1, 0.2, 0.3])  # wrong length
+        assert ReadoutErrorModel(2).is_trivial
+        assert not ReadoutErrorModel(2, p0_to_1=0.01).is_trivial
+
+    def test_assignment_and_confusion_matrices(self):
+        readout = ReadoutErrorModel(2, p0_to_1=[0.1, 0.2], p1_to_0=[0.05, 0.0])
+        matrix = readout.assignment_matrix(0)
+        assert np.allclose(matrix, [[0.9, 0.05], [0.1, 0.95]])
+        assert readout.flip_probabilities(1) == (0.2, 0.0)
+        confusion = readout.confusion_matrix()
+        assert confusion.shape == (4, 4)
+        assert np.allclose(confusion.sum(axis=0), 1.0)  # column-stochastic
+        # Dense confusion matrix equals the per-qubit strided application.
+        rng = np.random.default_rng(4)
+        distribution = rng.random(4)
+        distribution /= distribution.sum()
+        assert np.allclose(
+            confusion @ distribution, readout.apply(distribution), atol=1e-14
+        )
+
+    def test_mitigation_round_trip_is_exact(self):
+        readout = ReadoutErrorModel(4, p0_to_1=0.03, p1_to_0=0.08)
+        rng = np.random.default_rng(9)
+        distribution = rng.random(16)
+        distribution /= distribution.sum()
+        corrupted = readout.apply(distribution)
+        assert not np.allclose(corrupted, distribution)
+        recovered = readout.mitigate(corrupted)
+        assert np.abs(recovered - distribution).max() < 1e-12
+
+    def test_mitigation_clip_projects_to_simplex(self):
+        readout = ReadoutErrorModel(1, p0_to_1=0.2)
+        # A frequency vector that inverts to a negative quasi-probability.
+        frequencies = np.array([1.0, 0.0])
+        mitigated = readout.mitigate(frequencies, clip=True)
+        assert np.all(mitigated >= 0.0)
+        assert mitigated.sum() == pytest.approx(1.0)
+
+    def test_singular_assignment_raises_on_mitigate(self):
+        readout = ReadoutErrorModel(1, p0_to_1=0.5, p1_to_0=0.5)
+        corrupted = readout.apply(np.array([0.3, 0.7]))
+        with pytest.raises(SimulationError):
+            readout.mitigate(corrupted)
+
+    def test_dimension_mismatch(self):
+        readout = ReadoutErrorModel(2, p0_to_1=0.1)
+        with pytest.raises(SimulationError):
+            readout.apply(np.ones(8) / 8.0)
+
+
+class TestReadoutThroughShotEstimator:
+    def test_validation(self):
+        diagonal = np.arange(4.0)
+        with pytest.raises(ConfigurationError):
+            ShotEstimator(diagonal, shots=10, mitigate_readout=True)
+        with pytest.raises(ConfigurationError):
+            ShotEstimator(
+                diagonal, shots=10, readout_error=ReadoutErrorModel(3, p0_to_1=0.1)
+            )
+
+    def test_corrupted_sampling_is_seed_deterministic(self):
+        problem = _problem(nodes=4)
+        state = Statevector.uniform_superposition(4)
+        readout = ReadoutErrorModel(4, p0_to_1=0.05, p1_to_0=0.02)
+        values = [
+            ShotEstimator(
+                problem.cost_diagonal(), shots=200, rng=3, readout_error=readout
+            ).estimate(state)
+            for _ in range(2)
+        ]
+        assert values[0] == values[1]
+
+    def test_mitigated_estimator_is_unbiased(self):
+        """Mitigated finite-shot estimates centre on the true expectation.
+
+        The confusion-inversion estimator is linear in the empirical
+        frequencies, hence exactly unbiased: the mean over many seeded
+        estimates must approach the *true* (uncorrupted) expectation, while
+        the raw corrupted estimator keeps a systematic offset.
+        """
+        problem = _problem(nodes=4)
+        # A state concentrated on a high-cut assignment: readout flips move
+        # probability towards worse cuts, so the corruption has a clear sign
+        # (the uniform superposition would be nearly readout-invariant).
+        diagonal = problem.cost_diagonal()
+        state = Statevector.from_label(format(int(np.argmax(diagonal)), "04b"))
+        truth = float(state.probabilities() @ diagonal)
+        readout = ReadoutErrorModel(4, p0_to_1=0.15, p1_to_0=0.1)
+        corrupted_truth = float(readout.apply(state.probabilities()) @ diagonal)
+        assert abs(corrupted_truth - truth) > 0.05  # the corruption is visible
+
+        shots, repeats = 400, 200
+        raw = ShotEstimator(diagonal, shots=shots, rng=7, readout_error=readout)
+        mitigated = ShotEstimator(
+            diagonal, shots=shots, rng=7, readout_error=readout, mitigate_readout=True
+        )
+        raw_mean = np.mean([raw.estimate(state) for _ in range(repeats)])
+        mitigated_mean = np.mean([mitigated.estimate(state) for _ in range(repeats)])
+        sigma = np.std(diagonal) / np.sqrt(shots * repeats)
+        assert abs(mitigated_mean - truth) < 6.0 * sigma
+        assert abs(raw_mean - corrupted_truth) < 6.0 * sigma
+        assert abs(raw_mean - truth) > 3.0 * sigma  # raw stays biased
+
+
+# ---------------------------------------------------------------------------
+# ExpectationEvaluator density mode
+# ---------------------------------------------------------------------------
+
+class TestEvaluatorDensityMode:
+    def test_requires_circuit_backend(self):
+        with pytest.raises(ConfigurationError):
+            ExpectationEvaluator(_problem(), 1, density=True)
+
+    def test_non_pauli_model_requires_density(self):
+        model = NoiseModel().add_channel(AmplitudeDampingChannel(0.1))
+        with pytest.raises(ConfigurationError):
+            ExpectationEvaluator(_problem(), 1, backend="circuit", noise_model=model)
+        evaluator = ExpectationEvaluator(
+            _problem(), 1, backend="circuit", noise_model=model, density=True
+        )
+        assert np.isfinite(evaluator.expectation([0.4, 0.3]))
+
+    def test_noiseless_density_matches_exact_oracle(self):
+        problem = _problem()
+        point = [0.4, 0.1, 0.3, 0.2]
+        exact = ExpectationEvaluator(problem, 2).expectation(point)
+        density = ExpectationEvaluator(
+            problem, 2, backend="circuit", density=True
+        ).expectation(point)
+        assert density == pytest.approx(exact, abs=1e-12)
+
+    def test_noisy_density_is_deterministic(self):
+        problem = _problem()
+        model = NoiseModel.uniform_depolarizing(0.02)
+        point = [0.4, 0.1, 0.3, 0.2]
+        evaluators = [
+            ExpectationEvaluator(
+                problem, 2, backend="circuit", density=True, noise_model=model
+            )
+            for _ in range(2)
+        ]
+        values = [e.expectation(point) for e in evaluators]
+        assert values[0] == values[1]
+        assert not evaluators[0].is_stochastic
+        assert evaluators[0].trajectories == 1
+
+    def test_trajectory_average_converges_to_density_mode(self):
+        """Trajectory estimates centre on the density evaluation, not on
+        their own self-consistency: the density value is computed through a
+        completely independent (Kraus) code path."""
+        problem = _problem(nodes=5)
+        model = NoiseModel().add_channel(DepolarizingChannel(0.08), gates=("rx", "h"))
+        point = [0.5, 0.3]
+        oracle = ExpectationEvaluator(
+            problem, 1, backend="circuit", density=True, noise_model=model
+        ).expectation(point)
+        sampler = ExpectationEvaluator(
+            problem, 1, backend="circuit", noise_model=model, trajectories=600, rng=17
+        )
+        diagonal = problem.cost_diagonal()
+        spread = float(diagonal.max() - diagonal.min())
+        estimate = sampler.expectation(point)
+        assert abs(estimate - oracle) < 4.0 * spread / np.sqrt(600)
+
+    def test_density_with_shots_is_seed_deterministic(self):
+        problem = _problem(nodes=5)
+        model = NoiseModel.uniform_depolarizing(0.01)
+        point = [0.5, 0.3]
+        values = [
+            ExpectationEvaluator(
+                problem, 1, backend="circuit", density=True,
+                noise_model=model, shots=256, rng=9,
+            ).expectation(point)
+            for _ in range(2)
+        ]
+        assert values[0] == values[1]
+
+    def test_density_batch_matches_scalar(self):
+        problem = _problem(nodes=5)
+        model = NoiseModel.uniform_depolarizing(0.02)
+        matrix = np.array([[0.4, 0.3], [0.1, 0.2], [0.7, 0.5]])
+        batch = ExpectationEvaluator(
+            problem, 1, backend="circuit", density=True, noise_model=model
+        ).expectation_batch(matrix)
+        scalar = [
+            ExpectationEvaluator(
+                problem, 1, backend="circuit", density=True, noise_model=model
+            ).expectation(row)
+            for row in matrix
+        ]
+        assert np.allclose(batch, scalar, atol=1e-12)
+
+    def test_density_register_ceiling(self):
+        problem = _problem(seed=1, nodes=13)
+        with pytest.raises(ConfigurationError):
+            ExpectationEvaluator(problem, 1, backend="circuit", density=True)
+
+    @pytest.mark.parametrize("backend", ["fast", "circuit"])
+    def test_readout_mitigation_recovers_exact_expectation(self, backend):
+        """Infinite-shot limit: corrupt + invert == exact, to fp accuracy."""
+        problem = _problem()
+        point = [0.4, 0.1, 0.3, 0.2]
+        readout = ReadoutErrorModel(6, p0_to_1=0.04, p1_to_0=0.07)
+        exact = ExpectationEvaluator(problem, 2, backend=backend).expectation(point)
+        raw = ExpectationEvaluator(
+            problem, 2, backend=backend, readout_error=readout
+        ).expectation(point)
+        mitigated = ExpectationEvaluator(
+            problem, 2, backend=backend, readout_error=readout, mitigate_readout=True
+        ).expectation(point)
+        assert abs(raw - exact) > 1e-3  # corruption is visible
+        assert mitigated == pytest.approx(exact, abs=1e-10)
+
+    def test_readout_batch_matches_scalar(self):
+        problem = _problem()
+        readout = ReadoutErrorModel(6, p0_to_1=0.04, p1_to_0=0.07)
+        matrix = np.array([[0.4, 0.1, 0.3, 0.2], [0.1, 0.2, 0.3, 0.4]])
+        for backend in ("fast", "circuit"):
+            evaluator = ExpectationEvaluator(
+                problem, 2, backend=backend, readout_error=readout
+            )
+            batch = evaluator.expectation_batch(matrix)
+            scalar = [evaluator.expectation(row) for row in matrix]
+            assert np.allclose(batch, scalar, atol=1e-12)
+
+    def test_readout_validation(self):
+        problem = _problem()
+        with pytest.raises(ConfigurationError):
+            ExpectationEvaluator(problem, 1, mitigate_readout=True)
+        with pytest.raises(ConfigurationError):
+            ExpectationEvaluator(
+                problem, 1, readout_error=ReadoutErrorModel(5, p0_to_1=0.1)
+            )

@@ -11,6 +11,7 @@ from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.fast_backend import FastMaxCutEvaluator
 from repro.qaoa.parameters import QAOAParameters
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrixSimulator
 from repro.quantum.noise import (
     AmplitudeDampingApprox,
     BitFlip,
@@ -51,6 +52,18 @@ class TestChannels:
             PauliChannel(-0.1, 0.0, 0.0)
         with pytest.raises(ConfigurationError):
             PauliChannel(0.5, 0.4, 0.3)
+        with pytest.raises(ConfigurationError):
+            PauliChannel(float("nan"), 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            DepolarizingChannel(1.2)  # shares sum to 1.2 > 1
+
+    def test_kraus_operators_cached(self):
+        """kraus_operators() is built once at construction and re-served."""
+        channel = PauliChannel(0.1, 0.2, 0.3)
+        first = channel.kraus_operators()
+        second = channel.kraus_operators()
+        assert len(first) == 4
+        assert all(a is b for a, b in zip(first, second))
 
     def test_depolarizing_splits_evenly(self):
         channel = DepolarizingChannel(0.03)
@@ -108,21 +121,84 @@ class TestChannels:
         assert PhaseFlip(1.0).sample(rng) == "Z"
         assert PauliChannel(0.0, 1.0, 0.0).sample(rng) == "Y"
 
-    def test_trajectory_average_matches_kraus_map(self):
-        """Trajectory sampling converges to the exact Kraus map.
+    def test_exact_trajectory_mean_matches_density_oracle(self):
+        """The *exact* trajectory mean equals the density oracle to 1e-12.
 
-        ``H|0> = |+>`` has ``<X> = 1``; a depolarizing channel of strength
-        ``p`` scales it to ``1 - 4p/3``.  The trajectory mean must land
-        within 4 standard errors of that analytic value.
+        With a single depolarizing site the trajectory distribution has
+        exactly four outcomes (I, X, Y, Z); enumerating them with their
+        probabilities gives the exact trajectory mean — no Monte-Carlo bound
+        involved — which must coincide with both the independent Kraus-map
+        (density-matrix) evaluation and the analytic value ``1 - 4p/3``.
         """
         p = 0.3
         model = NoiseModel().add_channel(DepolarizingChannel(p), gates=("h",))
         circuit = QuantumCircuit(1)
         circuit.h(0)
         observable = PauliSum().add_term(1.0, "X")
+        plus = StatevectorSimulator().run(circuit).data
+        mean = (1.0 - p) * 1.0  # identity pattern: <+|X|+> = 1
+        for pauli in "XYZ":
+            errored = apply_pauli(plus.copy(), 0, pauli)
+            mean += (p / 3.0) * observable.expectation(
+                Statevector(errored, copy=False, validate=False)
+            )
+        oracle = DensityMatrixSimulator().run(circuit, noise_model=model)
+        assert mean == pytest.approx(oracle.expectation(observable), abs=1e-12)
+        assert mean == pytest.approx(1.0 - 4.0 * p / 3.0, abs=1e-12)
+
+    def test_multi_site_trajectory_mean_matches_density_oracle(self):
+        """Exhaustive pattern enumeration on two noise sites, to 1e-12.
+
+        Two bit-flip sites => four error patterns with separable weights.
+        The weighted trajectory mean over all patterns must equal the exact
+        density-matrix evolution of the same noise model.
+        """
+        p1, p2 = 0.2, 0.35
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        model = (
+            NoiseModel()
+            .add_channel(BitFlip(p1), gates=("h",))
+            .add_channel(BitFlip(p2), gates=("cx",), qubits=(1,))
+        )
+        problem_diagonal = np.array([0.0, 1.0, 1.0, 2.0])
+        ideal = StatevectorSimulator()
+        mean = 0.0
+        for fire_h, weight_h in ((False, 1.0 - p1), (True, p1)):
+            for fire_cx, weight_cx in ((False, 1.0 - p2), (True, p2)):
+                errors = []
+                if fire_h:
+                    errors.append((0, 0, "X"))
+                if fire_cx:
+                    errors.append((1, 1, "X"))
+                program = ideal.compile(circuit)
+                state = np.zeros(4, dtype=np.complex128)
+                state[0] = 1.0
+                final = program.apply(state, None, errors=errors)
+                probabilities = final.real**2 + final.imag**2
+                mean += weight_h * weight_cx * float(probabilities @ problem_diagonal)
+        oracle = DensityMatrixSimulator().run(circuit, noise_model=model)
+        assert mean == pytest.approx(
+            oracle.expectation_diagonal(problem_diagonal), abs=1e-12
+        )
+
+    def test_trajectory_average_converges_to_oracle_smoke(self):
+        """One statistical smoke check kept: sampled trajectories centre on
+        the density oracle (not on Monte-Carlo self-consistency)."""
+        p = 0.3
+        model = NoiseModel().add_channel(DepolarizingChannel(p), gates=("h",))
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        observable = PauliSum().add_term(1.0, "X")
+        oracle = (
+            DensityMatrixSimulator()
+            .run(circuit, noise_model=model)
+            .expectation(observable)
+        )
         simulator = StatevectorSimulator()
         rng = np.random.default_rng(42)
-        samples = 4000
+        samples = 800
         mean = np.mean(
             [
                 observable.expectation(
@@ -131,9 +207,8 @@ class TestChannels:
                 for _ in range(samples)
             ]
         )
-        expected = 1.0 - 4.0 * p / 3.0
-        sigma = np.sqrt((1.0 - expected**2) / samples)
-        assert abs(mean - expected) < 4.0 * sigma
+        sigma = np.sqrt((1.0 - oracle**2) / samples)
+        assert abs(mean - oracle) < 4.0 * sigma
 
 
 # ---------------------------------------------------------------------------

@@ -23,7 +23,12 @@ from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.fast_backend import FastMaxCutEvaluator
 from repro.qaoa.parameters import QAOAParameters
 from repro.qaoa.solver import QAOASolver
-from repro.quantum.noise import NoiseModel, ShotEstimator, split_shots
+from repro.quantum.noise import (
+    NoiseModel,
+    ReadoutErrorModel,
+    ShotEstimator,
+    split_shots,
+)
 from repro.quantum.statevector import Statevector
 
 
@@ -327,6 +332,40 @@ class TestStochasticSolver:
         ).solve(problem, 1)
         assert result.initialization == "screened"
         assert result.num_shots == 32 * result.num_function_calls
+
+    def test_solver_forwards_readout_error(self):
+        """Readout corruption + mitigation thread through the whole solve."""
+        problem = _problem()
+        readout = ReadoutErrorModel(problem.num_qubits, p0_to_1=0.05, p1_to_0=0.02)
+        for mitigate in (False, True):
+            solver = QAOASolver(
+                shots=64,
+                readout_error=readout,
+                mitigate_readout=mitigate,
+                seed=0,
+            )
+            assert solver.readout_error is readout
+            first = solver.solve(problem, 1, seed=21)
+            second = QAOASolver(
+                shots=64, readout_error=readout, mitigate_readout=mitigate, seed=0
+            ).solve(problem, 1, seed=21)
+            assert first.optimal_expectation == second.optimal_expectation
+            assert first.num_shots == 64 * first.num_function_calls
+
+    def test_solver_density_mode_is_deterministic_without_shots(self):
+        """Exact noisy density oracle: no SPSA auto-wiring, no randomness."""
+        problem = _problem()
+        model = NoiseModel.uniform_depolarizing(0.01)
+        solver = QAOASolver(
+            backend="circuit", density=True, noise_model=model, seed=0
+        )
+        assert solver.density and solver.optimizer.name == "L-BFGS-B"
+        first = solver.solve(problem, 1, seed=3)
+        second = QAOASolver(
+            backend="circuit", density=True, noise_model=model, seed=0
+        ).solve(problem, 1, seed=3)
+        assert first.optimal_expectation == second.optimal_expectation
+        assert first.num_shots == 0
 
 
 class TestStochasticRunners:
