@@ -77,7 +77,7 @@ def test_compiled_vs_generic_speedup(bench_smoke):
     vector = random_parameters(depth, 0).to_vector()
     parameters = QAOAParameters.from_vector(vector)
 
-    compiled = ExpectationEvaluator(problem, depth, backend="circuit")
+    compiled = ExpectationEvaluator(problem, depth, context="circuit")
     generic = StatevectorSimulator(compiled=False)
     seed_circuit = build_maxcut_qaoa_circuit(problem, parameters)
 
@@ -109,7 +109,7 @@ def test_compiled_agrees_with_generic_oracle(bench_smoke):
     """Correctness gate: compiled results equal the dense oracle to 1e-9."""
     problem = _problem(8)
     hamiltonian = problem.cost_hamiltonian()
-    compiled = ExpectationEvaluator(problem, 3, backend="circuit")
+    compiled = ExpectationEvaluator(problem, 3, context="circuit")
     generic = StatevectorSimulator(compiled=False)
     rng = np.random.default_rng(7)
     worst = 0.0
@@ -129,7 +129,7 @@ def test_compiled_agrees_with_generic_oracle(bench_smoke):
 def test_circuit_batch_vs_scalar_loop(bench_smoke):
     """Batched circuit-backend evaluation beats the scalar per-row loop."""
     num_nodes = 8 if bench_smoke else 12
-    evaluator = ExpectationEvaluator(_problem(num_nodes), 2, backend="circuit")
+    evaluator = ExpectationEvaluator(_problem(num_nodes), 2, context="circuit")
     matrix = np.array([random_parameters(2, seed).to_vector() for seed in range(32)])
 
     def run_batch():
@@ -163,9 +163,9 @@ def test_structure_cache_amortises_compilation(bench_smoke):
     vector = random_parameters(3, 1).to_vector()
 
     def fresh_evaluator():
-        ExpectationEvaluator(problem, 3, backend="circuit").expectation(vector)
+        ExpectationEvaluator(problem, 3, context="circuit").expectation(vector)
 
-    evaluator = ExpectationEvaluator(problem, 3, backend="circuit")
+    evaluator = ExpectationEvaluator(problem, 3, context="circuit")
     evaluator.expectation(vector)  # warm: compile once
     fresh_time = _best_of(3, fresh_evaluator)
     cached_time = _best_of(3, lambda: evaluator.expectation(vector))
@@ -188,8 +188,8 @@ def test_circuit_vs_fast_backend_ratio(bench_smoke):
     num_nodes, depth = (10, 2) if bench_smoke else (16, 4)
     problem = _problem(num_nodes)
     vector = random_parameters(depth, 0).to_vector()
-    fast = ExpectationEvaluator(problem, depth, backend="fast")
-    circuit = ExpectationEvaluator(problem, depth, backend="circuit")
+    fast = ExpectationEvaluator(problem, depth, context="fast")
+    circuit = ExpectationEvaluator(problem, depth, context="circuit")
     fast.expectation(vector), circuit.expectation(vector)  # warm-up
     fast_time = _best_of(5, lambda: fast.expectation(vector))
     circuit_time = _best_of(5, lambda: circuit.expectation(vector))

@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.execution import ExecutionContext
 from repro.experiments.noise_robustness import run_noise_robustness
 from repro.graphs.generators import erdos_renyi_graph
 from repro.graphs.maxcut import MaxCutProblem
@@ -127,12 +128,18 @@ def test_trajectory_mean_converges_to_density_oracle(bench_smoke):
     model = NoiseModel().add_channel(DepolarizingChannel(0.05), gates=("h", "rx"))
     point = random_parameters(2, 0).to_vector()
     oracle = ExpectationEvaluator(
-        problem, 2, backend="circuit", density=True, noise_model=model
+        problem,
+        2,
+        context=ExecutionContext(backend="circuit", density=True, noise_model=model),
     ).expectation(point)
     trajectories = 300 if bench_smoke else 2000
     sampler = ExpectationEvaluator(
-        problem, 2, backend="circuit", noise_model=model,
-        trajectories=trajectories, rng=23,
+        problem,
+        2,
+        context=ExecutionContext(
+            backend="circuit", noise_model=model, trajectories=trajectories
+        ),
+        rng=23,
     )
     estimate = sampler.expectation(point)
     diagonal = problem.cost_diagonal()
@@ -155,10 +162,12 @@ def test_readout_mitigation_recovers_exact_value(bench_smoke):
     readout = ReadoutErrorModel(8, p0_to_1=0.04, p1_to_0=0.09)
     exact = ExpectationEvaluator(problem, 2).expectation(point)
     raw = ExpectationEvaluator(
-        problem, 2, readout_error=readout
+        problem, 2, context=ExecutionContext(readout_error=readout)
     ).expectation(point)
     mitigated = ExpectationEvaluator(
-        problem, 2, readout_error=readout, mitigate_readout=True
+        problem,
+        2,
+        context=ExecutionContext(readout_error=readout, mitigate_readout=True),
     ).expectation(point)
     _RESULTS["readout_mitigation"] = {
         "exact": exact,

@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.execution import ExecutionContext
 from repro.experiments.noise_robustness import run_noise_robustness
 from repro.graphs.generators import erdos_renyi_graph
 from repro.graphs.maxcut import MaxCutProblem
@@ -69,8 +70,12 @@ def test_stochastic_oracle_is_seed_deterministic(bench_smoke):
     for backend in ("fast", "circuit"):
         estimates = [
             ExpectationEvaluator(
-                problem, 2, backend=backend, shots=256,
-                noise_model=model, trajectories=2, rng=11,
+                problem,
+                2,
+                context=ExecutionContext(
+                    backend=backend, shots=256, noise_model=model, trajectories=2
+                ),
+                rng=11,
             ).expectation(point)
             for _ in range(2)
         ]
@@ -93,8 +98,12 @@ def test_noisy_trajectory_backend_parity(bench_smoke):
     for seed in range(3 if bench_smoke else 8):
         values = [
             ExpectationEvaluator(
-                problem, 2, backend=backend, noise_model=model,
-                trajectories=4, rng=seed,
+                problem,
+                2,
+                context=ExecutionContext(
+                    backend=backend, noise_model=model, trajectories=4
+                ),
+                rng=seed,
             ).expectation(point)
             for backend in ("fast", "circuit")
         ]
@@ -109,7 +118,9 @@ def test_shot_estimation_overhead(bench_smoke):
     problem = _problem(num_nodes)
     point = random_parameters(2, 2).to_vector()
     exact = ExpectationEvaluator(problem, 2)
-    sampled = ExpectationEvaluator(problem, 2, shots=1024, rng=0)
+    sampled = ExpectationEvaluator(
+        problem, 2, context=ExecutionContext(shots=1024), rng=0
+    )
     exact.expectation(point), sampled.expectation(point)  # warm-up
     exact_time = _best_of(5, lambda: exact.expectation(point))
     sampled_time = _best_of(5, lambda: sampled.expectation(point))
@@ -167,7 +178,7 @@ def test_exact_configuration_is_unchanged(bench_smoke):
     problem = _problem(8)
     point = random_parameters(2, 3).to_vector()
     fast = ExpectationEvaluator(problem, 2).expectation(point)
-    circuit = ExpectationEvaluator(problem, 2, backend="circuit").expectation(point)
+    circuit = ExpectationEvaluator(problem, 2, context="circuit").expectation(point)
     _RESULTS["exact_backend_abs_diff"] = abs(fast - circuit)
     assert fast == pytest.approx(circuit, abs=1e-9)
     assert ExpectationEvaluator(problem, 2).shots_used == 0

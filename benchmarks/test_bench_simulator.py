@@ -21,22 +21,22 @@ def problem():
 
 
 def test_bench_fast_backend_expectation(benchmark, problem):
-    evaluator = ExpectationEvaluator(problem, depth=3, backend="fast")
+    evaluator = ExpectationEvaluator(problem, depth=3, context="fast")
     vector = random_parameters(3, 0).to_vector()
     value = benchmark(evaluator.expectation, vector)
     assert 0.0 <= value <= problem.max_cut_value() + 1e-9
 
 
 def test_bench_circuit_backend_expectation(benchmark, problem):
-    evaluator = ExpectationEvaluator(problem, depth=3, backend="circuit")
+    evaluator = ExpectationEvaluator(problem, depth=3, context="circuit")
     vector = random_parameters(3, 0).to_vector()
     value = benchmark(evaluator.expectation, vector)
     assert 0.0 <= value <= problem.max_cut_value() + 1e-9
 
 
 def test_bench_backends_agree(problem):
-    fast = ExpectationEvaluator(problem, depth=3, backend="fast")
-    circuit = ExpectationEvaluator(problem, depth=3, backend="circuit")
+    fast = ExpectationEvaluator(problem, depth=3, context="fast")
+    circuit = ExpectationEvaluator(problem, depth=3, context="circuit")
     rng = np.random.default_rng(5)
     for _ in range(3):
         vector = random_parameters(3, rng).to_vector()

@@ -13,6 +13,7 @@ Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
 
 import os
 
+from repro.execution import ExecutionContext
 from repro.graphs import MaxCutProblem, erdos_renyi_graph
 from repro.qaoa import ExpectationEvaluator, QAOASolver
 from repro.quantum import NoiseModel
@@ -51,12 +52,15 @@ def main() -> None:
             NoiseModel.uniform_depolarizing(noise_1q) if noise_1q > 0 else None
         )
         for shots in shot_budgets:
-            # No optimizer named: the solver wires in SPSA for the
+            # One ExecutionContext describes the whole oracle; no
+            # optimizer named, so the solver wires in SPSA for the
             # stochastic oracle automatically.
             solver = QAOASolver(
-                shots=shots,
-                noise_model=noise_model,
-                trajectories=trajectories,
+                context=ExecutionContext(
+                    shots=shots,
+                    noise_model=noise_model,
+                    trajectories=trajectories,
+                ),
                 max_iterations=100 if SMOKE else 200,
                 seed=2,
             )

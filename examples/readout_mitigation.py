@@ -17,6 +17,7 @@ import os
 
 import numpy as np
 
+from repro.execution import ExecutionContext
 from repro.graphs import MaxCutProblem, erdos_renyi_graph
 from repro.qaoa import ExpectationEvaluator, QAOASolver
 from repro.quantum import ReadoutErrorModel
@@ -47,10 +48,12 @@ def main() -> None:
     # The deterministic infinite-shot limit: corruption shifts the value,
     # inversion recovers it exactly.
     raw_limit = ExpectationEvaluator(
-        problem, depth, readout_error=readout
+        problem, depth, context=ExecutionContext(readout_error=readout)
     ).expectation(angles)
     mitigated_limit = ExpectationEvaluator(
-        problem, depth, readout_error=readout, mitigate_readout=True
+        problem,
+        depth,
+        context=ExecutionContext(readout_error=readout, mitigate_readout=True),
     ).expectation(angles)
     print(
         f"Infinite-shot corrupted value : {raw_limit:.6f} "
@@ -69,11 +72,18 @@ def main() -> None:
     )
     for shots in shot_budgets:
         raw = ExpectationEvaluator(
-            problem, depth, shots=shots, readout_error=readout, rng=5
+            problem,
+            depth,
+            context=ExecutionContext(shots=shots, readout_error=readout),
+            rng=5,
         )
         mitigated = ExpectationEvaluator(
-            problem, depth, shots=shots, readout_error=readout,
-            mitigate_readout=True, rng=5,
+            problem,
+            depth,
+            context=ExecutionContext(
+                shots=shots, readout_error=readout, mitigate_readout=True
+            ),
+            rng=5,
         )
         raw_estimates = [raw.expectation(angles) for _ in range(repeats)]
         mitigated_estimates = [mitigated.expectation(angles) for _ in range(repeats)]

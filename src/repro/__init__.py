@@ -29,8 +29,22 @@ from repro.exceptions import (
     SimulationError,
 )
 from repro.config import PaperSetup, paper_setup
+from repro.execution import (
+    Backend,
+    ExecutionContext,
+    ExecutionDeprecationWarning,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 __all__ = [
+    "Backend",
+    "ExecutionContext",
+    "ExecutionDeprecationWarning",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "__version__",
     "ReproError",
     "CircuitError",

@@ -16,11 +16,11 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.config import DEFAULT_NUM_RESTARTS, DEFAULT_TOLERANCE
+from repro.execution.context import UNSET, ContextLike, resolve_execution_context
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.qaoa.result import QAOAResult
 from repro.qaoa.solver import QAOASolver
-from repro.quantum.noise import NoiseModel
 from repro.utils.rng import RandomState
 
 
@@ -71,34 +71,45 @@ class NaiveQAOARunner:
     """Run the random-initialization baseline flow.
 
     Accepts the same oracle configuration as
-    :class:`~repro.qaoa.solver.QAOASolver`, including the stochastic
-    finite-shot / noise knobs.
+    :class:`~repro.qaoa.solver.QAOASolver` — one
+    :class:`~repro.execution.context.ExecutionContext` (``context=``),
+    including the stochastic finite-shot / noise knobs.  The legacy
+    ``backend=``/``shots=``/... kwargs survive behind the deprecation shim.
     """
 
     def __init__(
         self,
         optimizer: Union[str, Optimizer, None] = None,
+        context: ContextLike = None,
         *,
         num_restarts: int = DEFAULT_NUM_RESTARTS,
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
-        backend: str = "fast",
         candidate_pool: Optional[int] = None,
-        shots: Optional[int] = None,
-        noise_model: Optional[NoiseModel] = None,
-        trajectories: Optional[int] = None,
+        backend=UNSET,
+        shots=UNSET,
+        noise_model=UNSET,
+        trajectories=UNSET,
         seed: RandomState = None,
     ):
+        context = resolve_execution_context(
+            context,
+            {
+                "backend": backend,
+                "shots": shots,
+                "noise_model": noise_model,
+                "trajectories": trajectories,
+            },
+            owner="NaiveQAOARunner",
+            stacklevel=3,
+        )
         self._solver = QAOASolver(
             optimizer,
+            context,
             num_restarts=num_restarts,
             tolerance=tolerance,
             max_iterations=max_iterations,
-            backend=backend,
             candidate_pool=candidate_pool,
-            shots=shots,
-            noise_model=noise_model,
-            trajectories=trajectories,
             seed=seed,
         )
 

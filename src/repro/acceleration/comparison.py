@@ -18,6 +18,7 @@ from repro.config import DEFAULT_NUM_RESTARTS, DEFAULT_TOLERANCE
 from repro.exceptions import ConfigurationError
 from repro.acceleration.baseline import NaiveQAOARunner
 from repro.acceleration.two_level import TwoLevelQAOARunner
+from repro.execution.context import UNSET, ContextLike, resolve_execution_context
 from repro.graphs.maxcut import MaxCutProblem
 from repro.prediction.predictor import ParameterPredictor
 from repro.utils.rng import RandomState, ensure_rng
@@ -41,6 +42,9 @@ class ComparisonRecord:
     #: Shot budgets consumed by each flow (0 when the oracle is exact).
     naive_total_shots: int = 0
     two_level_total_shots: int = 0
+    #: ``ExecutionContext.to_dict()`` of the shared oracle configuration
+    #: both flows ran against (``None`` for records built by hand).
+    execution: Optional[Dict] = None
 
     @property
     def fc_reduction_percent(self) -> float:
@@ -97,50 +101,60 @@ def compare_on_problem(
     problem: MaxCutProblem,
     target_depth: int,
     predictor: ParameterPredictor,
+    context: ContextLike = None,
     *,
     optimizer: Optional[str] = None,
     num_restarts: int = DEFAULT_NUM_RESTARTS,
     tolerance: float = DEFAULT_TOLERANCE,
     max_iterations: int = 10000,
-    backend: str = "fast",
     candidate_pool: Optional[int] = None,
-    shots: Optional[int] = None,
-    noise_model=None,
-    trajectories: Optional[int] = None,
+    backend=UNSET,
+    shots=UNSET,
+    noise_model=UNSET,
+    trajectories=UNSET,
     seed: RandomState = None,
 ) -> ComparisonRecord:
     """Measure the naive and two-level flows on one problem instance.
 
-    *candidate_pool* (optional) enables the solver's batched restart
-    screening for both flows; it is accounted for in the function-call
-    totals, so the comparison stays apples-to-apples.  *shots* /
-    *noise_model* / *trajectories* (optional) run **both** flows against the
-    same stochastic oracle configuration, and the record then reports each
-    flow's consumed shot budget alongside its function calls.
+    *context* (an :class:`~repro.execution.context.ExecutionContext` or a
+    backend-name shorthand) runs **both** flows against the same oracle
+    configuration, and the record reports each flow's consumed shot budget
+    alongside its function calls — plus the serialized context itself
+    (:attr:`ComparisonRecord.execution`), so the artifact carries the exact
+    execution settings that produced it.  *candidate_pool* (optional)
+    enables the solver's batched restart screening for both flows; it is
+    accounted for in the function-call totals, so the comparison stays
+    apples-to-apples.  The legacy ``backend=``/``shots=``/... kwargs
+    survive behind the deprecation shim.
     """
+    context = resolve_execution_context(
+        context,
+        {
+            "backend": backend,
+            "shots": shots,
+            "noise_model": noise_model,
+            "trajectories": trajectories,
+        },
+        owner="compare_on_problem",
+        stacklevel=3,
+    )
     rng = ensure_rng(seed)
     naive_runner = NaiveQAOARunner(
         optimizer,
+        context,
         num_restarts=num_restarts,
         tolerance=tolerance,
         max_iterations=max_iterations,
-        backend=backend,
         candidate_pool=candidate_pool,
-        shots=shots,
-        noise_model=noise_model,
-        trajectories=trajectories,
         seed=rng,
     )
     two_level_runner = TwoLevelQAOARunner(
         predictor,
         optimizer,
+        context,
         tolerance=tolerance,
         max_iterations=max_iterations,
-        backend=backend,
         candidate_pool=candidate_pool,
-        shots=shots,
-        noise_model=noise_model,
-        trajectories=trajectories,
         seed=rng,
     )
     naive = naive_runner.run(problem, target_depth)
@@ -159,6 +173,7 @@ def compare_on_problem(
         level2_fc=accelerated.level2_function_calls,
         naive_total_shots=naive.total_shots,
         two_level_total_shots=accelerated.total_shots,
+        execution=context.to_dict(),
     )
 
 

@@ -8,8 +8,8 @@ and run the target-depth optimization loop from the predicted angles.
 The reported cost is the sum of the function calls of both levels, which is
 exactly how the paper accounts for the two-level run-time (Sec. IV).  Both
 levels can run against the stochastic finite-shot / Pauli-noise oracle
-(``shots=...``, ``noise_model=...``), in which case the outcome additionally
-reports the total shot budget.
+(``context=ExecutionContext(shots=..., noise_model=...)``), in which case
+the outcome additionally reports the total shot budget.
 
 Examples
 --------
@@ -35,6 +35,7 @@ from typing import Optional, Union
 
 from repro.config import DEFAULT_TOLERANCE
 from repro.exceptions import ConfigurationError
+from repro.execution.context import UNSET, ContextLike, resolve_execution_context
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.prediction.pipeline import PredictorPipelineConfig, train_default_predictor
@@ -43,7 +44,6 @@ from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.parameters import QAOAParameters, canonicalize_for_graph
 from repro.qaoa.result import QAOAResult
 from repro.qaoa.solver import QAOASolver
-from repro.quantum.noise import NoiseModel
 from repro.utils.rng import RandomState
 
 
@@ -98,25 +98,39 @@ class TwoLevelQAOARunner:
     """Run the ML-initialized two-level QAOA flow.
 
     Accepts the same oracle configuration as
-    :class:`~repro.qaoa.solver.QAOASolver` (*backend*, *shots*,
-    *noise_model*, *trajectories*), shared by both levels.
+    :class:`~repro.qaoa.solver.QAOASolver` — one
+    :class:`~repro.execution.context.ExecutionContext` (``context=``) —
+    shared by both levels.  The legacy ``backend=``/``shots=``/... kwargs
+    survive behind the deprecation shim.
     """
 
     def __init__(
         self,
         predictor: ParameterPredictor,
         optimizer: Union[str, Optimizer, None] = None,
+        context: ContextLike = None,
         *,
         level1_restarts: int = 1,
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
-        backend: str = "fast",
         candidate_pool: Optional[int] = None,
-        shots: Optional[int] = None,
-        noise_model: Optional[NoiseModel] = None,
-        trajectories: Optional[int] = None,
+        backend=UNSET,
+        shots=UNSET,
+        noise_model=UNSET,
+        trajectories=UNSET,
         seed: RandomState = None,
     ):
+        context = resolve_execution_context(
+            context,
+            {
+                "backend": backend,
+                "shots": shots,
+                "noise_model": noise_model,
+                "trajectories": trajectories,
+            },
+            owner="TwoLevelQAOARunner",
+            stacklevel=3,
+        )
         if not predictor.is_fitted:
             raise ConfigurationError(
                 "the parameter predictor must be fitted before building the runner"
@@ -129,14 +143,11 @@ class TwoLevelQAOARunner:
         self._level1_restarts = int(level1_restarts)
         self._solver = QAOASolver(
             optimizer,
+            context,
             num_restarts=level1_restarts,
             tolerance=tolerance,
             max_iterations=max_iterations,
-            backend=backend,
             candidate_pool=candidate_pool,
-            shots=shots,
-            noise_model=noise_model,
-            trajectories=trajectories,
             seed=seed,
         )
 
@@ -206,7 +217,7 @@ class TwoLevelQAOARunner:
         # prediction's true quality, not one noisy readout of it.
         predicted = self._predictor.predict(gamma1, beta1, target_depth)
         predicted_expectation = ExpectationEvaluator(
-            problem, target_depth, backend=self._solver.backend
+            problem, target_depth, context=self._solver.backend
         ).expectation(predicted.to_vector())
         level2 = self._solver.solve(
             problem, target_depth, initial_parameters=predicted, seed=seed

@@ -1,0 +1,346 @@
+"""The :class:`ExecutionContext`: one object describing how expectations run.
+
+After the noise / shots / density / readout subsystems landed, the oracle's
+configuration was threaded as eight parallel keyword arguments
+(``backend=``, ``shots=``, ``noise_model=``, ``trajectories=``,
+``density=``, ``readout_error=``, ``mitigate_readout=``, ``rng=``) through
+every layer from :class:`~repro.qaoa.cost.ExpectationEvaluator` up to the
+experiment harness, with the validation rules re-implemented (or silently
+skipped) at each hop.  ``ExecutionContext`` collapses all of that into one
+immutable, serializable value object:
+
+* **validated once** at construction — capability negotiation against the
+  :mod:`~repro.execution.registry` (density needs a density-capable
+  backend, non-Pauli channels need the density oracle, mitigation needs a
+  readout model, density has no stochastic trajectories) with actionable
+  errors;
+* **passed everywhere** — every consumer accepts ``context=`` (an
+  ``ExecutionContext``, or a backend-name shorthand such as ``"fast"``);
+* **recorded in artifacts** — :meth:`to_dict` / :meth:`from_dict`
+  round-trip the full configuration (noise model and readout model
+  included) so experiment records carry the exact execution settings that
+  produced them.
+
+The legacy per-kwarg spelling keeps working through a thin deprecation shim
+(:func:`resolve_execution_context`): it constructs the equivalent context
+internally — bit-identical results, every seed path preserved — and emits
+one :class:`ExecutionDeprecationWarning` per construction.
+
+Examples
+--------
+>>> from repro.execution import ExecutionContext
+>>> context = ExecutionContext(shots=1024, seed=7)
+>>> context.is_stochastic
+True
+>>> ExecutionContext.from_dict(context.to_dict()) == context
+True
+>>> ExecutionContext(backend="fast").replace(backend="circuit").backend
+'circuit'
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.execution.registry import available_backends, get_backend
+from repro.quantum.noise import DEFAULT_TRAJECTORIES, NoiseModel, ReadoutErrorModel
+
+
+class ExecutionDeprecationWarning(DeprecationWarning):
+    """Legacy per-kwarg execution configuration was used.
+
+    Emitted exactly once per construction by the deprecation shim when a
+    consumer passes ``backend=``/``shots=``/... instead of ``context=``.
+    The test-suite promotes this warning to an error outside the dedicated
+    shim tests (see ``[tool.pytest.ini_options]``), so internal code cannot
+    quietly keep using the legacy path.
+    """
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from every real value."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+#: Default value of every deprecated legacy kwarg: "the caller did not pass
+#: this" (``None`` is a meaningful value for most of them).
+UNSET = _Unset()
+
+ContextLike = Union[None, str, "ExecutionContext"]
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Immutable description of how cost expectations are computed.
+
+    Parameters
+    ----------
+    backend:
+        Name of a registered execution backend (see
+        :func:`~repro.execution.registry.available_backends`).
+    shots:
+        Finite shot budget per expectation evaluation (``None`` = exact
+        readout).
+    noise_model:
+        Optional :class:`~repro.quantum.noise.NoiseModel` applied to every
+        evaluation; an empty model is normalised to ``None``.
+    trajectories:
+        Stochastic noise trajectories averaged per evaluation (``None`` =
+        :data:`~repro.quantum.noise.DEFAULT_TRAJECTORIES` when a noise model
+        is attached).  Invalid in density mode — the density oracle applies
+        channels exactly, there is nothing to sample.
+    density:
+        Evaluate through the exact density-matrix oracle; requires a
+        backend with ``supports_density``.
+    readout_error:
+        Optional :class:`~repro.quantum.noise.ReadoutErrorModel` corrupting
+        the measured outcome distribution.
+    mitigate_readout:
+        Undo *readout_error* by confusion-matrix inversion (requires a
+        readout model).
+    seed:
+        Default seed policy for consumers that are not handed an explicit
+        ``rng``/``seed`` at the call site.  Kept out of :meth:`__eq__`-
+        relevant hashing concerns by being a plain field; only integer (or
+        ``None``) seeds serialize — live generator objects are runtime
+        state, not configuration.
+    """
+
+    backend: str = "fast"
+    shots: Optional[int] = None
+    noise_model: Optional[NoiseModel] = None
+    trajectories: Optional[int] = None
+    density: bool = False
+    readout_error: Optional[ReadoutErrorModel] = None
+    mitigate_readout: bool = False
+    seed: Any = None
+
+    def __post_init__(self) -> None:
+        backend = get_backend(self.backend)  # raises for unknown names
+        object.__setattr__(self, "backend", backend.name)
+        if self.shots is not None:
+            shots = int(self.shots)
+            if shots < 1:
+                raise ConfigurationError(f"shots must be >= 1, got {self.shots}")
+            object.__setattr__(self, "shots", shots)
+        if self.trajectories is not None:
+            trajectories = int(self.trajectories)
+            if trajectories < 1:
+                raise ConfigurationError(
+                    f"trajectories must be >= 1, got {self.trajectories}"
+                )
+            object.__setattr__(self, "trajectories", trajectories)
+        noise_model = self.noise_model
+        if noise_model is not None:
+            if not isinstance(noise_model, NoiseModel):
+                raise ConfigurationError(
+                    f"noise_model must be a NoiseModel, got {type(noise_model).__name__}"
+                )
+            if noise_model.is_empty:
+                object.__setattr__(self, "noise_model", None)
+                noise_model = None
+        if self.readout_error is not None and not isinstance(
+            self.readout_error, ReadoutErrorModel
+        ):
+            raise ConfigurationError(
+                f"readout_error must be a ReadoutErrorModel, "
+                f"got {type(self.readout_error).__name__}"
+            )
+        object.__setattr__(self, "density", bool(self.density))
+        object.__setattr__(self, "mitigate_readout", bool(self.mitigate_readout))
+        # Capability negotiation: once, here, with actionable errors —
+        # instead of ad-hoc string checks re-implemented at every layer.
+        if self.density:
+            if not backend.supports_density:
+                supported = ", ".join(
+                    sorted(
+                        name
+                        for name, candidate in available_backends().items()
+                        if candidate.supports_density
+                    )
+                )
+                raise ConfigurationError(
+                    f"density=True runs the exact density-matrix oracle, which "
+                    f"backend {backend.name!r} does not support; use one of: "
+                    f"{supported}"
+                )
+            if self.trajectories is not None:
+                raise ConfigurationError(
+                    "density=True applies noise channels exactly — the oracle "
+                    "is deterministic and there are no stochastic trajectories "
+                    "to average; drop trajectories= (or drop density=True to "
+                    "sample trajectories)"
+                )
+        if noise_model is not None and not backend.supports_noise:
+            raise ConfigurationError(
+                f"backend {backend.name!r} does not support gate-noise simulation"
+            )
+        if noise_model is not None and not self.density and not noise_model.is_pauli_only:
+            raise ConfigurationError(
+                "the noise model contains non-Pauli channels, which "
+                "trajectory sampling cannot represent; pass density=True "
+                "(on a density-capable backend) to evaluate them exactly"
+            )
+        if self.mitigate_readout and self.readout_error is None:
+            raise ConfigurationError(
+                "mitigate_readout requires a readout_error model"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether evaluations involve shot sampling or trajectory noise.
+
+        In density mode gate noise is exact, so only a finite shot budget
+        makes the oracle stochastic.
+        """
+        if self.density:
+            return self.shots is not None
+        return self.shots is not None or self.noise_model is not None
+
+    @property
+    def effective_trajectories(self) -> int:
+        """Trajectories actually averaged per evaluation (1 without noise)."""
+        if self.noise_model is None or self.density:
+            return 1
+        return int(self.trajectories or DEFAULT_TRAJECTORIES)
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the configured oracle is the exact noiseless one."""
+        return (
+            self.shots is None
+            and self.noise_model is None
+            and self.readout_error is None
+            and not self.density
+        )
+
+    # ------------------------------------------------------------------
+    # Evolution and serialization
+    # ------------------------------------------------------------------
+    def replace(self, **overrides) -> "ExecutionContext":
+        """A copy with selected fields overridden (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form recording the exact execution settings.
+
+        Integer seeds are recorded; a live generator object is runtime
+        state, not configuration, and serializes as ``None``.
+        """
+        return {
+            "backend": self.backend,
+            "shots": self.shots,
+            "noise_model": None if self.noise_model is None else self.noise_model.to_dict(),
+            "trajectories": self.trajectories,
+            "density": self.density,
+            "readout_error": (
+                None if self.readout_error is None else self.readout_error.to_dict()
+            ),
+            "mitigate_readout": self.mitigate_readout,
+            "seed": self.seed if isinstance(self.seed, int) else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionContext":
+        """Rebuild a context from :meth:`to_dict` output."""
+        noise_model = data.get("noise_model")
+        readout_error = data.get("readout_error")
+        return cls(
+            backend=data.get("backend", "fast"),
+            shots=data.get("shots"),
+            noise_model=None if noise_model is None else NoiseModel.from_dict(noise_model),
+            trajectories=data.get("trajectories"),
+            density=bool(data.get("density", False)),
+            readout_error=(
+                None
+                if readout_error is None
+                else ReadoutErrorModel.from_dict(readout_error)
+            ),
+            mitigate_readout=bool(data.get("mitigate_readout", False)),
+            seed=data.get("seed"),
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"backend={self.backend!r}"]
+        if self.shots is not None:
+            parts.append(f"shots={self.shots}")
+        if self.noise_model is not None:
+            parts.append(f"noise_model={self.noise_model!r}")
+        if self.trajectories is not None:
+            parts.append(f"trajectories={self.trajectories}")
+        if self.density:
+            parts.append("density=True")
+        if self.readout_error is not None:
+            parts.append(f"readout_error={self.readout_error!r}")
+        if self.mitigate_readout:
+            parts.append("mitigate_readout=True")
+        if self.seed is not None:
+            parts.append(f"seed={self.seed!r}")
+        return f"ExecutionContext({', '.join(parts)})"
+
+
+def as_execution_context(context: ContextLike) -> ExecutionContext:
+    """Coerce ``None`` / a backend name / a context into an ``ExecutionContext``.
+
+    ``None`` means the exact default context; a string is the ``"fast"`` /
+    ``"circuit"`` shorthand for "that backend, exact oracle".
+    """
+    if context is None:
+        return ExecutionContext()
+    if isinstance(context, ExecutionContext):
+        return context
+    if isinstance(context, str):
+        return ExecutionContext(backend=context)
+    raise ConfigurationError(
+        f"context must be an ExecutionContext, a backend name, or None; "
+        f"got {type(context).__name__}"
+    )
+
+
+def resolve_execution_context(
+    context: ContextLike,
+    legacy: Dict[str, Any],
+    *,
+    owner: str,
+    stacklevel: int = 4,
+) -> ExecutionContext:
+    """The deprecation shim behind every ``context=`` constructor.
+
+    *legacy* maps legacy kwarg names to their received values, with
+    :data:`UNSET` marking "not passed".  When any legacy kwarg was supplied
+    the shim constructs the equivalent context (bit-identical semantics)
+    and emits exactly one :class:`ExecutionDeprecationWarning`; mixing
+    legacy kwargs with an explicit ``context=`` is a configuration error.
+    """
+    supplied = {key: value for key, value in legacy.items() if value is not UNSET}
+    if supplied:
+        if context is not None:
+            raise ConfigurationError(
+                f"{owner} received both context= and legacy execution kwargs "
+                f"({', '.join(sorted(supplied))}); pass everything through the context"
+            )
+        warnings.warn(
+            f"{owner}: passing {', '.join(sorted(supplied))} as keyword "
+            f"arguments is deprecated; pass "
+            f"context=ExecutionContext(...) instead",
+            ExecutionDeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        return ExecutionContext(**supplied)
+    return as_execution_context(context)

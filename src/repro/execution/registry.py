@@ -1,0 +1,165 @@
+"""Backend registry: execution backends as first-class, capability-tagged objects.
+
+``"fast"`` and ``"circuit"`` used to be bare string literals compared ad hoc
+at every layer (``if backend != "circuit": ...``).  This module replaces the
+literals with registered :class:`Backend` objects carrying explicit
+**capability flags**, so capability negotiation happens once — inside
+:class:`~repro.execution.context.ExecutionContext` — with actionable errors,
+and new execution targets (array-API/GPU kernels, remote devices) become a
+:func:`register_backend` call instead of another wave of string comparisons.
+
+The registry follows the same pattern as :mod:`repro.optimizers.registry`
+and :mod:`repro.ml.registry`: a module-level table, a ``get_*`` lookup with
+an informative error, and an ``available_*`` listing.  The two built-in
+backends live in :mod:`repro.qaoa.backends` and are registered lazily on
+first lookup, so importing :mod:`repro.execution` alone stays cheap and
+cycle-free.
+
+Examples
+--------
+>>> from repro.execution import available_backends, get_backend
+>>> sorted(available_backends())
+['circuit', 'fast']
+>>> get_backend("fast").supports_density
+False
+>>> get_backend("circuit").supports_density
+True
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class Backend:
+    """One expectation-execution backend: capability flags plus a compiler.
+
+    Subclasses set the class attributes below and implement :meth:`compile`,
+    which lowers one ``(problem, depth)`` pair into a *program* object the
+    :class:`~repro.qaoa.cost.ExpectationEvaluator` drives.  A program
+    exposes the uniform surface
+
+    - ``expectation(parameters) -> float`` — exact scalar evaluation,
+    - ``expectation_batch(matrix) -> ndarray`` — exact ``(batch,)`` sweep,
+    - ``probabilities(parameters) -> ndarray`` — exact outcome distribution,
+    - ``probability_rows(block) -> ndarray`` — batch-major ``(chunk, dim)``
+      exact probability rows,
+    - ``noisy_probabilities(parameters, noise_model, rng) -> ndarray`` — one
+      stochastic noise trajectory,
+    - ``density_probabilities(parameters, noise_model) -> ndarray`` — the
+      exact density-matrix distribution (density-capable backends only),
+
+    so no consumer ever branches on the backend's name again.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case).
+    supports_density:
+        Whether :meth:`compile` can build the exact density-matrix oracle
+        (``density=True`` execution contexts).
+    supports_noise:
+        Whether stochastic Pauli-trajectory noise is available.
+    supports_batch:
+        Whether batched evaluation is vectorised (no per-row Python loop).
+    max_qubits:
+        Hard register ceiling, or ``None`` when only memory limits apply.
+    """
+
+    name: str = ""
+    supports_density: bool = False
+    supports_noise: bool = False
+    supports_batch: bool = False
+    max_qubits: Optional[int] = None
+
+    def compile(self, problem, depth: int, *, density: bool = False):
+        """Lower ``(problem, depth)`` into an executable program object."""
+        raise NotImplementedError
+
+    def capabilities(self) -> Dict[str, object]:
+        """The capability flags as a plain dictionary (for tables / logs)."""
+        return {
+            "supports_density": self.supports_density,
+            "supports_noise": self.supports_noise,
+            "supports_batch": self.supports_batch,
+            "max_qubits": self.max_qubits,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"supports_density={self.supports_density}, "
+            f"supports_noise={self.supports_noise}, "
+            f"supports_batch={self.supports_batch}, "
+            f"max_qubits={self.max_qubits})"
+        )
+
+
+_REGISTRY: Dict[str, Backend] = {}
+_DEFAULTS_LOADED = False
+
+
+def _ensure_default_backends() -> None:
+    """Register the built-in ``fast`` / ``circuit`` backends on first use.
+
+    The import is deferred (and guarded) because :mod:`repro.qaoa.backends`
+    imports the simulator stack; doing it lazily keeps
+    ``repro.execution`` importable on its own and breaks the package cycle
+    ``execution -> qaoa -> cost -> execution``.
+    """
+    global _DEFAULTS_LOADED
+    if not _DEFAULTS_LOADED:
+        import repro.qaoa.backends  # noqa: F401  (registers fast/circuit)
+
+        # Only after a successful import: a failed import must stay
+        # retryable instead of leaving an empty registry behind.
+        _DEFAULTS_LOADED = True
+
+
+def register_backend(backend: Backend, *, overwrite: bool = False) -> Backend:
+    """Register *backend* under ``backend.name``; returns it for chaining.
+
+    Re-registering an existing name raises unless ``overwrite=True`` —
+    experiments that swap in an instrumented or accelerated backend do so
+    explicitly instead of silently shadowing the built-in.
+    """
+    if not isinstance(backend, Backend):
+        raise ConfigurationError(
+            f"backend must be a repro.execution.Backend, got {type(backend).__name__}"
+        )
+    key = str(backend.name).strip().lower()
+    if not key:
+        raise ConfigurationError("backend.name must be a non-empty string")
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"backend {key!r} is already registered; pass overwrite=True to replace it"
+        )
+    _REGISTRY[key] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a registered backend by (case-insensitive) name."""
+    _ensure_default_backends()
+    key = str(name).strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; "
+            f"available: {', '.join(sorted(_REGISTRY))}"
+        ) from exc
+
+
+def available_backends() -> Dict[str, Backend]:
+    """All registered backends, keyed by name (sorted).
+
+    The values are the live :class:`Backend` objects, so capability flags
+    are directly inspectable::
+
+        {name: backend.capabilities() for name, backend in available_backends().items()}
+    """
+    _ensure_default_backends()
+    return {key: _REGISTRY[key] for key in sorted(_REGISTRY)}

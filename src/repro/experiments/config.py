@@ -21,6 +21,7 @@ from repro.config import (
     DEFAULT_TOLERANCE,
 )
 from repro.exceptions import ConfigurationError
+from repro.execution.context import ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,13 @@ class ExperimentConfig:
     #: Purely a wall-clock knob: per-graph RNG spawning keeps the generated
     #: records bit-identical to a serial run.
     max_workers: Optional[int] = None
+
+    #: Execution context for the Table-I style evaluation
+    #: (:func:`~repro.experiments.table1.run_table1` threads it into
+    #: :func:`~repro.acceleration.comparison.compare_on_problem`, so the
+    #: whole comparison can run against a stochastic oracle).  ``None`` is
+    #: the exact default context.
+    execution: Optional[ExecutionContext] = None
 
     # Reproducibility.
     seed: int = 2020

@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.execution.context import UNSET, ContextLike, resolve_execution_context
 from repro.experiments.config import ExperimentConfig
 from repro.graphs.ensembles import erdos_renyi_ensemble
 from repro.graphs.maxcut import MaxCutProblem
@@ -110,7 +111,8 @@ def run_noise_robustness(
     noise_strengths: Sequence[float] = DEFAULT_NOISE_STRENGTHS,
     num_graphs: int = 3,
     trajectories: int = 4,
-    backend: str = "fast",
+    context: ContextLike = None,
+    backend=UNSET,
     readout_error: Optional[ReadoutErrorModel] = None,
 ) -> NoiseRobustnessResult:
     """Sweep shot budgets x depolarizing strengths against the exact baseline.
@@ -132,8 +134,15 @@ def run_noise_robustness(
         Number of independent Erdos-Renyi instances averaged per cell.
     trajectories:
         Noise trajectories per evaluation when the strength is non-zero.
+    context:
+        Base :class:`~repro.execution.context.ExecutionContext` (or a
+        backend-name shorthand) every swept cell derives from via
+        :meth:`~repro.execution.context.ExecutionContext.replace`.  The
+        sweep owns the ``shots`` / ``noise_model`` / ``trajectories`` /
+        readout fields, so the base context must leave them unset.
     backend:
-        Expectation backend for every solve (both support shots and noise).
+        **Deprecated** — legacy spelling of ``context="fast"`` /
+        ``context="circuit"``.
     readout_error:
         Optional :class:`~repro.quantum.noise.ReadoutErrorModel`.  When
         given, every (shots, strength) cell is solved twice — once with the
@@ -142,6 +151,18 @@ def run_noise_robustness(
         so the table exposes how much AR the mitigation recovers.  The model
         must cover ``config.num_nodes`` qubits.
     """
+    base_context = resolve_execution_context(
+        context,
+        {"backend": backend},
+        owner="run_noise_robustness",
+        stacklevel=3,
+    )
+    if not base_context.is_exact or base_context.trajectories is not None:
+        raise ConfigurationError(
+            "run_noise_robustness sweeps shots/noise/trajectories/readout "
+            "itself; the base context must be exact (backend and seed policy "
+            f"only), got {base_context!r}"
+        )
     if depth < 1:
         raise ConfigurationError(f"depth must be >= 1, got {depth}")
     if not shot_budgets or not noise_strengths:
@@ -200,13 +221,15 @@ def run_noise_robustness(
         )
         for shots in shot_budgets:
             for readout_label, readout_model, mitigate in readout_modes:
-                solver = QAOASolver(
+                cell_context = base_context.replace(
                     shots=int(shots),
                     noise_model=noise_model,
-                    trajectories=trajectories,
-                    backend=backend,
+                    trajectories=trajectories if noise_model is not None else None,
                     readout_error=readout_model,
                     mitigate_readout=mitigate,
+                )
+                solver = QAOASolver(
+                    context=cell_context,
                     tolerance=config.tolerance,
                     max_iterations=config.max_iterations,
                     seed=config.seed + 7300,

@@ -131,6 +131,7 @@ def run_table1(
                     problem,
                     depth,
                     predictor,
+                    context=config.execution,
                     optimizer=optimizer,
                     num_restarts=config.naive_restarts,
                     tolerance=config.tolerance,

@@ -161,9 +161,9 @@ def _generate_graph_record(
     """
     solver = QAOASolver(
         config.optimizer,
+        context=config.backend,
         num_restarts=config.num_restarts,
         tolerance=config.tolerance,
-        backend=config.backend,
     )
     problem = MaxCutProblem(graph)
     record = GraphRecord(graph=graph)

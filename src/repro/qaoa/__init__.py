@@ -15,6 +15,7 @@ from repro.qaoa.fast_backend import (
     fwht_inplace,
     walsh_hadamard_matrix,
 )
+from repro.qaoa.backends import CircuitBackend, FastBackend
 from repro.qaoa.cost import BACKENDS, ExpectationEvaluator
 from repro.qaoa.ensemble import EnsembleEvaluator
 from repro.qaoa.result import QAOAResult, RestartRecord
@@ -35,6 +36,8 @@ __all__ = [
     "fwht_inplace",
     "walsh_hadamard_matrix",
     "BACKENDS",
+    "FastBackend",
+    "CircuitBackend",
     "ExpectationEvaluator",
     "EnsembleEvaluator",
     "QAOAResult",

@@ -1,0 +1,182 @@
+"""The built-in execution backends: ``fast`` (FWHT) and ``circuit`` (gates).
+
+Each backend is a :class:`~repro.execution.registry.Backend` — capability
+flags plus a :meth:`compile` that lowers one ``(problem, depth)`` pair into
+a *program* object with a uniform evaluation surface (exact scalar / batch
+expectations, exact probability rows, one-trajectory noisy probabilities,
+and — where supported — exact density-matrix probabilities).  The
+:class:`~repro.qaoa.cost.ExpectationEvaluator` drives programs exclusively
+through that surface, so adding an execution target (array-API/GPU kernels,
+a remote device) is a :func:`~repro.execution.registry.register_backend`
+call, not another wave of ``if backend == "fast"`` branches.
+
+Importing this module registers both backends; the registry also imports it
+lazily on first lookup, so ``repro.execution`` works stand-alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.execution.registry import Backend, register_backend
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
+from repro.qaoa.fast_backend import FAST_BACKEND_MAX_QUBITS, FastMaxCutEvaluator
+from repro.qaoa.parameters import QAOAParameters
+from repro.quantum.density import DensityMatrixSimulator
+from repro.quantum.noise import NoiseModel
+from repro.quantum.simulator import StatevectorSimulator
+from repro.utils.rng import RandomState
+
+
+class _FastProgram:
+    """The MaxCut-specialised FWHT evaluator behind the program surface."""
+
+    def __init__(self, problem: MaxCutProblem):
+        self._evaluator = FastMaxCutEvaluator(problem)
+
+    def expectation(self, parameters: QAOAParameters) -> float:
+        return self._evaluator.expectation(parameters)
+
+    def expectation_batch(self, matrix: np.ndarray) -> np.ndarray:
+        return self._evaluator.expectation_batch(matrix)
+
+    def probabilities(self, parameters: QAOAParameters) -> np.ndarray:
+        return self._evaluator.statevector(parameters).probabilities()
+
+    def probability_rows(self, block: np.ndarray) -> np.ndarray:
+        # The FWHT sweep produces (dim, batch) amplitude columns; the
+        # batch-major probability rows are a cheap real-matrix view.
+        columns = self._evaluator.statevector_batch(block)
+        return (columns.real**2 + columns.imag**2).T
+
+    def noisy_probabilities(
+        self,
+        parameters: QAOAParameters,
+        noise_model: NoiseModel,
+        rng: RandomState,
+    ) -> np.ndarray:
+        state = self._evaluator.noisy_statevector(parameters, noise_model, rng)
+        return state.probabilities()
+
+    def density_probabilities(self, parameters, noise_model):
+        raise SimulationError(
+            "the fast backend has no density-matrix oracle; "
+            "ExecutionContext validation should have rejected density=True"
+        )
+
+
+class _CircuitProgram:
+    """The compiled gate-level circuit behind the program surface.
+
+    The parametric QAOA circuit is built **once**; every evaluation re-binds
+    the simulator's compiled program, and whole parameter batches run
+    through vectorised ``(dim, batch)`` sweeps.  In density mode the same
+    circuit also drives the exact :class:`DensityMatrixSimulator` oracle.
+    """
+
+    def __init__(self, problem: MaxCutProblem, depth: int, *, density: bool = False):
+        self._simulator = StatevectorSimulator()
+        self._density_simulator: Optional[DensityMatrixSimulator] = None
+        if density:
+            # Raises for registers beyond the density ceiling (~12 qubits)
+            # at construction instead of first evaluation.
+            self._density_simulator = DensityMatrixSimulator()
+            if problem.num_qubits > self._density_simulator.max_qubits:
+                raise ConfigurationError(
+                    f"density=True is limited to "
+                    f"{self._density_simulator.max_qubits} qubits "
+                    f"(the density matrix costs 4^n memory), the problem "
+                    f"has {problem.num_qubits}"
+                )
+        self._hamiltonian = problem.cost_hamiltonian()
+        circuit, gammas, betas = build_parametric_qaoa_circuit(problem, depth)
+        self._circuit = circuit
+        flat_index = {g: i for i, g in enumerate(gammas)}
+        flat_index.update({b: depth + i for i, b in enumerate(betas)})
+        # Column permutation mapping the flat [gammas..., betas...] vector
+        # onto the circuit's first-appearance parameter order.
+        self._column_order = np.array(
+            [flat_index[p] for p in circuit.parameters], dtype=np.intp
+        )
+
+    def _values(self, parameters: QAOAParameters) -> np.ndarray:
+        return parameters.to_vector()[self._column_order]
+
+    def expectation(self, parameters: QAOAParameters) -> float:
+        return self._simulator.expectation(
+            self._circuit, self._hamiltonian, self._values(parameters)
+        )
+
+    def expectation_batch(self, matrix: np.ndarray) -> np.ndarray:
+        return self._simulator.expectation_batch(
+            self._circuit, self._hamiltonian, matrix[:, self._column_order]
+        )
+
+    def probabilities(self, parameters: QAOAParameters) -> np.ndarray:
+        return self._simulator.run(self._circuit, self._values(parameters)).probabilities()
+
+    def probability_rows(self, block: np.ndarray) -> np.ndarray:
+        # Stay in the engine's native row layout (skipping run_batch's full
+        # complex-copy transpose).
+        amplitude_rows = self._simulator._run_batch_rows(
+            self._circuit, block[:, self._column_order]
+        )
+        return amplitude_rows.real**2 + amplitude_rows.imag**2
+
+    def noisy_probabilities(
+        self,
+        parameters: QAOAParameters,
+        noise_model: NoiseModel,
+        rng: RandomState,
+    ) -> np.ndarray:
+        state = self._simulator.run(
+            self._circuit, self._values(parameters), noise_model=noise_model, rng=rng
+        )
+        return state.probabilities()
+
+    def density_probabilities(
+        self, parameters: QAOAParameters, noise_model: Optional[NoiseModel]
+    ) -> np.ndarray:
+        rho = self._density_simulator.run(
+            self._circuit, self._values(parameters), noise_model=noise_model
+        )
+        return rho.probabilities()
+
+
+class FastBackend(Backend):
+    """The MaxCut-specialised FWHT backend (``"fast"``)."""
+
+    name = "fast"
+    supports_density = False
+    supports_noise = True
+    supports_batch = True
+    max_qubits = FAST_BACKEND_MAX_QUBITS
+
+    def compile(self, problem: MaxCutProblem, depth: int, *, density: bool = False):
+        if density:
+            raise ConfigurationError(
+                "the fast backend cannot run the density-matrix oracle; "
+                "use backend='circuit'"
+            )
+        return _FastProgram(problem)
+
+
+class CircuitBackend(Backend):
+    """The compiled gate-level circuit backend (``"circuit"``)."""
+
+    name = "circuit"
+    supports_density = True
+    supports_noise = True
+    supports_batch = True
+    max_qubits = None  # limited by memory (and ~12 qubits in density mode)
+
+    def compile(self, problem: MaxCutProblem, depth: int, *, density: bool = False):
+        return _CircuitProgram(problem, depth, density=density)
+
+
+register_backend(FastBackend())
+register_backend(CircuitBackend())

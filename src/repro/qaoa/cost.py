@@ -2,7 +2,11 @@
 
 :class:`ExpectationEvaluator` is the "quantum computer" box of Fig. 1(a)/(d):
 given a flat parameter vector it returns the cost expectation
-``<psi(gamma, beta)| H_C |psi(gamma, beta)>``.  Two backends are provided:
+``<psi(gamma, beta)| H_C |psi(gamma, beta)>``.  *How* that expectation is
+computed — backend, shot budget, gate noise, density mode, readout errors —
+is described by one :class:`~repro.execution.context.ExecutionContext`
+object, dispatched through the backend registry of
+:mod:`repro.execution.registry`:
 
 * ``"fast"`` (default) — the MaxCut-specialised
   :class:`~repro.qaoa.fast_backend.FastMaxCutEvaluator`;
@@ -13,7 +17,7 @@ Both produce identical expectation values; the circuit backend exists to keep
 the reproduction honest (the paper's flow is circuit-level) and as a
 cross-check in the test-suite.
 
-On top of the exact oracle, the evaluator models the realities of a NISQ
+On top of the exact oracle, the context models the realities of a NISQ
 device (see :mod:`repro.quantum.noise`): a **finite shot budget**
 (``shots=N`` samples N bit-strings per evaluation and averages their cut
 values), **gate noise** (``noise_model=...`` averages stochastic
@@ -40,11 +44,14 @@ Examples
 --------
 The exact oracle (default), and a finite-shot estimate of the same point:
 
+>>> from repro.execution import ExecutionContext
 >>> from repro.graphs import MaxCutProblem, erdos_renyi_graph
 >>> from repro.qaoa.cost import ExpectationEvaluator
 >>> problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
 >>> exact = ExpectationEvaluator(problem, depth=1)
->>> noisy = ExpectationEvaluator(problem, depth=1, shots=4096, rng=11)
+>>> noisy = ExpectationEvaluator(
+...     problem, depth=1, context=ExecutionContext(shots=4096), rng=11
+... )
 >>> point = [0.4, 0.3]
 >>> abs(exact.expectation(point) - noisy.expectation(point)) < 0.5
 True
@@ -53,8 +60,9 @@ True
 
 Seeded stochastic evaluators are exactly reproducible:
 
->>> first = ExpectationEvaluator(problem, depth=1, shots=64, rng=5)
->>> second = ExpectationEvaluator(problem, depth=1, shots=64, rng=5)
+>>> budget = ExecutionContext(shots=64)
+>>> first = ExpectationEvaluator(problem, depth=1, context=budget, rng=5)
+>>> second = ExpectationEvaluator(problem, depth=1, context=budget, rng=5)
 >>> first.expectation(point) == second.expectation(point)
 True
 """
@@ -66,23 +74,26 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.execution.context import (
+    UNSET,
+    ContextLike,
+    ExecutionContext,
+    resolve_execution_context,
+)
+from repro.execution.registry import get_backend
 from repro.graphs.maxcut import MaxCutProblem
-from repro.qaoa.circuit_builder import build_parametric_qaoa_circuit
-from repro.qaoa.fast_backend import FastMaxCutEvaluator
 from repro.qaoa.parameters import QAOAParameters
-from repro.quantum.density import DensityMatrixSimulator
 from repro.quantum.engine import BATCH_ELEMENT_BUDGET
 from repro.quantum.noise import (
-    DEFAULT_TRAJECTORIES,
     NoiseModel,
     ReadoutErrorModel,
     ShotEstimator,
     split_shots,
 )
-from repro.quantum.operators import PauliSum
-from repro.quantum.simulator import StatevectorSimulator
 from repro.utils.rng import RandomState, ensure_rng
 
+#: Names of the built-in backends (the registry is the source of truth; this
+#: tuple survives for backwards compatibility with pre-registry imports).
 BACKENDS = ("fast", "circuit")
 
 
@@ -95,147 +106,86 @@ class ExpectationEvaluator:
         The MaxCut instance to evaluate.
     depth:
         QAOA depth ``p`` (the flat parameter vector has length ``2 p``).
-    backend:
-        ``"fast"`` (default) or ``"circuit"``; see the module docstring.
-    shots:
-        ``None`` (default) reads expectations off the exact state; an integer
-        samples that many measurement outcomes per evaluation and averages
-        their cut values instead — the finite-precision oracle a real device
-        provides.
-    noise_model:
-        Optional :class:`~repro.quantum.noise.NoiseModel`.  Each evaluation
-        averages *trajectories* stochastic Pauli-error trajectories (and
-        splits the shot budget across them when *shots* is also set) —
-        unless *density* is set, in which case the channels are applied
-        exactly instead of sampled.
-    trajectories:
-        Number of noise trajectories per evaluation (default
-        :data:`~repro.quantum.noise.DEFAULT_TRAJECTORIES`; forced to 1
-        without a noise model and in density mode).
-    density:
-        Evaluate through the exact
-        :class:`~repro.quantum.density.DensityMatrixSimulator` (circuit
-        backend only).  Gate noise becomes a deterministic Kraus map and the
-        noise model may contain non-Pauli channels; *shots* still samples
-        from the exact noisy distribution when given.
-    readout_error:
-        Optional :class:`~repro.quantum.noise.ReadoutErrorModel` corrupting
-        the measured outcome distribution.  Without *shots* the corruption
-        is applied to the exact probabilities (the infinite-shot limit).
-    mitigate_readout:
-        Undo *readout_error* by confusion-matrix inversion before reducing
-        outcomes against the cut diagonal.
+    context:
+        An :class:`~repro.execution.context.ExecutionContext` describing how
+        expectations are computed, or a backend-name shorthand such as
+        ``"circuit"`` (``None`` = the exact default context).  The context is
+        validated once at construction: capability negotiation against the
+        backend registry replaces the ad-hoc per-layer checks.
     rng:
         Seed or generator driving shot sampling and trajectory noise.  A
-        fixed seed makes every stochastic evaluation reproducible.
+        fixed seed makes every stochastic evaluation reproducible; when
+        omitted, the context's ``seed`` policy applies.
+    backend, shots, noise_model, trajectories, density, readout_error, mitigate_readout:
+        **Deprecated** — the legacy kwarg spelling of the context fields.
+        Passing any of them builds the equivalent context internally
+        (bit-identical results) and emits one
+        :class:`~repro.execution.context.ExecutionDeprecationWarning`.
     """
 
     def __init__(
         self,
         problem: MaxCutProblem,
         depth: int,
+        context: ContextLike = None,
         *,
-        backend: str = "fast",
-        shots: Optional[int] = None,
-        noise_model: Optional[NoiseModel] = None,
-        trajectories: Optional[int] = None,
-        density: bool = False,
-        readout_error: Optional[ReadoutErrorModel] = None,
-        mitigate_readout: bool = False,
+        backend=UNSET,
+        shots=UNSET,
+        noise_model=UNSET,
+        trajectories=UNSET,
+        density=UNSET,
+        readout_error=UNSET,
+        mitigate_readout=UNSET,
         rng: RandomState = None,
     ):
+        context = resolve_execution_context(
+            context,
+            {
+                "backend": backend,
+                "shots": shots,
+                "noise_model": noise_model,
+                "trajectories": trajectories,
+                "density": density,
+                "readout_error": readout_error,
+                "mitigate_readout": mitigate_readout,
+            },
+            owner="ExpectationEvaluator",
+            stacklevel=3,
+        )
         if depth < 1:
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
-        if backend not in BACKENDS:
+        if (
+            context.readout_error is not None
+            and context.readout_error.num_qubits != problem.num_qubits
+        ):
             raise ConfigurationError(
-                f"backend must be one of {BACKENDS}, got {backend!r}"
-            )
-        if shots is not None and shots < 1:
-            raise ConfigurationError(f"shots must be >= 1, got {shots}")
-        if trajectories is not None and trajectories < 1:
-            raise ConfigurationError(
-                f"trajectories must be >= 1, got {trajectories}"
-            )
-        if density and backend != "circuit":
-            raise ConfigurationError(
-                "density=True runs the gate-level circuit exactly and "
-                "requires backend='circuit'"
-            )
-        if mitigate_readout and readout_error is None:
-            raise ConfigurationError(
-                "mitigate_readout requires a readout_error model"
-            )
-        if readout_error is not None and readout_error.num_qubits != problem.num_qubits:
-            raise ConfigurationError(
-                f"readout model covers {readout_error.num_qubits} qubits, "
+                f"readout model covers {context.readout_error.num_qubits} qubits, "
                 f"the problem has {problem.num_qubits}"
             )
         self._problem = problem
         self._depth = int(depth)
-        self._backend = backend
-        if noise_model is not None and noise_model.is_empty:
-            noise_model = None
-        if noise_model is not None and not density and not noise_model.is_pauli_only:
-            raise ConfigurationError(
-                "the noise model contains non-Pauli channels, which "
-                "trajectory sampling cannot represent; pass density=True "
-                "(circuit backend) to evaluate them exactly"
-            )
-        self._shots = None if shots is None else int(shots)
-        self._noise_model = noise_model
-        self._density = bool(density)
-        self._readout_error = readout_error
-        self._mitigate_readout = bool(mitigate_readout)
-        if noise_model is None or self._density:
-            self._trajectories = 1
-        else:
-            self._trajectories = int(trajectories or DEFAULT_TRAJECTORIES)
-        self._rng = ensure_rng(rng) if self.is_stochastic else None
+        self._context = context
+        self._trajectories = context.effective_trajectories
+        if rng is None:
+            rng = context.seed
+        self._rng = ensure_rng(rng) if context.is_stochastic else None
         self._estimator: Optional[ShotEstimator] = None
         self._stochastic_diagonal: Optional[np.ndarray] = None
-        if self.is_stochastic or self._density or readout_error is not None:
+        if context.is_stochastic or context.density or context.readout_error is not None:
             self._stochastic_diagonal = problem.cost_diagonal()
-            if self._shots is not None:
+            if context.shots is not None:
                 self._estimator = ShotEstimator(
                     self._stochastic_diagonal,
-                    self._shots,
+                    context.shots,
                     rng=self._rng,
-                    readout_error=readout_error,
-                    mitigate_readout=self._mitigate_readout,
+                    readout_error=context.readout_error,
+                    mitigate_readout=context.mitigate_readout,
                 )
-        self._fast: Optional[FastMaxCutEvaluator] = None
-        self._simulator: Optional[StatevectorSimulator] = None
-        self._density_simulator: Optional[DensityMatrixSimulator] = None
-        self._hamiltonian: Optional[PauliSum] = None
-        self._circuit = None
-        self._column_order: Optional[np.ndarray] = None
-        if backend == "fast":
-            self._fast = FastMaxCutEvaluator(problem)
-        else:
-            self._simulator = StatevectorSimulator()
-            if self._density:
-                # Raises for registers beyond the density ceiling (~12
-                # qubits) at construction instead of first evaluation.
-                self._density_simulator = DensityMatrixSimulator()
-                if problem.num_qubits > self._density_simulator.max_qubits:
-                    raise ConfigurationError(
-                        f"density=True is limited to "
-                        f"{self._density_simulator.max_qubits} qubits "
-                        f"(the density matrix costs 4^n memory), the problem "
-                        f"has {problem.num_qubits}"
-                    )
-            self._hamiltonian = problem.cost_hamiltonian()
-            # Build the parametric circuit once; every evaluation re-binds the
-            # simulator's compiled program instead of rebuilding circuits.
-            circuit, gammas, betas = build_parametric_qaoa_circuit(problem, self._depth)
-            self._circuit = circuit
-            flat_index = {g: i for i, g in enumerate(gammas)}
-            flat_index.update({b: self._depth + i for i, b in enumerate(betas)})
-            # Column permutation mapping the flat [gammas..., betas...] vector
-            # onto the circuit's first-appearance parameter order.
-            self._column_order = np.array(
-                [flat_index[p] for p in circuit.parameters], dtype=np.intp
-            )
+        # Capability negotiation happened in the context; compilation is one
+        # registry dispatch, never a string comparison.
+        self._program = get_backend(context.backend).compile(
+            problem, self._depth, density=context.density
+        )
         self._num_evaluations = 0
         self._trajectories_run = 0
 
@@ -253,19 +203,24 @@ class ExpectationEvaluator:
         return self._depth
 
     @property
+    def context(self) -> ExecutionContext:
+        """The execution context describing how expectations are computed."""
+        return self._context
+
+    @property
     def backend(self) -> str:
-        """Either ``"fast"`` or ``"circuit"``."""
-        return self._backend
+        """Name of the execution backend (e.g. ``"fast"`` or ``"circuit"``)."""
+        return self._context.backend
 
     @property
     def shots(self) -> Optional[int]:
         """Shot budget per evaluation (``None`` = exact readout)."""
-        return self._shots
+        return self._context.shots
 
     @property
     def noise_model(self) -> Optional[NoiseModel]:
         """The attached noise model, if any."""
-        return self._noise_model
+        return self._context.noise_model
 
     @property
     def trajectories(self) -> int:
@@ -275,17 +230,17 @@ class ExpectationEvaluator:
     @property
     def density(self) -> bool:
         """Whether evaluations run through the exact density-matrix oracle."""
-        return self._density
+        return self._context.density
 
     @property
     def readout_error(self) -> Optional[ReadoutErrorModel]:
         """The attached readout assignment-error model, if any."""
-        return self._readout_error
+        return self._context.readout_error
 
     @property
     def mitigate_readout(self) -> bool:
         """Whether readout corruption is undone by confusion inversion."""
-        return self._mitigate_readout
+        return self._context.mitigate_readout
 
     @property
     def is_stochastic(self) -> bool:
@@ -294,9 +249,7 @@ class ExpectationEvaluator:
         In density mode gate noise is exact, so only a finite shot budget
         makes the evaluator stochastic.
         """
-        if self._density:
-            return self._shots is not None
-        return self._shots is not None or self._noise_model is not None
+        return self._context.is_stochastic
 
     @property
     def num_evaluations(self) -> int:
@@ -317,6 +270,13 @@ class ExpectationEvaluator:
     def num_parameters(self) -> int:
         """Length of the flat parameter vector (``2 * depth``)."""
         return 2 * self._depth
+
+    def __repr__(self) -> str:
+        return (
+            f"ExpectationEvaluator(problem={self._problem.name!r}, "
+            f"depth={self._depth}, context={self._context!r}, "
+            f"evaluations={self._num_evaluations}, shots_used={self.shots_used})"
+        )
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -340,51 +300,36 @@ class ExpectationEvaluator:
         """
         parameters = self._validate(vector)
         self._num_evaluations += 1
-        if self._density:
+        if self._context.density:
             return self._density_estimate(parameters)
         if self.is_stochastic:
             return self._estimate(parameters)
-        if self._readout_error is not None:
+        if self.readout_error is not None:
             # Deterministic (infinite-shot) readout corruption of the exact
             # outcome distribution; with mitigation it recovers the exact
             # expectation identically.
             probabilities = self._readout_transform(
-                self._exact_probabilities(parameters)
+                self._program.probabilities(parameters)
             )
             return float(probabilities @ self._stochastic_diagonal)
-        if self._backend == "fast":
-            return self._fast.expectation(parameters)
-        values = parameters.to_vector()[self._column_order]
-        return self._simulator.expectation(self._circuit, self._hamiltonian, values)
-
-    def _exact_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
-        """Exact outcome distribution at one angle set (no noise, no shots)."""
-        if self._backend == "fast":
-            return self._fast.statevector(parameters).probabilities()
-        values = parameters.to_vector()[self._column_order]
-        return self._simulator.run(self._circuit, values).probabilities()
+        return self._program.expectation(parameters)
 
     def _readout_transform(self, probabilities: np.ndarray) -> np.ndarray:
         """Infinite-shot readout pipeline: corrupt, then optionally invert."""
-        if self._readout_error is None:
+        readout = self.readout_error
+        if readout is None:
             return probabilities
-        corrupted = self._readout_error.apply(probabilities)
-        if self._mitigate_readout:
-            return self._readout_error.mitigate(corrupted)
+        corrupted = readout.apply(probabilities)
+        if self.mitigate_readout:
+            return readout.mitigate(corrupted)
         return corrupted
-
-    def _density_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
-        """Exact noisy outcome distribution through the density oracle."""
-        values = parameters.to_vector()[self._column_order]
-        rho = self._density_simulator.run(
-            self._circuit, values, noise_model=self._noise_model
-        )
-        return rho.probabilities()
 
     def _density_estimate(self, parameters: QAOAParameters) -> float:
         """Density-mode evaluation: exact channels, optional shot sampling."""
-        probabilities = self._density_probabilities(parameters)
-        if self._shots is None:
+        probabilities = self._program.density_probabilities(
+            parameters, self.noise_model
+        )
+        if self.shots is None:
             probabilities = self._readout_transform(probabilities)
             return float(probabilities @ self._stochastic_diagonal)
         return self._estimator.estimate_probabilities(probabilities)
@@ -392,24 +337,16 @@ class ExpectationEvaluator:
     def _trajectory_probabilities(self, parameters: QAOAParameters) -> np.ndarray:
         """Outcome probabilities of one (possibly noisy) trajectory."""
         self._trajectories_run += 1
-        if self._backend == "fast":
-            if self._noise_model is None:
-                state = self._fast.statevector(parameters)
-            else:
-                state = self._fast.noisy_statevector(
-                    parameters, self._noise_model, self._rng
-                )
-            return state.probabilities()
-        values = parameters.to_vector()[self._column_order]
-        state = self._simulator.run(
-            self._circuit, values, noise_model=self._noise_model, rng=self._rng
+        if self.noise_model is None:
+            return self._program.probabilities(parameters)
+        return self._program.noisy_probabilities(
+            parameters, self.noise_model, self._rng
         )
-        return state.probabilities()
 
     def _estimate(self, parameters: QAOAParameters) -> float:
         """One stochastic estimate: trajectories x (shots | exact readout)."""
         trajectories = self._trajectories
-        if self._shots is None:
+        if self.shots is None:
             total = 0.0
             for _ in range(trajectories):
                 probabilities = self._readout_transform(
@@ -417,7 +354,7 @@ class ExpectationEvaluator:
                 )
                 total += float(probabilities @ self._stochastic_diagonal)
             return total / trajectories
-        budgets = split_shots(self._shots, trajectories)
+        budgets = split_shots(self.shots, trajectories)
         total = 0.0
         for budget in budgets:
             if budget == 0:
@@ -426,7 +363,7 @@ class ExpectationEvaluator:
             total += budget * self._estimator.estimate_probabilities(
                 probabilities, budget
             )
-        return total / self._shots
+        return total / self.shots
 
     def expectation_batch(self, params_matrix) -> np.ndarray:
         """Cost expectations for a whole ``(batch, 2p)`` matrix of angle sets.
@@ -457,7 +394,7 @@ class ExpectationEvaluator:
         self._num_evaluations += matrix.shape[0]
         if matrix.shape[0] == 0:
             return np.zeros(0, dtype=float)
-        if self._density:
+        if self._context.density:
             # The density matrix is 4^n memory per state: one exact
             # evaluation per row, never a (4^n, batch) sweep.
             return np.array(
@@ -467,14 +404,10 @@ class ExpectationEvaluator:
                 ]
             )
         if not self.is_stochastic:
-            if self._readout_error is not None:
+            if self.readout_error is not None:
                 return self._readout_expectation_batch(matrix)
-            if self._backend == "fast":
-                return self._fast.expectation_batch(matrix)
-            return self._simulator.expectation_batch(
-                self._circuit, self._hamiltonian, matrix[:, self._column_order]
-            )
-        if self._noise_model is None:
+            return self._program.expectation_batch(matrix)
+        if self.noise_model is None:
             # Pure finite shots: batched exact amplitudes, per-column draws.
             estimates = np.empty(matrix.shape[0], dtype=float)
             for start, stop, rows in self._probability_rows_chunks(matrix):
@@ -493,23 +426,13 @@ class ExpectationEvaluator:
 
         One batched backend sweep per chunk, chunked to the shared element
         budget so the whole ``(dim, batch)`` amplitude matrix is never
-        materialised at once; *rows* is batch-major ``(chunk, dim)``.  The
-        circuit backend stays in the engine's native row layout (skipping
-        ``run_batch``'s full complex-copy transpose); the fast backend's
-        columns are transposed as a cheap real-matrix view.
+        materialised at once; *rows* is batch-major ``(chunk, dim)``.
         """
         dim = 2 ** self._problem.num_qubits
         chunk = max(1, BATCH_ELEMENT_BUDGET // dim)
         for start in range(0, matrix.shape[0], chunk):
             block = matrix[start : start + chunk]
-            if self._backend == "fast":
-                columns = self._fast.statevector_batch(block)
-                rows = (columns.real**2 + columns.imag**2).T
-            else:
-                amplitude_rows = self._simulator._run_batch_rows(
-                    self._circuit, block[:, self._column_order]
-                )
-                rows = amplitude_rows.real**2 + amplitude_rows.imag**2
+            rows = self._program.probability_rows(block)
             yield start, start + block.shape[0], rows
 
     def _readout_expectation_batch(self, matrix: np.ndarray) -> np.ndarray:

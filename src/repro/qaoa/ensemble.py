@@ -26,7 +26,7 @@ from repro.qaoa.cost import ExpectationEvaluator
 def _evaluate_batch_worker(graph_payload: dict, depth: int, backend: str, matrix) -> np.ndarray:
     """Process-pool worker: rebuild the problem and evaluate one batch."""
     problem = MaxCutProblem(Graph.from_dict(graph_payload))
-    evaluator = ExpectationEvaluator(problem, depth, backend=backend)
+    evaluator = ExpectationEvaluator(problem, depth, context=backend)
     return evaluator.expectation_batch(matrix)
 
 
@@ -87,7 +87,7 @@ class EnsembleEvaluator:
             self._evaluators = [None] * len(self._problems)
         if self._evaluators[index] is None:
             self._evaluators[index] = ExpectationEvaluator(
-                self._problems[index], self._depth, backend=self._backend
+                self._problems[index], self._depth, context=self._backend
             )
         return self._evaluators[index]
 

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.execution.context import ExecutionContext
 from repro.qaoa.parameters import QAOAParameters
 
 
@@ -39,6 +40,10 @@ class QAOAResult:
     #: paper counts quantum cost in function calls; on shot-budgeted
     #: hardware this is the matching physical cost.
     num_shots: int = 0
+    #: The execution context that produced this result (``None`` for results
+    #: built outside the solver), so artifacts record the exact oracle
+    #: configuration — backend, shots, noise, readout — they came from.
+    context: Optional[ExecutionContext] = None
 
     @property
     def approximation_ratio(self) -> float:
@@ -79,6 +84,7 @@ class QAOAResult:
             "num_restarts": self.num_restarts,
             "initialization": self.initialization,
             "num_shots": self.num_shots,
+            "execution": None if self.context is None else self.context.to_dict(),
         }
 
     def __repr__(self) -> str:

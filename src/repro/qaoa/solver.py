@@ -8,11 +8,12 @@ solver supports both random initialization (the paper's naive baseline,
 possibly multi-restart) and explicit initial parameters (the ML-predicted
 warm start of the two-level flow).
 
-The loop can also be driven by the *stochastic* oracle of a finite-shot,
-noisy device (``shots=...``, ``noise_model=...``); when no optimizer is
-named explicitly the solver then defaults to SPSA, whose two-evaluation
-gradient estimate tolerates a noisy objective, and the result reports the
-total shot budget next to the function-call count.
+*How* the oracle runs is one :class:`~repro.execution.context.ExecutionContext`
+(``context=ExecutionContext(shots=..., noise_model=...)``); when the context
+makes the oracle stochastic and no optimizer is named explicitly, the solver
+defaults to SPSA, whose two-evaluation gradient estimate tolerates a noisy
+objective, and the result reports the total shot budget next to the
+function-call count.
 
 Examples
 --------
@@ -27,7 +28,8 @@ True
 
 A shot-budgeted solve picks SPSA and accounts for every shot:
 
->>> noisy = QAOASolver(shots=128, seed=0).solve(problem, depth=1)
+>>> from repro.execution import ExecutionContext
+>>> noisy = QAOASolver(context=ExecutionContext(shots=128), seed=0).solve(problem, depth=1)
 >>> noisy.optimizer_name
 'SPSA'
 >>> noisy.num_shots == 128 * noisy.num_function_calls
@@ -42,6 +44,12 @@ import numpy as np
 
 from repro.config import DEFAULT_TOLERANCE
 from repro.exceptions import ConfigurationError
+from repro.execution.context import (
+    UNSET,
+    ContextLike,
+    ExecutionContext,
+    resolve_execution_context,
+)
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.optimizers.registry import get_optimizer
@@ -74,13 +82,18 @@ class QAOASolver:
         :class:`~repro.optimizers.base.Optimizer` instance, or ``None``
         (default) to auto-select: ``"L-BFGS-B"`` for the exact oracle, a
         noise-tolerant SPSA (see :data:`STOCHASTIC_SPSA_MAX_ITERATIONS`)
-        when *shots* or *noise_model* make the oracle stochastic.
+        when the execution context makes the oracle stochastic.
+    context:
+        An :class:`~repro.execution.context.ExecutionContext` describing how
+        expectations are computed (backend, shots, noise, density, readout),
+        or a backend-name shorthand such as ``"circuit"``; ``None`` is the
+        exact default context.  Forwarded unchanged to every
+        :class:`~repro.qaoa.cost.ExpectationEvaluator` the solver builds;
+        the consumed shot budget is reported as :attr:`QAOAResult.num_shots`.
     num_restarts:
         Number of random restarts used when no initial parameters are given.
     tolerance:
         Functional tolerance (only used when *optimizer* is given by name).
-    backend:
-        ``"fast"`` (default) or ``"circuit"`` expectation backend.
     use_bounds:
         When true, the angle domain ``gamma in [0, 2*pi]``, ``beta in [0, pi]``
         is also enforced during optimization (the paper restricts only the
@@ -94,66 +107,62 @@ class QAOASolver:
         optimization loop.  ``None`` (default) keeps the classic behaviour —
         every random start is optimized — so fixed-seed results are unchanged
         unless screening is explicitly requested.
-    shots:
-        Finite shot budget per expectation evaluation (``None`` = exact);
-        forwarded to every :class:`~repro.qaoa.cost.ExpectationEvaluator`
-        the solver builds.  The consumed budget is reported as
-        :attr:`QAOAResult.num_shots`.
-    noise_model:
-        Optional :class:`~repro.quantum.noise.NoiseModel` applied to every
-        evaluation (*trajectories* stochastic trajectories each, or exactly
-        when *density* is set).
-    trajectories:
-        Noise trajectories per evaluation (see
-        :class:`~repro.qaoa.cost.ExpectationEvaluator`).
-    density:
-        Evaluate through the exact density-matrix oracle (circuit backend
-        only); gate noise then no longer makes the oracle stochastic.
-    readout_error:
-        Optional :class:`~repro.quantum.noise.ReadoutErrorModel` forwarded
-        to every evaluator (measurement assignment errors).
-    mitigate_readout:
-        Apply confusion-matrix-inversion mitigation to the sampled counts.
+    seed:
+        Seed or generator for random initialization and the stochastic
+        oracle; when omitted, the context's ``seed`` policy applies.
+    backend, shots, noise_model, trajectories, density, readout_error, mitigate_readout:
+        **Deprecated** — the legacy kwarg spelling of the context fields.
+        Passing any of them builds the equivalent context internally
+        (bit-identical results) and emits one
+        :class:`~repro.execution.context.ExecutionDeprecationWarning`.
     """
 
     def __init__(
         self,
         optimizer: Union[str, Optimizer, None] = None,
+        context: ContextLike = None,
         *,
         num_restarts: int = 1,
         tolerance: float = DEFAULT_TOLERANCE,
         max_iterations: int = 10000,
-        backend: str = "fast",
         use_bounds: bool = False,
         candidate_pool: Optional[int] = None,
-        shots: Optional[int] = None,
-        noise_model: Optional[NoiseModel] = None,
-        trajectories: Optional[int] = None,
-        density: bool = False,
-        readout_error: Optional[ReadoutErrorModel] = None,
-        mitigate_readout: bool = False,
+        backend=UNSET,
+        shots=UNSET,
+        noise_model=UNSET,
+        trajectories=UNSET,
+        density=UNSET,
+        readout_error=UNSET,
+        mitigate_readout=UNSET,
         seed: RandomState = None,
     ):
+        context = resolve_execution_context(
+            context,
+            {
+                "backend": backend,
+                "shots": shots,
+                "noise_model": noise_model,
+                "trajectories": trajectories,
+                "density": density,
+                "readout_error": readout_error,
+                "mitigate_readout": mitigate_readout,
+            },
+            owner="QAOASolver",
+            stacklevel=3,
+        )
         if num_restarts < 1:
             raise ConfigurationError(f"num_restarts must be >= 1, got {num_restarts}")
         if candidate_pool is not None and candidate_pool < 1:
             raise ConfigurationError(
                 f"candidate_pool must be >= 1, got {candidate_pool}"
             )
+        self._context = context
+        if seed is None:
+            seed = context.seed
         self._rng = ensure_rng(seed)
-        self._shots = None if shots is None else int(shots)
-        if noise_model is not None and noise_model.is_empty:
-            noise_model = None
-        self._noise_model = noise_model
-        self._trajectories = trajectories
-        self._density = bool(density)
-        self._readout_error = readout_error
-        self._mitigate_readout = bool(mitigate_readout)
         # With the exact density oracle, gate noise is deterministic — only
         # a finite shot budget needs the noise-tolerant default optimizer.
-        stochastic = self._shots is not None or (
-            noise_model is not None and not self._density
-        )
+        stochastic = context.is_stochastic
         # Auto-wired SPSA is rebuilt per solve() seeded from the call-level
         # rng, so an explicit per-solve seed reproduces the whole stochastic
         # run (optimizer perturbations included); these settings are kept to
@@ -182,7 +191,6 @@ class QAOASolver:
                 max_iterations=max_iterations,
             )
         self._num_restarts = int(num_restarts)
-        self._backend = backend
         self._use_bounds = bool(use_bounds)
         self._candidate_pool = None if candidate_pool is None else int(candidate_pool)
 
@@ -200,9 +208,14 @@ class QAOASolver:
         return self._num_restarts
 
     @property
+    def context(self) -> ExecutionContext:
+        """The execution context forwarded to every evaluator."""
+        return self._context
+
+    @property
     def backend(self) -> str:
         """Expectation-evaluation backend name."""
-        return self._backend
+        return self._context.backend
 
     @property
     def candidate_pool(self) -> Optional[int]:
@@ -212,22 +225,28 @@ class QAOASolver:
     @property
     def shots(self) -> Optional[int]:
         """Shot budget per evaluation (``None`` = exact readout)."""
-        return self._shots
+        return self._context.shots
 
     @property
     def noise_model(self) -> Optional[NoiseModel]:
         """The noise model applied to every evaluation, if any."""
-        return self._noise_model
+        return self._context.noise_model
 
     @property
     def density(self) -> bool:
         """Whether evaluations run through the exact density-matrix oracle."""
-        return self._density
+        return self._context.density
 
     @property
     def readout_error(self) -> Optional[ReadoutErrorModel]:
         """The readout assignment-error model forwarded to evaluators."""
-        return self._readout_error
+        return self._context.readout_error
+
+    def __repr__(self) -> str:
+        return (
+            f"QAOASolver(optimizer={self._optimizer.name!r}, "
+            f"num_restarts={self._num_restarts}, context={self._context!r})"
+        )
 
     # ------------------------------------------------------------------
     # Solving
@@ -265,16 +284,7 @@ class QAOASolver:
                 seed=rng,
             )
         evaluator = ExpectationEvaluator(
-            problem,
-            depth,
-            backend=self._backend,
-            shots=self._shots,
-            noise_model=self._noise_model,
-            trajectories=self._trajectories,
-            density=self._density,
-            readout_error=self._readout_error,
-            mitigate_readout=self._mitigate_readout,
-            rng=rng,
+            problem, depth, context=self._context, rng=rng
         )
         bounds = parameter_bounds(depth) if self._use_bounds else None
         screening_calls = 0
@@ -323,6 +333,7 @@ class QAOASolver:
             restarts=records,
             initialization=initialization,
             num_shots=evaluator.shots_used,
+            context=self._context,
         )
 
     def _run_single(

@@ -29,6 +29,7 @@ from repro.quantum.noise import (
     QuantumChannel,
     ReadoutErrorModel,
     ShotEstimator,
+    channel_from_dict,
 )
 from repro.quantum.engine import CompiledProgram, compile_circuit
 from repro.quantum.simulator import StatevectorSimulator
@@ -56,6 +57,7 @@ __all__ = [
     "ReadoutErrorModel",
     "NoiseModel",
     "ShotEstimator",
+    "channel_from_dict",
     "CompiledProgram",
     "compile_circuit",
     "StatevectorSimulator",

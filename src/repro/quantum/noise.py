@@ -87,6 +87,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.quantum.statevector import Statevector
 from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.serialization import dumps_json
 
 #: Default number of stochastic trajectories averaged per noisy estimate.
 DEFAULT_TRAJECTORIES = 8
@@ -212,6 +213,30 @@ class QuantumChannel:
             raise ConfigurationError(f"expected a 2x2 density matrix, got {rho.shape}")
         return sum(k @ rho @ k.conj().T for k in self._kraus)
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form; rebuild with :func:`channel_from_dict`.
+
+        The base form records the raw Kraus operators as nested
+        ``[real, imag]`` pairs; the named subclasses override this with
+        their compact parametric form (``probability``, ``gamma``, ...).
+        """
+        return {
+            "type": "kraus",
+            "name": self._name,
+            "kraus": [
+                [[float(entry.real), float(entry.imag)] for entry in operator.ravel()]
+                for operator in self._kraus
+            ],
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QuantumChannel):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(dumps_json(self.to_dict(), indent=0))
+
     def __repr__(self) -> str:
         return f"{self._name}(num_kraus={len(self._kraus)})"
 
@@ -298,6 +323,16 @@ class PauliChannel(QuantumChannel):
             return "Y"
         return "Z"
 
+    def to_dict(self) -> dict:
+        """Compact parametric form (``px``/``py``/``pz``)."""
+        return {
+            "type": "pauli",
+            "name": self._name,
+            "px": self._px,
+            "py": self._py,
+            "pz": self._pz,
+        }
+
     def __repr__(self) -> str:
         return (
             f"{self._name}(px={self._px:.4g}, py={self._py:.4g}, pz={self._pz:.4g})"
@@ -321,6 +356,9 @@ class DepolarizingChannel(PauliChannel):
         """The total depolarizing probability ``p``."""
         return self._probability
 
+    def to_dict(self) -> dict:
+        return {"type": "depolarizing", "probability": self._probability}
+
 
 class BitFlip(PauliChannel):
     """Classical bit-flip noise: ``X`` with probability ``p``."""
@@ -328,12 +366,18 @@ class BitFlip(PauliChannel):
     def __init__(self, probability: float):
         super().__init__(float(probability), 0.0, 0.0)
 
+    def to_dict(self) -> dict:
+        return {"type": "bit_flip", "probability": self._px}
+
 
 class PhaseFlip(PauliChannel):
     """Dephasing noise: ``Z`` with probability ``p``."""
 
     def __init__(self, probability: float):
         super().__init__(0.0, 0.0, float(probability))
+
+    def to_dict(self) -> dict:
+        return {"type": "phase_flip", "probability": self._pz}
 
 
 class AmplitudeDampingApprox(PauliChannel):
@@ -359,6 +403,9 @@ class AmplitudeDampingApprox(PauliChannel):
     def gamma(self) -> float:
         """The damping rate being approximated."""
         return self._gamma
+
+    def to_dict(self) -> dict:
+        return {"type": "amplitude_damping_approx", "gamma": self._gamma}
 
 
 class AmplitudeDampingChannel(QuantumChannel):
@@ -401,8 +448,43 @@ class AmplitudeDampingChannel(QuantumChannel):
         """The damping rate."""
         return self._gamma
 
+    def to_dict(self) -> dict:
+        return {"type": "amplitude_damping", "gamma": self._gamma}
+
     def __repr__(self) -> str:
         return f"{self._name}(gamma={self._gamma:.4g})"
+
+
+def channel_from_dict(data: dict) -> QuantumChannel:
+    """Rebuild a channel from its :meth:`QuantumChannel.to_dict` form.
+
+    >>> channel_from_dict(DepolarizingChannel(0.03).to_dict())
+    DepolarizingChannel(px=0.01, py=0.01, pz=0.01)
+    """
+    kind = data.get("type")
+    if kind == "depolarizing":
+        return DepolarizingChannel(data["probability"])
+    if kind == "bit_flip":
+        return BitFlip(data["probability"])
+    if kind == "phase_flip":
+        return PhaseFlip(data["probability"])
+    if kind == "amplitude_damping_approx":
+        return AmplitudeDampingApprox(data["gamma"])
+    if kind == "amplitude_damping":
+        return AmplitudeDampingChannel(data["gamma"])
+    if kind == "pauli":
+        return PauliChannel(
+            data["px"], data["py"], data["pz"], name=data.get("name")
+        )
+    if kind == "kraus":
+        operators = [
+            np.array(
+                [complex(real, imag) for real, imag in flat], dtype=complex
+            ).reshape(2, 2)
+            for flat in data["kraus"]
+        ]
+        return QuantumChannel(operators, name=data.get("name"))
+    raise ConfigurationError(f"unknown channel type {kind!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -531,8 +613,49 @@ class NoiseModel:
                 f"the exact DensityMatrixSimulator instead"
             )
 
+    # -- serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly form recording every rule; see :meth:`from_dict`."""
+        return {
+            "rules": [
+                {
+                    "channel": rule.channel.to_dict(),
+                    "gates": None if rule.gates is None else sorted(rule.gates),
+                    "qubits": None if rule.qubits is None else sorted(rule.qubits),
+                    "arity": rule.arity,
+                }
+                for rule in self._rules
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NoiseModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        model = cls()
+        for rule in data.get("rules", ()):
+            model.add_channel(
+                channel_from_dict(rule["channel"]),
+                gates=rule.get("gates"),
+                qubits=rule.get("qubits"),
+                arity=rule.get("arity"),
+            )
+        return model
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, NoiseModel):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    # Mutable (add_channel) with content equality: unhashable by convention.
+    __hash__ = None
+
     def __repr__(self) -> str:
-        return f"NoiseModel(num_rules={len(self._rules)})"
+        if not self._rules:
+            return "NoiseModel(empty)"
+        shown = ", ".join(repr(rule.channel) for rule in self._rules[:3])
+        if len(self._rules) > 3:
+            shown += f", ... +{len(self._rules) - 3} more"
+        return f"NoiseModel(num_rules={len(self._rules)}, channels=[{shown}])"
 
     # -- sampling --------------------------------------------------------
     @staticmethod
@@ -687,6 +810,31 @@ class ReadoutErrorModel:
         for qubit in range(self._num_qubits - 1, -1, -1):
             matrix = np.kron(matrix, self.assignment_matrix(qubit))
         return matrix
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form; rebuild with :meth:`from_dict`."""
+        return {
+            "num_qubits": self._num_qubits,
+            "p0_to_1": [float(p) for p in self._p0_to_1],
+            "p1_to_0": [float(p) for p in self._p1_to_0],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReadoutErrorModel":
+        """Rebuild a readout model from :meth:`to_dict` output."""
+        return cls(
+            data["num_qubits"],
+            p0_to_1=data.get("p0_to_1", 0.0),
+            p1_to_0=data.get("p1_to_0", 0.0),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ReadoutErrorModel):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(dumps_json(self.to_dict(), indent=0))
 
     def __repr__(self) -> str:
         return (

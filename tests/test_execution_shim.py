@@ -1,0 +1,282 @@
+"""Tests for the legacy-kwarg deprecation shim.
+
+Every legacy call pattern that appeared in ``tests/`` and ``examples/``
+before the :class:`~repro.execution.context.ExecutionContext` redesign is
+asserted **bit-identical** to its context equivalent, and the shim's
+:class:`~repro.execution.context.ExecutionDeprecationWarning` is asserted
+to fire exactly once per construction.
+
+This is the only module allowed to exercise the legacy path: the project
+``filterwarnings`` configuration promotes the shim warning to an error
+everywhere else, so internal code cannot quietly keep using it.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.acceleration.baseline import NaiveQAOARunner
+from repro.acceleration.comparison import compare_on_problem
+from repro.acceleration.two_level import TwoLevelQAOARunner
+from repro.exceptions import ConfigurationError
+from repro.execution import ExecutionContext, ExecutionDeprecationWarning
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.noise_robustness import run_noise_robustness
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.solver import QAOASolver
+from repro.quantum.noise import NoiseModel, ReadoutErrorModel
+
+pytestmark = pytest.mark.filterwarnings(
+    "always::repro.execution.ExecutionDeprecationWarning"
+)
+
+
+def _problem(seed: int = 3, nodes: int = 6) -> MaxCutProblem:
+    return MaxCutProblem(erdos_renyi_graph(nodes, 0.5, seed=seed))
+
+
+def _shim_warnings(record) -> list:
+    return [
+        entry
+        for entry in record
+        if issubclass(entry.category, ExecutionDeprecationWarning)
+    ]
+
+
+def _legacy(factory):
+    """Build via the legacy kwargs, asserting exactly one shim warning."""
+    with pytest.warns(DeprecationWarning) as record:
+        built = factory()
+    assert len(_shim_warnings(record)) == 1, record.list
+    return built
+
+
+#: Every legacy ExpectationEvaluator pattern previously used in tests/ and
+#: examples/: (legacy kwargs, equivalent context kwargs).
+EVALUATOR_PATTERNS = [
+    pytest.param({"backend": "circuit"}, {"backend": "circuit"}, id="backend"),
+    pytest.param({"shots": 128}, {"shots": 128}, id="shots"),
+    pytest.param(
+        {"backend": "circuit", "shots": 128},
+        {"backend": "circuit", "shots": 128},
+        id="backend-shots",
+    ),
+    pytest.param(
+        {
+            "shots": 100,
+            "noise_model": NoiseModel.uniform_depolarizing(0.01),
+            "trajectories": 4,
+        },
+        {
+            "shots": 100,
+            "noise_model": NoiseModel.uniform_depolarizing(0.01),
+            "trajectories": 4,
+        },
+        id="shots-noise-trajectories",
+    ),
+    pytest.param(
+        {"noise_model": NoiseModel.uniform_depolarizing(0.02), "trajectories": 2},
+        {"noise_model": NoiseModel.uniform_depolarizing(0.02), "trajectories": 2},
+        id="noise-only",
+    ),
+    pytest.param(
+        {
+            "backend": "circuit",
+            "density": True,
+            "noise_model": NoiseModel.uniform_depolarizing(0.01),
+        },
+        {
+            "backend": "circuit",
+            "density": True,
+            "noise_model": NoiseModel.uniform_depolarizing(0.01),
+        },
+        id="density-noise",
+    ),
+    pytest.param(
+        {"readout_error": ReadoutErrorModel(6, p0_to_1=0.04, p1_to_0=0.09)},
+        {"readout_error": ReadoutErrorModel(6, p0_to_1=0.04, p1_to_0=0.09)},
+        id="readout-raw",
+    ),
+    pytest.param(
+        {
+            "shots": 256,
+            "readout_error": ReadoutErrorModel(6, p0_to_1=0.05, p1_to_0=0.02),
+            "mitigate_readout": True,
+        },
+        {
+            "shots": 256,
+            "readout_error": ReadoutErrorModel(6, p0_to_1=0.05, p1_to_0=0.02),
+            "mitigate_readout": True,
+        },
+        id="shots-readout-mitigated",
+    ),
+]
+
+
+class TestEvaluatorShim:
+    @pytest.mark.parametrize("legacy_kwargs, context_kwargs", EVALUATOR_PATTERNS)
+    def test_legacy_pattern_bit_identical(self, legacy_kwargs, context_kwargs):
+        problem = _problem()
+        point = [0.4, 0.3]
+        legacy = _legacy(
+            lambda: ExpectationEvaluator(problem, 1, rng=5, **legacy_kwargs)
+        )
+        modern = ExpectationEvaluator(
+            problem, 1, context=ExecutionContext(**context_kwargs), rng=5
+        )
+        assert legacy.context == modern.context
+        assert legacy.expectation(point) == modern.expectation(point)
+        matrix = np.array([[0.4, 0.3], [0.1, 0.2]])
+        assert np.array_equal(
+            legacy.expectation_batch(matrix), modern.expectation_batch(matrix)
+        )
+        assert legacy.shots_used == modern.shots_used
+        assert legacy.trajectories_run == modern.trajectories_run
+
+    def test_mixing_context_and_legacy_kwargs_raises(self):
+        problem = _problem()
+        with pytest.raises(ConfigurationError, match="both context="):
+            ExpectationEvaluator(
+                problem, 1, context=ExecutionContext(), shots=16
+            )
+
+    def test_density_trajectories_bugfix_applies_to_legacy_path(self):
+        """The legacy spelling must hit the new validation rule too."""
+        problem = _problem()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ExecutionDeprecationWarning)
+            with pytest.raises(ConfigurationError, match="deterministic"):
+                ExpectationEvaluator(
+                    problem, 1, backend="circuit", density=True, trajectories=4
+                )
+
+
+class TestSolverShim:
+    def test_shots_solve_bit_identical(self):
+        problem = _problem()
+        legacy = _legacy(lambda: QAOASolver(shots=64, seed=0))
+        modern = QAOASolver(context=ExecutionContext(shots=64), seed=0)
+        first = legacy.solve(problem, 1, seed=7)
+        second = modern.solve(problem, 1, seed=7)
+        assert first.optimizer_name == second.optimizer_name == "SPSA"
+        assert first.optimal_expectation == second.optimal_expectation
+        assert np.array_equal(
+            first.optimal_parameters.to_vector(),
+            second.optimal_parameters.to_vector(),
+        )
+        assert first.num_shots == second.num_shots
+        assert first.context == second.context
+
+    def test_noise_and_readout_solve_bit_identical(self):
+        problem = _problem()
+        readout = ReadoutErrorModel(problem.num_qubits, p0_to_1=0.03)
+        model = NoiseModel.uniform_depolarizing(0.005)
+        legacy = _legacy(
+            lambda: QAOASolver(
+                shots=64,
+                noise_model=model,
+                trajectories=2,
+                readout_error=readout,
+                mitigate_readout=True,
+                seed=4,
+            )
+        )
+        modern = QAOASolver(
+            context=ExecutionContext(
+                shots=64,
+                noise_model=model,
+                trajectories=2,
+                readout_error=readout,
+                mitigate_readout=True,
+            ),
+            seed=4,
+        )
+        first = legacy.solve(problem, 1, seed=3)
+        second = modern.solve(problem, 1, seed=3)
+        assert first.optimal_expectation == second.optimal_expectation
+        assert first.num_shots == second.num_shots
+
+    def test_named_optimizer_with_legacy_backend(self):
+        problem = _problem()
+        legacy = _legacy(lambda: QAOASolver("COBYLA", backend="circuit", seed=1))
+        modern = QAOASolver("COBYLA", "circuit", seed=1)
+        first = legacy.solve(problem, 1, seed=2)
+        second = modern.solve(problem, 1, seed=2)
+        assert first.optimal_expectation == second.optimal_expectation
+        assert first.optimizer_name == second.optimizer_name == "COBYLA"
+
+
+class TestRunnerAndHarnessShims:
+    def test_naive_runner_bit_identical(self):
+        problem = _problem()
+        legacy = _legacy(
+            lambda: NaiveQAOARunner(shots=32, num_restarts=2, seed=0)
+        )
+        modern = NaiveQAOARunner(
+            context=ExecutionContext(shots=32), num_restarts=2, seed=0
+        )
+        first = legacy.run(problem, 2)
+        second = modern.run(problem, 2)
+        assert first.approximation_ratios == second.approximation_ratios
+        assert first.total_shots == second.total_shots
+
+    def test_two_level_runner_bit_identical(self, tiny_predictor):
+        problem = _problem(seed=9)
+        legacy = _legacy(
+            lambda: TwoLevelQAOARunner(tiny_predictor, shots=32, seed=0)
+        )
+        modern = TwoLevelQAOARunner(
+            tiny_predictor, context=ExecutionContext(shots=32), seed=0
+        )
+        first = legacy.run(problem, 2)
+        second = modern.run(problem, 2)
+        assert first.approximation_ratio == second.approximation_ratio
+        assert first.total_shots == second.total_shots
+
+    def test_compare_on_problem_bit_identical(self, tiny_predictor):
+        problem = _problem(seed=9)
+        legacy = _legacy(
+            lambda: compare_on_problem(
+                problem, 2, tiny_predictor, num_restarts=2, shots=32, seed=1
+            )
+        )
+        modern = compare_on_problem(
+            problem,
+            2,
+            tiny_predictor,
+            context=ExecutionContext(shots=32),
+            num_restarts=2,
+            seed=1,
+        )
+        assert legacy == modern
+        assert legacy.execution["shots"] == 32
+
+    def test_noise_robustness_backend_kwarg(self):
+        config = ExperimentConfig().scaled(max_iterations=40)
+        kwargs = dict(
+            depth=1,
+            shot_budgets=(32,),
+            noise_strengths=(0.0,),
+            num_graphs=1,
+            trajectories=2,
+        )
+        legacy = _legacy(
+            lambda: run_noise_robustness(config, backend="fast", **kwargs)
+        )
+        modern = run_noise_robustness(config, context="fast", **kwargs)
+        assert [dict(row) for row in legacy.table] == [
+            dict(row) for row in modern.table
+        ]
+
+    def test_noise_robustness_rejects_non_exact_base_context(self):
+        with pytest.raises(ConfigurationError, match="exact"):
+            run_noise_robustness(
+                ExperimentConfig(),
+                context=ExecutionContext(shots=8),
+                shot_budgets=(8,),
+                noise_strengths=(0.0,),
+                num_graphs=1,
+            )

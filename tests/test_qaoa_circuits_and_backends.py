@@ -117,8 +117,8 @@ class TestFastBackend:
 
 class TestExpectationEvaluator:
     def test_backends_agree(self, triangle_problem, rng):
-        fast = ExpectationEvaluator(triangle_problem, 2, backend="fast")
-        circuit = ExpectationEvaluator(triangle_problem, 2, backend="circuit")
+        fast = ExpectationEvaluator(triangle_problem, 2, context="fast")
+        circuit = ExpectationEvaluator(triangle_problem, 2, context="circuit")
         vector = random_parameters(2, rng).to_vector()
         assert fast.expectation(vector) == pytest.approx(
             circuit.expectation(vector), abs=1e-9
@@ -138,7 +138,7 @@ class TestExpectationEvaluator:
 
     def test_invalid_backend_raises(self, triangle_problem):
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(triangle_problem, 1, backend="gpu")
+            ExpectationEvaluator(triangle_problem, 1, context="gpu")
 
     def test_invalid_depth_raises(self, triangle_problem):
         with pytest.raises(ConfigurationError):

@@ -140,8 +140,8 @@ class TestExpectationBatch:
 
     def test_cost_evaluator_batch_both_backends_agree(self, triangle_problem, rng):
         matrix = np.array([random_parameters(2, rng).to_vector() for _ in range(3)])
-        fast = ExpectationEvaluator(triangle_problem, 2, backend="fast")
-        circuit = ExpectationEvaluator(triangle_problem, 2, backend="circuit")
+        fast = ExpectationEvaluator(triangle_problem, 2, context="fast")
+        circuit = ExpectationEvaluator(triangle_problem, 2, context="circuit")
         np.testing.assert_allclose(
             fast.expectation_batch(matrix),
             circuit.expectation_batch(matrix),
@@ -151,7 +151,7 @@ class TestExpectationBatch:
         assert circuit.num_evaluations == 3
 
     def test_cost_evaluator_batch_validates_width(self, triangle_problem):
-        evaluator = ExpectationEvaluator(triangle_problem, 2, backend="fast")
+        evaluator = ExpectationEvaluator(triangle_problem, 2, context="fast")
         with pytest.raises(ConfigurationError):
             evaluator.expectation_batch(np.zeros((2, 3)))
 

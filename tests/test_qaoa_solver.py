@@ -83,7 +83,7 @@ class TestSolverBasics:
         assert a.num_function_calls == b.num_function_calls
 
     def test_circuit_backend_solver(self, triangle_problem):
-        solver = QAOASolver("L-BFGS-B", num_restarts=1, backend="circuit", seed=4)
+        solver = QAOASolver("L-BFGS-B", num_restarts=1, context="circuit", seed=4)
         result = solver.solve(triangle_problem, 1)
         assert result.approximation_ratio > 0.6
 

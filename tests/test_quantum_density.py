@@ -11,6 +11,7 @@ assignment errors + confusion-matrix-inversion mitigation, and the
 import numpy as np
 import pytest
 
+from repro.execution import ExecutionContext
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.graphs.generators import erdos_renyi_graph
 from repro.graphs.maxcut import MaxCutProblem
@@ -496,14 +497,22 @@ class TestReadoutThroughShotEstimator:
 class TestEvaluatorDensityMode:
     def test_requires_circuit_backend(self):
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(_problem(), 1, density=True)
+            ExpectationEvaluator(_problem(), 1, context=ExecutionContext(density=True))
 
     def test_non_pauli_model_requires_density(self):
         model = NoiseModel().add_channel(AmplitudeDampingChannel(0.1))
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(_problem(), 1, backend="circuit", noise_model=model)
+            ExpectationEvaluator(
+                _problem(),
+                1,
+                context=ExecutionContext(backend="circuit", noise_model=model),
+            )
         evaluator = ExpectationEvaluator(
-            _problem(), 1, backend="circuit", noise_model=model, density=True
+            _problem(),
+            1,
+            context=ExecutionContext(
+                backend="circuit", noise_model=model, density=True
+            ),
         )
         assert np.isfinite(evaluator.expectation([0.4, 0.3]))
 
@@ -512,7 +521,7 @@ class TestEvaluatorDensityMode:
         point = [0.4, 0.1, 0.3, 0.2]
         exact = ExpectationEvaluator(problem, 2).expectation(point)
         density = ExpectationEvaluator(
-            problem, 2, backend="circuit", density=True
+            problem, 2, context=ExecutionContext(backend="circuit", density=True)
         ).expectation(point)
         assert density == pytest.approx(exact, abs=1e-12)
 
@@ -522,7 +531,11 @@ class TestEvaluatorDensityMode:
         point = [0.4, 0.1, 0.3, 0.2]
         evaluators = [
             ExpectationEvaluator(
-                problem, 2, backend="circuit", density=True, noise_model=model
+                problem,
+                2,
+                context=ExecutionContext(
+                    backend="circuit", density=True, noise_model=model
+                ),
             )
             for _ in range(2)
         ]
@@ -539,10 +552,17 @@ class TestEvaluatorDensityMode:
         model = NoiseModel().add_channel(DepolarizingChannel(0.08), gates=("rx", "h"))
         point = [0.5, 0.3]
         oracle = ExpectationEvaluator(
-            problem, 1, backend="circuit", density=True, noise_model=model
+            problem,
+            1,
+            context=ExecutionContext(backend="circuit", density=True, noise_model=model),
         ).expectation(point)
         sampler = ExpectationEvaluator(
-            problem, 1, backend="circuit", noise_model=model, trajectories=600, rng=17
+            problem,
+            1,
+            context=ExecutionContext(
+                backend="circuit", noise_model=model, trajectories=600
+            ),
+            rng=17,
         )
         diagonal = problem.cost_diagonal()
         spread = float(diagonal.max() - diagonal.min())
@@ -555,8 +575,12 @@ class TestEvaluatorDensityMode:
         point = [0.5, 0.3]
         values = [
             ExpectationEvaluator(
-                problem, 1, backend="circuit", density=True,
-                noise_model=model, shots=256, rng=9,
+                problem,
+                1,
+                context=ExecutionContext(
+                    backend="circuit", density=True, noise_model=model, shots=256
+                ),
+                rng=9,
             ).expectation(point)
             for _ in range(2)
         ]
@@ -566,13 +590,14 @@ class TestEvaluatorDensityMode:
         problem = _problem(nodes=5)
         model = NoiseModel.uniform_depolarizing(0.02)
         matrix = np.array([[0.4, 0.3], [0.1, 0.2], [0.7, 0.5]])
+        density_context = ExecutionContext(
+            backend="circuit", density=True, noise_model=model
+        )
         batch = ExpectationEvaluator(
-            problem, 1, backend="circuit", density=True, noise_model=model
+            problem, 1, context=density_context
         ).expectation_batch(matrix)
         scalar = [
-            ExpectationEvaluator(
-                problem, 1, backend="circuit", density=True, noise_model=model
-            ).expectation(row)
+            ExpectationEvaluator(problem, 1, context=density_context).expectation(row)
             for row in matrix
         ]
         assert np.allclose(batch, scalar, atol=1e-12)
@@ -580,7 +605,9 @@ class TestEvaluatorDensityMode:
     def test_density_register_ceiling(self):
         problem = _problem(seed=1, nodes=13)
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(problem, 1, backend="circuit", density=True)
+            ExpectationEvaluator(
+                problem, 1, context=ExecutionContext(backend="circuit", density=True)
+            )
 
     @pytest.mark.parametrize("backend", ["fast", "circuit"])
     def test_readout_mitigation_recovers_exact_expectation(self, backend):
@@ -588,12 +615,18 @@ class TestEvaluatorDensityMode:
         problem = _problem()
         point = [0.4, 0.1, 0.3, 0.2]
         readout = ReadoutErrorModel(6, p0_to_1=0.04, p1_to_0=0.07)
-        exact = ExpectationEvaluator(problem, 2, backend=backend).expectation(point)
+        exact = ExpectationEvaluator(problem, 2, context=backend).expectation(point)
         raw = ExpectationEvaluator(
-            problem, 2, backend=backend, readout_error=readout
+            problem,
+            2,
+            context=ExecutionContext(backend=backend, readout_error=readout),
         ).expectation(point)
         mitigated = ExpectationEvaluator(
-            problem, 2, backend=backend, readout_error=readout, mitigate_readout=True
+            problem,
+            2,
+            context=ExecutionContext(
+                backend=backend, readout_error=readout, mitigate_readout=True
+            ),
         ).expectation(point)
         assert abs(raw - exact) > 1e-3  # corruption is visible
         assert mitigated == pytest.approx(exact, abs=1e-10)
@@ -604,7 +637,9 @@ class TestEvaluatorDensityMode:
         matrix = np.array([[0.4, 0.1, 0.3, 0.2], [0.1, 0.2, 0.3, 0.4]])
         for backend in ("fast", "circuit"):
             evaluator = ExpectationEvaluator(
-                problem, 2, backend=backend, readout_error=readout
+                problem,
+                2,
+                context=ExecutionContext(backend=backend, readout_error=readout),
             )
             batch = evaluator.expectation_batch(matrix)
             scalar = [evaluator.expectation(row) for row in matrix]
@@ -613,8 +648,14 @@ class TestEvaluatorDensityMode:
     def test_readout_validation(self):
         problem = _problem()
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(problem, 1, mitigate_readout=True)
+            ExpectationEvaluator(
+                problem, 1, context=ExecutionContext(mitigate_readout=True)
+            )
         with pytest.raises(ConfigurationError):
             ExpectationEvaluator(
-                problem, 1, readout_error=ReadoutErrorModel(5, p0_to_1=0.1)
+                problem,
+                1,
+                context=ExecutionContext(
+                    readout_error=ReadoutErrorModel(5, p0_to_1=0.1)
+                ),
             )

@@ -187,12 +187,12 @@ class TestStructureCache:
         assert after.probability("10") == pytest.approx(0.5)
 
     def test_evaluator_reuses_circuit_across_evaluations(self, triangle_problem, rng):
-        evaluator = ExpectationEvaluator(triangle_problem, 2, backend="circuit")
-        simulator = evaluator._simulator
-        program = simulator.compile(evaluator._circuit)
+        evaluator = ExpectationEvaluator(triangle_problem, 2, context="circuit")
+        simulator = evaluator._program._simulator
+        program = simulator.compile(evaluator._program._circuit)
         for _ in range(4):
             evaluator.expectation(random_parameters(2, rng).to_vector())
-        assert simulator.compile(evaluator._circuit) is program
+        assert simulator.compile(evaluator._program._circuit) is program
 
 
 class TestBatchedExecution:
@@ -224,14 +224,14 @@ class TestBatchedExecution:
 
     def test_expectation_batch_matches_scalar(self, rng):
         problem = MaxCutProblem(random_regular_graph(3, 8, seed=2))
-        evaluator = ExpectationEvaluator(problem, 2, backend="circuit")
+        evaluator = ExpectationEvaluator(problem, 2, context="circuit")
         matrix = np.array([random_parameters(2, seed).to_vector() for seed in range(6)])
         batched = evaluator.expectation_batch(matrix)
         scalar = np.array([evaluator.expectation(row) for row in matrix])
         np.testing.assert_allclose(batched, scalar, atol=ATOL)
 
     def test_expectation_batch_empty(self, triangle_problem):
-        evaluator = ExpectationEvaluator(triangle_problem, 1, backend="circuit")
+        evaluator = ExpectationEvaluator(triangle_problem, 1, context="circuit")
         assert evaluator.expectation_batch(np.zeros((0, 2))).shape == (0,)
 
     def test_simulator_expectation_batch_non_diagonal_observable(self, rng):
@@ -277,8 +277,8 @@ class TestBackendEquivalence:
     @pytest.mark.parametrize("depth", [1, 2, 4])
     def test_fast_and_circuit_backends_agree(self, depth, rng):
         problem = MaxCutProblem(erdos_renyi_graph(8, 0.4, seed=depth))
-        fast = ExpectationEvaluator(problem, depth, backend="fast")
-        circuit = ExpectationEvaluator(problem, depth, backend="circuit")
+        fast = ExpectationEvaluator(problem, depth, context="fast")
+        circuit = ExpectationEvaluator(problem, depth, context="circuit")
         for _ in range(3):
             vector = random_parameters(depth, rng).to_vector()
             assert circuit.expectation(vector) == pytest.approx(
@@ -289,7 +289,7 @@ class TestBackendEquivalence:
         graph = Graph(5, [(0, 1, 0.5), (1, 2, 2.0), (2, 3, -1.25), (3, 4, 0.75), (0, 4, 1.5)])
         problem = MaxCutProblem(graph)
         fast = FastMaxCutEvaluator(problem)
-        circuit_ev = ExpectationEvaluator(problem, 3, backend="circuit")
+        circuit_ev = ExpectationEvaluator(problem, 3, context="circuit")
         for _ in range(3):
             parameters = random_parameters(3, rng)
             assert circuit_ev.expectation(parameters.to_vector()) == pytest.approx(
@@ -299,8 +299,8 @@ class TestBackendEquivalence:
     def test_batched_backends_agree(self, rng):
         problem = MaxCutProblem(erdos_renyi_graph(7, 0.5, seed=9))
         matrix = np.array([random_parameters(2, seed).to_vector() for seed in range(8)])
-        fast = ExpectationEvaluator(problem, 2, backend="fast")
-        circuit = ExpectationEvaluator(problem, 2, backend="circuit")
+        fast = ExpectationEvaluator(problem, 2, context="fast")
+        circuit = ExpectationEvaluator(problem, 2, context="circuit")
         np.testing.assert_allclose(
             circuit.expectation_batch(matrix), fast.expectation_batch(matrix), atol=1e-9
         )

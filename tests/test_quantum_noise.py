@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.execution import ExecutionContext
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.graphs.generators import erdos_renyi_graph
 from repro.graphs.maxcut import MaxCutProblem
@@ -400,8 +401,12 @@ class TestFastBackendNoise:
                 parameters, model, rng=seed
             )
             evaluator = ExpectationEvaluator(
-                problem, 2, backend="circuit", noise_model=model,
-                trajectories=1, rng=seed,
+                problem,
+                2,
+                context=ExecutionContext(
+                    backend="circuit", noise_model=model, trajectories=1
+                ),
+                rng=seed,
             )
             fast_value = float(
                 fast_state.probabilities() @ problem.cost_diagonal()

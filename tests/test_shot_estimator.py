@@ -15,6 +15,7 @@ from repro.acceleration.baseline import NaiveQAOARunner
 from repro.acceleration.comparison import aggregate_records, compare_on_problem
 from repro.acceleration.two_level import TwoLevelQAOARunner
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.execution import ExecutionContext
 from repro.graphs.generators import erdos_renyi_graph
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.spsa import SPSAOptimizer
@@ -167,9 +168,9 @@ class TestStochasticEvaluator:
     def test_configuration_validation(self):
         problem = _problem()
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(problem, 1, shots=0)
+            ExpectationEvaluator(problem, 1, context=ExecutionContext(shots=0))
         with pytest.raises(ConfigurationError):
-            ExpectationEvaluator(problem, 1, trajectories=0)
+            ExpectationEvaluator(problem, 1, context=ExecutionContext(trajectories=0))
 
     def test_default_configuration_is_exact(self):
         problem = _problem()
@@ -185,7 +186,7 @@ class TestStochasticEvaluator:
         point = [0.4, 0.3]
         values = [
             ExpectationEvaluator(
-                problem, 1, backend=backend, shots=256, rng=5
+                problem, 1, context=ExecutionContext(backend=backend, shots=256), rng=5
             ).expectation(point)
             for _ in range(2)
         ]
@@ -201,13 +202,15 @@ class TestStochasticEvaluator:
         variance = float(state.probabilities() @ diagonal**2) - exact**2
         shots = 50000
         estimate = ExpectationEvaluator(
-            problem, 1, backend=backend, shots=shots, rng=2020
+            problem, 1, context=ExecutionContext(backend=backend, shots=shots), rng=2020
         ).expectation(point)
         assert abs(estimate - exact) <= 3.0 * np.sqrt(variance / shots)
 
     def test_shots_used_accounting(self):
         problem = _problem()
-        evaluator = ExpectationEvaluator(problem, 1, shots=100, rng=0)
+        evaluator = ExpectationEvaluator(
+            problem, 1, context=ExecutionContext(shots=100), rng=0
+        )
         evaluator.expectation([0.4, 0.3])
         evaluator.expectation_batch(np.array([[0.4, 0.3], [0.1, 0.2]]))
         assert evaluator.shots_used == 300
@@ -218,9 +221,11 @@ class TestStochasticEvaluator:
         evaluator = ExpectationEvaluator(
             problem,
             1,
-            shots=100,
-            noise_model=NoiseModel.uniform_depolarizing(0.01),
-            trajectories=8,
+            context=ExecutionContext(
+                shots=100,
+                noise_model=NoiseModel.uniform_depolarizing(0.01),
+                trajectories=8,
+            ),
             rng=1,
         )
         evaluator.expectation([0.4, 0.3])
@@ -230,8 +235,12 @@ class TestStochasticEvaluator:
     def test_noise_without_shots_averages_exact_trajectories(self):
         problem = _problem()
         evaluator = ExpectationEvaluator(
-            problem, 1, noise_model=NoiseModel.uniform_depolarizing(0.0),
-            trajectories=3, rng=1,
+            problem,
+            1,
+            context=ExecutionContext(
+                noise_model=NoiseModel.uniform_depolarizing(0.0), trajectories=3
+            ),
+            rng=1,
         )
         # Zero-strength noise: trajectory average equals the exact value.
         exact = ExpectationEvaluator(problem, 1).expectation([0.4, 0.3])
@@ -244,7 +253,7 @@ class TestStochasticEvaluator:
         matrix = np.array([[0.4, 0.3], [0.1, 0.2]])
         results = [
             ExpectationEvaluator(
-                problem, 1, backend=backend, shots=128, rng=9
+                problem, 1, context=ExecutionContext(backend=backend, shots=128), rng=9
             ).expectation_batch(matrix)
             for _ in range(2)
         ]
@@ -254,12 +263,11 @@ class TestStochasticEvaluator:
         problem = _problem()
         matrix = np.array([[0.4, 0.3], [0.1, 0.2]])
         model = NoiseModel.uniform_depolarizing(0.02)
+        stochastic = ExecutionContext(shots=64, noise_model=model, trajectories=2)
         batch = ExpectationEvaluator(
-            problem, 1, shots=64, noise_model=model, trajectories=2, rng=3
+            problem, 1, context=stochastic, rng=3
         ).expectation_batch(matrix)
-        scalar_evaluator = ExpectationEvaluator(
-            problem, 1, shots=64, noise_model=model, trajectories=2, rng=3
-        )
+        scalar_evaluator = ExpectationEvaluator(problem, 1, context=stochastic, rng=3)
         scalar = np.array([scalar_evaluator.expectation(row) for row in matrix])
         assert np.array_equal(batch, scalar)
 
@@ -270,22 +278,26 @@ class TestStochasticEvaluator:
 
 class TestStochasticSolver:
     def test_defaults_to_spsa_for_stochastic_oracle(self):
-        assert QAOASolver(shots=64).optimizer.name == "SPSA"
+        assert QAOASolver(context=ExecutionContext(shots=64)).optimizer.name == "SPSA"
         assert (
-            QAOASolver(noise_model=NoiseModel.uniform_depolarizing(0.01)).optimizer.name
+            QAOASolver(
+                context=ExecutionContext(
+                    noise_model=NoiseModel.uniform_depolarizing(0.01)
+                )
+            ).optimizer.name
             == "SPSA"
         )
         assert QAOASolver().optimizer.name == "L-BFGS-B"
 
     def test_explicit_optimizer_is_respected(self):
-        solver = QAOASolver("COBYLA", shots=64)
+        solver = QAOASolver("COBYLA", ExecutionContext(shots=64))
         assert solver.optimizer.name == "COBYLA"
         instance = SPSAOptimizer(max_iterations=10)
-        assert QAOASolver(instance, shots=32).optimizer is instance
+        assert QAOASolver(instance, ExecutionContext(shots=32)).optimizer is instance
 
     def test_shot_budget_reported(self):
         problem = _problem()
-        result = QAOASolver(shots=64, seed=0).solve(problem, 1)
+        result = QAOASolver(context=ExecutionContext(shots=64), seed=0).solve(problem, 1)
         assert result.optimizer_name == "SPSA"
         assert result.num_shots == 64 * result.num_function_calls
         assert result.to_dict()["num_shots"] == result.num_shots
@@ -298,8 +310,14 @@ class TestStochasticSolver:
     def test_seeded_solve_is_reproducible(self):
         problem = _problem()
         results = [
-            QAOASolver(shots=64, noise_model=NoiseModel.uniform_depolarizing(0.005),
-                       trajectories=2, seed=4).solve(problem, 1, seed=7)
+            QAOASolver(
+                context=ExecutionContext(
+                    shots=64,
+                    noise_model=NoiseModel.uniform_depolarizing(0.005),
+                    trajectories=2,
+                ),
+                seed=4,
+            ).solve(problem, 1, seed=7)
             for _ in range(2)
         ]
         assert results[0].optimal_expectation == results[1].optimal_expectation
@@ -316,7 +334,7 @@ class TestStochasticSolver:
         must not leak from one solve() into the next on the same instance.
         """
         problem = _problem()
-        solver = QAOASolver(shots=64, seed=0)
+        solver = QAOASolver(context=ExecutionContext(shots=64), seed=0)
         first = solver.solve(problem, 1, seed=11)
         second = solver.solve(problem, 1, seed=11)
         assert first.optimal_expectation == second.optimal_expectation
@@ -328,7 +346,10 @@ class TestStochasticSolver:
     def test_screening_shots_are_accounted(self):
         problem = _problem()
         result = QAOASolver(
-            shots=32, num_restarts=1, candidate_pool=8, seed=0
+            context=ExecutionContext(shots=32),
+            num_restarts=1,
+            candidate_pool=8,
+            seed=0,
         ).solve(problem, 1)
         assert result.initialization == "screened"
         assert result.num_shots == 32 * result.num_function_calls
@@ -338,17 +359,15 @@ class TestStochasticSolver:
         problem = _problem()
         readout = ReadoutErrorModel(problem.num_qubits, p0_to_1=0.05, p1_to_0=0.02)
         for mitigate in (False, True):
-            solver = QAOASolver(
-                shots=64,
-                readout_error=readout,
-                mitigate_readout=mitigate,
-                seed=0,
+            readout_context = ExecutionContext(
+                shots=64, readout_error=readout, mitigate_readout=mitigate
             )
+            solver = QAOASolver(context=readout_context, seed=0)
             assert solver.readout_error is readout
             first = solver.solve(problem, 1, seed=21)
-            second = QAOASolver(
-                shots=64, readout_error=readout, mitigate_readout=mitigate, seed=0
-            ).solve(problem, 1, seed=21)
+            second = QAOASolver(context=readout_context, seed=0).solve(
+                problem, 1, seed=21
+            )
             assert first.optimal_expectation == second.optimal_expectation
             assert first.num_shots == 64 * first.num_function_calls
 
@@ -356,14 +375,13 @@ class TestStochasticSolver:
         """Exact noisy density oracle: no SPSA auto-wiring, no randomness."""
         problem = _problem()
         model = NoiseModel.uniform_depolarizing(0.01)
-        solver = QAOASolver(
-            backend="circuit", density=True, noise_model=model, seed=0
+        density_context = ExecutionContext(
+            backend="circuit", density=True, noise_model=model
         )
+        solver = QAOASolver(context=density_context, seed=0)
         assert solver.density and solver.optimizer.name == "L-BFGS-B"
         first = solver.solve(problem, 1, seed=3)
-        second = QAOASolver(
-            backend="circuit", density=True, noise_model=model, seed=0
-        ).solve(problem, 1, seed=3)
+        second = QAOASolver(context=density_context, seed=0).solve(problem, 1, seed=3)
         assert first.optimal_expectation == second.optimal_expectation
         assert first.num_shots == 0
 
@@ -379,13 +397,17 @@ class TestStochasticRunners:
 
     def test_naive_runner_reports_shots(self):
         problem = _problem()
-        outcome = NaiveQAOARunner(shots=32, num_restarts=2, seed=0).run(problem, 2)
+        outcome = NaiveQAOARunner(
+            context=ExecutionContext(shots=32), num_restarts=2, seed=0
+        ).run(problem, 2)
         assert outcome.optimizer_name == "SPSA"
         assert outcome.total_shots == 32 * outcome.total_function_calls
 
     def test_two_level_runner_reports_shots(self, tiny_predictor):
         problem = _problem(seed=9)
-        runner = TwoLevelQAOARunner(tiny_predictor, shots=32, seed=0)
+        runner = TwoLevelQAOARunner(
+            tiny_predictor, context=ExecutionContext(shots=32), seed=0
+        )
         outcome = runner.run(problem, 2)
         assert outcome.total_shots == 32 * outcome.total_function_calls
         assert outcome.level1_result.num_shots > 0
@@ -394,7 +416,12 @@ class TestStochasticRunners:
     def test_comparison_records_shot_budgets(self, tiny_predictor):
         problem = _problem(seed=9)
         record = compare_on_problem(
-            problem, 2, tiny_predictor, num_restarts=2, shots=32, seed=1
+            problem,
+            2,
+            tiny_predictor,
+            context=ExecutionContext(shots=32),
+            num_restarts=2,
+            seed=1,
         )
         assert record.naive_total_shots > 0
         assert record.two_level_total_shots > 0
