@@ -1,0 +1,236 @@
+"""Load benchmarks of the solver service tier.
+
+Measures the three service-layer wins over the seed's one-solve-at-a-time
+usage pattern:
+
+* **Concurrent submission throughput** — >= 64 submissions of a repeated
+  (graph, depth, context, seed) workload pushed through the service's
+  dedup + result cache versus the same workload solved serially, one
+  fresh solver call per request;
+* **Warm result-cache latency** — resubmitting an already-solved
+  configuration versus the cold solve;
+* **Expectation coalescing** — a burst of concurrent scalar expectation
+  requests batched into vectorized sweeps versus fresh per-request
+  evaluator construction.
+
+Every measurement is appended to ``BENCH_service.json`` in the repository
+root together with the service's own ``ServiceMetrics.to_dict()`` snapshot
+(cache hit rates, p50/p99 latencies), so the performance trajectory is
+machine-readable from this PR on (CI uploads the file as an artifact).
+"""
+
+import json
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.solver import QAOASolver
+from repro.service import SolverService
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _emit_results_json(bench_smoke):
+    """Write every recorded measurement to ``BENCH_service.json``."""
+    yield
+    payload = {
+        "benchmark": "service",
+        "smoke": bool(bench_smoke),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": _RESULTS,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _problems(count: int) -> list:
+    return [
+        MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=seed)) for seed in range(count)
+    ]
+
+
+def test_concurrent_submission_throughput(bench_smoke):
+    """Headline: >= 64 concurrent repeated submissions vs serial solving.
+
+    The workload repeats a small set of (graph, depth, seed) configurations
+    many times — the regime the service is built for (parameter sweeps,
+    dashboards, several clients asking overlapping questions).  The serial
+    baseline solves every request independently, the seed's usage pattern;
+    the service deduplicates identical in-flight submissions and serves
+    repeats from the result cache, so only the unique configurations cost a
+    real solve.
+    """
+    num_unique, repeats = (4, 8) if bench_smoke else (8, 8)
+    num_submissions = num_unique * repeats
+    assert bench_smoke or num_submissions >= 64
+    depth = 1
+    problems = _problems(num_unique)
+    workload = [(problems[i % num_unique], 17 + (i % num_unique)) for i in range(num_submissions)]
+
+    # Serial baseline: one fresh solver call per request.
+    start = time.perf_counter()
+    serial_values = [
+        QAOASolver(seed=0).solve(problem, depth, seed=seed).optimal_expectation
+        for problem, seed in workload
+    ]
+    serial_seconds = time.perf_counter() - start
+
+    # Service: all submissions in flight at once.
+    with SolverService(max_workers=4) as service:
+        start = time.perf_counter()
+        handles = [
+            service.submit(problem, depth, seed=seed) for problem, seed in workload
+        ]
+        service_values = [h.result(timeout=300).optimal_expectation for h in handles]
+        service_seconds = time.perf_counter() - start
+        snapshot = service.metrics.to_dict()
+
+    # Identical numbers, dramatically less work.
+    assert service_values == serial_values
+    speedup = serial_seconds / service_seconds
+    _RESULTS["concurrent_submissions"] = {
+        "num_submissions": num_submissions,
+        "num_unique_configurations": num_unique,
+        "serial_seconds": serial_seconds,
+        "service_seconds": service_seconds,
+        "speedup": speedup,
+        "jobs": snapshot["jobs"],
+        "result_cache": snapshot["caches"]["result"],
+        "latency_p50_seconds": snapshot["latency"]["job_seconds"]["p50"],
+        "latency_p99_seconds": snapshot["latency"]["job_seconds"]["p99"],
+    }
+    # Only `num_unique` real solves happened for `num_submissions` requests.
+    served_cheaply = (
+        snapshot["jobs"]["deduplicated"] + snapshot["caches"]["result"]["hits"]
+    )
+    assert served_cheaply >= num_submissions - num_unique
+    floor = 2.0 if bench_smoke else 5.0
+    assert speedup >= floor, (
+        f"coalesced throughput speedup {speedup:.1f}x below the {floor}x floor "
+        f"(serial {serial_seconds:.3f}s vs service {service_seconds:.3f}s)"
+    )
+
+
+def test_warm_result_cache_latency(bench_smoke):
+    """A warm resubmission must be at least 10x faster than the cold solve."""
+    problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=31))
+    depth = 1 if bench_smoke else 2
+    with SolverService(max_workers=2) as service:
+        start = time.perf_counter()
+        cold = service.submit(problem, depth, seed=5)
+        cold_result = cold.result(timeout=300)
+        cold_seconds = time.perf_counter() - start
+
+        warm_seconds = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            warm = service.submit(problem, depth, seed=5)
+            warm_result = warm.result(timeout=10)
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+        assert warm.from_cache
+        assert warm_result is cold_result
+        hit_rate = service.metrics.to_dict()["caches"]["result"]["hit_rate"]
+
+    speedup = cold_seconds / warm_seconds
+    _RESULTS["warm_result_cache"] = {
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": speedup,
+        "result_cache_hit_rate": hit_rate,
+    }
+    assert speedup >= 10.0, (
+        f"warm cache hit only {speedup:.1f}x faster than the cold solve "
+        f"({warm_seconds * 1e6:.0f}us vs {cold_seconds * 1e3:.1f}ms)"
+    )
+
+
+def test_expectation_coalescing_throughput(bench_smoke):
+    """A concurrent burst of expectation requests vs per-request evaluation.
+
+    The serial baseline mirrors a service with no coalescing and no program
+    cache: every request builds its own evaluator (one backend compile) and
+    evaluates one scalar expectation.  The coalesced path shares one
+    compiled program and sweeps concurrent requests through
+    ``expectation_batch`` in a handful of flushes.
+    """
+    num_requests = 32 if bench_smoke else 64
+    problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=11))
+    depth = 2
+    rng = np.random.default_rng(7)
+    vectors = rng.uniform(0.0, np.pi, size=(num_requests, 2 * depth))
+
+    start = time.perf_counter()
+    serial_values = [
+        ExpectationEvaluator(problem, depth).expectation(vector) for vector in vectors
+    ]
+    serial_seconds = time.perf_counter() - start
+
+    with SolverService(max_workers=4, coalesce_max_wait_ms=20.0) as service:
+        values = [None] * num_requests
+        # The main thread joins the barrier so the clock starts at the moment
+        # the burst is released, excluding thread spawn overhead.
+        barrier = threading.Barrier(num_requests + 1)
+
+        def request(index):
+            barrier.wait(30)
+            values[index] = service.expectation(
+                problem, depth, vectors[index], timeout=60
+            )
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(num_requests)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait(30)
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join(60)
+        coalesced_seconds = time.perf_counter() - start
+        snapshot = service.metrics.to_dict()
+
+    np.testing.assert_allclose(values, serial_values, rtol=0, atol=1e-12)
+    speedup = serial_seconds / coalesced_seconds
+    _RESULTS["expectation_coalescing"] = {
+        "num_requests": num_requests,
+        "serial_seconds": serial_seconds,
+        "coalesced_seconds": coalesced_seconds,
+        "speedup": speedup,
+        "batches": snapshot["coalescer"]["batches"],
+        "largest_batch": snapshot["coalescer"]["largest_batch"],
+        "mean_batch_size": snapshot["coalescer"]["mean_batch_size"],
+        "program_cache": snapshot["caches"]["program"],
+    }
+    # Requests were genuinely batched, not evaluated one by one.
+    assert snapshot["coalescer"]["batched_requests"] == num_requests
+    assert snapshot["coalescer"]["largest_batch"] > 1
+
+
+def test_metrics_snapshot_shape(bench_smoke):
+    """Record a full mixed-workload metrics snapshot for the artifact."""
+    problems = _problems(3)
+    with SolverService(max_workers=2) as service:
+        handles = [
+            service.submit(problems[i % 3], 1, seed=i % 3) for i in range(12)
+        ]
+        for handle in handles:
+            handle.result(timeout=300)
+        for _ in range(4):
+            service.expectation(problems[0], 1, [0.3, 0.2], timeout=30)
+        snapshot = service.metrics.to_dict()
+    _RESULTS["metrics_snapshot"] = snapshot
+    assert snapshot["jobs"]["completed"] >= 3
+    assert snapshot["latency"]["job_seconds"]["p50"] is not None
+    assert snapshot["latency"]["job_seconds"]["p99"] is not None
+    assert snapshot["caches"]["result"]["hit_rate"] is not None

@@ -1,0 +1,93 @@
+"""Quickstart for the solver service tier: async jobs, caching, coalescing.
+
+Run with::
+
+    python examples/service_quickstart.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
+
+The whole example imports only from the top-level :mod:`repro` facade —
+``repro.serve`` (plus the graph helpers) is all a service client needs.
+"""
+
+import os
+import threading
+import time
+
+import repro
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
+
+def main() -> None:
+    num_problems = 2 if SMOKE else 4
+    repeats = 4 if SMOKE else 8
+    depth = 1 if SMOKE else 2
+
+    problems = [
+        repro.MaxCutProblem(repro.erdos_renyi_graph(8, 0.5, seed=seed))
+        for seed in range(num_problems)
+    ]
+
+    with repro.serve(max_workers=4) as service:
+        # 1. Async submission: handles come back immediately, results on demand.
+        #    The workload repeats each configuration `repeats` times — the
+        #    service deduplicates identical in-flight jobs and serves repeats
+        #    from the result cache, so only `num_problems` real solves happen.
+        start = time.perf_counter()
+        handles = [
+            service.submit(problems[i % num_problems], depth, seed=11)
+            for i in range(num_problems * repeats)
+        ]
+        results = [handle.result(timeout=300) for handle in handles]
+        elapsed = time.perf_counter() - start
+        print(
+            f"{len(handles)} submissions -> {len(results)} results "
+            f"in {elapsed * 1e3:.0f} ms"
+        )
+        for index, problem in enumerate(problems):
+            result = results[index]
+            print(
+                f"  problem {index}: expectation {result.optimal_expectation:.4f}, "
+                f"approximation ratio {result.approximation_ratio:.3f}"
+            )
+
+        # 2. A warm resubmission is served from the result cache in microseconds.
+        start = time.perf_counter()
+        warm = service.submit(problems[0], depth, seed=11)
+        warm.result(timeout=10)
+        print(
+            f"warm resubmission: {(time.perf_counter() - start) * 1e6:.0f} us "
+            f"(from_cache={warm.from_cache})"
+        )
+
+        # 3. Concurrent expectation requests coalesce into one batched sweep.
+        num_requests = 8 if SMOKE else 16
+        values = [None] * num_requests
+
+        def request(index: int) -> None:
+            values[index] = service.expectation(
+                problems[0], depth, [0.1 * (index + 1)] * (2 * depth), timeout=60
+            )
+
+        threads = [
+            threading.Thread(target=request, args=(i,)) for i in range(num_requests)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        print(f"{num_requests} expectation requests, first value {values[0]:.4f}")
+
+        # 4. The metrics snapshot tells the story in numbers.
+        snapshot = service.metrics.to_dict()
+        print("jobs:", snapshot["jobs"])
+        print("result cache:", snapshot["caches"]["result"])
+        print("coalescer:", snapshot["coalescer"])
+        p50 = snapshot["latency"]["job_seconds"]["p50"]
+        p99 = snapshot["latency"]["job_seconds"]["p99"]
+        print(f"job latency p50 {p50 * 1e3:.1f} ms, p99 {p99 * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,15 +5,23 @@ MaxCut tooling, classical optimizers, regression models) and the paper's core
 contribution on top of them (QAOA solver, ML parameter predictor, two-level
 accelerated flow, experiment harness).
 
+The stable entry points live at the top level:
+
+* :func:`repro.solve` — one QAOA MaxCut optimization;
+* :func:`repro.compare` — naive vs ML-accelerated two-level flow;
+* :func:`repro.serve` — a concurrent solver service with coalescing and
+  caching (see :mod:`repro.service`).
+
+Heavyweight subsystems are imported lazily on first attribute access
+(PEP 562), so ``import repro`` stays light.
+
 Quickstart
 ----------
->>> from repro.graphs import erdos_renyi_graph, MaxCutProblem
->>> from repro.acceleration import TwoLevelQAOARunner
+>>> import repro
+>>> from repro.graphs import erdos_renyi_graph
 >>> graph = erdos_renyi_graph(8, 0.5, seed=7)
->>> problem = MaxCutProblem(graph)
->>> runner = TwoLevelQAOARunner.with_default_predictor(seed=7)
->>> outcome = runner.run(problem, target_depth=3)
->>> outcome.approximation_ratio > 0.8
+>>> result = repro.solve(graph, depth=1, seed=0)
+>>> result.approximation_ratio > 0.7
 True
 """
 
@@ -23,10 +31,14 @@ from repro.exceptions import (
     ConfigurationError,
     DatasetError,
     GraphError,
+    JobCancelledError,
+    JobTimeoutError,
     ModelError,
     OptimizationError,
     ReproError,
+    ServiceError,
     SimulationError,
+    TransientServiceError,
 )
 from repro.config import PaperSetup, paper_setup
 from repro.execution import (
@@ -38,14 +50,71 @@ from repro.execution import (
     register_backend,
 )
 
+#: Lazily-resolved exports: attribute name -> providing module.  Modules on
+#: this map are only imported when the attribute is first touched, keeping
+#: ``import repro`` free of scipy / the ML stack / service threads.
+_LAZY_EXPORTS = {
+    # Stable top-level API.
+    "solve": "repro.api",
+    "compare": "repro.api",
+    "serve": "repro.api",
+    # Problem construction.
+    "Graph": "repro.graphs",
+    "MaxCutProblem": "repro.graphs",
+    "erdos_renyi_graph": "repro.graphs",
+    "random_regular_graph": "repro.graphs",
+    # Solver layer.
+    "QAOASolver": "repro.qaoa",
+    "QAOAResult": "repro.qaoa",
+    "ExpectationEvaluator": "repro.qaoa",
+    # Acceleration flows.
+    "NaiveQAOARunner": "repro.acceleration",
+    "TwoLevelQAOARunner": "repro.acceleration",
+    "ComparisonRecord": "repro.acceleration",
+    "compare_on_problem": "repro.acceleration",
+    # Service tier.
+    "SolverService": "repro.service",
+    "JobHandle": "repro.service",
+    "JobStatus": "repro.service",
+    "ServiceMetrics": "repro.service",
+}
+
 __all__ = [
+    # Stable top-level API.
+    "solve",
+    "compare",
+    "serve",
+    # Execution configuration.
     "Backend",
     "ExecutionContext",
     "ExecutionDeprecationWarning",
     "available_backends",
     "get_backend",
     "register_backend",
+    # Problem construction.
+    "Graph",
+    "MaxCutProblem",
+    "erdos_renyi_graph",
+    "random_regular_graph",
+    # Solver layer.
+    "QAOASolver",
+    "QAOAResult",
+    "ExpectationEvaluator",
+    # Acceleration flows.
+    "NaiveQAOARunner",
+    "TwoLevelQAOARunner",
+    "ComparisonRecord",
+    "compare_on_problem",
+    # Service tier.
+    "SolverService",
+    "JobHandle",
+    "JobStatus",
+    "ServiceMetrics",
+    # Package metadata and configuration.
     "__version__",
+    "PaperSetup",
+    "paper_setup",
+    # Exceptions.
     "ReproError",
     "CircuitError",
     "SimulationError",
@@ -54,6 +123,24 @@ __all__ = [
     "ModelError",
     "DatasetError",
     "ConfigurationError",
-    "PaperSetup",
-    "paper_setup",
+    "ServiceError",
+    "TransientServiceError",
+    "JobCancelledError",
+    "JobTimeoutError",
 ]
+
+
+def __getattr__(name: str):
+    """Resolve lazy exports on first access (PEP 562)."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: subsequent accesses skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -36,3 +36,19 @@ class DatasetError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid experiment or solver configurations."""
+
+
+class ServiceError(ReproError):
+    """Raised for solver-service failures (bad submissions, shutdown misuse)."""
+
+
+class TransientServiceError(ServiceError):
+    """A service failure worth retrying (the job retry policy catches these)."""
+
+
+class JobCancelledError(ServiceError):
+    """Raised when the result of a cancelled job is requested."""
+
+
+class JobTimeoutError(ServiceError):
+    """Raised when a job exceeds its per-job timeout, or a result wait expires."""

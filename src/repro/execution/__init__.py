@@ -17,6 +17,15 @@ from repro.execution.context import (
     as_execution_context,
     resolve_execution_context,
 )
+from repro.execution.keys import (
+    canonical_json,
+    canonical_payload,
+    compile_cache_key,
+    graph_cache_key,
+    problem_cache_key,
+    solve_cache_key,
+    stable_hash,
+)
 from repro.execution.registry import (
     Backend,
     available_backends,
@@ -34,4 +43,11 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "canonical_json",
+    "canonical_payload",
+    "compile_cache_key",
+    "graph_cache_key",
+    "problem_cache_key",
+    "solve_cache_key",
+    "stable_hash",
 ]

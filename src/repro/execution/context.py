@@ -241,20 +241,46 @@ class ExecutionContext:
         """JSON-friendly form recording the exact execution settings.
 
         Integer seeds are recorded; a live generator object is runtime
-        state, not configuration, and serializes as ``None``.
+        state, not configuration, and serializes as ``None``.  The output is
+        **deterministic**: keys are sorted, nested payloads are
+        canonicalised (NumPy scalars to Python numbers, canonical float
+        form), so structurally equal contexts produce byte-identical JSON
+        across processes — the property :meth:`cache_key` relies on.
         """
-        return {
-            "backend": self.backend,
-            "shots": self.shots,
-            "noise_model": None if self.noise_model is None else self.noise_model.to_dict(),
-            "trajectories": self.trajectories,
-            "density": self.density,
-            "readout_error": (
-                None if self.readout_error is None else self.readout_error.to_dict()
-            ),
-            "mitigate_readout": self.mitigate_readout,
-            "seed": self.seed if isinstance(self.seed, int) else None,
-        }
+        from repro.execution.keys import canonical_payload
+
+        return canonical_payload(
+            {
+                "backend": self.backend,
+                "shots": self.shots,
+                "noise_model": (
+                    None if self.noise_model is None else self.noise_model.to_dict()
+                ),
+                "trajectories": self.trajectories,
+                "density": self.density,
+                "readout_error": (
+                    None if self.readout_error is None else self.readout_error.to_dict()
+                ),
+                "mitigate_readout": self.mitigate_readout,
+                "seed": self.seed if isinstance(self.seed, int) else None,
+            }
+        )
+
+    def cache_key(self) -> str:
+        """A stable content hash of this context (hex digest).
+
+        Two structurally equal contexts — built in different processes, or
+        round-tripped through :meth:`to_dict`/:meth:`from_dict` — share the
+        key, which is what the service tier keys its result cache on.
+        Computed once and memoised (the context is immutable).
+        """
+        cached = getattr(self, "_cache_key", None)
+        if cached is None:
+            from repro.execution.keys import stable_hash
+
+            cached = stable_hash(self.to_dict())
+            object.__setattr__(self, "_cache_key", cached)
+        return cached
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionContext":

@@ -33,6 +33,7 @@ class MaxCutProblem:
             raise GraphError("MaxCut is trivial on a graph with no edges")
         self._graph = graph
         self._cut_table: Optional[np.ndarray] = None
+        self._cache_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -51,6 +52,20 @@ class MaxCutProblem:
     def name(self) -> str:
         """Name inherited from the graph."""
         return self._graph.name
+
+    def cache_key(self) -> str:
+        """A stable content hash of the problem graph (hex digest).
+
+        Keyed on structure (node count + sorted weighted edge list), not on
+        the graph's name or object identity, so two processes solving the
+        same instance derive the same key.  Memoised — the problem already
+        treats its graph as frozen (the cut table is cached the same way).
+        """
+        if self._cache_key is None:
+            from repro.execution.keys import graph_cache_key
+
+            self._cache_key = graph_cache_key(self._graph)
+        return self._cache_key
 
     # ------------------------------------------------------------------
     # Classical cut evaluation

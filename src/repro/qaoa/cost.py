@@ -137,6 +137,7 @@ class ExpectationEvaluator:
         readout_error=UNSET,
         mitigate_readout=UNSET,
         rng: RandomState = None,
+        program=None,
     ):
         context = resolve_execution_context(
             context,
@@ -182,10 +183,15 @@ class ExpectationEvaluator:
                     mitigate_readout=context.mitigate_readout,
                 )
         # Capability negotiation happened in the context; compilation is one
-        # registry dispatch, never a string comparison.
-        self._program = get_backend(context.backend).compile(
-            problem, self._depth, density=context.density
-        )
+        # registry dispatch, never a string comparison.  A pre-compiled
+        # *program* (same problem/depth/backend/density) skips the dispatch
+        # entirely — the solver and the service tier use this to share one
+        # compiled program across evaluators and worker threads.
+        if program is None:
+            program = get_backend(context.backend).compile(
+                problem, self._depth, density=context.density
+            )
+        self._program = program
         self._num_evaluations = 0
         self._trajectories_run = 0
 
@@ -206,6 +212,11 @@ class ExpectationEvaluator:
     def context(self) -> ExecutionContext:
         """The execution context describing how expectations are computed."""
         return self._context
+
+    @property
+    def program(self):
+        """The compiled backend program (shareable across evaluators)."""
+        return self._program
 
     @property
     def backend(self) -> str:

@@ -29,6 +29,7 @@ baseline.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -129,6 +130,9 @@ class FastMaxCutEvaluator:
     scratch), so repeated scalar :meth:`expectation` calls allocate nothing
     beyond the per-layer phase factors, and :meth:`expectation_batch`
     amortises the Python-level loop over a whole matrix of angle sets.
+    Buffers live in thread-local storage and the evaluation counter is
+    lock-protected, so one evaluator instance may be shared by concurrent
+    threads (each thread pays for its own buffers on first use).
     """
 
     def __init__(self, problem: MaxCutProblem, max_qubits: int = FAST_BACKEND_MAX_QUBITS):
@@ -144,11 +148,34 @@ class FastMaxCutEvaluator:
         # Eigenvalues of sum_q X_q in the Hadamard-transformed basis.
         self._mixer_diagonal = self._num_qubits - 2.0 * _popcounts(self._dim)
         self._num_evaluations = 0
-        # Reusable work buffers, allocated lazily on first use.
-        self._state_buffer: Optional[np.ndarray] = None
-        self._scratch: Optional[np.ndarray] = None
+        self._counter_lock = threading.Lock()
+        # Reusable work buffers, allocated lazily on first use.  Kept in
+        # thread-local storage so one evaluator can serve concurrent callers
+        # (the service tier shares compiled programs across worker threads):
+        # each thread gets its own amplitude vector and FWHT scratch.
+        self._buffers = threading.local()
         # Equivalent-circuit gate streams for gate-attached noise sampling.
         self._noise_streams = None
+
+    def _scratch_for(self, min_elements: int) -> np.ndarray:
+        """This thread's FWHT scratch buffer, grown to *min_elements*."""
+        scratch = getattr(self._buffers, "scratch", None)
+        if scratch is None or scratch.size < min_elements:
+            scratch = np.empty(min_elements, dtype=complex)
+            self._buffers.scratch = scratch
+        return scratch
+
+    def _state_buffer_for(self) -> np.ndarray:
+        """This thread's reusable ``(dim,)`` amplitude buffer."""
+        buffer = getattr(self._buffers, "state", None)
+        if buffer is None:
+            buffer = np.empty(self._dim, dtype=complex)
+            self._buffers.state = buffer
+        return buffer
+
+    def _count_evaluations(self, count: int = 1) -> None:
+        with self._counter_lock:
+            self._num_evaluations += count
 
     # ------------------------------------------------------------------
     # Properties
@@ -185,9 +212,7 @@ class FastMaxCutEvaluator:
         layer costs two unnormalised butterflies plus two element-wise
         multiplies.
         """
-        if self._scratch is None or self._scratch.size < amplitudes.size // 2:
-            half_shape = (self._dim // 2,) + amplitudes.shape[1:]
-            self._scratch = np.empty(half_shape, dtype=complex)
+        scratch = self._scratch_for(amplitudes.size // 2)
         cost = self._cost_diagonal
         mixer = self._mixer_diagonal
         if amplitudes.ndim == 2:
@@ -198,9 +223,9 @@ class FastMaxCutEvaluator:
         inv_dim = 1.0 / self._dim
         for gamma, beta in zip(gammas, betas):
             amplitudes *= np.exp(-1j * cost * gamma)
-            fwht_inplace(amplitudes, self._scratch)
+            fwht_inplace(amplitudes, scratch)
             amplitudes *= np.exp(-1j * mixer * beta) * inv_dim
-            fwht_inplace(amplitudes, self._scratch)
+            fwht_inplace(amplitudes, scratch)
         return amplitudes
 
     def _coerce_batch(self, params_matrix: ParameterBatch) -> np.ndarray:
@@ -283,8 +308,7 @@ class FastMaxCutEvaluator:
         h_stream, cost_stream, mix_stream = self._gate_streams()
 
         amplitudes = np.full(self._dim, 1.0 / math.sqrt(self._dim), dtype=complex)
-        if self._scratch is None or self._scratch.size < self._dim // 2:
-            self._scratch = np.empty(self._dim // 2, dtype=complex)
+        scratch = self._scratch_for(self._dim // 2)
 
         def insert_errors(stream) -> None:
             for _index, qubit, pauli in noise_model.sample_errors(stream, generator):
@@ -295,9 +319,9 @@ class FastMaxCutEvaluator:
         for gamma, beta in zip(parameters.gammas, parameters.betas):
             amplitudes *= np.exp(-1j * self._cost_diagonal * gamma)
             insert_errors(cost_stream)
-            fwht_inplace(amplitudes, self._scratch)
+            fwht_inplace(amplitudes, scratch)
             amplitudes *= np.exp(-1j * self._mixer_diagonal * beta) * inv_dim
-            fwht_inplace(amplitudes, self._scratch)
+            fwht_inplace(amplitudes, scratch)
             insert_errors(mix_stream)
         return Statevector(amplitudes, copy=False, validate=False)
 
@@ -325,14 +349,12 @@ class FastMaxCutEvaluator:
         """Expectation value of the cost Hamiltonian in the QAOA state."""
         if not isinstance(parameters, QAOAParameters):
             parameters = QAOAParameters.from_vector(np.asarray(parameters, dtype=float))
-        if self._state_buffer is None:
-            self._state_buffer = np.empty(self._dim, dtype=complex)
-        amplitudes = self._state_buffer
+        amplitudes = self._state_buffer_for()
         amplitudes.fill(1.0 / math.sqrt(self._dim))
         self._evolve_inplace(
             amplitudes, np.asarray(parameters.gammas), np.asarray(parameters.betas)
         )
-        self._num_evaluations += 1
+        self._count_evaluations()
         probabilities = amplitudes.real**2 + amplitudes.imag**2
         return float(np.dot(probabilities, self._cost_diagonal))
 
@@ -358,7 +380,7 @@ class FastMaxCutEvaluator:
             amplitudes = self.statevector_batch(matrix[start : start + chunk])
             probabilities = amplitudes.real**2 + amplitudes.imag**2
             values[start : start + chunk] = self._cost_diagonal @ probabilities
-        self._num_evaluations += batch
+        self._count_evaluations(batch)
         return values
 
     def approximation_ratio(self, parameters) -> float:

@@ -38,6 +38,8 @@ True
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -50,6 +52,8 @@ from repro.execution.context import (
     ExecutionContext,
     resolve_execution_context,
 )
+from repro.execution.keys import compile_cache_key
+from repro.execution.registry import get_backend
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
 from repro.optimizers.registry import get_optimizer
@@ -193,6 +197,40 @@ class QAOASolver:
         self._num_restarts = int(num_restarts)
         self._use_bounds = bool(use_bounds)
         self._candidate_pool = None if candidate_pool is None else int(candidate_pool)
+        # Compiled-program LRU keyed on problem *content* + depth (via
+        # compile_cache_key): repeated solves of the same instance — the
+        # optimizer-comparison loops, the service tier — reuse the backend
+        # program instead of re-deriving cost diagonals / recompiling the
+        # parametric circuit on every solve() call.
+        self._program_cache: "OrderedDict[str, object]" = OrderedDict()
+        self._program_cache_lock = threading.Lock()
+
+    _PROGRAM_CACHE_CAPACITY = 32
+
+    def _compiled_program(self, problem: MaxCutProblem, depth: int):
+        """The cached compiled backend program for ``(problem, depth)``.
+
+        Keyed on graph content, so structurally equal problem objects share
+        one program.  Thread-safe: the lock covers only cache bookkeeping;
+        two threads racing on a cold key may both compile (one result wins
+        the slot), which duplicates work but never corrupts state.
+        """
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        key = compile_cache_key(problem, depth, self._context)
+        with self._program_cache_lock:
+            program = self._program_cache.get(key)
+            if program is not None:
+                self._program_cache.move_to_end(key)
+                return program
+        program = get_backend(self._context.backend).compile(
+            problem, int(depth), density=self._context.density
+        )
+        with self._program_cache_lock:
+            self._program_cache[key] = program
+            if len(self._program_cache) > self._PROGRAM_CACHE_CAPACITY:
+                self._program_cache.popitem(last=False)
+        return program
 
     # ------------------------------------------------------------------
     # Properties
@@ -284,7 +322,11 @@ class QAOASolver:
                 seed=rng,
             )
         evaluator = ExpectationEvaluator(
-            problem, depth, context=self._context, rng=rng
+            problem,
+            depth,
+            context=self._context,
+            rng=rng,
+            program=self._compiled_program(problem, depth),
         )
         bounds = parameter_bounds(depth) if self._use_bounds else None
         screening_calls = 0

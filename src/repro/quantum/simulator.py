@@ -46,6 +46,7 @@ turns the Bell pair into its anti-correlated twin:
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Union
@@ -93,7 +94,13 @@ class StatevectorSimulator:
         self._compiled = bool(compiled)
         self._executed_circuits = 0
         # id(circuit) -> (weakref, circuit.version, CompiledProgram); LRU.
+        # The lock guards only cache bookkeeping (lookups, reordering,
+        # insertion, eviction) — compilation itself runs unlocked so one
+        # slow compile does not serialise every other thread's cache hits.
         self._programs: "OrderedDict[int, tuple]" = OrderedDict()
+        # Reentrant because the weakref eviction callback can fire from a GC
+        # pass on the thread that already holds the lock.
+        self._programs_lock = threading.RLock()
 
     @property
     def max_qubits(self) -> int:
@@ -122,23 +129,38 @@ class StatevectorSimulator:
         The cache is keyed on object identity plus the circuit's mutation
         :attr:`~repro.quantum.circuit.QuantumCircuit.version`, so appending
         to a circuit after a run transparently recompiles it.
+
+        Safe to call from multiple threads: cache mutation is serialised by a
+        lock, and compiled programs themselves are immutable after
+        construction (``apply`` allocates fresh scratch per call), so a
+        program returned to several threads at once can be executed
+        concurrently.  Two threads racing on an uncached circuit may both
+        compile it; one result wins the cache slot, which costs duplicated
+        work but never corrupts state.
         """
         key = id(circuit)
-        entry = self._programs.get(key)
-        if entry is not None:
-            ref, version, program = entry
-            if ref() is circuit and version == circuit.version:
-                self._programs.move_to_end(key)
-                return program
-            del self._programs[key]
+        with self._programs_lock:
+            entry = self._programs.get(key)
+            if entry is not None:
+                ref, version, program = entry
+                if ref() is circuit and version == circuit.version:
+                    self._programs.move_to_end(key)
+                    return program
+                del self._programs[key]
         program = CompiledProgram(circuit)
 
-        def _evict(_ref, programs=self._programs, key=key):
-            programs.pop(key, None)
+        def _evict(_ref, programs=self._programs, key=key, lock=self._programs_lock):
+            with lock:
+                programs.pop(key, None)
 
-        self._programs[key] = (weakref.ref(circuit, _evict), circuit.version, program)
-        if len(self._programs) > self._PROGRAM_CACHE_CAPACITY:
-            self._programs.popitem(last=False)
+        with self._programs_lock:
+            self._programs[key] = (
+                weakref.ref(circuit, _evict),
+                circuit.version,
+                program,
+            )
+            if len(self._programs) > self._PROGRAM_CACHE_CAPACITY:
+                self._programs.popitem(last=False)
         return program
 
     def _check_register(self, circuit: QuantumCircuit) -> None:

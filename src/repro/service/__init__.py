@@ -1,0 +1,40 @@
+"""Solver-as-a-service tier: async jobs, coalescing, and two-level caching.
+
+The service layer wraps the synchronous solver stack in a long-lived
+endpoint suitable for many concurrent clients:
+
+* :class:`SolverService` — bounded worker pool with an async
+  :meth:`~SolverService.submit` API, per-job timeouts, transient-failure
+  retries and graceful shutdown;
+* :class:`~repro.service.jobs.JobHandle` / :class:`~repro.service.jobs.JobStatus`
+  — the future-like client view of one solve;
+* :class:`~repro.service.coalescer.RequestCoalescer` — batches concurrent
+  expectation requests sharing a compile key into single vectorized sweeps;
+* :class:`~repro.service.cache.ProgramCache` /
+  :class:`~repro.service.cache.ResultCache` — the two cache levels
+  (compiled programs, deterministic solve results);
+* :class:`~repro.service.metrics.ServiceMetrics` — counters, cache hit
+  rates, queue depth and p50/p99 latency histograms behind ``to_dict()``.
+
+The stable entry point is :func:`repro.serve`, which constructs a
+:class:`SolverService`.
+"""
+
+from repro.service.cache import LRUCache, ProgramCache, ResultCache
+from repro.service.coalescer import BatchFuture, RequestCoalescer
+from repro.service.jobs import JobHandle, JobStatus
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.service import SolverService
+
+__all__ = [
+    "BatchFuture",
+    "JobHandle",
+    "JobStatus",
+    "LRUCache",
+    "LatencyHistogram",
+    "ProgramCache",
+    "RequestCoalescer",
+    "ResultCache",
+    "ServiceMetrics",
+    "SolverService",
+]

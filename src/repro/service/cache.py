@@ -1,0 +1,149 @@
+"""Thread-safe caches backing the solver service.
+
+Two levels, mirroring what is expensive at each layer:
+
+* :class:`ProgramCache` — compiled backend programs keyed on
+  :func:`~repro.execution.keys.compile_cache_key` (graph content, depth,
+  backend, density).  Programs are structure-bound and immutable after
+  compilation, so one cached program serves every worker thread at once.
+  For the circuit backend the program carries its own simulator whose
+  engine-level LRU (:meth:`~repro.quantum.simulator.StatevectorSimulator.compile`)
+  continues to deduplicate circuit lowering underneath this cache — the
+  service layer caches the *program object*, the engine caches the
+  *kernel lowering*.
+* :class:`ResultCache` — finished solve results keyed on
+  :func:`~repro.execution.keys.solve_cache_key`.  Only deterministic solves
+  (explicit integer seed) are cached: without a pinned seed two submissions
+  of the same problem legitimately produce different optimization runs, and
+  serving a cached one would silently change semantics.
+
+Both wrap the same bounded :class:`LRUCache`; hit/miss accounting flows into
+:class:`~repro.service.metrics.ServiceMetrics` when one is attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.execution.keys import compile_cache_key, solve_cache_key
+from repro.execution.registry import get_backend
+
+__all__ = ["LRUCache", "ProgramCache", "ResultCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded, thread-safe least-recently-used mapping."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """The cached value for *key* (refreshing recency), else *default*."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                return default
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert or refresh *key*, evicting the least-recent entry if full."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class ProgramCache:
+    """Shared compiled-program cache for the service tier.
+
+    ``get_or_compile`` is the only entry point: it resolves the compile key,
+    reuses a cached program when present, and otherwise dispatches one
+    backend compilation.  Compilation runs outside the cache lock; two
+    threads racing on a cold key may both compile and one result wins the
+    slot — duplicated work, never corruption.
+    """
+
+    def __init__(self, capacity: int = 64, metrics=None):
+        self._cache = LRUCache(capacity)
+        self._metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def get_or_compile(self, problem, depth: int, context) -> Tuple[str, Any]:
+        """The ``(compile_key, program)`` pair for this solve configuration."""
+        key = compile_cache_key(problem, depth, context)
+        program = self._cache.get(key)
+        if program is not None:
+            if self._metrics is not None:
+                self._metrics.program_cache_hit()
+            return key, program
+        if self._metrics is not None:
+            self._metrics.program_cache_miss()
+        program = get_backend(context.backend).compile(
+            problem, int(depth), density=context.density
+        )
+        self._cache.put(key, program)
+        return key, program
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+class ResultCache:
+    """Solve-result cache (deterministic submissions only).
+
+    The *service* decides eligibility (explicit integer seed) before calling
+    :meth:`put`; the cache itself is policy-free storage.
+    """
+
+    def __init__(self, capacity: int = 256, metrics=None):
+        self._cache = LRUCache(capacity)
+        self._metrics = metrics
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @staticmethod
+    def key(problem, depth: int, context, seed: Optional[int], options: Any = None) -> str:
+        """The stable solve-result key (see :func:`solve_cache_key`)."""
+        return solve_cache_key(problem, depth, context, seed, options)
+
+    def get(self, key: str) -> Any:
+        """The cached result for *key*, or ``None`` (recording hit/miss)."""
+        result = self._cache.get(key)
+        if self._metrics is not None:
+            if result is None:
+                self._metrics.result_cache_miss()
+            else:
+                self._metrics.result_cache_hit()
+        return result
+
+    def put(self, key: str, result: Any) -> None:
+        self._cache.put(key, result)
+
+    def clear(self) -> None:
+        self._cache.clear()

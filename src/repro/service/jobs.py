@@ -1,0 +1,193 @@
+"""Job handles for the asynchronous solver service.
+
+A :class:`JobHandle` is the client's view of one submitted solve: a
+future-like object with :meth:`~JobHandle.result` / :attr:`~JobHandle.status`
+/ :meth:`~JobHandle.cancel`.  The service fulfils handles through the
+internal ``_mark_*`` transitions; clients only read.
+
+Lifecycle::
+
+    PENDING --> RUNNING --> COMPLETED
+       |           |------> FAILED
+       |------> CANCELLED
+
+Cancellation is cooperative: a job can only be cancelled while it is still
+queued (``PENDING``).  Once a worker thread has started the solve there is
+no safe way to interrupt it, so :meth:`JobHandle.cancel` returns ``False``
+for running jobs and the solve runs to completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.exceptions import JobCancelledError, JobTimeoutError, ServiceError
+
+__all__ = ["JobHandle", "JobStatus"]
+
+_JOB_IDS = itertools.count(1)
+
+
+class JobStatus(str, Enum):
+    """Lifecycle states of a service job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the state is final (result/exception is available)."""
+        return self in (JobStatus.COMPLETED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+class JobHandle:
+    """Future-like handle to one submitted solve.
+
+    Parameters
+    ----------
+    cache_key:
+        The solve-result cache key this job computes (also the coalescing
+        key: identical in-flight submissions share one computation).
+    clock:
+        Monotonic time source used for the latency timestamps.
+    """
+
+    def __init__(self, cache_key: Optional[str], clock: Callable[[], float]):
+        self.job_id = next(_JOB_IDS)
+        self.cache_key = cache_key
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._status = JobStatus.PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        #: Monotonic timestamps, populated as the job progresses.
+        self.submitted_at = clock()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: True when this handle was fulfilled without running a fresh solve.
+        self.from_cache = False
+        #: True when this handle was attached to an identical in-flight job.
+        self.deduplicated = False
+        #: Number of transient-failure retries the run needed.
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> JobStatus:
+        """The job's current lifecycle state."""
+        with self._lock:
+            return self._status
+
+    @property
+    def done(self) -> bool:
+        """Whether the job has reached a terminal state."""
+        return self._done.is_set()
+
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started running.
+
+        Returns ``True`` when the job transitioned to ``CANCELLED``; ``False``
+        when it already started (cancellation is cooperative — running solves
+        are never interrupted) or already finished.
+        """
+        with self._lock:
+            if self._status is not JobStatus.PENDING:
+                return False
+            self._status = JobStatus.CANCELLED
+            self.finished_at = self._clock()
+        self._done.set()
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the job finishes and return its result.
+
+        Raises
+        ------
+        JobTimeoutError
+            If the wait exceeds *timeout* seconds (the job keeps running).
+        JobCancelledError
+            If the job was cancelled.
+        Exception
+            Whatever the solve itself raised, re-raised verbatim.
+        """
+        if not self._done.wait(timeout):
+            raise JobTimeoutError(
+                f"job {self.job_id} did not finish within {timeout} s "
+                f"(status: {self.status.value})"
+            )
+        with self._lock:
+            if self._status is JobStatus.CANCELLED:
+                raise JobCancelledError(f"job {self.job_id} was cancelled")
+            if self._exception is not None:
+                raise self._exception
+            return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The exception the job failed with (``None`` on success).
+
+        Like :meth:`result`, blocks until the job finishes; raises
+        :class:`~repro.exceptions.JobTimeoutError` on wait expiry and
+        :class:`~repro.exceptions.JobCancelledError` for cancelled jobs.
+        """
+        if not self._done.wait(timeout):
+            raise JobTimeoutError(
+                f"job {self.job_id} did not finish within {timeout} s "
+                f"(status: {self.status.value})"
+            )
+        with self._lock:
+            if self._status is JobStatus.CANCELLED:
+                raise JobCancelledError(f"job {self.job_id} was cancelled")
+            return self._exception
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until terminal (or *timeout*); returns whether it finished."""
+        return self._done.wait(timeout)
+
+    # ------------------------------------------------------------------
+    # Service-side transitions
+    # ------------------------------------------------------------------
+    def _mark_running(self) -> bool:
+        """PENDING -> RUNNING.  Returns ``False`` if the job was cancelled."""
+        with self._lock:
+            if self._status is JobStatus.CANCELLED:
+                return False
+            if self._status is not JobStatus.PENDING:
+                raise ServiceError(
+                    f"job {self.job_id} cannot start from state {self._status.value}"
+                )
+            self._status = JobStatus.RUNNING
+            self.started_at = self._clock()
+            return True
+
+    def _mark_completed(self, result: Any) -> None:
+        with self._lock:
+            if self._status.is_terminal:
+                return
+            self._status = JobStatus.COMPLETED
+            self._result = result
+            self.finished_at = self._clock()
+        self._done.set()
+
+    def _mark_failed(self, exception: BaseException) -> None:
+        with self._lock:
+            if self._status.is_terminal:
+                return
+            self._status = JobStatus.FAILED
+            self._exception = exception
+            self.finished_at = self._clock()
+        self._done.set()
+
+    def __repr__(self) -> str:
+        return (
+            f"JobHandle(id={self.job_id}, status={self.status.value!r}, "
+            f"key={self.cache_key!r})"
+        )

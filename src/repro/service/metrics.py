@@ -1,0 +1,274 @@
+"""Thread-safe service instrumentation with an injectable clock.
+
+:class:`ServiceMetrics` is the single sink every service component reports
+into: job lifecycle counters (submitted / completed / failed / cancelled),
+cache hit rates for the compiled-program and solve-result caches, coalescing
+statistics, a live queue-depth gauge, and p50/p99 latency histograms for
+queue wait and end-to-end job latency.  The clock is injectable
+(``clock=lambda: fake_now``) so latency assertions in tests are exact
+instead of sleep-based.
+
+Examples
+--------
+>>> now = [0.0]
+>>> metrics = ServiceMetrics(clock=lambda: now[0])
+>>> metrics.job_submitted(); metrics.queue_depth_changed(1)
+>>> now[0] = 0.25
+>>> metrics.job_completed(latency=0.25, queue_wait=0.1)
+>>> metrics.queue_depth_changed(-1)
+>>> snapshot = metrics.to_dict()
+>>> snapshot["jobs"]["completed"], snapshot["queue"]["depth"]
+(1, 0)
+>>> snapshot["latency"]["job_seconds"]["p50"]
+0.25
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, Optional
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+
+class LatencyHistogram:
+    """A bounded reservoir of latency samples with percentile summaries.
+
+    Keeps the most recent *capacity* samples (a deque), so long-running
+    services report recent behaviour rather than an all-time average.  Not
+    thread-safe on its own — :class:`ServiceMetrics` serialises access.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._samples: "deque[float]" = deque(maxlen=capacity)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._samples.append(value)
+        self._count += 1
+        self._total += value
+        if value > self._max:
+            self._max = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The *q*-th percentile (0..100) of the retained samples."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        # Linear interpolation between closest ranks.
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Count / mean / max / p50 / p99 of the recorded latencies."""
+        return {
+            "count": self._count,
+            "mean": (self._total / self._count) if self._count else None,
+            "max": self._max if self._count else None,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class ServiceMetrics:
+    """Counters, gauges and latency histograms for a :class:`SolverService`.
+
+    All mutators are safe to call from any thread.  ``to_dict()`` takes one
+    consistent snapshot under the same lock.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        histogram_capacity: int = 4096,
+    ):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        # Job lifecycle.
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._retries = 0
+        self._timed_out = 0
+        # Deduplication / coalescing.
+        self._deduplicated = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+        # Caches.
+        self._result_hits = 0
+        self._result_misses = 0
+        self._program_hits = 0
+        self._program_misses = 0
+        # Queue gauge.
+        self._queue_depth = 0
+        self._max_queue_depth = 0
+        # Latencies (seconds).
+        self._job_latency = LatencyHistogram(histogram_capacity)
+        self._queue_wait = LatencyHistogram(histogram_capacity)
+        self._run_time = LatencyHistogram(histogram_capacity)
+        self._batch_flush_wait = LatencyHistogram(histogram_capacity)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current time on the injected clock (monotonic seconds)."""
+        return self._clock()
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def job_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def job_completed(
+        self,
+        latency: Optional[float] = None,
+        queue_wait: Optional[float] = None,
+        run_time: Optional[float] = None,
+    ) -> None:
+        with self._lock:
+            self._completed += 1
+            if latency is not None:
+                self._job_latency.record(latency)
+            if queue_wait is not None:
+                self._queue_wait.record(queue_wait)
+            if run_time is not None:
+                self._run_time.record(run_time)
+
+    def job_failed(self, timed_out: bool = False) -> None:
+        with self._lock:
+            self._failed += 1
+            if timed_out:
+                self._timed_out += 1
+
+    def job_cancelled(self) -> None:
+        with self._lock:
+            self._cancelled += 1
+
+    def job_retried(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def job_deduplicated(self) -> None:
+        """A submission was absorbed by an identical in-flight job."""
+        with self._lock:
+            self._deduplicated += 1
+
+    # ------------------------------------------------------------------
+    # Coalescer
+    # ------------------------------------------------------------------
+    def batch_flushed(self, size: int, wait: Optional[float] = None) -> None:
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += int(size)
+            if size > self._largest_batch:
+                self._largest_batch = int(size)
+            if wait is not None:
+                self._batch_flush_wait.record(wait)
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def result_cache_hit(self) -> None:
+        with self._lock:
+            self._result_hits += 1
+
+    def result_cache_miss(self) -> None:
+        with self._lock:
+            self._result_misses += 1
+
+    def program_cache_hit(self) -> None:
+        with self._lock:
+            self._program_hits += 1
+
+    def program_cache_miss(self) -> None:
+        with self._lock:
+            self._program_misses += 1
+
+    # ------------------------------------------------------------------
+    # Queue
+    # ------------------------------------------------------------------
+    def queue_depth_changed(self, delta: int) -> None:
+        with self._lock:
+            self._queue_depth += int(delta)
+            if self._queue_depth > self._max_queue_depth:
+                self._max_queue_depth = self._queue_depth
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _hit_rate(hits: int, misses: int) -> Optional[float]:
+        total = hits + misses
+        return (hits / total) if total else None
+
+    def to_dict(self) -> dict:
+        """One consistent snapshot of every counter, gauge and histogram."""
+        with self._lock:
+            return {
+                "uptime_seconds": self._clock() - self._started_at,
+                "jobs": {
+                    "submitted": self._submitted,
+                    "completed": self._completed,
+                    "failed": self._failed,
+                    "cancelled": self._cancelled,
+                    "timed_out": self._timed_out,
+                    "retries": self._retries,
+                    "deduplicated": self._deduplicated,
+                },
+                "coalescer": {
+                    "batches": self._batches,
+                    "batched_requests": self._batched_requests,
+                    "largest_batch": self._largest_batch,
+                    "mean_batch_size": (
+                        self._batched_requests / self._batches if self._batches else None
+                    ),
+                },
+                "caches": {
+                    "result": {
+                        "hits": self._result_hits,
+                        "misses": self._result_misses,
+                        "hit_rate": self._hit_rate(self._result_hits, self._result_misses),
+                    },
+                    "program": {
+                        "hits": self._program_hits,
+                        "misses": self._program_misses,
+                        "hit_rate": self._hit_rate(self._program_hits, self._program_misses),
+                    },
+                },
+                "queue": {
+                    "depth": self._queue_depth,
+                    "max_depth": self._max_queue_depth,
+                },
+                "latency": {
+                    "job_seconds": self._job_latency.summary(),
+                    "queue_wait_seconds": self._queue_wait.summary(),
+                    "run_seconds": self._run_time.summary(),
+                    "batch_flush_wait_seconds": self._batch_flush_wait.summary(),
+                },
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ServiceMetrics(submitted={self._submitted}, "
+                f"completed={self._completed}, failed={self._failed}, "
+                f"cancelled={self._cancelled}, queue_depth={self._queue_depth})"
+            )

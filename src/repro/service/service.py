@@ -1,0 +1,545 @@
+"""The asynchronous solver service: submit solves, get future-like handles.
+
+:class:`SolverService` turns the library's synchronous
+:class:`~repro.qaoa.solver.QAOASolver` into a long-lived, concurrent
+solve endpoint:
+
+* **Async job API** — :meth:`~SolverService.submit` returns a
+  :class:`~repro.service.jobs.JobHandle` immediately; a bounded pool of
+  worker threads drains the queue.  Handles support ``result(timeout=)``,
+  ``status`` and cooperative ``cancel()``.
+* **Request coalescing** — identical concurrent submissions (same graph
+  content, depth, context, seed and options) share one computation: the
+  first becomes the *primary* job, the rest attach to it and are fulfilled
+  from its result.  Scalar expectation requests
+  (:meth:`~SolverService.submit_expectation`) are batched per compile key
+  through a :class:`~repro.service.coalescer.RequestCoalescer` into single
+  vectorized ``expectation_batch`` sweeps.
+* **Two-level caching** — compiled backend programs are shared across
+  workers via a :class:`~repro.service.cache.ProgramCache`; finished
+  *deterministic* solves (explicit integer seed) land in a
+  :class:`~repro.service.cache.ResultCache`, so a warm resubmission
+  completes without touching the queue.
+* **Observability** — every component reports into one
+  :class:`~repro.service.metrics.ServiceMetrics`
+  (``service.metrics.to_dict()``).
+
+Reliability semantics:
+
+* **Per-job timeout** is cooperative (worker threads cannot be killed): a
+  job that expires while still queued fails with
+  :class:`~repro.exceptions.JobTimeoutError` without running; a job whose
+  solve finishes after its deadline fails post-hoc.
+* **Transient failures** (:class:`~repro.exceptions.TransientServiceError`)
+  are retried up to ``max_retries`` times with a linear backoff.
+* **Graceful shutdown** — :meth:`~SolverService.shutdown` stops intake and
+  either drains the queue (default) or cancels everything still pending.
+
+Examples
+--------
+>>> from repro.graphs import MaxCutProblem, erdos_renyi_graph
+>>> from repro.service import SolverService
+>>> problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
+>>> with SolverService(max_workers=2) as service:
+...     handle = service.submit(problem, depth=1, seed=7)
+...     result = handle.result(timeout=60)
+>>> result.approximation_ratio > 0.7
+True
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import (
+    ConfigurationError,
+    JobTimeoutError,
+    ServiceError,
+    TransientServiceError,
+)
+from repro.execution.context import ContextLike, as_execution_context
+from repro.execution.keys import canonical_payload
+from repro.graphs.maxcut import MaxCutProblem
+from repro.qaoa.cost import ExpectationEvaluator
+from repro.qaoa.solver import QAOASolver
+from repro.service.cache import ProgramCache, ResultCache
+from repro.service.coalescer import BatchFuture, RequestCoalescer
+from repro.service.jobs import JobHandle
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["SolverService"]
+
+_SHUTDOWN = object()
+
+
+class _Job:
+    """Internal queue item: a handle plus everything needed to run it."""
+
+    __slots__ = ("handle", "work", "deadline", "cacheable", "attached")
+
+    def __init__(
+        self,
+        handle: JobHandle,
+        work: Callable[[], Any],
+        deadline: Optional[float],
+        cacheable: bool,
+    ):
+        self.handle = handle
+        self.work = work
+        self.deadline = deadline
+        self.cacheable = cacheable
+        #: Handles of deduplicated submissions fulfilled from this job.
+        self.attached: List[JobHandle] = []
+
+
+class SolverService:
+    """A bounded-concurrency, caching, coalescing QAOA solve service.
+
+    Parameters
+    ----------
+    context:
+        The :class:`~repro.execution.context.ExecutionContext` every solve
+        runs under (default: exact fast backend).
+    max_workers:
+        Worker-thread pool size.
+    max_queue:
+        Upper bound on queued (not yet running) jobs; ``None`` = unbounded.
+        A full queue makes :meth:`submit` raise :class:`ServiceError`.
+    default_timeout:
+        Per-job timeout in seconds applied when ``submit`` gets none.
+    max_retries / retry_backoff:
+        How many times a :class:`~repro.exceptions.TransientServiceError`
+        is retried, and the base of the linear backoff between attempts.
+    program_cache_size / result_cache_size:
+        Capacities of the two cache levels.
+    coalesce_max_batch / coalesce_max_wait_ms:
+        Flush thresholds of the expectation coalescer.
+    clock:
+        Injectable monotonic time source (drives metrics and timeouts).
+    **solver_options:
+        Forwarded to :class:`~repro.qaoa.solver.QAOASolver` (``optimizer``,
+        ``num_restarts``, ``tolerance``, ``max_iterations``, ``use_bounds``,
+        ``candidate_pool``).
+    """
+
+    def __init__(
+        self,
+        context: ContextLike = None,
+        *,
+        max_workers: int = 4,
+        max_queue: Optional[int] = None,
+        default_timeout: Optional[float] = None,
+        max_retries: int = 1,
+        retry_backoff: float = 0.05,
+        program_cache_size: int = 64,
+        result_cache_size: int = 256,
+        coalesce_max_batch: int = 64,
+        coalesce_max_wait_ms: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        seed: Optional[int] = None,
+        **solver_options: Any,
+    ):
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        if max_queue is not None and max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        self._context = as_execution_context(context)
+        self._clock = clock
+        self._default_timeout = default_timeout
+        self._max_retries = int(max_retries)
+        self._retry_backoff = float(retry_backoff)
+        self.metrics = ServiceMetrics(clock=clock)
+        self.programs = ProgramCache(program_cache_size, metrics=self.metrics)
+        self.results = ResultCache(result_cache_size, metrics=self.metrics)
+        self._coalescer = RequestCoalescer(
+            max_batch=coalesce_max_batch,
+            max_wait_ms=coalesce_max_wait_ms,
+            metrics=self.metrics,
+            clock=clock,
+        )
+        # One shared solver: its compiled-program LRU and the service-level
+        # ProgramCache both key on content, and solve() is thread-safe when
+        # every job carries its own integer seed (which the service
+        # guarantees below).
+        self._solver_options = dict(solver_options)
+        self._solver = QAOASolver(context=self._context, **solver_options)
+        # The options part of the solve-result key: everything that changes
+        # what solve() computes besides (problem, depth, context, seed).
+        self._options_signature = canonical_payload(
+            {
+                "optimizer": self._solver.optimizer.name,
+                "tolerance": self._solver.optimizer.tolerance,
+                "max_iterations": self._solver.optimizer.max_iterations,
+                "num_restarts": self._solver_options.get("num_restarts", 1),
+                "use_bounds": bool(self._solver_options.get("use_bounds", False)),
+                "candidate_pool": self._solver_options.get("candidate_pool"),
+            }
+        )
+        # Per-job seed derivation for unseeded submissions: independent
+        # streams per job, no shared-generator contention across workers.
+        self._seed_sequence = np.random.SeedSequence(seed)
+        self._seed_lock = threading.Lock()
+        # Job intake and the in-flight index for submission deduplication.
+        self._queue: "queue.Queue" = queue.Queue()
+        self._max_queue = max_queue
+        self._queued_jobs = 0
+        self._inflight: Dict[str, _Job] = {}
+        self._state_lock = threading.Lock()
+        self._accepting = True
+        self._workers: List[threading.Thread] = []
+        for index in range(int(max_workers)):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"repro-service-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._coalescer.start()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def context(self):
+        """The execution context every solve runs under."""
+        return self._context
+
+    @property
+    def max_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of jobs queued and not yet picked up by a worker."""
+        with self._state_lock:
+            return self._queued_jobs
+
+    def _derive_seed(self) -> int:
+        with self._seed_lock:
+            child = self._seed_sequence.spawn(1)[0]
+        return int(child.generate_state(1, dtype="uint64")[0] % (2**63))
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem: MaxCutProblem,
+        depth: int,
+        *,
+        seed: Optional[int] = None,
+        timeout: Optional[float] = None,
+        initial_parameters: Any = None,
+        num_restarts: Optional[int] = None,
+        candidate_pool: Optional[int] = None,
+    ) -> JobHandle:
+        """Queue one QAOA solve; returns its :class:`JobHandle` immediately.
+
+        With an explicit integer *seed* the solve is deterministic, so the
+        service consults the result cache first (a warm hit completes the
+        handle synchronously) and deduplicates against identical in-flight
+        submissions.  Without a seed each job gets an independent derived
+        seed and always runs.
+        """
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        explicit_seed = seed is not None
+        if explicit_seed:
+            seed = int(seed)
+        key = self.results.key(
+            problem,
+            depth,
+            self._context,
+            seed if explicit_seed else None,
+            options={
+                "service": self._options_signature,
+                "per_call": {
+                    "num_restarts": num_restarts,
+                    "candidate_pool": candidate_pool,
+                    "initial_parameters": _vector_payload(initial_parameters),
+                },
+            },
+        )
+        handle = JobHandle(key, self._clock)
+        self.metrics.job_submitted()
+
+        run_seed = seed if explicit_seed else self._derive_seed()
+
+        def work() -> Any:
+            return self._solver.solve(
+                problem,
+                depth,
+                initial_parameters=initial_parameters,
+                num_restarts=num_restarts,
+                candidate_pool=candidate_pool,
+                seed=run_seed,
+            )
+
+        deadline = None
+        effective_timeout = timeout if timeout is not None else self._default_timeout
+        if effective_timeout is not None:
+            deadline = handle.submitted_at + float(effective_timeout)
+
+        if explicit_seed:
+            cached = self.results.get(key)
+            if cached is not None:
+                handle.from_cache = True
+                handle._mark_completed(cached)
+                self.metrics.job_completed(latency=0.0, queue_wait=0.0, run_time=0.0)
+                return handle
+            # Attach to an identical in-flight job instead of re-running.
+            with self._state_lock:
+                if not self._accepting:
+                    raise ServiceError("service is shut down; submissions are closed")
+                primary = self._inflight.get(key)
+                if primary is not None:
+                    primary.attached.append(handle)
+                    handle.deduplicated = True
+                    self.metrics.job_deduplicated()
+                    return handle
+                job = _Job(handle, work, deadline, cacheable=True)
+                self._inflight[key] = job
+                self._enqueue_locked(job)
+            return handle
+
+        job = _Job(handle, work, deadline, cacheable=False)
+        with self._state_lock:
+            if not self._accepting:
+                raise ServiceError("service is shut down; submissions are closed")
+            self._enqueue_locked(job)
+        return handle
+
+    def submit_callable(
+        self,
+        work: Callable[[], Any],
+        *,
+        timeout: Optional[float] = None,
+    ) -> JobHandle:
+        """Queue an arbitrary callable on the worker pool (advanced).
+
+        The callable runs under the same timeout/retry/metrics machinery as
+        a solve but bypasses both caches.  Useful for tests and for custom
+        workloads that want the service's concurrency control.
+        """
+        handle = JobHandle(None, self._clock)
+        self.metrics.job_submitted()
+        deadline = None
+        effective_timeout = timeout if timeout is not None else self._default_timeout
+        if effective_timeout is not None:
+            deadline = handle.submitted_at + float(effective_timeout)
+        job = _Job(handle, work, deadline, cacheable=False)
+        with self._state_lock:
+            if not self._accepting:
+                raise ServiceError("service is shut down; submissions are closed")
+            self._enqueue_locked(job)
+        return handle
+
+    def _enqueue_locked(self, job: _Job) -> None:
+        """Queue *job*; caller holds ``_state_lock``."""
+        if self._max_queue is not None and self._queued_jobs >= self._max_queue:
+            self._inflight.pop(job.handle.cache_key, None)
+            raise ServiceError(
+                f"service queue is full ({self._max_queue} jobs); try again later"
+            )
+        self._queued_jobs += 1
+        self.metrics.queue_depth_changed(1)
+        self._queue.put(job)
+
+    # ------------------------------------------------------------------
+    # Expectation coalescing
+    # ------------------------------------------------------------------
+    def submit_expectation(
+        self, problem: MaxCutProblem, depth: int, parameters: Any
+    ) -> BatchFuture:
+        """Request one cost expectation; concurrent requests sharing this
+        problem/depth/context are batched into a single vectorized sweep.
+
+        Returns a :class:`~repro.service.coalescer.BatchFuture`; call
+        ``result(timeout=)`` for the value.
+        """
+        key, program = self.programs.get_or_compile(problem, depth, self._context)
+        evaluator = ExpectationEvaluator(
+            problem, depth, context=self._context, program=program
+        )
+        return self._coalescer.submit(key, evaluator, parameters)
+
+    def expectation(
+        self,
+        problem: MaxCutProblem,
+        depth: int,
+        parameters: Any,
+        timeout: Optional[float] = None,
+    ) -> float:
+        """Synchronous convenience wrapper around :meth:`submit_expectation`."""
+        return self.submit_expectation(problem, depth, parameters).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SHUTDOWN:
+                return
+            with self._state_lock:
+                self._queued_jobs -= 1
+            self.metrics.queue_depth_changed(-1)
+            self._run_job(job)
+
+    def _finish(self, job: _Job, result: Any = None, error: Optional[BaseException] = None) -> None:
+        """Fulfil the primary handle and every attached duplicate."""
+        if job.handle.cache_key is not None:
+            with self._state_lock:
+                self._inflight.pop(job.handle.cache_key, None)
+                attached = list(job.attached)
+        else:
+            attached = list(job.attached)
+        handles = [job.handle] + attached
+        for handle in handles:
+            if error is None:
+                handle._mark_completed(result)
+            else:
+                handle._mark_failed(error)
+
+    def _run_job(self, job: _Job) -> None:
+        handle = job.handle
+        now = self._clock()
+        if job.deadline is not None and now > job.deadline:
+            # Expired while queued: fail without running.
+            self.metrics.job_failed(timed_out=True)
+            self._finish(
+                job,
+                error=JobTimeoutError(
+                    f"job {handle.job_id} spent {now - handle.submitted_at:.3f} s "
+                    f"in the queue, exceeding its timeout"
+                ),
+            )
+            return
+        if not handle._mark_running():
+            # Cancelled while queued.
+            self.metrics.job_cancelled()
+            with self._state_lock:
+                if handle.cache_key is not None:
+                    self._inflight.pop(handle.cache_key, None)
+                attached = list(job.attached)
+            # Duplicates attached to a cancelled primary still expect an
+            # answer; fail them explicitly rather than leaving them hanging.
+            error = ServiceError(
+                f"primary job {handle.job_id} for this submission was cancelled"
+            )
+            for dup in attached:
+                dup._mark_failed(error)
+            return
+
+        queue_wait = (handle.started_at or now) - handle.submitted_at
+        attempts = 0
+        while True:
+            started = self._clock()
+            try:
+                result = job.work()
+                break
+            except TransientServiceError as error:
+                attempts += 1
+                if attempts > self._max_retries:
+                    self.metrics.job_failed()
+                    self._finish(job, error=error)
+                    return
+                handle.retries = attempts
+                self.metrics.job_retried()
+                time.sleep(self._retry_backoff * attempts)
+            except BaseException as error:  # noqa: B036 - forwarded to the handle
+                self.metrics.job_failed()
+                self._finish(job, error=error)
+                return
+        run_time = self._clock() - started
+        if job.deadline is not None and self._clock() > job.deadline:
+            # The solve outlived its budget; timeouts are cooperative, so
+            # this is detected after the fact.
+            self.metrics.job_failed(timed_out=True)
+            self._finish(
+                job,
+                error=JobTimeoutError(
+                    f"job {handle.job_id} ran {run_time:.3f} s, exceeding its timeout"
+                ),
+            )
+            return
+        if job.cacheable and handle.cache_key is not None:
+            self.results.put(handle.cache_key, result)
+        self._finish(job, result=result)
+        latency = self._clock() - handle.submitted_at
+        self.metrics.job_completed(
+            latency=latency, queue_wait=queue_wait, run_time=run_time
+        )
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service.
+
+        *drain* (default) lets queued jobs run to completion; otherwise
+        everything still pending is cancelled.  *wait* joins the worker
+        threads (bounded by *timeout* seconds per thread).  Idempotent.
+        """
+        with self._state_lock:
+            if not self._accepting:
+                return
+            self._accepting = False
+        if not drain:
+            # Cancel every job still waiting in the queue.  Workers skip
+            # cancelled jobs, so no new solves start after this loop.
+            drained: List[_Job] = []
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is _SHUTDOWN:
+                    continue
+                drained.append(job)
+            for job in drained:
+                with self._state_lock:
+                    self._queued_jobs -= 1
+                self.metrics.queue_depth_changed(-1)
+                if job.handle.cancel():
+                    self.metrics.job_cancelled()
+                with self._state_lock:
+                    if job.handle.cache_key is not None:
+                        self._inflight.pop(job.handle.cache_key, None)
+                error = ServiceError("service shut down before the job ran")
+                for dup in job.attached:
+                    dup._mark_failed(error)
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout)
+        self._coalescer.stop(drain=drain)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverService(backend={self._context.backend!r}, "
+            f"workers={len(self._workers)}, queue_depth={self.queue_depth})"
+        )
+
+
+def _vector_payload(parameters: Any) -> Optional[list]:
+    """Canonicalise initial parameters for the solve-result key."""
+    if parameters is None:
+        return None
+    vector = getattr(parameters, "to_vector", None)
+    if callable(vector):
+        parameters = vector()
+    return [float(value) for value in parameters]

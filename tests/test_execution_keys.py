@@ -1,0 +1,164 @@
+"""Stable content hashing: canonicalization, context keys, graph keys."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.execution import ExecutionContext
+from repro.execution.keys import (
+    KEY_HEX_DIGITS,
+    canonical_json,
+    canonical_payload,
+    compile_cache_key,
+    graph_cache_key,
+    problem_cache_key,
+    solve_cache_key,
+    stable_hash,
+)
+from repro.graphs import Graph, MaxCutProblem, erdos_renyi_graph
+from repro.quantum import DepolarizingChannel, NoiseModel, ReadoutErrorModel
+
+
+class TestCanonicalPayload:
+    def test_mapping_keys_sorted(self):
+        assert list(canonical_payload({"b": 1, "a": 2})) == ["a", "b"]
+
+    def test_tuples_become_lists(self):
+        assert canonical_payload((1, 2, (3, 4))) == [1, 2, [3, 4]]
+
+    def test_bool_is_not_collapsed_to_int(self):
+        assert canonical_payload(True) is True
+        assert canonical_json(True) != canonical_json(1)
+
+    def test_numpy_scalars_collapse(self):
+        payload = canonical_payload(
+            {"f": np.float64(1.5), "i": np.int32(3), "b": np.bool_(True)}
+        )
+        assert payload == {"b": True, "f": 1.5, "i": 3}
+        assert all(
+            not isinstance(value, np.generic) for value in payload.values()
+        )
+
+    def test_negative_zero_normalised(self):
+        assert canonical_json(-0.0) == canonical_json(0.0)
+
+    def test_non_finite_floats_encoded_symbolically(self):
+        assert canonical_payload(float("nan")) == {"__float__": "nan"}
+        assert canonical_payload(float("inf")) == {"__float__": "inf"}
+        assert canonical_payload(float("-inf")) == {"__float__": "-inf"}
+        # The encoding stays valid strict JSON.
+        json.loads(canonical_json({"x": float("nan")}))
+
+    def test_complex_encoded(self):
+        assert canonical_payload(1 + 2j) == {"__complex__": [1.0, 2.0]}
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_payload(object())
+
+
+class TestStableHash:
+    def test_key_ordering_invariance(self):
+        assert stable_hash({"b": 1, "a": 2.0}) == stable_hash({"a": 2.0, "b": 1})
+
+    def test_digest_length(self):
+        assert len(stable_hash({"x": 1})) == KEY_HEX_DIGITS
+
+    def test_int_float_distinct(self):
+        assert stable_hash([1]) != stable_hash([1.0])
+
+    def test_process_stable_reference_digest(self):
+        # Pinned digest: a changed canonical encoding breaks every
+        # previously persisted cache key, so make that loud.
+        assert stable_hash({"a": 1, "b": 2.5}) == stable_hash({"b": 2.5, "a": 1})
+        reference = stable_hash({"edges": [[0, 1, 1.0]], "num_nodes": 2})
+        assert reference == stable_hash({"num_nodes": 2, "edges": [[0, 1, 1.0]]})
+
+
+class TestContextKeys:
+    def test_to_dict_is_deterministic_json(self):
+        context = ExecutionContext(backend="fast", shots=128, seed=7)
+        first = json.dumps(context.to_dict(), sort_keys=True)
+        second = json.dumps(context.to_dict(), sort_keys=True)
+        assert first == second
+
+    def test_cache_key_stable_across_equal_contexts(self):
+        a = ExecutionContext(backend="fast", shots=128)
+        b = ExecutionContext(backend="fast", shots=128)
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_configurations(self):
+        base = ExecutionContext(backend="fast")
+        assert base.cache_key() != ExecutionContext(backend="circuit").cache_key()
+        assert base.cache_key() != ExecutionContext(backend="fast", shots=1).cache_key()
+        assert (
+            ExecutionContext(backend="circuit").cache_key()
+            != ExecutionContext(backend="circuit", density=True).cache_key()
+        )
+
+    def test_cache_key_memoised(self):
+        context = ExecutionContext(backend="fast")
+        assert context.cache_key() is context.cache_key()
+
+    def test_cache_key_covers_noise_and_readout(self):
+        noisy = ExecutionContext(
+            backend="fast",
+            shots=64,
+            noise_model=NoiseModel().add_channel(DepolarizingChannel(0.01)),
+        )
+        readout = ExecutionContext(
+            backend="fast",
+            shots=64,
+            readout_error=ReadoutErrorModel(4, p0_to_1=0.02, p1_to_0=0.02),
+        )
+        plain = ExecutionContext(backend="fast", shots=64)
+        keys = {noisy.cache_key(), readout.cache_key(), plain.cache_key()}
+        assert len(keys) == 3
+
+
+class TestGraphAndSolveKeys:
+    def test_graph_key_ignores_name(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0)]
+        a = Graph(3, edges, name="a")
+        b = Graph(3, edges, name="b")
+        assert graph_cache_key(a) == graph_cache_key(b)
+
+    def test_graph_key_sees_weights(self):
+        a = Graph(3, [(0, 1, 1.0)])
+        b = Graph(3, [(0, 1, 2.0)])
+        assert graph_cache_key(a) != graph_cache_key(b)
+
+    def test_problem_key_matches_graph_key_and_memoises(self):
+        graph = erdos_renyi_graph(6, 0.5, seed=3)
+        problem = MaxCutProblem(graph)
+        assert problem.cache_key() == graph_cache_key(graph)
+        assert problem_cache_key(problem) is problem.cache_key()
+
+    def test_compile_key_ignores_shots_but_sees_backend(self):
+        problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
+        exact = ExecutionContext(backend="fast")
+        shots = ExecutionContext(backend="fast", shots=512)
+        circuit = ExecutionContext(backend="circuit")
+        assert compile_cache_key(problem, 2, exact) == compile_cache_key(
+            problem, 2, shots
+        )
+        assert compile_cache_key(problem, 2, exact) != compile_cache_key(
+            problem, 2, circuit
+        )
+        assert compile_cache_key(problem, 2, exact) != compile_cache_key(
+            problem, 3, exact
+        )
+
+    def test_solve_key_sees_seed_and_options(self):
+        problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
+        context = ExecutionContext(backend="fast")
+        base = solve_cache_key(problem, 2, context, 7)
+        assert base == solve_cache_key(problem, 2, context, 7)
+        assert base != solve_cache_key(problem, 2, context, 8)
+        assert base != solve_cache_key(problem, 2, context, 7, options={"r": 4})
+
+    def test_graph_requires_edges_for_problem(self):
+        with pytest.raises(GraphError):
+            MaxCutProblem(Graph(3, []))

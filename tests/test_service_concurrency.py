@@ -1,0 +1,217 @@
+"""Concurrency hammering: shared compiled programs, caches and evaluators.
+
+These tests drive the engine's compiled-program LRU, the fast backend's
+thread-local work buffers and the service tier from many threads at once and
+assert bit-identical results — any cache corruption or shared-buffer race
+shows up as a numeric mismatch or an exception captured in a worker.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.graphs import MaxCutProblem, erdos_renyi_graph
+from repro.qaoa import ExpectationEvaluator, QAOASolver
+from repro.qaoa.backends import FastBackend
+from repro.quantum import QuantumCircuit, StatevectorSimulator
+from repro.service import SolverService
+
+NUM_THREADS = 8
+
+
+def _run_threads(worker, count=NUM_THREADS):
+    """Run *worker(index)* on *count* threads; re-raise the first error."""
+    errors = []
+    barrier = threading.Barrier(count)
+
+    def wrapped(index):
+        try:
+            barrier.wait(10)
+            worker(index)
+        except BaseException as error:  # noqa: B036 - surfaced to the test
+            errors.append(error)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    if errors:
+        raise errors[0]
+
+
+def _qaoa_circuit(num_qubits, seed):
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+        circuit.rz(float(rng.uniform(0, np.pi)), qubit + 1)
+        circuit.cx(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.rx(float(rng.uniform(0, np.pi)), qubit)
+    return circuit
+
+
+class TestSimulatorProgramCacheConcurrency:
+    def test_same_circuit_from_many_threads(self):
+        simulator = StatevectorSimulator()
+        circuit = _qaoa_circuit(6, seed=0)
+        reference = simulator.run(circuit).data.copy()
+        outputs = [None] * NUM_THREADS
+
+        def worker(index):
+            for _ in range(20):
+                outputs[index] = simulator.run(circuit).data.copy()
+
+        _run_threads(worker)
+        for output in outputs:
+            np.testing.assert_array_equal(output, reference)
+
+    def test_distinct_circuits_thrash_the_lru(self):
+        simulator = StatevectorSimulator()
+        # More circuits than the LRU holds, so eviction churns while
+        # threads compile and run concurrently.
+        circuits = [_qaoa_circuit(5, seed=s) for s in range(40)]
+        references = [simulator.run(c).data.copy() for c in circuits]
+
+        def worker(index):
+            for _ in range(3):
+                for circuit, reference in zip(circuits, references):
+                    np.testing.assert_array_equal(
+                        simulator.run(circuit).data.copy(), reference
+                    )
+
+        _run_threads(worker)
+
+    def test_compile_returns_shared_program(self):
+        simulator = StatevectorSimulator()
+        circuit = _qaoa_circuit(4, seed=1)
+        programs = [None] * NUM_THREADS
+
+        def worker(index):
+            programs[index] = simulator.compile(circuit)
+
+        _run_threads(worker)
+        # After the first compile settles, every thread sees the cached one.
+        assert simulator.compile(circuit) is simulator.compile(circuit)
+        assert all(program is not None for program in programs)
+
+
+class TestSharedEvaluatorConcurrency:
+    def test_shared_fast_evaluator_bit_identical(self):
+        problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=7))
+        evaluator = ExpectationEvaluator(problem, 2)
+        vectors = [
+            np.asarray([0.1 * (i + 1), 0.2, 0.05 * (i + 1), 0.15])
+            for i in range(NUM_THREADS)
+        ]
+        references = [evaluator.expectation(vector) for vector in vectors]
+        outputs = [[None] * 10 for _ in range(NUM_THREADS)]
+
+        def worker(index):
+            for repeat in range(10):
+                outputs[index][repeat] = evaluator.expectation(vectors[index])
+
+        _run_threads(worker)
+        for index, reference in enumerate(references):
+            assert all(value == reference for value in outputs[index])
+
+    def test_shared_program_across_evaluators(self):
+        problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=7))
+        program = FastBackend().compile(problem, 2)
+        vector = [0.3, 0.1, 0.2, 0.05]
+        reference = ExpectationEvaluator(problem, 2).expectation(vector)
+        outputs = [None] * NUM_THREADS
+
+        def worker(index):
+            evaluator = ExpectationEvaluator(problem, 2, program=program)
+            outputs[index] = evaluator.expectation(vector)
+
+        _run_threads(worker)
+        assert all(value == reference for value in outputs)
+
+    def test_evaluation_counter_exact_under_contention(self):
+        problem = MaxCutProblem(erdos_renyi_graph(6, 0.5, seed=3))
+        evaluator = ExpectationEvaluator(problem, 1)
+        per_thread = 50
+
+        def worker(index):
+            for _ in range(per_thread):
+                evaluator.expectation([0.2, 0.1])
+
+        _run_threads(worker)
+        assert evaluator.num_evaluations == NUM_THREADS * per_thread
+
+    def test_scalar_and_batch_interleaved(self):
+        problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=5))
+        evaluator = ExpectationEvaluator(problem, 1)
+        vector = np.asarray([0.4, 0.25])
+        matrix = np.vstack([vector] * 7)
+        scalar_reference = evaluator.expectation(vector)
+        batch_reference = evaluator.expectation_batch(matrix)
+
+        def worker(index):
+            for _ in range(10):
+                if index % 2:
+                    assert evaluator.expectation(vector) == scalar_reference
+                else:
+                    np.testing.assert_array_equal(
+                        evaluator.expectation_batch(matrix), batch_reference
+                    )
+
+        _run_threads(worker)
+
+
+class TestSolverConcurrency:
+    def test_shared_solver_distinct_problems(self):
+        problems = [
+            MaxCutProblem(erdos_renyi_graph(7, 0.5, seed=s)) for s in range(NUM_THREADS)
+        ]
+        solver = QAOASolver(seed=0)
+        references = [
+            QAOASolver(seed=0).solve(problem, 1, seed=13).optimal_expectation
+            for problem in problems
+        ]
+        outputs = [None] * NUM_THREADS
+
+        def worker(index):
+            outputs[index] = solver.solve(
+                problems[index], 1, seed=13
+            ).optimal_expectation
+
+        _run_threads(worker)
+        assert outputs == references
+
+    def test_solver_program_cache_reused_across_threads(self):
+        problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=1))
+        solver = QAOASolver(seed=0)
+        programs = [None] * NUM_THREADS
+
+        def worker(index):
+            programs[index] = solver._compiled_program(problem, 2)
+
+        _run_threads(worker)
+        # All threads converge on one cached program object.
+        assert solver._compiled_program(problem, 2) is solver._compiled_program(
+            problem, 2
+        )
+
+
+class TestServiceConcurrentSubmission:
+    def test_hammer_submissions_bit_identical(self):
+        problem = MaxCutProblem(erdos_renyi_graph(8, 0.5, seed=9))
+        with SolverService(max_workers=4) as service:
+            handles = [service.submit(problem, depth=1, seed=21) for _ in range(32)]
+            results = [handle.result(timeout=120) for handle in handles]
+            values = {repr(result.optimal_expectation) for result in results}
+            assert len(values) == 1
+            snapshot = service.metrics.to_dict()
+            # 32 submissions; at most a handful of real solves (dedup+cache).
+            total_handled = (
+                snapshot["jobs"]["completed"]
+                + snapshot["jobs"]["deduplicated"]
+                + snapshot["caches"]["result"]["hits"]
+            )
+            assert total_handled >= 32
