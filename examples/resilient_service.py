@@ -1,0 +1,130 @@
+"""The resilience layer in action: chaos, retries, resume, warm restarts.
+
+Run with::
+
+    python examples/resilient_service.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
+
+Four scenarios, each checked against the same fault-free baseline solve
+(the layer's contract: recovery must be *bit-identical*, not merely
+close):
+
+1. a transient fault storm absorbed by retries;
+2. a job killed mid-solve, then resumed from its checkpoint;
+3. a "process restart" served from the crash-safe persistent cache;
+4. the resilience metrics that narrate all of the above.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import repro
+from repro.exceptions import ServiceError
+from repro.resilience import Fault, FaultInjector, FaultPlan
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
+NO_SLEEP = lambda seconds: None  # noqa: E731 — faults/latency without wall-clock
+
+
+def main() -> None:
+    nodes = 8 if SMOKE else 10
+    problem = repro.MaxCutProblem(repro.erdos_renyi_graph(nodes, 0.5, seed=3))
+    context = repro.ExecutionContext(shots=64)
+    options = dict(context=context, max_workers=1, num_restarts=3)
+    depth, seed = 1, 9
+
+    # The fault-free baseline every recovered run must reproduce exactly.
+    with repro.serve(**options) as service:
+        baseline = service.submit(problem, depth, seed=seed).result(timeout=300)
+    print(
+        f"baseline: expectation {baseline.optimal_expectation:.6f}, "
+        f"{baseline.num_function_calls} evaluations"
+    )
+
+    # 1. Transient storm: the first two run attempts fail; the retry policy
+    #    absorbs them and the result matches the baseline bit-for-bit.
+    storm = FaultInjector(
+        FaultPlan(
+            [Fault("worker.run", 0, "transient"), Fault("worker.run", 1, "transient")]
+        ),
+        sleep=NO_SLEEP,
+    )
+    with repro.serve(
+        **options,
+        max_retries=3,
+        retry_policy=repro.RetryPolicy.no_delay(),
+        fault_injector=storm,
+    ) as service:
+        handle = service.submit(problem, depth, seed=seed)
+        result = handle.result(timeout=300)
+    assert result.optimal_expectation == baseline.optimal_expectation
+    print(f"transient storm: survived {handle.retries} retries, result identical")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        # 2. Kill and resume: a fatal fault kills the job mid-solve.  The
+        #    checkpoint survives in the file store, so resubmitting resumes
+        #    from the last restart boundary instead of starting over — and
+        #    still finishes bit-identical to the uninterrupted run.
+        store = repro.FileCheckpointStore(Path(scratch) / "checkpoints")
+        killer = FaultInjector(
+            FaultPlan([Fault("backend.evaluate", 60, "fatal")]), sleep=NO_SLEEP
+        )
+        with repro.serve(
+            **options, checkpoint_store=store, fault_injector=killer
+        ) as service:
+            handle = service.submit(problem, depth, seed=seed, checkpoint=True)
+            try:
+                handle.result(timeout=300)
+            except ServiceError as error:
+                print(f"killed mid-solve: {error}")
+        with repro.serve(**options, checkpoint_store=store) as service:
+            handle = service.submit(problem, depth, seed=seed, checkpoint=True)
+            resumed = handle.result(timeout=300)
+            checkpoints = service.metrics.to_dict()["resilience"]["checkpoints"]
+        assert resumed.optimal_expectation == baseline.optimal_expectation
+        assert resumed.num_function_calls == baseline.num_function_calls
+        print(
+            f"resume: resumed={handle.resumed}, checkpoints {checkpoints}, "
+            f"result identical"
+        )
+
+        # 3. Warm restart: a fresh service (empty in-memory cache) over the
+        #    same persistent directory serves the solve from disk.
+        cache_dir = Path(scratch) / "cache"
+        with repro.serve(**options, persistent_cache_dir=cache_dir) as service:
+            service.submit(problem, depth, seed=seed).result(timeout=300)
+        with repro.serve(**options, persistent_cache_dir=cache_dir) as service:
+            start = time.perf_counter()
+            handle = service.submit(problem, depth, seed=seed)
+            warm = handle.result(timeout=30)
+            micros = (time.perf_counter() - start) * 1e6
+        assert warm.to_payload() == baseline.to_payload()
+        print(f"warm restart: disk hit in {micros:.0f} us (from_cache={handle.from_cache})")
+
+    # 4. A seeded chaos storm plus the metrics that narrate it.  A batch of
+    #    submissions advances the worker.run counter through the storm's
+    #    horizon; the same seed always reproduces the same storm.
+    plan = FaultPlan.from_seed(
+        1234, rates={"worker.run": 0.4}, horizon=8, kinds=("transient", "latency")
+    )
+    with repro.serve(
+        **options,
+        max_retries=4,
+        retry_policy=repro.RetryPolicy.no_delay(),
+        fault_injector=FaultInjector(plan, sleep=NO_SLEEP),
+    ) as service:
+        handles = [
+            service.submit(problem, depth, seed=seed + offset) for offset in range(4)
+        ]
+        final = [handle.result(timeout=300) for handle in handles][0]
+        resilience = service.metrics.to_dict()["resilience"]
+    assert final.optimal_expectation == baseline.optimal_expectation
+    print(f"seeded storm ({len(plan)} faults planned): {resilience['faults_injected']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,9 @@ True
 
 from repro.version import __version__
 from repro.exceptions import (
+    CheckpointError,
     CircuitError,
+    CircuitOpenError,
     ConfigurationError,
     DatasetError,
     GraphError,
@@ -77,6 +79,14 @@ _LAZY_EXPORTS = {
     "JobHandle": "repro.service",
     "JobStatus": "repro.service",
     "ServiceMetrics": "repro.service",
+    # Resilience layer.
+    "FaultPlan": "repro.resilience",
+    "FaultInjector": "repro.resilience",
+    "RetryPolicy": "repro.resilience",
+    "CircuitBreaker": "repro.resilience",
+    "CheckpointSlot": "repro.resilience",
+    "MemoryCheckpointStore": "repro.resilience",
+    "FileCheckpointStore": "repro.resilience",
 }
 
 __all__ = [
@@ -110,6 +120,14 @@ __all__ = [
     "JobHandle",
     "JobStatus",
     "ServiceMetrics",
+    # Resilience layer.
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CheckpointSlot",
+    "MemoryCheckpointStore",
+    "FileCheckpointStore",
     # Package metadata and configuration.
     "__version__",
     "PaperSetup",
@@ -127,6 +145,8 @@ __all__ = [
     "TransientServiceError",
     "JobCancelledError",
     "JobTimeoutError",
+    "CircuitOpenError",
+    "CheckpointError",
 ]
 
 

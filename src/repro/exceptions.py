@@ -52,3 +52,12 @@ class JobCancelledError(ServiceError):
 
 class JobTimeoutError(ServiceError):
     """Raised when a job exceeds its per-job timeout, or a result wait expires."""
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a circuit breaker rejects work because its backend is
+    considered unhealthy (open state); retry after the recovery window."""
+
+
+class CheckpointError(ReproError):
+    """Raised for invalid checkpoint usage (mismatched key/depth, bad store)."""

@@ -20,15 +20,36 @@ Objective = Callable[[np.ndarray], float]
 Bounds = Optional[Sequence[Tuple[float, float]]]
 
 
-class CountingObjective:
-    """Wrap an objective function and count / record its evaluations."""
+#: Progress callback fired after every objective evaluation with
+#: ``(num_evaluations, value)``.  Observers are observational only — they
+#: must not mutate the point — but they *may* raise to abort the run (the
+#: solver's fault-injection and checkpoint machinery rely on both halves).
+Observer = Callable[[int, float], None]
 
-    def __init__(self, function: Objective, *, record_history: bool = False):
+
+class CountingObjective:
+    """Wrap an objective function and count / record its evaluations.
+
+    An optional *observer* receives ``(num_evaluations, value)`` after each
+    evaluation — the hook the solver uses for periodic checkpoint progress
+    snapshots without optimizer-specific plumbing.
+    """
+
+    def __init__(
+        self,
+        function: Objective,
+        *,
+        record_history: bool = False,
+        observer: Optional[Observer] = None,
+    ):
         if not callable(function):
             raise OptimizationError("objective must be callable")
+        if observer is not None and not callable(observer):
+            raise OptimizationError("observer must be callable")
         self._function = function
         self._num_evaluations = 0
         self._record_history = record_history
+        self._observer = observer
         self._history: List[float] = []
         self._best_value: Optional[float] = None
         self._best_point: Optional[np.ndarray] = None
@@ -42,6 +63,8 @@ class CountingObjective:
         if self._best_value is None or value < self._best_value:
             self._best_value = value
             self._best_point = point.copy()
+        if self._observer is not None:
+            self._observer(self._num_evaluations, value)
         return value
 
     @property
@@ -148,8 +171,13 @@ class Optimizer(ABC):
         objective: Objective,
         initial_point: Sequence[float],
         bounds: Bounds = None,
+        observer: Optional[Observer] = None,
     ) -> OptimizationResult:
-        """Minimize *objective* starting from *initial_point*."""
+        """Minimize *objective* starting from *initial_point*.
+
+        *observer*, when given, is called with ``(num_evaluations, value)``
+        after every objective evaluation (see :class:`CountingObjective`).
+        """
         initial_point = np.asarray(initial_point, dtype=float)
         if initial_point.ndim != 1 or initial_point.size == 0:
             raise OptimizationError(
@@ -166,7 +194,9 @@ class Optimizer(ABC):
             for low, high in bounds:
                 if low > high:
                     raise OptimizationError(f"invalid bound ({low}, {high})")
-        counting = CountingObjective(objective, record_history=self._record_history)
+        counting = CountingObjective(
+            objective, record_history=self._record_history, observer=observer
+        )
         result = self._minimize(counting, initial_point, bounds)
         result.history = counting.history
         return result
@@ -176,9 +206,20 @@ class Optimizer(ABC):
         objective: Objective,
         initial_point: Sequence[float],
         bounds: Bounds = None,
+        observer: Optional[Observer] = None,
     ) -> OptimizationResult:
-        """Maximize *objective* (minimizes its negation and flips the value)."""
-        result = self.minimize(lambda x: -float(objective(x)), initial_point, bounds)
+        """Maximize *objective* (minimizes its negation and flips the value).
+
+        An *observer* sees the values in the caller's (maximization)
+        orientation.
+        """
+        flipped = None
+        if observer is not None:
+            def flipped(count: int, value: float) -> None:
+                observer(count, -value)
+        result = self.minimize(
+            lambda x: -float(objective(x)), initial_point, bounds, observer=flipped
+        )
         result.optimal_value = -result.optimal_value
         result.history = [-value for value in result.history]
         return result

@@ -11,6 +11,17 @@ from repro.execution.context import ExecutionContext
 from repro.qaoa.parameters import QAOAParameters
 
 
+def _parameters_payload(parameters: QAOAParameters) -> Dict:
+    return {
+        "gammas": [float(value) for value in parameters.gammas],
+        "betas": [float(value) for value in parameters.betas],
+    }
+
+
+def _parameters_from_payload(payload: Dict) -> QAOAParameters:
+    return QAOAParameters(tuple(payload["gammas"]), tuple(payload["betas"]))
+
+
 @dataclass(frozen=True)
 class RestartRecord:
     """Outcome of one restart of the optimization loop."""
@@ -20,6 +31,27 @@ class RestartRecord:
     optimal_expectation: float
     num_function_calls: int
     converged: bool
+
+    def to_payload(self) -> Dict:
+        """Full-fidelity JSON-safe form (see :meth:`from_payload`)."""
+        return {
+            "initial_parameters": _parameters_payload(self.initial_parameters),
+            "optimal_parameters": _parameters_payload(self.optimal_parameters),
+            "optimal_expectation": float(self.optimal_expectation),
+            "num_function_calls": int(self.num_function_calls),
+            "converged": bool(self.converged),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "RestartRecord":
+        """Rebuild a record from :meth:`to_payload` output (exact floats)."""
+        return cls(
+            initial_parameters=_parameters_from_payload(payload["initial_parameters"]),
+            optimal_parameters=_parameters_from_payload(payload["optimal_parameters"]),
+            optimal_expectation=float(payload["optimal_expectation"]),
+            num_function_calls=int(payload["num_function_calls"]),
+            converged=bool(payload["converged"]),
+        )
 
 
 @dataclass
@@ -86,6 +118,52 @@ class QAOAResult:
             "num_shots": self.num_shots,
             "execution": None if self.context is None else self.context.to_dict(),
         }
+
+    def to_payload(self) -> Dict:
+        """Full-fidelity JSON-safe form (every restart, exact floats).
+
+        Unlike :meth:`to_dict` (a human-facing summary), the payload
+        round-trips through :meth:`from_payload` bit-identically — it is
+        what the persistent result cache and checkpoint stores persist.
+        """
+        return {
+            "problem_name": self.problem_name,
+            "depth": int(self.depth),
+            "optimizer_name": self.optimizer_name,
+            "optimal_parameters": _parameters_payload(self.optimal_parameters),
+            "optimal_expectation": float(self.optimal_expectation),
+            "max_cut_value": float(self.max_cut_value),
+            "num_function_calls": int(self.num_function_calls),
+            "num_restarts": int(self.num_restarts),
+            "restarts": [record.to_payload() for record in self.restarts],
+            "initialization": self.initialization,
+            "num_shots": int(self.num_shots),
+            "context": None if self.context is None else self.context.to_dict(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "QAOAResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        context = payload.get("context")
+        if context is not None:
+            context = ExecutionContext.from_dict(context)
+        return cls(
+            problem_name=str(payload["problem_name"]),
+            depth=int(payload["depth"]),
+            optimizer_name=str(payload["optimizer_name"]),
+            optimal_parameters=_parameters_from_payload(payload["optimal_parameters"]),
+            optimal_expectation=float(payload["optimal_expectation"]),
+            max_cut_value=float(payload["max_cut_value"]),
+            num_function_calls=int(payload["num_function_calls"]),
+            num_restarts=int(payload["num_restarts"]),
+            restarts=[
+                RestartRecord.from_payload(record)
+                for record in payload.get("restarts", [])
+            ],
+            initialization=str(payload.get("initialization", "random")),
+            num_shots=int(payload.get("num_shots", 0)),
+            context=context,
+        )
 
     def __repr__(self) -> str:
         return (

@@ -40,19 +40,19 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.config import DEFAULT_TOLERANCE
-from repro.exceptions import ConfigurationError
+from repro.exceptions import CheckpointError, ConfigurationError
 from repro.execution.context import (
     UNSET,
     ContextLike,
     ExecutionContext,
     resolve_execution_context,
 )
-from repro.execution.keys import compile_cache_key
+from repro.execution.keys import compile_cache_key, solve_cache_key
 from repro.execution.registry import get_backend
 from repro.graphs.maxcut import MaxCutProblem
 from repro.optimizers.base import Optimizer
@@ -62,9 +62,19 @@ from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.parameters import QAOAParameters, parameter_bounds, random_parameters
 from repro.qaoa.result import QAOAResult, RestartRecord
 from repro.quantum.noise import NoiseModel, ReadoutErrorModel
-from repro.utils.rng import RandomState, ensure_rng
+from repro.resilience.checkpoint import (
+    CheckpointSlot,
+    CheckpointStore,
+    SolverCheckpoint,
+    capture_rng_state,
+    restore_rng_state,
+)
+from repro.utils.rng import RandomState, as_optional_seed, ensure_rng
 
 InitialParameters = Union[None, QAOAParameters, Sequence[float]]
+
+#: ``checkpoint=`` accepts a bound slot or a bare store (key derived).
+CheckpointLike = Union[None, CheckpointSlot, CheckpointStore]
 
 #: Iteration cap of the default SPSA optimizer wired in for stochastic
 #: oracles (each iteration costs two evaluations x shots; the classic
@@ -114,6 +124,11 @@ class QAOASolver:
     seed:
         Seed or generator for random initialization and the stochastic
         oracle; when omitted, the context's ``seed`` policy applies.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; when set,
+        every objective evaluation first checks the ``backend.evaluate``
+        site, so chaos tests can fail (or delay) the oracle on an exact,
+        replayable schedule.
     backend, shots, noise_model, trajectories, density, readout_error, mitigate_readout:
         **Deprecated** — the legacy kwarg spelling of the context fields.
         Passing any of them builds the equivalent context internally
@@ -139,6 +154,7 @@ class QAOASolver:
         readout_error=UNSET,
         mitigate_readout=UNSET,
         seed: RandomState = None,
+        fault_injector=None,
     ):
         context = resolve_execution_context(
             context,
@@ -196,6 +212,7 @@ class QAOASolver:
             )
         self._num_restarts = int(num_restarts)
         self._use_bounds = bool(use_bounds)
+        self._fault_injector = fault_injector
         self._candidate_pool = None if candidate_pool is None else int(candidate_pool)
         # Compiled-program LRU keyed on problem *content* + depth (via
         # compile_cache_key): repeated solves of the same instance — the
@@ -298,6 +315,8 @@ class QAOASolver:
         num_restarts: Optional[int] = None,
         candidate_pool: Optional[int] = None,
         seed: RandomState = None,
+        checkpoint: CheckpointLike = None,
+        checkpoint_interval: Optional[int] = None,
     ) -> QAOAResult:
         """Optimize a depth-*depth* QAOA instance of *problem*.
 
@@ -308,8 +327,38 @@ class QAOASolver:
         larger than the restart count turns on batched start screening (see
         the class docstring); the screening evaluations are included in the
         reported function-call count.
+
+        Checkpointing: *checkpoint* is a
+        :class:`~repro.resilience.checkpoint.CheckpointSlot` (or a bare
+        :class:`~repro.resilience.checkpoint.CheckpointStore`, in which case
+        the slot key is derived from the solve configuration).  The solver
+        snapshots the pre-drawn restart starts immediately, and the full
+        state — completed restart records, rng bit-generator state, shot
+        accounting — after every restart; re-invoking an interrupted solve
+        with the same slot resumes from the last completed restart and
+        returns a result **bit-identical** to the uninterrupted run.
+        *checkpoint_interval* additionally writes an observational progress
+        marker every that-many objective evaluations (resume granularity
+        stays the restart boundary).  Completed snapshots are left in the
+        store; callers that no longer need them delete the slot.
         """
         rng = ensure_rng(seed) if seed is not None else self._rng
+        slot = self._as_checkpoint_slot(checkpoint, problem, depth, seed)
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
+        snapshot = slot.load() if slot is not None else None
+        if snapshot is not None:
+            if snapshot.depth != int(depth):
+                raise CheckpointError(
+                    f"checkpoint was written for depth {snapshot.depth}, "
+                    f"cannot resume a depth-{depth} solve"
+                )
+            if snapshot.rng_state is not None:
+                # Continue the exact sample stream of the interrupted run on
+                # a fresh generator (the solver's shared rng is untouched).
+                rng = restore_rng_state(snapshot.rng_state)
         optimizer = self._optimizer
         if self._auto_spsa_settings is not None:
             # Rebuild the auto-wired SPSA on the call-level generator so a
@@ -328,10 +377,24 @@ class QAOASolver:
             rng=rng,
             program=self._compiled_program(problem, depth),
         )
+        objective = evaluator.expectation
+        if self._fault_injector is not None:
+            objective = self._fault_injector.wrap("backend.evaluate", objective)
         bounds = parameter_bounds(depth) if self._use_bounds else None
         screening_calls = 0
+        records: List[RestartRecord] = []
+        base_shots = 0
 
-        if initial_parameters is not None:
+        if snapshot is not None:
+            starts = [
+                QAOAParameters.from_vector(np.asarray(start, dtype=float))
+                for start in snapshot.starts
+            ]
+            initialization = snapshot.initialization
+            records = [RestartRecord.from_payload(record) for record in snapshot.records]
+            screening_calls = int(snapshot.screening_calls)
+            base_shots = int(snapshot.shots_used)
+        elif initial_parameters is not None:
             starts = [self._coerce_parameters(initial_parameters, depth)]
             initialization = "warm"
         else:
@@ -352,13 +415,44 @@ class QAOASolver:
                 starts = [random_parameters(depth, rng) for _ in range(restarts)]
                 initialization = "random"
 
-        records = []
+        boundary_rng_state = capture_rng_state(rng) if slot is not None else None
+
+        def snapshot_now(progress=None) -> SolverCheckpoint:
+            return SolverCheckpoint(
+                depth=int(depth),
+                initialization=initialization,
+                starts=[[float(v) for v in start.to_vector()] for start in starts],
+                records=[record.to_payload() for record in records],
+                rng_state=boundary_rng_state,
+                screening_calls=screening_calls,
+                shots_used=base_shots + evaluator.shots_used,
+                progress=progress,
+            )
+
+        if slot is not None and snapshot is None:
+            # Starts are now pinned: a kill during the very first restart
+            # still resumes against the exact same initializations.
+            slot.save(snapshot_now())
+
         best_record: Optional[RestartRecord] = None
-        for start in starts:
-            record = self._run_single(evaluator, start, bounds, optimizer)
+        for record in records:
+            if best_record is None or record.optimal_expectation > best_record.optimal_expectation:
+                best_record = record
+        for index in range(len(records), len(starts)):
+            observer = None
+            if slot is not None and checkpoint_interval is not None:
+                observer = self._progress_observer(
+                    slot, snapshot_now, index, checkpoint_interval
+                )
+            record = self._run_single(
+                objective, starts[index], bounds, optimizer, observer=observer
+            )
             records.append(record)
             if best_record is None or record.optimal_expectation > best_record.optimal_expectation:
                 best_record = record
+            if slot is not None:
+                boundary_rng_state = capture_rng_state(rng)
+                slot.save(snapshot_now())
 
         total_calls = screening_calls + int(
             sum(record.num_function_calls for record in records)
@@ -374,20 +468,69 @@ class QAOASolver:
             num_restarts=len(records),
             restarts=records,
             initialization=initialization,
-            num_shots=evaluator.shots_used,
+            num_shots=base_shots + evaluator.shots_used,
             context=self._context,
         )
 
+    def _as_checkpoint_slot(
+        self,
+        checkpoint: CheckpointLike,
+        problem: MaxCutProblem,
+        depth: int,
+        seed: RandomState,
+    ) -> Optional[CheckpointSlot]:
+        """Normalize the ``checkpoint=`` argument to a bound slot."""
+        if checkpoint is None:
+            return None
+        if isinstance(checkpoint, CheckpointSlot):
+            return checkpoint
+        if isinstance(checkpoint, CheckpointStore):
+            key = solve_cache_key(
+                problem, depth, self._context, as_optional_seed(seed), None
+            )
+            return CheckpointSlot(checkpoint, key)
+        raise CheckpointError(
+            f"checkpoint must be a CheckpointSlot or CheckpointStore, "
+            f"got {type(checkpoint).__name__}"
+        )
+
+    @staticmethod
+    def _progress_observer(slot, snapshot_now, restart_index, interval):
+        """An evaluation observer writing periodic progress markers.
+
+        Progress markers are observational (resume granularity stays the
+        restart boundary) but they make long restarts visible in the store
+        and exercise the save path under chaos tests.
+        """
+        best = [None]
+
+        def observe(count: int, value: float) -> None:
+            if best[0] is None or value > best[0]:
+                best[0] = value
+            if count % interval == 0:
+                slot.save(
+                    snapshot_now(
+                        progress={
+                            "restart_index": int(restart_index),
+                            "evaluations": int(count),
+                            "best_value": best[0],
+                        }
+                    )
+                )
+
+        return observe
+
     def _run_single(
         self,
-        evaluator: ExpectationEvaluator,
+        objective,
         start: QAOAParameters,
         bounds,
         optimizer: Optional[Optimizer] = None,
+        observer=None,
     ) -> RestartRecord:
         optimizer = optimizer if optimizer is not None else self._optimizer
         result = optimizer.maximize(
-            evaluator.expectation, start.to_vector(), bounds
+            objective, start.to_vector(), bounds, observer=observer
         )
         return RestartRecord(
             initial_parameters=start,

@@ -1,0 +1,48 @@
+"""Resilience layer: deterministic chaos, retries, breakers, checkpoints.
+
+Everything the service tier uses to survive (and *prove* it survives)
+failures:
+
+* :class:`~repro.resilience.faults.FaultPlan` /
+  :class:`~repro.resilience.faults.FaultInjector` — seed-driven, replayable
+  fault injection at the ``worker.run``, ``backend.evaluate`` and
+  ``cache.read`` / ``cache.write`` boundaries;
+* :class:`~repro.resilience.retry.RetryPolicy` — capped exponential backoff
+  with seeded jitter and an injectable sleep;
+* :class:`~repro.resilience.breaker.CircuitBreaker` — closed → open →
+  half-open load shedding for a persistently failing backend;
+* :class:`~repro.resilience.checkpoint.CheckpointStore` and friends —
+  crash-safe solver snapshots enabling
+  :meth:`~repro.qaoa.solver.QAOASolver.solve` resume-from-checkpoint;
+* :mod:`~repro.resilience.storage` — the shared atomic-write /
+  checksum / quarantine primitives behind every durable store.
+
+See ``docs/reliability.md`` for the full fault model and guarantees.
+"""
+
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.checkpoint import (
+    CheckpointSlot,
+    CheckpointStore,
+    FileCheckpointStore,
+    MemoryCheckpointStore,
+    SolverCheckpoint,
+)
+from repro.resilience.faults import FAULT_KINDS, Fault, FaultInjector, FaultPlan
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.storage import CorruptEntryError
+
+__all__ = [
+    "FAULT_KINDS",
+    "CheckpointSlot",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "CorruptEntryError",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FileCheckpointStore",
+    "MemoryCheckpointStore",
+    "RetryPolicy",
+    "SolverCheckpoint",
+]

@@ -1,0 +1,148 @@
+"""Crash-safe on-disk document primitives shared by the durable stores.
+
+Both durable tiers — :class:`~repro.resilience.checkpoint.FileCheckpointStore`
+and :class:`~repro.service.persistence.PersistentResultCache` — persist
+JSON documents with the same guarantees, implemented once here:
+
+* **Atomic visibility** — documents are written to a temporary file in the
+  destination directory, flushed and fsync'd, then moved into place with
+  :func:`os.replace`.  A crash mid-write leaves either the old entry or a
+  stray temp file, never a half-written entry.
+* **Self-verifying entries** — every document embeds a format tag, a schema
+  version, its logical key and a SHA-256 checksum of the canonical payload
+  JSON.  :func:`decode_document` re-derives the checksum and validates all
+  four, raising :class:`CorruptEntryError` on any mismatch, so silent disk
+  corruption (or a truncated write on a non-atomic filesystem) is detected
+  rather than deserialized.
+* **Quarantine** — unreadable entries are moved aside
+  (:func:`quarantine_file`) instead of deleted, preserving the evidence
+  while guaranteeing the bad entry is never read again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "CorruptEntryError",
+    "atomic_write_bytes",
+    "checksum_payload",
+    "decode_document",
+    "encode_document",
+    "quarantine_file",
+]
+
+
+class CorruptEntryError(ReproError):
+    """An on-disk entry failed checksum/version/key validation."""
+
+
+def checksum_payload(payload: Any) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON of *payload*."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_document(payload: Any, *, format: str, version: int, key: str) -> bytes:
+    """Serialize *payload* into a self-verifying document (UTF-8 JSON bytes)."""
+    document = {
+        "format": format,
+        "version": int(version),
+        "key": key,
+        "checksum": checksum_payload(payload),
+        "payload": payload,
+    }
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def decode_document(
+    data: bytes, *, format: str, version: int, key: Optional[str] = None
+) -> Any:
+    """Parse and validate a document produced by :func:`encode_document`.
+
+    Returns the embedded payload.  Raises :class:`CorruptEntryError` when
+    the bytes do not parse, the format/version differs, the stored key does
+    not match *key* (when given), or the checksum does not re-derive.
+    """
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CorruptEntryError(f"entry does not parse as JSON: {error}") from error
+    if not isinstance(document, dict):
+        raise CorruptEntryError(
+            f"entry root must be an object, got {type(document).__name__}"
+        )
+    if document.get("format") != format:
+        raise CorruptEntryError(
+            f"entry format {document.get('format')!r} != expected {format!r}"
+        )
+    if document.get("version") != int(version):
+        raise CorruptEntryError(
+            f"entry schema version {document.get('version')!r} != expected {version}"
+        )
+    if key is not None and document.get("key") != key:
+        raise CorruptEntryError(
+            f"entry key {document.get('key')!r} does not match requested key"
+        )
+    if "payload" not in document or "checksum" not in document:
+        raise CorruptEntryError("entry is missing its payload or checksum")
+    expected = checksum_payload(document["payload"])
+    if document["checksum"] != expected:
+        raise CorruptEntryError(
+            f"entry checksum {document['checksum']!r} does not match payload"
+        )
+    return document["payload"]
+
+
+_TMP_COUNTER = threading.Lock()
+_tmp_serial = 0
+
+
+def _next_serial() -> int:
+    global _tmp_serial
+    with _TMP_COUNTER:
+        _tmp_serial += 1
+        return _tmp_serial
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* to *path* atomically (temp file + fsync + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{_next_serial()}"
+    try:
+        with open(tmp, "wb") as stream:
+            stream.write(data)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed or raised before running
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def quarantine_file(path: Path) -> Optional[Path]:
+    """Move a corrupted entry into a sibling ``quarantine/`` directory.
+
+    Returns the new location, or ``None`` when the move itself failed (the
+    caller still treats the entry as unreadable either way).
+    """
+    path = Path(path)
+    target_dir = path.parent / "quarantine"
+    try:
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / f"{path.name}.{os.getpid()}-{_next_serial()}"
+        os.replace(path, target)
+        return target
+    except OSError:
+        return None

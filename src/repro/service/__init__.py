@@ -14,7 +14,15 @@ endpoint suitable for many concurrent clients:
   :class:`~repro.service.cache.ResultCache` — the two cache levels
   (compiled programs, deterministic solve results);
 * :class:`~repro.service.metrics.ServiceMetrics` — counters, cache hit
-  rates, queue depth and p50/p99 latency histograms behind ``to_dict()``.
+  rates, queue depth and p50/p99 latency histograms behind ``to_dict()``;
+* :class:`~repro.service.persistence.PersistentResultCache` — the
+  crash-safe on-disk tier under the in-memory result cache (atomic writes,
+  checksums, corruption quarantine).
+
+Resilience primitives (retry policies, circuit breaker, fault injection,
+checkpoint stores) live in :mod:`repro.resilience`; the service wires them
+in through its ``retry_policy=`` / ``breaker=`` / ``fault_injector=`` /
+``checkpoint_store=`` / ``persistent_cache_dir=`` constructor knobs.
 
 The stable entry point is :func:`repro.serve`, which constructs a
 :class:`SolverService`.
@@ -24,6 +32,7 @@ from repro.service.cache import LRUCache, ProgramCache, ResultCache
 from repro.service.coalescer import BatchFuture, RequestCoalescer
 from repro.service.jobs import JobHandle, JobStatus
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.persistence import PersistentResultCache
 from repro.service.service import SolverService
 
 __all__ = [
@@ -32,6 +41,7 @@ __all__ = [
     "JobStatus",
     "LRUCache",
     "LatencyHistogram",
+    "PersistentResultCache",
     "ProgramCache",
     "RequestCoalescer",
     "ResultCache",

@@ -118,14 +118,29 @@ class ResultCache:
 
     The *service* decides eligibility (explicit integer seed) before calling
     :meth:`put`; the cache itself is policy-free storage.
+
+    An optional *persistent* tier (a
+    :class:`~repro.service.persistence.PersistentResultCache`) sits under
+    the in-memory LRU: a memory miss falls through to disk (a disk hit is
+    promoted back into memory), and every :meth:`put` also lands on disk —
+    so a restarted process keeps its warm results.  The hit/miss counters
+    reported here describe the *combined* cache; the persistent tier keeps
+    its own counters (including corruption quarantines) in the metrics'
+    ``caches.persistent`` section.
     """
 
-    def __init__(self, capacity: int = 256, metrics=None):
+    def __init__(self, capacity: int = 256, metrics=None, persistent=None):
         self._cache = LRUCache(capacity)
         self._metrics = metrics
+        self._persistent = persistent
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    @property
+    def persistent(self):
+        """The on-disk tier, or ``None`` when the cache is memory-only."""
+        return self._persistent
 
     @staticmethod
     def key(problem, depth: int, context, seed: Optional[int], options: Any = None) -> str:
@@ -135,6 +150,11 @@ class ResultCache:
     def get(self, key: str) -> Any:
         """The cached result for *key*, or ``None`` (recording hit/miss)."""
         result = self._cache.get(key)
+        if result is None and self._persistent is not None:
+            result = self._persistent.get(key)
+            if result is not None:
+                # Promote: the next lookup is served from memory.
+                self._cache.put(key, result)
         if self._metrics is not None:
             if result is None:
                 self._metrics.result_cache_miss()
@@ -144,6 +164,9 @@ class ResultCache:
 
     def put(self, key: str, result: Any) -> None:
         self._cache.put(key, result)
+        if self._persistent is not None:
+            self._persistent.put(key, result)
 
     def clear(self) -> None:
+        """Drop the in-memory tier (the persistent tier is kept)."""
         self._cache.clear()

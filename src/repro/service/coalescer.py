@@ -241,7 +241,12 @@ class RequestCoalescer:
                 self._execute(group)
 
     def _execute(self, group: _Group) -> None:
-        """Evaluate one group through a single ``expectation_batch`` call."""
+        """Evaluate one group through a single ``expectation_batch`` call.
+
+        A failed multi-request batch falls back to per-request evaluation so
+        one poisoned vector (or a transient backend fault hitting the sweep)
+        fails only its own future, not every coalesced waiter.
+        """
         wait = self._clock() - group.first_enqueued
         try:
             matrix = np.vstack(group.vectors)
@@ -251,11 +256,24 @@ class RequestCoalescer:
                     f"batched evaluation returned {len(values)} values for "
                     f"{len(group.futures)} requests"
                 )
-        except BaseException as error:  # noqa: B036 - forwarded to every waiter
-            for future in group.futures:
-                future._fail(error)
+        except BaseException as error:  # noqa: B036 - forwarded to the waiters
+            if len(group.futures) == 1:
+                group.futures[0]._fail(error)
+                return
+            self._execute_individually(group)
             return
         if self._metrics is not None:
             self._metrics.batch_flushed(len(group.futures), wait=wait)
         for future, value in zip(group.futures, values):
             future._fulfil(value)
+
+    def _execute_individually(self, group: _Group) -> None:
+        """Fallback: evaluate each request of a failed batch on its own."""
+        for vector, future in zip(group.vectors, group.futures):
+            try:
+                values = group.evaluator.expectation_batch(
+                    np.asarray(vector, dtype=float).reshape(1, -1)
+                )
+                future._fulfil(float(values[0]))
+            except BaseException as error:  # noqa: B036 - forwarded to the waiter
+                future._fail(error)

@@ -77,6 +77,9 @@ class JobHandle:
         self.deduplicated = False
         #: Number of transient-failure retries the run needed.
         self.retries = 0
+        #: True when the solve resumed from a saved checkpoint instead of
+        #: starting from scratch (checkpointed submissions only).
+        self.resumed = False
 
     # ------------------------------------------------------------------
     # Client API

@@ -2,9 +2,11 @@
 
 :class:`ServiceMetrics` is the single sink every service component reports
 into: job lifecycle counters (submitted / completed / failed / cancelled),
-cache hit rates for the compiled-program and solve-result caches, coalescing
-statistics, a live queue-depth gauge, and p50/p99 latency histograms for
-queue wait and end-to-end job latency.  The clock is injectable
+cache hit rates for the compiled-program, solve-result and persistent
+(on-disk) caches, coalescing statistics, a live queue-depth gauge, p50/p99
+latency histograms for queue wait and end-to-end job latency, and the
+resilience counters (faults injected by kind, circuit-breaker transitions
+and rejections, checkpoint saves/resumes).  The clock is injectable
 (``clock=lambda: fake_now``) so latency assertions in tests are exact
 instead of sleep-based.
 
@@ -114,6 +116,17 @@ class ServiceMetrics:
         self._result_misses = 0
         self._program_hits = 0
         self._program_misses = 0
+        # Persistent (on-disk) result-cache tier.
+        self._persistent_hits = 0
+        self._persistent_misses = 0
+        self._persistent_corruptions = 0
+        self._persistent_writes = 0
+        # Resilience: injected faults, breaker activity, checkpoints.
+        self._faults_injected: Dict[str, int] = {}
+        self._breaker_transitions: Dict[str, int] = {}
+        self._breaker_rejections = 0
+        self._checkpoint_saves = 0
+        self._checkpoint_resumes = 0
         # Queue gauge.
         self._queue_depth = 0
         self._max_queue_depth = 0
@@ -202,6 +215,50 @@ class ServiceMetrics:
         with self._lock:
             self._program_misses += 1
 
+    def persistent_cache_hit(self) -> None:
+        with self._lock:
+            self._persistent_hits += 1
+
+    def persistent_cache_miss(self) -> None:
+        with self._lock:
+            self._persistent_misses += 1
+
+    def persistent_cache_corruption(self) -> None:
+        """A persistent entry failed validation and was quarantined."""
+        with self._lock:
+            self._persistent_corruptions += 1
+
+    def persistent_cache_write(self) -> None:
+        with self._lock:
+            self._persistent_writes += 1
+
+    # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+    def fault_injected(self, kind: str) -> None:
+        """A planned fault fired (counted per kind)."""
+        with self._lock:
+            self._faults_injected[kind] = self._faults_injected.get(kind, 0) + 1
+
+    def breaker_transition(self, old_state: str, new_state: str) -> None:
+        """The circuit breaker changed state (counted per edge)."""
+        edge = f"{old_state}->{new_state}"
+        with self._lock:
+            self._breaker_transitions[edge] = self._breaker_transitions.get(edge, 0) + 1
+
+    def breaker_rejected(self) -> None:
+        """A job was shed because the breaker was open."""
+        with self._lock:
+            self._breaker_rejections += 1
+
+    def checkpoint_saved(self) -> None:
+        with self._lock:
+            self._checkpoint_saves += 1
+
+    def checkpoint_resumed(self) -> None:
+        with self._lock:
+            self._checkpoint_resumes += 1
+
     # ------------------------------------------------------------------
     # Queue
     # ------------------------------------------------------------------
@@ -251,6 +308,29 @@ class ServiceMetrics:
                         "hits": self._program_hits,
                         "misses": self._program_misses,
                         "hit_rate": self._hit_rate(self._program_hits, self._program_misses),
+                    },
+                    "persistent": {
+                        "hits": self._persistent_hits,
+                        "misses": self._persistent_misses,
+                        "corruptions": self._persistent_corruptions,
+                        "writes": self._persistent_writes,
+                        "hit_rate": self._hit_rate(
+                            self._persistent_hits, self._persistent_misses
+                        ),
+                    },
+                },
+                "resilience": {
+                    "faults_injected": {
+                        "total": sum(self._faults_injected.values()),
+                        "by_kind": dict(sorted(self._faults_injected.items())),
+                    },
+                    "breaker": {
+                        "transitions": dict(sorted(self._breaker_transitions.items())),
+                        "rejections": self._breaker_rejections,
+                    },
+                    "checkpoints": {
+                        "saved": self._checkpoint_saves,
+                        "resumed": self._checkpoint_resumes,
                     },
                 },
                 "queue": {

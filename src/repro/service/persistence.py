@@ -1,0 +1,217 @@
+"""The crash-safe persistent (on-disk) result-cache tier.
+
+:class:`PersistentResultCache` sits *under* the service's in-memory
+:class:`~repro.service.cache.ResultCache`: a memory miss falls through to
+disk, and every cached solve is also written to disk, so a restarted
+process serves previously solved configurations warm instead of recomputing
+them.
+
+Durability contract (shared primitives in :mod:`repro.resilience.storage`):
+
+* **Atomic writes** — entries land via temp-file + fsync + ``os.replace``;
+  a crash mid-write never leaves a half-written entry visible.
+* **Self-verifying entries** — each file embeds a schema version, its cache
+  key and a SHA-256 checksum of the payload; all are validated on read.
+* **Graceful degradation** — a corrupted or unreadable entry is quarantined
+  (moved to ``quarantine/``), counted in
+  :class:`~repro.service.metrics.ServiceMetrics`, and reported as a miss.
+  Reads and writes never raise out of the cache: a broken disk degrades the
+  service to cold solves, it does not take the service down.
+* **Deterministic chaos** — a
+  :class:`~repro.resilience.faults.FaultInjector` can be installed on the
+  ``cache.read`` / ``cache.write`` byte streams, so corrupted-entry and
+  flaky-I/O recovery paths are exercised by replayable tests.
+
+Entries serialize through :meth:`~repro.qaoa.result.QAOAResult.to_payload`
+by default; custom ``serialize`` / ``deserialize`` hooks support other
+result types.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Callable, List, Optional
+
+from repro.resilience.storage import (
+    CorruptEntryError,
+    atomic_write_bytes,
+    decode_document,
+    encode_document,
+    quarantine_file,
+)
+
+__all__ = ["PersistentResultCache"]
+
+#: Schema version stamped into every entry.
+CACHE_SCHEMA_VERSION = 1
+
+_FORMAT = "repro-result"
+
+
+def _default_serialize(result: Any) -> Any:
+    return result.to_payload()
+
+
+def _default_deserialize(payload: Any) -> Any:
+    from repro.qaoa.result import QAOAResult
+
+    return QAOAResult.from_payload(payload)
+
+
+class PersistentResultCache:
+    """On-disk solve-result storage keyed by the solve-result cache key.
+
+    Parameters
+    ----------
+    directory:
+        Where entries live (created on construction).  One file per key;
+        file names are the SHA-256 of the key.
+    metrics:
+        Optional :class:`~repro.service.metrics.ServiceMetrics` receiving
+        persistent hit / miss / corruption / write events.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector` filtering
+        the entry bytes at the ``cache.read`` / ``cache.write`` sites.
+    serialize / deserialize:
+        Payload conversion hooks (default: ``QAOAResult.to_payload`` /
+        ``QAOAResult.from_payload``).
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        metrics=None,
+        fault_injector=None,
+        serialize: Callable[[Any], Any] = _default_serialize,
+        deserialize: Callable[[Any], Any] = _default_deserialize,
+    ):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._metrics = metrics
+        self._injector = fault_injector
+        self._serialize = serialize
+        self._deserialize = deserialize
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:48]
+        return self._directory / f"{digest}.result.json"
+
+    def __len__(self) -> int:
+        return len(list(self._directory.glob("*.result.json")))
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """The cached result for *key*, or ``None``.
+
+        Never raises: unreadable I/O degrades to a miss; a corrupted entry
+        is additionally quarantined and counted.
+        """
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            self._record("miss")
+            return None
+        except OSError:
+            self._record("miss")
+            return None
+        try:
+            if self._injector is not None:
+                data = self._injector.filter_bytes("cache.read", data)
+            payload = decode_document(
+                data, format=_FORMAT, version=CACHE_SCHEMA_VERSION, key=key
+            )
+            result = self._deserialize(payload)
+        except CorruptEntryError:
+            quarantine_file(path)
+            self._record("corruption")
+            self._record("miss")
+            return None
+        except Exception:
+            # Injected read faults and deserializer bugs degrade to a miss;
+            # the entry itself may be fine, so it is not quarantined.
+            self._record("miss")
+            return None
+        self._record("hit")
+        return result
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put(self, key: str, result: Any) -> bool:
+        """Persist *result* under *key*; returns whether the write landed.
+
+        Best-effort: serialization or I/O failures are swallowed (and a
+        fault injector may corrupt the bytes on their way to disk, which is
+        exactly the torn-write scenario the read path must survive).
+        """
+        try:
+            payload = self._serialize(result)
+            data = encode_document(
+                payload, format=_FORMAT, version=CACHE_SCHEMA_VERSION, key=key
+            )
+            if self._injector is not None:
+                data = self._injector.filter_bytes("cache.write", data)
+            atomic_write_bytes(self._path(key), data)
+        except Exception:
+            return False
+        self._record("write")
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Remove every entry (quarantined files are kept)."""
+        for path in self._directory.glob("*.result.json"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def keys(self) -> List[str]:
+        """The logical keys of every readable entry."""
+        import json
+
+        keys: List[str] = []
+        for path in sorted(self._directory.glob("*.result.json")):
+            try:
+                document = json.loads(path.read_text(encoding="utf-8"))
+                key = document.get("key")
+            except (OSError, ValueError):
+                continue
+            if isinstance(key, str):
+                keys.append(key)
+        return keys
+
+    def attach_metrics(self, metrics) -> None:
+        self._metrics = metrics
+
+    def _record(self, event: str) -> None:
+        if self._metrics is None:
+            return
+        if event == "hit":
+            self._metrics.persistent_cache_hit()
+        elif event == "miss":
+            self._metrics.persistent_cache_miss()
+        elif event == "corruption":
+            self._metrics.persistent_cache_corruption()
+        elif event == "write":
+            self._metrics.persistent_cache_write()
+
+    def __repr__(self) -> str:
+        return f"PersistentResultCache(directory={str(self._directory)!r}, entries={len(self)})"

@@ -24,14 +24,29 @@ solve endpoint:
   :class:`~repro.service.metrics.ServiceMetrics`
   (``service.metrics.to_dict()``).
 
-Reliability semantics:
+Reliability semantics (see ``docs/reliability.md`` for the full story):
 
 * **Per-job timeout** is cooperative (worker threads cannot be killed): a
   job that expires while still queued fails with
   :class:`~repro.exceptions.JobTimeoutError` without running; a job whose
   solve finishes after its deadline fails post-hoc.
 * **Transient failures** (:class:`~repro.exceptions.TransientServiceError`)
-  are retried up to ``max_retries`` times with a linear backoff.
+  are retried up to ``max_retries`` times under a
+  :class:`~repro.resilience.retry.RetryPolicy` (capped exponential backoff
+  with decorrelated jitter; the deprecated ``retry_backoff=`` knob maps
+  onto the policy bit-compatibly for the first attempt).
+* **Circuit breaking** — an optional
+  :class:`~repro.resilience.breaker.CircuitBreaker` sheds jobs fast with
+  :class:`~repro.exceptions.CircuitOpenError` while the backend is
+  persistently failing, instead of burning the retry schedule per job.
+* **Checkpoint/resume** — with a configured ``checkpoint_store``,
+  ``submit(..., checkpoint=True)`` snapshots optimizer state at restart
+  boundaries; a retried (or resubmitted) job resumes from the last
+  completed restart and still returns a bit-identical result.
+* **Persistent results** — ``persistent_cache_dir=`` adds a crash-safe
+  on-disk tier under the in-memory result cache (atomic writes, per-entry
+  checksums, corrupted entries quarantined and treated as a miss), so a
+  restarted process keeps its warm results.
 * **Graceful shutdown** — :meth:`~SolverService.shutdown` stops intake and
   either drains the queue (default) or cancels everything still pending.
 
@@ -57,6 +72,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro.exceptions import (
+    CircuitOpenError,
     ConfigurationError,
     JobTimeoutError,
     ServiceError,
@@ -67,10 +83,15 @@ from repro.execution.keys import canonical_payload
 from repro.graphs.maxcut import MaxCutProblem
 from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.solver import QAOASolver
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.checkpoint import CheckpointSlot, CheckpointStore
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
 from repro.service.cache import ProgramCache, ResultCache
 from repro.service.coalescer import BatchFuture, RequestCoalescer
 from repro.service.jobs import JobHandle
 from repro.service.metrics import ServiceMetrics
+from repro.service.persistence import PersistentResultCache
 
 __all__ = ["SolverService"]
 
@@ -112,9 +133,33 @@ class SolverService:
         A full queue makes :meth:`submit` raise :class:`ServiceError`.
     default_timeout:
         Per-job timeout in seconds applied when ``submit`` gets none.
-    max_retries / retry_backoff:
+    max_retries:
         How many times a :class:`~repro.exceptions.TransientServiceError`
-        is retried, and the base of the linear backoff between attempts.
+        is retried.
+    retry_policy:
+        The :class:`~repro.resilience.retry.RetryPolicy` spacing those
+        retries (default: capped exponential backoff with decorrelated
+        jitter from a 0.05 s base).
+    retry_backoff:
+        **Deprecated** alias: ``retry_backoff=x`` builds
+        ``RetryPolicy.from_legacy_backoff(x)``, whose first delay equals the
+        old linear schedule's first delay exactly.  Mutually exclusive with
+        *retry_policy*.
+    breaker:
+        Optional :class:`~repro.resilience.breaker.CircuitBreaker` guarding
+        the backend; open-state submissions fail fast with
+        :class:`~repro.exceptions.CircuitOpenError`.  Its state transitions
+        are reported into the service metrics.
+    fault_injector:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; installs
+        the ``worker.run`` site around job attempts, the
+        ``backend.evaluate`` site inside the solver loop, and the
+        ``cache.read`` / ``cache.write`` sites on the persistent cache.
+    checkpoint_store:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointStore`
+        enabling ``submit(..., checkpoint=True)``.
+    persistent_cache_dir:
+        Optional directory for the crash-safe on-disk result-cache tier.
     program_cache_size / result_cache_size:
         Capacities of the two cache levels.
     coalesce_max_batch / coalesce_max_wait_ms:
@@ -135,7 +180,12 @@ class SolverService:
         max_queue: Optional[int] = None,
         default_timeout: Optional[float] = None,
         max_retries: int = 1,
-        retry_backoff: float = 0.05,
+        retry_backoff: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        persistent_cache_dir: Optional[Any] = None,
         program_cache_size: int = 64,
         result_cache_size: int = 256,
         coalesce_max_batch: int = 64,
@@ -150,14 +200,38 @@ class SolverService:
             raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
         if max_queue is not None and max_queue < 1:
             raise ConfigurationError(f"max_queue must be >= 1, got {max_queue}")
+        if retry_policy is not None and retry_backoff is not None:
+            raise ConfigurationError(
+                "pass either retry_policy or the deprecated retry_backoff, not both"
+            )
         self._context = as_execution_context(context)
         self._clock = clock
         self._default_timeout = default_timeout
         self._max_retries = int(max_retries)
-        self._retry_backoff = float(retry_backoff)
+        if retry_policy is None:
+            retry_policy = RetryPolicy.from_legacy_backoff(
+                0.05 if retry_backoff is None else float(retry_backoff)
+            )
+        self._retry_policy = retry_policy
         self.metrics = ServiceMetrics(clock=clock)
+        self._breaker = breaker
+        if breaker is not None:
+            breaker.add_listener(self.metrics.breaker_transition)
+        self._fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.attach_metrics(self.metrics)
+        self._checkpoint_store = checkpoint_store
         self.programs = ProgramCache(program_cache_size, metrics=self.metrics)
-        self.results = ResultCache(result_cache_size, metrics=self.metrics)
+        persistent = None
+        if persistent_cache_dir is not None:
+            persistent = PersistentResultCache(
+                persistent_cache_dir,
+                metrics=self.metrics,
+                fault_injector=fault_injector,
+            )
+        self.results = ResultCache(
+            result_cache_size, metrics=self.metrics, persistent=persistent
+        )
         self._coalescer = RequestCoalescer(
             max_batch=coalesce_max_batch,
             max_wait_ms=coalesce_max_wait_ms,
@@ -169,7 +243,9 @@ class SolverService:
         # every job carries its own integer seed (which the service
         # guarantees below).
         self._solver_options = dict(solver_options)
-        self._solver = QAOASolver(context=self._context, **solver_options)
+        self._solver = QAOASolver(
+            context=self._context, fault_injector=fault_injector, **solver_options
+        )
         # The options part of the solve-result key: everything that changes
         # what solve() computes besides (problem, depth, context, seed).
         self._options_signature = canonical_payload(
@@ -238,6 +314,7 @@ class SolverService:
         initial_parameters: Any = None,
         num_restarts: Optional[int] = None,
         candidate_pool: Optional[int] = None,
+        checkpoint: bool = False,
     ) -> JobHandle:
         """Queue one QAOA solve; returns its :class:`JobHandle` immediately.
 
@@ -246,12 +323,32 @@ class SolverService:
         handle synchronously) and deduplicates against identical in-flight
         submissions.  Without a seed each job gets an independent derived
         seed and always runs.
+
+        ``checkpoint=True`` (requires a configured ``checkpoint_store`` and
+        an explicit *seed*) snapshots optimizer state at every restart
+        boundary under this job's cache key: a killed or timed-out job
+        resubmitted with the same arguments resumes from the last completed
+        restart (``handle.resumed`` reports it) and still returns a result
+        bit-identical to the uninterrupted run.  Transient-failure retries
+        of the same job resume the same way.  The snapshot is deleted once
+        the job completes.
         """
         if depth < 1:
             raise ConfigurationError(f"depth must be >= 1, got {depth}")
         explicit_seed = seed is not None
         if explicit_seed:
             seed = int(seed)
+        if checkpoint:
+            if self._checkpoint_store is None:
+                raise ConfigurationError(
+                    "checkpoint=True requires the service to be built with a "
+                    "checkpoint_store"
+                )
+            if not explicit_seed:
+                raise ConfigurationError(
+                    "checkpoint=True requires an explicit integer seed (resume "
+                    "is only bit-identical for deterministic submissions)"
+                )
         key = self.results.key(
             problem,
             depth,
@@ -271,15 +368,30 @@ class SolverService:
 
         run_seed = seed if explicit_seed else self._derive_seed()
 
+        slot: Optional[CheckpointSlot] = None
+        if checkpoint:
+            slot = CheckpointSlot(
+                self._checkpoint_store,
+                key,
+                on_save=self.metrics.checkpoint_saved,
+                on_resume=self.metrics.checkpoint_resumed,
+            )
+
         def work() -> Any:
-            return self._solver.solve(
+            result = self._solver.solve(
                 problem,
                 depth,
                 initial_parameters=initial_parameters,
                 num_restarts=num_restarts,
                 candidate_pool=candidate_pool,
                 seed=run_seed,
+                checkpoint=slot,
             )
+            if slot is not None:
+                handle.resumed = slot.resumed
+                # The job is done; its snapshot has served its purpose.
+                slot.delete()
+            return result
 
         deadline = None
         effective_timeout = timeout if timeout is not None else self._default_timeout
@@ -439,12 +551,32 @@ class SolverService:
 
         queue_wait = (handle.started_at or now) - handle.submitted_at
         attempts = 0
+        previous_delay: Optional[float] = None
         while True:
+            if self._breaker is not None and not self._breaker.allow():
+                # The backend is considered unhealthy: shed the job fast
+                # instead of burning its whole retry schedule.
+                self.metrics.breaker_rejected()
+                self.metrics.job_failed()
+                self._finish(
+                    job,
+                    error=CircuitOpenError(
+                        f"circuit breaker {self._breaker.name!r} is "
+                        f"{self._breaker.state}; job {handle.job_id} shed"
+                    ),
+                )
+                return
             started = self._clock()
             try:
+                if self._fault_injector is not None:
+                    self._fault_injector.check("worker.run")
                 result = job.work()
+                if self._breaker is not None:
+                    self._breaker.record_success()
                 break
             except TransientServiceError as error:
+                if self._breaker is not None:
+                    self._breaker.record_failure()
                 attempts += 1
                 if attempts > self._max_retries:
                     self.metrics.job_failed()
@@ -452,8 +584,12 @@ class SolverService:
                     return
                 handle.retries = attempts
                 self.metrics.job_retried()
-                time.sleep(self._retry_backoff * attempts)
+                previous_delay = self._retry_policy.sleep_before(
+                    attempts, previous_delay
+                )
             except BaseException as error:  # noqa: B036 - forwarded to the handle
+                if self._breaker is not None:
+                    self._breaker.record_failure()
                 self.metrics.job_failed()
                 self._finish(job, error=error)
                 return

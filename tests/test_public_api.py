@@ -46,6 +46,14 @@ PUBLIC_API_SNAPSHOT = sorted(
         "JobHandle",
         "JobStatus",
         "ServiceMetrics",
+        # Resilience layer.
+        "FaultPlan",
+        "FaultInjector",
+        "RetryPolicy",
+        "CircuitBreaker",
+        "CheckpointSlot",
+        "MemoryCheckpointStore",
+        "FileCheckpointStore",
         # Metadata and configuration.
         "__version__",
         "PaperSetup",
@@ -63,6 +71,8 @@ PUBLIC_API_SNAPSHOT = sorted(
         "TransientServiceError",
         "JobCancelledError",
         "JobTimeoutError",
+        "CircuitOpenError",
+        "CheckpointError",
     ]
 )
 
@@ -73,11 +83,29 @@ SERVICE_API_SNAPSHOT = sorted(
         "JobStatus",
         "LRUCache",
         "LatencyHistogram",
+        "PersistentResultCache",
         "ProgramCache",
         "RequestCoalescer",
         "ResultCache",
         "ServiceMetrics",
         "SolverService",
+    ]
+)
+
+RESILIENCE_API_SNAPSHOT = sorted(
+    [
+        "FAULT_KINDS",
+        "CheckpointSlot",
+        "CheckpointStore",
+        "CircuitBreaker",
+        "CorruptEntryError",
+        "Fault",
+        "FaultInjector",
+        "FaultPlan",
+        "FileCheckpointStore",
+        "MemoryCheckpointStore",
+        "RetryPolicy",
+        "SolverCheckpoint",
     ]
 )
 
@@ -102,6 +130,11 @@ class TestFacadeSnapshot:
         import repro.service
 
         assert sorted(repro.service.__all__) == SERVICE_API_SNAPSHOT
+
+    def test_resilience_package_snapshot(self):
+        import repro.resilience
+
+        assert sorted(repro.resilience.__all__) == RESILIENCE_API_SNAPSHOT
 
 
 class TestLazyLoading:

@@ -419,6 +419,7 @@ class TestMetrics:
             "jobs",
             "coalescer",
             "caches",
+            "resilience",
             "queue",
             "latency",
         }
