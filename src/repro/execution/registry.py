@@ -62,6 +62,14 @@ class Backend:
         (``density=True`` execution contexts).
     supports_noise:
         Whether stochastic Pauli-trajectory noise is available.
+    supports_ptm:
+        Whether the density-matrix oracle runs through the PTM-compiled
+        superoperator tier (``(circuit, noise model)`` pairs lowered once
+        to kernels on ``vec(rho)`` and re-bound by parameter values) —
+        implied False when :attr:`supports_density` is False.  Multi-qubit
+        (joint) noise channels need a density-capable backend either way;
+        this flag only reports whether noisy evaluation is compiled or
+        per-instruction.
     supports_batch:
         Whether batched evaluation is vectorised (no per-row Python loop).
     max_qubits:
@@ -71,6 +79,7 @@ class Backend:
     name: str = ""
     supports_density: bool = False
     supports_noise: bool = False
+    supports_ptm: bool = False
     supports_batch: bool = False
     max_qubits: Optional[int] = None
 
@@ -83,6 +92,7 @@ class Backend:
         return {
             "supports_density": self.supports_density,
             "supports_noise": self.supports_noise,
+            "supports_ptm": self.supports_ptm,
             "supports_batch": self.supports_batch,
             "max_qubits": self.max_qubits,
         }
@@ -92,6 +102,7 @@ class Backend:
             f"{type(self).__name__}(name={self.name!r}, "
             f"supports_density={self.supports_density}, "
             f"supports_noise={self.supports_noise}, "
+            f"supports_ptm={self.supports_ptm}, "
             f"supports_batch={self.supports_batch}, "
             f"max_qubits={self.max_qubits})"
         )

@@ -78,13 +78,23 @@ class _CircuitProgram:
     circuit also drives the exact :class:`DensityMatrixSimulator` oracle.
     """
 
-    def __init__(self, problem: MaxCutProblem, depth: int, *, density: bool = False):
+    def __init__(
+        self,
+        problem: MaxCutProblem,
+        depth: int,
+        *,
+        density: bool = False,
+        ptm: bool = True,
+    ):
         self._simulator = StatevectorSimulator()
         self._density_simulator: Optional[DensityMatrixSimulator] = None
         if density:
             # Raises for registers beyond the density ceiling (~12 qubits)
-            # at construction instead of first evaluation.
-            self._density_simulator = DensityMatrixSimulator()
+            # at construction instead of first evaluation.  ``ptm`` selects
+            # the compiled superoperator tier for noisy runs (the backend's
+            # ``supports_ptm`` capability); ``ptm=False`` keeps the
+            # per-instruction Kraus oracle.
+            self._density_simulator = DensityMatrixSimulator(compiled=ptm)
             if problem.num_qubits > self._density_simulator.max_qubits:
                 raise ConfigurationError(
                     f"density=True is limited to "
@@ -171,11 +181,12 @@ class CircuitBackend(Backend):
     name = "circuit"
     supports_density = True
     supports_noise = True
+    supports_ptm = True
     supports_batch = True
     max_qubits = None  # limited by memory (and ~12 qubits in density mode)
 
     def compile(self, problem: MaxCutProblem, depth: int, *, density: bool = False):
-        return _CircuitProgram(problem, depth, density=density)
+        return _CircuitProgram(problem, depth, density=density, ptm=self.supports_ptm)
 
 
 register_backend(FastBackend())

@@ -22,6 +22,7 @@ from repro.quantum.noise import (
     AmplitudeDampingApprox,
     AmplitudeDampingChannel,
     BitFlip,
+    CorrelatedPauliChannel,
     DepolarizingChannel,
     NoiseModel,
     PauliChannel,
@@ -29,9 +30,15 @@ from repro.quantum.noise import (
     QuantumChannel,
     ReadoutErrorModel,
     ShotEstimator,
+    TwoQubitDepolarizingChannel,
     channel_from_dict,
 )
-from repro.quantum.engine import CompiledProgram, compile_circuit
+from repro.quantum.engine import (
+    CompiledProgram,
+    NoisyCompiledProgram,
+    compile_circuit,
+    compile_noisy_circuit,
+)
 from repro.quantum.simulator import StatevectorSimulator
 from repro.quantum.density import DensityMatrix, DensityMatrixSimulator
 
@@ -54,12 +61,16 @@ __all__ = [
     "PhaseFlip",
     "AmplitudeDampingApprox",
     "AmplitudeDampingChannel",
+    "TwoQubitDepolarizingChannel",
+    "CorrelatedPauliChannel",
     "ReadoutErrorModel",
     "NoiseModel",
     "ShotEstimator",
     "channel_from_dict",
     "CompiledProgram",
+    "NoisyCompiledProgram",
     "compile_circuit",
+    "compile_noisy_circuit",
     "StatevectorSimulator",
     "DensityMatrix",
     "DensityMatrixSimulator",

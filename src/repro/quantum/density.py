@@ -55,12 +55,16 @@ True
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.engine import NoisyCompiledProgram, compile_noisy_circuit
 from repro.quantum.noise import NoiseModel, QuantumChannel
 from repro.quantum.operators import PauliSum
 from repro.quantum.simulator import StatevectorSimulator
@@ -224,9 +228,16 @@ class DensityMatrix:
         self._data = total
         return self
 
-    def apply_channel(self, channel: QuantumChannel, qubit: int) -> "DensityMatrix":
-        """Apply a single-qubit :class:`~repro.quantum.noise.QuantumChannel`."""
-        return self.apply_kraus(channel.kraus_operators(), (qubit,))
+    def apply_channel(self, channel: QuantumChannel, qubits) -> "DensityMatrix":
+        """Apply a :class:`~repro.quantum.noise.QuantumChannel` to *qubits*.
+
+        *qubits* is a single qubit index or a sequence matching the
+        channel's :attr:`~repro.quantum.noise.QuantumChannel.num_qubits`
+        (first entry = most-significant bit of the channel basis).
+        """
+        if isinstance(qubits, (int, np.integer)):
+            qubits = (int(qubits),)
+        return self.apply_kraus(channel.kraus_operators(), tuple(qubits))
 
     def _check_operator(self, matrix: np.ndarray, qubits: Sequence[int]) -> np.ndarray:
         qubits = list(qubits)
@@ -321,10 +332,18 @@ class DensityMatrixSimulator:
         When True (default), **noiseless** circuits evolve through the
         compiled kernel engine applied to both sides of ``rho`` (two
         batch-major sweeps, sharing the statevector simulator's program
-        cache).  When False — or whenever a noise model is attached, since
-        exact channels anchor per instruction — every gate is conjugated
-        through the dense per-gate dispatch.
+        cache), and **noisy** circuits through the PTM/superoperator tier:
+        the ``(circuit, noise model)`` pair is lowered once to kernels on
+        the flattened ``vec(rho)`` (see
+        :class:`~repro.quantum.engine.NoisyCompiledProgram`), cached in a
+        version-keyed LRU, and re-bound by parameter values.  When False,
+        every gate is conjugated through the dense per-gate dispatch with
+        each channel's Kraus map applied at its per-instruction anchor —
+        the slow, transparent oracle the compiled path is validated
+        against.
     """
+
+    _NOISY_CACHE_CAPACITY = 16
 
     def __init__(self, max_qubits: int = DEFAULT_MAX_QUBITS, compiled: bool = True):
         if max_qubits <= 0:
@@ -334,6 +353,11 @@ class DensityMatrixSimulator:
         # Compilation (and its LRU cache keyed on circuit identity+version)
         # is delegated to a statevector engine instance.
         self._engine = StatevectorSimulator(max_qubits=max_qubits)
+        # PTM-compiled noisy programs, LRU-keyed on the identity of *both*
+        # the circuit and the noise model, revalidated against both version
+        # counters (a mutated model can never serve a stale kernel).
+        self._noisy_programs: OrderedDict = OrderedDict()
+        self._noisy_lock = threading.RLock()
         self._executed_circuits = 0
 
     @property
@@ -390,10 +414,80 @@ class DensityMatrixSimulator:
         state = self._initial_matrix(circuit, initial_state)
         if noise_model is None and self._compiled:
             result = self._run_compiled(circuit, parameter_values, state)
+        elif self._compiled:
+            result = self._run_compiled_noisy(
+                circuit, parameter_values, state, noise_model
+            )
         else:
             result = self._run_generic(circuit, parameter_values, state, noise_model)
         self._executed_circuits += 1
         return result
+
+    # ------------------------------------------------------------------
+    # PTM compilation cache
+    # ------------------------------------------------------------------
+    def compile_noisy(
+        self, circuit: QuantumCircuit, noise_model: NoiseModel
+    ) -> NoisyCompiledProgram:
+        """The PTM-compiled program of a ``(circuit, noise model)`` pair.
+
+        Cached in a small LRU keyed on the identity of both objects and
+        revalidated against :attr:`QuantumCircuit.version` *and*
+        :attr:`NoiseModel.version` — mutating either (appending a gate,
+        adding a channel) compiles a fresh program instead of serving the
+        stale kernel.  Thread-safe; entries are evicted when either source
+        object is garbage collected.
+        """
+        key = (id(circuit), id(noise_model))
+        versions = (circuit.version, noise_model.version)
+        with self._noisy_lock:
+            entry = self._noisy_programs.get(key)
+            if entry is not None:
+                circuit_ref, model_ref, cached_versions, program = entry
+                if (
+                    circuit_ref() is circuit
+                    and model_ref() is noise_model
+                    and cached_versions == versions
+                ):
+                    self._noisy_programs.move_to_end(key)
+                    return program
+                del self._noisy_programs[key]
+        program = compile_noisy_circuit(circuit, noise_model)
+
+        def _evict(_ref, cache=self._noisy_programs, key=key, lock=self._noisy_lock):
+            with lock:
+                cache.pop(key, None)
+
+        with self._noisy_lock:
+            self._noisy_programs[key] = (
+                weakref.ref(circuit, _evict),
+                weakref.ref(noise_model, _evict),
+                versions,
+                program,
+            )
+            while len(self._noisy_programs) > self._NOISY_CACHE_CAPACITY:
+                self._noisy_programs.popitem(last=False)
+        return program
+
+    def _run_compiled_noisy(
+        self,
+        circuit: QuantumCircuit,
+        parameter_values,
+        state: np.ndarray,
+        noise_model: NoiseModel,
+    ) -> DensityMatrix:
+        """Noisy fast path: one superoperator-kernel sweep over vec(rho)."""
+        program = self.compile_noisy(circuit, noise_model)
+        if program.num_parameters > 0 and parameter_values is None:
+            raise SimulationError(
+                "circuit has unbound parameters and no parameter_values given"
+            )
+        values = program.resolve_bindings(parameter_values)
+        vec = np.ascontiguousarray(state.reshape(-1))
+        vec = program.apply(vec, values)
+        return DensityMatrix(
+            vec.reshape(state.shape), copy=False, validate=False
+        )
 
     def _run_compiled(
         self, circuit: QuantumCircuit, parameter_values, state: np.ndarray
@@ -430,10 +524,10 @@ class DensityMatrixSimulator:
         for instruction in circuit:
             rho.apply_unitary(instruction.matrix(), instruction.qubits)
             if noise_model is not None:
-                for channel, qubit in noise_model.channels_for(
+                for channel, qubits in noise_model.exact_channels_for(
                     instruction.name, instruction.qubits
                 ):
-                    rho.apply_kraus(channel.kraus_operators(), (qubit,))
+                    rho.apply_kraus(channel.kraus_operators(), qubits)
         return rho
 
     def expectation(

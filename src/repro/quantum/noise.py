@@ -21,10 +21,14 @@ the two missing ingredients as a composable subsystem:
   the standard confusion-matrix-inversion mitigation, both wired through
   :class:`ShotEstimator`.
 * **General Kraus channels** (:class:`QuantumChannel`,
-  :class:`AmplitudeDampingChannel`): non-Pauli channels that trajectories
-  cannot represent; they are exact on the density-matrix path of
+  :class:`AmplitudeDampingChannel`, and the joint two-qubit channels
+  :class:`TwoQubitDepolarizingChannel` / :class:`CorrelatedPauliChannel`):
+  non-Pauli channels that trajectories cannot represent; they are exact on
+  the density-matrix path of
   :class:`~repro.quantum.density.DensityMatrixSimulator`, which also serves
   as the closed-form oracle every trajectory average is validated against.
+  Every channel exposes its :meth:`~QuantumChannel.superoperator`, the
+  building block of the PTM-compiled noisy path.
 
 Both knobs plug into :class:`~repro.qaoa.cost.ExpectationEvaluator`
 (``shots=...``, ``noise_model=...``) and from there into
@@ -138,21 +142,23 @@ def apply_pauli(state: np.ndarray, qubit: int, pauli: str) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 class QuantumChannel:
-    """A single-qubit CPTP map given by its Kraus operators.
+    """A CPTP map on one or more qubits, given by its Kraus operators.
 
     Base class of every noise channel.  Construction **validates trace
     preservation** (``sum_k K_k^dagger K_k = I``) so an inconsistent channel
     fails loudly at build time instead of producing silently unphysical
     states, and the operator list is frozen (read-only arrays) so the
-    validated channel cannot drift afterwards.
+    validated channel cannot drift afterwards.  All Kraus operators share
+    one ``2^k x 2^k`` shape; :attr:`num_qubits` reports ``k``.
 
     Sub-classes fall into two families:
 
     * :class:`PauliChannel` and its presets — representable as stochastic
       statevector trajectories (:attr:`is_pauli` is True);
-    * general Kraus channels such as :class:`AmplitudeDampingChannel` —
-      exact only on the density-matrix path of
-      :class:`~repro.quantum.density.DensityMatrixSimulator`.
+    * general Kraus channels such as :class:`AmplitudeDampingChannel` and
+      the joint two-qubit channels (:class:`TwoQubitDepolarizingChannel`,
+      :class:`CorrelatedPauliChannel`) — exact only on the density-matrix
+      path of :class:`~repro.quantum.density.DensityMatrixSimulator`.
 
     >>> import numpy as np
     >>> channel = QuantumChannel([np.eye(2)], name="identity")
@@ -160,17 +166,33 @@ class QuantumChannel:
     False
     >>> len(channel.kraus_operators())
     1
+    >>> channel.num_qubits
+    1
     """
 
     _KRAUS_ATOL = 1e-9
 
     def __init__(self, kraus: Sequence[np.ndarray], *, name: Optional[str] = None):
         operators = []
+        dim: Optional[int] = None
         for operator in kraus:
             operator = np.array(operator, dtype=complex)
-            if operator.shape != (2, 2):
+            if (
+                operator.ndim != 2
+                or operator.shape[0] != operator.shape[1]
+                or operator.shape[0] < 2
+                or operator.shape[0] & (operator.shape[0] - 1)
+            ):
                 raise ConfigurationError(
-                    f"Kraus operators must be 2x2, got shape {operator.shape}"
+                    f"Kraus operators must be square with power-of-two "
+                    f"dimension >= 2, got shape {operator.shape}"
+                )
+            if dim is None:
+                dim = int(operator.shape[0])
+            elif operator.shape[0] != dim:
+                raise ConfigurationError(
+                    f"all Kraus operators of a channel must share one shape; "
+                    f"got {operator.shape} after ({dim}, {dim})"
                 )
             if not np.all(np.isfinite(operator)):
                 raise ConfigurationError("Kraus operators must be finite")
@@ -179,18 +201,31 @@ class QuantumChannel:
         if not operators:
             raise ConfigurationError("a channel needs at least one Kraus operator")
         completeness = sum(k.conj().T @ k for k in operators)
-        if not np.allclose(completeness, np.eye(2), atol=self._KRAUS_ATOL):
+        if not np.allclose(completeness, np.eye(dim), atol=self._KRAUS_ATOL):
             raise ConfigurationError(
                 f"Kraus operators are not trace preserving: "
                 f"sum K^dag K = {completeness}"
             )
         self._kraus: Tuple[np.ndarray, ...] = tuple(operators)
+        self._dim = dim
+        self._num_qubits = dim.bit_length() - 1
         self._name = name or type(self).__name__
+        self._superoperator: Optional[np.ndarray] = None
 
     @property
     def name(self) -> str:
         """Display name of the channel."""
         return self._name
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the channel acts on **jointly**."""
+        return self._num_qubits
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension the Kraus operators act on (``2^k``)."""
+        return self._dim
 
     @property
     def is_pauli(self) -> bool:
@@ -201,16 +236,41 @@ class QuantumChannel:
         """The channel's Kraus operators (cached, read-only arrays)."""
         return list(self._kraus)
 
-    def apply_to_density_matrix(self, rho: np.ndarray) -> np.ndarray:
-        """Exact (Kraus-map) action on a single-qubit density matrix.
+    def superoperator(self) -> np.ndarray:
+        """The channel as a matrix on ``vec(rho)``: ``sum_k K ⊗ conj(K)``.
 
-        A 2x2 reference implementation: the full-register
+        Uses the **row-major** vectorisation convention (``rho.reshape(-1)``
+        flattens by rows), under which ``vec(K rho K^dag) =
+        (K ⊗ conj(K)) vec(rho)`` — the form the PTM-compiled density path
+        composes into per-instruction kernels.  Computed once and cached;
+        the returned array is read-only.
+
+        >>> s = BitFlip(1.0).superoperator()
+        >>> s.shape
+        (4, 4)
+        """
+        if self._superoperator is None:
+            size = self._dim * self._dim
+            matrix = np.zeros((size, size), dtype=complex)
+            for operator in self._kraus:
+                matrix += np.kron(operator, operator.conj())
+            matrix.setflags(write=False)
+            self._superoperator = matrix
+        return self._superoperator
+
+    def apply_to_density_matrix(self, rho: np.ndarray) -> np.ndarray:
+        """Exact (Kraus-map) action on a channel-sized density matrix.
+
+        A ``2^k x 2^k`` reference implementation: the full-register
         :class:`~repro.quantum.density.DensityMatrix` path and the
         trajectory sampling are both validated against this map.
         """
         rho = np.asarray(rho, dtype=complex)
-        if rho.shape != (2, 2):
-            raise ConfigurationError(f"expected a 2x2 density matrix, got {rho.shape}")
+        if rho.shape != (self._dim, self._dim):
+            raise ConfigurationError(
+                f"expected a {self._dim}x{self._dim} density matrix, "
+                f"got {rho.shape}"
+            )
         return sum(k @ rho @ k.conj().T for k in self._kraus)
 
     def to_dict(self) -> dict:
@@ -455,6 +515,129 @@ class AmplitudeDampingChannel(QuantumChannel):
         return f"{self._name}(gamma={self._gamma:.4g})"
 
 
+class CorrelatedPauliChannel(QuantumChannel):
+    """A two-qubit Pauli channel with **joint** (correlated) probabilities.
+
+    Unlike attaching two independent single-qubit channels, the errors here
+    fire together: with probability ``probabilities["XX"]`` both operand
+    qubits suffer an ``X`` in the *same* trajectory, and so on for every
+    two-letter Pauli label.  Such correlations arise from crosstalk during
+    entangling gates and cannot be factored into per-qubit channels, so the
+    channel is exact only on the density-matrix path — attaching it to a
+    :class:`NoiseModel` restricts that model to
+    :class:`~repro.quantum.density.DensityMatrixSimulator` (trajectory
+    sampling raises :class:`~repro.exceptions.ConfigurationError`).
+
+    The first letter of each label acts on the **first** operand qubit of
+    the gate the channel fires on (most significant in the two-qubit basis,
+    matching the gate-registry convention).
+
+    >>> channel = CorrelatedPauliChannel({"XX": 0.05, "ZZ": 0.02})
+    >>> channel.num_qubits
+    2
+    >>> round(channel.error_probability, 10)
+    0.07
+    """
+
+    def __init__(self, probabilities, *, name: Optional[str] = None):
+        table = {}
+        for label, probability in dict(probabilities).items():
+            label = str(label).upper()
+            if len(label) != 2 or any(c not in _PAULI_MATRICES for c in label):
+                raise ConfigurationError(
+                    f"correlated-Pauli labels are two-letter strings over "
+                    f"I/X/Y/Z, got {label!r}"
+                )
+            if label == "II":
+                raise ConfigurationError(
+                    "the identity share is implicit (1 - sum of the error "
+                    "probabilities); do not list 'II'"
+                )
+            probability = float(probability)
+            if not np.isfinite(probability) or probability < 0.0:
+                raise ConfigurationError(
+                    f"probability of {label!r} must be a finite non-negative "
+                    f"number, got {probability}"
+                )
+            if probability > 0.0:
+                table[label] = table.get(label, 0.0) + probability
+        total = sum(table.values())
+        if total > 1.0 + 1e-12:
+            raise ConfigurationError(
+                f"correlated-Pauli probabilities must sum to <= 1, "
+                f"got {total}"
+            )
+        self._table = {label: table[label] for label in sorted(table)}
+        kraus = []
+        identity_weight = max(0.0, 1.0 - total)
+        if identity_weight > 0.0:
+            kraus.append(np.sqrt(identity_weight) * np.eye(4, dtype=complex))
+        for label, probability in self._table.items():
+            matrix = np.kron(_PAULI_MATRICES[label[0]], _PAULI_MATRICES[label[1]])
+            kraus.append(np.sqrt(probability) * matrix)
+        super().__init__(kraus, name=name)
+
+    @property
+    def error_probability(self) -> float:
+        """Total probability that *any* joint error fires."""
+        return sum(self._table.values())
+
+    def joint_probabilities(self) -> dict:
+        """The ``{label: probability}`` table of non-zero joint errors."""
+        return dict(self._table)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "correlated_pauli",
+            "name": self._name,
+            "probabilities": {k: float(v) for k, v in self._table.items()},
+        }
+
+    def __repr__(self) -> str:
+        shown = ", ".join(f"{k}={v:.4g}" for k, v in self._table.items())
+        return f"{self._name}({shown or 'identity'})"
+
+
+class TwoQubitDepolarizingChannel(CorrelatedPauliChannel):
+    """Symmetric two-qubit depolarizing noise on an entangling gate.
+
+    Each of the 15 non-identity two-qubit Pauli pairs fires jointly with
+    probability ``p / 15`` — the standard model of entangling-gate error,
+    and *not* expressible as independent per-qubit channels.  Exact only on
+    the density-matrix path (see :class:`CorrelatedPauliChannel`).
+
+    >>> channel = TwoQubitDepolarizingChannel(0.15)
+    >>> len(channel.kraus_operators())
+    16
+    >>> round(channel.joint_probabilities()["XY"], 10)
+    0.01
+    """
+
+    def __init__(self, probability: float):
+        probability = float(probability)
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"probability must lie in [0, 1], got {probability}"
+            )
+        share = probability / 15.0
+        labels = [a + b for a in "IXYZ" for b in "IXYZ" if a + b != "II"]
+        super().__init__(
+            {label: share for label in labels} if probability > 0.0 else {}
+        )
+        self._probability = probability
+
+    @property
+    def probability(self) -> float:
+        """The total two-qubit depolarizing probability ``p``."""
+        return self._probability
+
+    def to_dict(self) -> dict:
+        return {"type": "two_qubit_depolarizing", "probability": self._probability}
+
+    def __repr__(self) -> str:
+        return f"{self._name}(probability={self._probability:.4g})"
+
+
 def channel_from_dict(data: dict) -> QuantumChannel:
     """Rebuild a channel from its :meth:`QuantumChannel.to_dict` form.
 
@@ -476,13 +659,20 @@ def channel_from_dict(data: dict) -> QuantumChannel:
         return PauliChannel(
             data["px"], data["py"], data["pz"], name=data.get("name")
         )
+    if kind == "two_qubit_depolarizing":
+        return TwoQubitDepolarizingChannel(data["probability"])
+    if kind == "correlated_pauli":
+        return CorrelatedPauliChannel(
+            data["probabilities"], name=data.get("name")
+        )
     if kind == "kraus":
-        operators = [
-            np.array(
+        operators = []
+        for flat in data["kraus"]:
+            entries = np.array(
                 [complex(real, imag) for real, imag in flat], dtype=complex
-            ).reshape(2, 2)
-            for flat in data["kraus"]
-        ]
+            )
+            side = int(round(np.sqrt(entries.size)))
+            operators.append(entries.reshape(side, side))
         return QuantumChannel(operators, name=data.get("name"))
     raise ConfigurationError(f"unknown channel type {kind!r}")
 
@@ -512,6 +702,39 @@ class _NoiseRule:
             return tuple(qubits)
         return tuple(q for q in qubits if q in self.qubits)
 
+    def exact_targets(
+        self, name: str, qubits: Sequence[int]
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Operand tuples this rule fires on, one per channel application.
+
+        A single-qubit channel fires independently on each matched operand
+        (the :meth:`targets` semantics); a ``k``-qubit channel fires
+        **jointly** on the full operand tuple of a matching ``k``-operand
+        gate.  Placement validation: a rule whose explicit ``gates=`` filter
+        names a gate that cannot host the channel (operand count differs
+        from the channel width) raises
+        :class:`~repro.exceptions.ConfigurationError` at match time rather
+        than silently dropping the channel.
+        """
+        width = self.channel.num_qubits
+        if width == 1:
+            return tuple((int(q),) for q in self.targets(name, qubits))
+        if self.gates is not None and name not in self.gates:
+            return ()
+        if self.arity is not None and len(qubits) != self.arity:
+            return ()
+        if len(qubits) != width:
+            if self.gates is not None:
+                raise ConfigurationError(
+                    f"channel {self.channel.name!r} acts jointly on {width} "
+                    f"qubits but gate {name!r} has {len(qubits)} operand(s); "
+                    f"the rule's gates= filter places it where it cannot fire"
+                )
+            return ()
+        if self.qubits is not None and not all(q in self.qubits for q in qubits):
+            return ()
+        return (tuple(int(q) for q in qubits),)
+
 
 class NoiseModel:
     """Composable per-gate / per-qubit attachment of Pauli channels.
@@ -534,6 +757,7 @@ class NoiseModel:
 
     def __init__(self):
         self._rules: List[_NoiseRule] = []
+        self._version = 0
 
     # -- construction ----------------------------------------------------
     def add_channel(
@@ -549,13 +773,25 @@ class NoiseModel:
         Any :class:`QuantumChannel` is accepted; attaching a non-Pauli
         channel (e.g. :class:`AmplitudeDampingChannel`) restricts the model
         to the exact density-matrix path — trajectory sampling through
-        :meth:`sample_errors` then raises.
+        :meth:`sample_errors` then raises.  A multi-qubit channel fires
+        jointly on gates whose operand count matches its width; an
+        ``arity=`` filter contradicting that width is rejected here.
         """
         if not isinstance(channel, QuantumChannel):
             raise ConfigurationError(
                 f"channel must be a QuantumChannel, got {type(channel).__name__}"
             )
+        if (
+            channel.num_qubits > 1
+            and arity is not None
+            and int(arity) != channel.num_qubits
+        ):
+            raise ConfigurationError(
+                f"channel {channel.name!r} acts jointly on "
+                f"{channel.num_qubits} qubits; arity={arity} can never match"
+            )
         self._rules.append(_NoiseRule(channel, gates, qubits, arity))
+        self._version += 1
         return self
 
     def add_gate_noise(self, channel: QuantumChannel, gates: Iterable[str]) -> "NoiseModel":
@@ -588,9 +824,26 @@ class NoiseModel:
 
     # -- introspection ---------------------------------------------------
     @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation.
+
+        Mirrors :attr:`repro.quantum.circuit.QuantumCircuit.version`: caches
+        keyed on ``(id(model), model.version)`` cannot serve a compiled
+        kernel built before a later :meth:`add_channel`.
+        """
+        return self._version
+
+    @property
     def num_rules(self) -> int:
         """Number of attachment rules."""
         return len(self._rules)
+
+    @property
+    def max_channel_qubits(self) -> int:
+        """Widest channel width attached (0 for an empty model)."""
+        if not self._rules:
+            return 0
+        return max(rule.channel.num_qubits for rule in self._rules)
 
     @property
     def is_empty(self) -> bool:
@@ -603,6 +856,26 @@ class NoiseModel:
         return all(rule.channel.is_pauli for rule in self._rules)
 
     def _require_pauli_only(self) -> None:
+        # Multi-qubit (joint) channels are a configuration problem, not a
+        # runtime one: no trajectory or statevector mode can ever realise
+        # them, so they surface as ConfigurationError with the fix spelled
+        # out.  Single-qubit non-Pauli channels keep the historical
+        # SimulationError (the mode exists, the channel just is not
+        # trajectory-samplable).
+        joint = sorted(
+            {
+                rule.channel.name
+                for rule in self._rules
+                if rule.channel.num_qubits > 1
+            }
+        )
+        if joint:
+            raise ConfigurationError(
+                f"channels {joint} act jointly on multiple qubits and can "
+                f"only be realised on the exact density-matrix path; run "
+                f"with ExecutionContext(density=True) or "
+                f"DensityMatrixSimulator instead of trajectory sampling"
+            )
         offenders = sorted(
             {rule.channel.name for rule in self._rules if not rule.channel.is_pauli}
         )
@@ -704,15 +977,36 @@ class NoiseModel:
     def channels_for(self, name: str, qubits: Sequence[int]):
         """Yield every ``(channel, qubit)`` firing on one gate operation.
 
+        The single-qubit view kept for backward compatibility; a model
+        containing joint (multi-qubit) channels cannot be flattened to
+        per-qubit applications and raises
+        :class:`~repro.exceptions.ConfigurationError` — consume
+        :meth:`exact_channels_for` instead, which yields operand tuples.
+        """
+        for channel, target in self.exact_channels_for(name, qubits):
+            if len(target) != 1:
+                raise ConfigurationError(
+                    f"channel {channel.name!r} fires jointly on qubits "
+                    f"{target}; use exact_channels_for(), which yields "
+                    f"operand tuples"
+                )
+            yield channel, target[0]
+
+    def exact_channels_for(self, name: str, qubits: Sequence[int]):
+        """Yield every ``(channel, operand_tuple)`` firing on one operation.
+
         The exact counterpart of :meth:`sample_errors`: the density-matrix
         simulator applies each yielded channel's Kraus map to the yielded
-        qubit, in the **same rule-major order** the trajectory sampler draws
-        its uniforms, so the two paths realise the same per-instruction
-        anchors.
+        operand tuple, in the **same rule-major order** the trajectory
+        sampler draws its uniforms, so the two paths realise the same
+        per-instruction anchors.  Single-qubit channels yield one
+        ``(channel, (qubit,))`` pair per matched operand; ``k``-qubit
+        channels yield the full operand tuple of a matching gate (see
+        :meth:`_NoiseRule.exact_targets` for the placement validation).
         """
         for rule in self._rules:
-            for qubit in rule.targets(name, qubits):
-                yield rule.channel, int(qubit)
+            for target in rule.exact_targets(name, qubits):
+                yield rule.channel, target
 
 
 # ---------------------------------------------------------------------------
