@@ -1,0 +1,90 @@
+"""Import an OpenQASM circuit and evaluate observables on every engine.
+
+The ingestion frontend turns OpenQASM 2.0 text — from a file, another
+toolkit, or the bundled library — into the repository's native circuit
+representation: parse to IR, expand gate macros, lower composite gates to
+the simulator basis, and emit a parametric :class:`QuantumCircuit`.  This
+example walks the whole surface::
+
+    python examples/import_qasm.py
+
+Set ``EXAMPLES_SMOKE=1`` to shrink every size for the CI smoke job.
+"""
+
+import os
+
+import numpy as np
+
+from repro.frontend import ingest, lower_to_native, parse_qasm, to_qasm
+from repro.frontend.evaluator import CircuitExpectationEvaluator
+from repro.frontend.library import available_circuits, circuit_source
+from repro.quantum.noise import DepolarizingChannel, NoiseModel
+from repro.quantum.operators import PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.service import SolverService
+
+SMOKE = os.environ.get("EXAMPLES_SMOKE") == "1"
+
+# A circuit "from elsewhere": a parametrized Bell pair in plain QASM.  Free
+# identifiers in angle positions (the dialect extension) become circuit
+# parameters on import.
+BELL_QASM = """\
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+rz(theta) q[1];
+"""
+
+
+def main() -> None:
+    # 1. Parse, inspect, lower.  ``ccx``/``ch``-style composite gates would
+    #    be rewritten into the native basis by verified decomposition rules.
+    ir = parse_qasm(BELL_QASM)
+    lowered = lower_to_native(ir)
+    print(f"imported {len(ir.gates)} gates, parameters {ir.parameters}")
+    print(f"round-trip:\n{to_qasm(lowered)}")
+
+    # 2. The imported circuit is a first-class citizen: bind values, run.
+    circuit = ingest(BELL_QASM)
+    state = StatevectorSimulator().run(circuit, [np.pi / 3])
+    print("amplitudes at theta=pi/3:", np.round(state.data, 4))
+
+    # 3. Pair it with an arbitrary observable.  <XX> of the rotated Bell
+    #    pair is cos(theta) — a one-line analytic check.
+    evaluator = CircuitExpectationEvaluator(BELL_QASM, PauliSum([(1.0, "XX")]))
+    for theta in (0.0, np.pi / 4, np.pi / 2):
+        value = evaluator.expectation([theta])
+        print(f"<XX>(theta={theta:.3f}) = {value:+.6f}  (cos = {np.cos(theta):+.6f})")
+
+    # 4. The same evaluator drives the noisy engine.
+    model = NoiseModel()
+    model.add_channel(DepolarizingChannel(0.02))
+    noisy = evaluator.density_expectation([0.0], noise_model=model)
+    print(f"<XX> under 2% depolarizing noise: {noisy:+.6f}")
+
+    # 5. Bundled library circuits ship as QASM and import the same way.
+    print("bundled circuits:", available_circuits())
+    ansatz = circuit_source("hwe_ansatz")
+    observable = PauliSum([(1.0, "ZZII"), (1.0, "IIZZ"), (0.5, "XIIX")])
+
+    # 6. Through the solver service, structurally identical circuits share
+    #    one compiled program — a parameter sweep re-binds instead of
+    #    recompiling (watch the program-cache hit counter).
+    num_points = 3 if SMOKE else 8
+    with SolverService(max_workers=2) as service:
+        handles = [
+            service.submit_circuit(
+                ansatz, observable, parameters=np.full(24, 0.1 * point)
+            )
+            for point in range(num_points)
+        ]
+        values = [handle.result(timeout=120) for handle in handles]
+        snapshot = service.metrics.to_dict()["caches"]["program"]
+    print(f"sweep over {num_points} points: best {min(values):+.6f}")
+    print(f"program cache: {snapshot['misses']} compile(s), {snapshot['hits']} re-bind(s)")
+
+
+if __name__ == "__main__":
+    main()

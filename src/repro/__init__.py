@@ -37,6 +37,7 @@ from repro.exceptions import (
     JobTimeoutError,
     ModelError,
     OptimizationError,
+    QasmSyntaxError,
     ReproError,
     ServiceError,
     SimulationError,
@@ -74,6 +75,11 @@ _LAZY_EXPORTS = {
     "TwoLevelQAOARunner": "repro.acceleration",
     "ComparisonRecord": "repro.acceleration",
     "compare_on_problem": "repro.acceleration",
+    # Ingestion frontend.
+    "ingest": "repro.frontend",
+    "parse_qasm": "repro.frontend",
+    "CircuitIR": "repro.frontend",
+    "CircuitExpectationEvaluator": "repro.frontend",
     # Service tier.
     "SolverService": "repro.service",
     "JobHandle": "repro.service",
@@ -115,6 +121,11 @@ __all__ = [
     "TwoLevelQAOARunner",
     "ComparisonRecord",
     "compare_on_problem",
+    # Ingestion frontend.
+    "ingest",
+    "parse_qasm",
+    "CircuitIR",
+    "CircuitExpectationEvaluator",
     # Service tier.
     "SolverService",
     "JobHandle",
@@ -147,6 +158,7 @@ __all__ = [
     "JobTimeoutError",
     "CircuitOpenError",
     "CheckpointError",
+    "QasmSyntaxError",
 ]
 
 

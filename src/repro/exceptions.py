@@ -18,6 +18,20 @@ class SimulationError(ReproError):
     """Raised when a statevector simulation cannot be carried out."""
 
 
+class QasmSyntaxError(CircuitError):
+    """Raised for malformed OpenQASM source, with the offending location.
+
+    Carries ``line`` and ``column`` (both 1-based, 0 when unknown) so tools
+    can point at the failing token; ``str(exc)`` already includes them.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = int(line)
+        self.column = int(column)
+
+
 class GraphError(ReproError):
     """Raised for invalid graph constructions or MaxCut problem definitions."""
 

@@ -138,6 +138,63 @@ def compile_cache_key(problem, depth: int, context) -> str:
     )
 
 
+def circuit_cache_key(circuit) -> str:
+    """Content hash of a :class:`~repro.quantum.circuit.QuantumCircuit`.
+
+    Keyed on register size and the full instruction stream; symbolic
+    parameters are encoded by their first-appearance index (plus affine
+    coefficients), so two structurally identical circuits built from
+    differently-named parameters share a key.  Frontend IRs carry their own
+    :meth:`~repro.frontend.ir.CircuitIR.cache_key` with the same property.
+    """
+    from repro.quantum.parameter import Parameter, ParameterExpression
+
+    order = {parameter: index for index, parameter in enumerate(circuit.parameters)}
+
+    def encode(param):
+        if isinstance(param, Parameter):
+            return {"param": order[param], "coeff": 1.0, "const": 0.0}
+        if isinstance(param, ParameterExpression):
+            return {
+                "param": order[param.parameter],
+                "coeff": param.coefficient,
+                "const": param.constant,
+            }
+        return float(param)
+
+    return stable_hash(
+        {
+            "num_qubits": circuit.num_qubits,
+            "gates": [
+                [
+                    instruction.name,
+                    list(instruction.qubits),
+                    [encode(param) for param in instruction.params],
+                ]
+                for instruction in circuit.instructions
+            ],
+        }
+    )
+
+
+def observable_cache_key(observable) -> str:
+    """Content hash of a :class:`~repro.quantum.operators.PauliSum`.
+
+    Terms are sorted by label so construction order does not fragment the
+    key; coefficients of repeated labels are merged first.
+    """
+    merged: dict = {}
+    for coefficient, pauli in observable.terms:
+        label = pauli.label
+        merged[label] = merged.get(label, 0.0) + float(coefficient)
+    return stable_hash(
+        {
+            "num_qubits": observable.num_qubits,
+            "terms": sorted(merged.items()),
+        }
+    )
+
+
 def solve_cache_key(
     problem,
     depth: int,

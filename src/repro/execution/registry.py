@@ -72,6 +72,11 @@ class Backend:
         per-instruction.
     supports_batch:
         Whether batched evaluation is vectorised (no per-row Python loop).
+    supports_ingest:
+        Whether the backend executes arbitrary imported circuits (the
+        :mod:`repro.frontend` ingestion path: QASM/:class:`CircuitIR`
+        sources lowered to native gates), as opposed to only the
+        MaxCut-QAOA circuits it builds itself.
     max_qubits:
         Hard register ceiling, or ``None`` when only memory limits apply.
     """
@@ -81,6 +86,7 @@ class Backend:
     supports_noise: bool = False
     supports_ptm: bool = False
     supports_batch: bool = False
+    supports_ingest: bool = False
     max_qubits: Optional[int] = None
 
     def compile(self, problem, depth: int, *, density: bool = False):
@@ -94,6 +100,7 @@ class Backend:
             "supports_noise": self.supports_noise,
             "supports_ptm": self.supports_ptm,
             "supports_batch": self.supports_batch,
+            "supports_ingest": self.supports_ingest,
             "max_qubits": self.max_qubits,
         }
 

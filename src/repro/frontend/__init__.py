@@ -1,0 +1,79 @@
+"""Circuit ingestion frontend: OpenQASM parsing, lowering, and emission.
+
+The frontend turns external circuit descriptions into programs the compiled
+engine can run:
+
+* :func:`~repro.frontend.parser.parse_qasm` — OpenQASM 2-style source to a
+  :class:`~repro.frontend.ir.CircuitIR`;
+* :class:`~repro.frontend.passes.PassManager` /
+  :func:`~repro.frontend.passes.lower_to_native` — decomposition passes that
+  rewrite composite gates (``ccx``, ``cu1``, user macros, ...) into a target
+  basis, validating the result is native;
+* :func:`~repro.frontend.emit.to_circuit` /
+  :func:`~repro.frontend.emit.to_qasm` — emission to
+  :class:`~repro.quantum.circuit.QuantumCircuit` (unbound QASM parameters
+  become :class:`~repro.quantum.parameter.Parameter` objects) and the
+  round-tripping exporter;
+* :func:`ingest` — the one-call convenience chaining all three;
+* :class:`~repro.frontend.evaluator.CircuitExpectationEvaluator` — VQE-style
+  ``<psi(theta)| H |psi(theta)>`` evaluation of imported circuits against
+  arbitrary :class:`~repro.quantum.operators.PauliSum` observables;
+* :mod:`repro.frontend.library` — bundled benchmark circuits (GHZ, QFT-8,
+  a hardware-efficient ansatz).
+"""
+
+from repro.exceptions import QasmSyntaxError
+from repro.frontend.emit import to_circuit, to_qasm
+from repro.frontend.ir import AffineParam, CircuitIR, IRGate
+from repro.frontend.parser import parse_qasm
+from repro.frontend.passes import (
+    STANDARD_RULES,
+    DecompositionRule,
+    PassManager,
+    lower_to_native,
+)
+
+__all__ = [
+    "AffineParam",
+    "CircuitIR",
+    "CircuitExpectationEvaluator",
+    "DecompositionRule",
+    "IRGate",
+    "PassManager",
+    "QasmSyntaxError",
+    "STANDARD_RULES",
+    "ingest",
+    "lower_to_native",
+    "parse_qasm",
+    "to_circuit",
+    "to_qasm",
+]
+
+
+def ingest(source, *, lower_to=None, name=None):
+    """Parse, lower, and emit *source* into a native :class:`QuantumCircuit`.
+
+    *source* may be OpenQASM text, a :class:`CircuitIR`, or an already-native
+    :class:`~repro.quantum.circuit.QuantumCircuit` (returned unchanged).
+    """
+    from repro.quantum.circuit import QuantumCircuit
+
+    if isinstance(source, QuantumCircuit):
+        return source
+    ir = parse_qasm(source) if isinstance(source, str) else source
+    if not isinstance(ir, CircuitIR):
+        raise TypeError(
+            "source must be QASM text, a CircuitIR, or a QuantumCircuit, "
+            f"got {type(source).__name__}"
+        )
+    return to_circuit(lower_to_native(ir, lower_to=lower_to), name=name)
+
+
+def __getattr__(attr):
+    # CircuitExpectationEvaluator pulls in the simulator stack; keep the
+    # parser importable without it.
+    if attr == "CircuitExpectationEvaluator":
+        from repro.frontend.evaluator import CircuitExpectationEvaluator
+
+        return CircuitExpectationEvaluator
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")

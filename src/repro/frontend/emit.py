@@ -1,0 +1,180 @@
+"""Emission: lowered :class:`CircuitIR` to :class:`QuantumCircuit`, and back.
+
+:func:`to_circuit` materialises a *native* IR as an executable
+:class:`~repro.quantum.circuit.QuantumCircuit`; every free IR parameter
+becomes a fresh :class:`~repro.quantum.parameter.Parameter` (first-appearance
+order), so imported ansätze re-bind by value through the compiled-program
+LRU exactly like hand-built circuits.
+
+:func:`to_qasm` exports a circuit back to OpenQASM-style source in the
+frontend's own dialect: native gate names (including ``rzz``/``rxx``), plain
+``repr`` floats (shortest round-trip form), and bare identifiers for unbound
+parameters.  ``parse_qasm(to_qasm(circuit))`` reproduces the instruction
+stream bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from repro.exceptions import CircuitError
+from repro.frontend.ir import AffineParam, CircuitIR
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import GATE_REGISTRY, qasm_gate_name
+from repro.quantum.parameter import Parameter, ParameterExpression
+
+#: Identifiers a sanitised parameter name must not collide with.
+_RESERVED = {
+    "pi", "OPENQASM", "qreg", "creg", "gate", "measure", "barrier",
+    "include", "reset", "if", "opaque", "U", "CX",
+    "sin", "cos", "tan", "exp", "ln", "sqrt",
+}
+
+
+def to_circuit(ir: CircuitIR, name: str = None) -> QuantumCircuit:
+    """Materialise a lowered IR as an executable :class:`QuantumCircuit`.
+
+    Raises :class:`CircuitError` if the IR still holds non-native gates —
+    run :func:`~repro.frontend.passes.lower_to_native` first.
+    """
+    circuit = QuantumCircuit(ir.num_qubits, name=name or ir.name)
+    parameters: Dict[str, Parameter] = {}
+    for gate in ir.gates:
+        if gate.name not in GATE_REGISTRY:
+            location = f" (line {gate.line})" if gate.line else ""
+            raise CircuitError(
+                f"cannot emit non-native gate {gate.name!r}{location}; "
+                "lower the IR to the native basis first"
+            )
+        params = []
+        for param in gate.params:
+            if isinstance(param, AffineParam):
+                symbol = parameters.get(param.name)
+                if symbol is None:
+                    symbol = parameters.setdefault(param.name, Parameter(param.name))
+                if param.coeff == 1.0 and param.const == 0.0:
+                    params.append(symbol)
+                else:
+                    params.append(
+                        ParameterExpression(symbol, param.coeff, param.const)
+                    )
+            else:
+                params.append(float(param))
+        circuit.add_gate(gate.name, gate.qubits, params)
+    return circuit
+
+
+def _sanitize(name: str, taken: Dict[str, str]) -> str:
+    """Map an arbitrary parameter name onto a unique QASM identifier."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"p_{cleaned}"
+    candidate = cleaned
+    suffix = 2
+    existing = set(taken.values())
+    while (
+        candidate in _RESERVED
+        or candidate in GATE_REGISTRY
+        or candidate in existing
+    ):
+        candidate = f"{cleaned}_{suffix}"
+        suffix += 1
+    return candidate
+
+
+def _format_param(param, names: Dict[str, str]) -> str:
+    if isinstance(param, Parameter):
+        return names[param.name + f"#{id(param)}"]
+    if isinstance(param, ParameterExpression):
+        symbol = names[param.parameter.name + f"#{id(param.parameter)}"]
+        text = symbol if param.coefficient == 1.0 else f"{param.coefficient!r}*{symbol}"
+        if param.constant > 0.0:
+            return f"{text}+{param.constant!r}"
+        if param.constant < 0.0:
+            return f"{text}-{-param.constant!r}"
+        return text
+    return repr(float(param))
+
+
+def to_qasm(source: Union[QuantumCircuit, CircuitIR]) -> str:
+    """Export *source* as OpenQASM-style text (the frontend's dialect).
+
+    A :class:`CircuitIR` keeps its register layout and measurements; a
+    :class:`QuantumCircuit` is exported over a single register ``q``.
+    Unlowered composite gates in an IR are emitted by name (they re-parse
+    through the standard rules); user macro bodies are not re-emitted.
+    """
+    if isinstance(source, QuantumCircuit):
+        header_regs = [f"qreg q[{source.num_qubits}];"]
+        gate_stream = [
+            (inst.name, inst.qubits, inst.params) for inst in source.instructions
+        ]
+        free = source.parameters
+        measurements = []
+
+        def qubit_ref(index: int) -> str:
+            return f"q[{index}]"
+
+    elif isinstance(source, CircuitIR):
+        header_regs = [f"qreg {name}[{size}];" for name, size in source.qregs]
+        header_regs += [f"creg {name}[{size}];" for name, size in source.cregs]
+        gate_stream = [(g.name, g.qubits, g.params) for g in source.gates]
+        seen: Dict[str, None] = {}
+        for _, _, params in gate_stream:
+            for param in params:
+                if isinstance(param, AffineParam):
+                    seen.setdefault(param.name, None)
+        # IR parameters are name-keyed; reuse the Parameter path below by
+        # materialising stand-ins (names survive sanitisation untouched
+        # unless they collide).
+        stand_ins = {name: Parameter(name) for name in seen}
+        gate_stream = [
+            (
+                gate_name,
+                qubits,
+                tuple(
+                    ParameterExpression(stand_ins[p.name], p.coeff, p.const)
+                    if isinstance(p, AffineParam)
+                    else p
+                    for p in params
+                ),
+            )
+            for gate_name, qubits, params in gate_stream
+        ]
+        free = list(stand_ins.values())
+        measurements = list(source.measurements)
+        offsets = []
+        base = 0
+        for reg_name, size in source.qregs:
+            offsets.append((base, base + size, reg_name))
+            base += size
+
+        def qubit_ref(index: int) -> str:
+            for start, stop, reg_name in offsets:
+                if start <= index < stop:
+                    return f"{reg_name}[{index - start}]"
+            raise CircuitError(f"qubit {index} outside every declared register")
+
+    else:
+        raise TypeError(
+            f"expected QuantumCircuit or CircuitIR, got {type(source).__name__}"
+        )
+
+    names: Dict[str, str] = {}
+    for parameter in free:
+        names[parameter.name + f"#{id(parameter)}"] = _sanitize(
+            parameter.name, names
+        )
+
+    lines = ["OPENQASM 2.0;", 'include "qelib1.inc";']
+    lines += header_regs
+    for gate_name, qubits, params in gate_stream:
+        exported = qasm_gate_name(gate_name)
+        call = exported
+        if params:
+            call += "(" + ",".join(_format_param(p, names) for p in params) + ")"
+        targets = ", ".join(qubit_ref(q) for q in qubits)
+        lines.append(f"{call} {targets};")
+    for qubit, creg, bit in measurements:
+        lines.append(f"measure {qubit_ref(qubit)} -> {creg}[{bit}];")
+    return "\n".join(lines) + "\n"

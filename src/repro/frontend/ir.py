@@ -1,0 +1,346 @@
+"""The frontend's intermediate representation.
+
+A :class:`CircuitIR` is a flat, SSA-free gate list over one logical qubit
+register.  Unlike :class:`~repro.quantum.circuit.QuantumCircuit` it may hold
+gates outside the native :data:`~repro.quantum.gates.GATE_REGISTRY` (composite
+gates awaiting decomposition, user macros) and it carries source-level
+metadata: register layout, pending measurements, user-defined decomposition
+rules, and the global phase accumulated by phase-dropping rewrites.
+
+Gate parameters in the IR are either plain floats or :class:`AffineParam`
+values — ``coeff * <named parameter> + const`` — mirroring the affine-only
+symbolic algebra the rest of the stack supports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.exceptions import CircuitError
+from repro.execution.keys import stable_hash
+
+
+@dataclass(frozen=True)
+class AffineParam:
+    """A symbolic angle ``coeff * parameter + const`` (single parameter).
+
+    The IR-level counterpart of
+    :class:`~repro.quantum.parameter.ParameterExpression`; parameters are
+    identified by name, not object identity, because the IR is built from
+    source text.
+    """
+
+    name: str
+    coeff: float = 1.0
+    const: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CircuitError("affine parameter needs a non-empty name")
+        object.__setattr__(self, "coeff", float(self.coeff))
+        object.__setattr__(self, "const", float(self.const))
+
+    def scaled(self, factor: float) -> "AffineParam":
+        """This angle multiplied by *factor*."""
+        return AffineParam(self.name, self.coeff * factor, self.const * factor)
+
+    def shifted(self, offset: float) -> "AffineParam":
+        """This angle with *offset* added."""
+        return AffineParam(self.name, self.coeff, self.const + offset)
+
+    def __neg__(self) -> "AffineParam":
+        return self.scaled(-1.0)
+
+    def bind(self, value: float) -> float:
+        """Evaluate at ``parameter = value``."""
+        return self.coeff * float(value) + self.const
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """A linear combination over *several* named parameters, plus a constant.
+
+    Only ever appears inside decomposition templates (gate-macro bodies may
+    combine formals, e.g. ``(lambda+phi)/2`` in qelib1's ``cu3``); it must
+    collapse to a float or a single-parameter :class:`AffineParam` when the
+    template is expanded with concrete call arguments.  Term order is
+    normalised (sorted by name) so structurally equal expressions compare
+    equal.
+    """
+
+    terms: Tuple[AffineParam, ...]
+    const: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "terms",
+            tuple(
+                sorted(
+                    (AffineParam(t.name, t.coeff, 0.0) for t in self.terms),
+                    key=lambda t: t.name,
+                )
+            ),
+        )
+        object.__setattr__(self, "const", float(self.const))
+
+
+ParamValue = Union[float, AffineParam]
+
+#: What decomposition templates may hold as a gate-parameter specification.
+ParamSpec = Union[float, AffineParam, LinearExpr]
+
+
+def lin_scale(value: ParamSpec, factor: float):
+    """``value * factor`` over the float/affine/linear union."""
+    factor = float(factor)
+    if isinstance(value, AffineParam):
+        return value.scaled(factor)
+    if isinstance(value, LinearExpr):
+        return LinearExpr(
+            tuple(t.scaled(factor) for t in value.terms), value.const * factor
+        )
+    return float(value) * factor
+
+
+def lin_add(left: ParamSpec, right: ParamSpec):
+    """``left + right``, merging same-name terms and collapsing the result.
+
+    Returns a plain float when no symbolic terms survive, an
+    :class:`AffineParam` for exactly one, and a :class:`LinearExpr` otherwise.
+    """
+    coeffs: Dict[str, float] = {}
+    const = 0.0
+    for value in (left, right):
+        if isinstance(value, AffineParam):
+            coeffs[value.name] = coeffs.get(value.name, 0.0) + value.coeff
+            const += value.const
+        elif isinstance(value, LinearExpr):
+            for term in value.terms:
+                coeffs[term.name] = coeffs.get(term.name, 0.0) + term.coeff
+            const += value.const
+        else:
+            const += float(value)
+    coeffs = {name: coeff for name, coeff in coeffs.items() if coeff != 0.0}
+    if not coeffs:
+        return const
+    if len(coeffs) == 1:
+        ((name, coeff),) = coeffs.items()
+        return AffineParam(name, coeff, const)
+    return LinearExpr(
+        tuple(AffineParam(name, coeff) for name, coeff in coeffs.items()), const
+    )
+
+
+def _encode_param(param: ParamValue, order: Dict[str, int]) -> object:
+    if isinstance(param, AffineParam):
+        index = order.setdefault(param.name, len(order))
+        return {"param": index, "coeff": param.coeff, "const": param.const}
+    return float(param)
+
+
+@dataclass(frozen=True)
+class IRGate:
+    """One gate application in the IR.
+
+    ``line`` is the 1-based source line of the originating statement (0 for
+    synthesized gates) so decomposition errors can point back at the source.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(
+            self,
+            "params",
+            tuple(
+                p if isinstance(p, AffineParam) else float(p) for p in self.params
+            ),
+        )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(
+                f"gate {self.name!r} applied to duplicate qubits {self.qubits}"
+            )
+
+
+class CircuitIR:
+    """A parsed circuit: gate list + register metadata + global phase."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        *,
+        name: str = "qasm",
+        qregs: Optional[List[Tuple[str, int]]] = None,
+        cregs: Optional[List[Tuple[str, int]]] = None,
+    ):
+        if num_qubits <= 0:
+            raise CircuitError(f"num_qubits must be positive, got {num_qubits}")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        #: Declared quantum registers as ``(name, size)`` in declaration order;
+        #: flat qubit indices assign register slots contiguously in this order.
+        self.qregs: List[Tuple[str, int]] = list(qregs or [("q", num_qubits)])
+        self.cregs: List[Tuple[str, int]] = list(cregs or [])
+        self.gates: List[IRGate] = []
+        #: ``(qubit, creg_name, bit_index)`` records of ``measure`` statements.
+        #: The engine is statevector-based, so measurements are metadata only;
+        #: emission ignores them (documented in docs/frontend.md).
+        self.measurements: List[Tuple[int, str, int]] = []
+        #: User ``gate`` macros by name (populated by the parser with
+        #: :class:`~repro.frontend.passes.DecompositionRule` instances).
+        self.macros: Dict[str, object] = {}
+        # Global phase dropped by basis rewrites: the emitted circuit equals
+        # the source times exp(i * (phase_const + sum coeff * param)).
+        self.phase_const: float = 0.0
+        self.phase_terms: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        name: str,
+        qubits: Iterable[int],
+        params: Iterable[ParamValue] = (),
+        line: int = 0,
+    ) -> "CircuitIR":
+        """Append gate *name* on *qubits*, validating qubit indices."""
+        gate = IRGate(name, tuple(qubits), tuple(params), line)
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self.num_qubits}-qubit circuit"
+                )
+        self.gates.append(gate)
+        return self
+
+    def add_phase(self, value: ParamSpec) -> None:
+        """Accumulate a dropped global-phase contribution."""
+        if isinstance(value, AffineParam):
+            self.phase_const += value.const
+            self.phase_terms[value.name] = (
+                self.phase_terms.get(value.name, 0.0) + value.coeff
+            )
+        elif isinstance(value, LinearExpr):
+            self.phase_const += value.const
+            for term in value.terms:
+                self.phase_terms[term.name] = (
+                    self.phase_terms.get(term.name, 0.0) + term.coeff
+                )
+        else:
+            self.phase_const += float(value)
+
+    def copy_with_gates(self, gates: Iterable[IRGate]) -> "CircuitIR":
+        """A structural copy holding *gates* (phase and metadata carried over)."""
+        clone = CircuitIR(
+            self.num_qubits,
+            name=self.name,
+            qregs=list(self.qregs),
+            cregs=list(self.cregs),
+        )
+        clone.gates = list(gates)
+        clone.measurements = list(self.measurements)
+        clone.macros = dict(self.macros)
+        clone.phase_const = self.phase_const
+        clone.phase_terms = dict(self.phase_terms)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> List[str]:
+        """Free parameter names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for gate in self.gates:
+            for param in gate.params:
+                if isinstance(param, AffineParam):
+                    seen.setdefault(param.name, None)
+        return list(seen)
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of distinct free parameters."""
+        return len(self.parameters)
+
+    def count_ops(self) -> Dict[str, int]:
+        """Gate counts per gate name."""
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def global_phase(self, bindings: Optional[Dict[str, float]] = None) -> float:
+        """The accumulated global-phase angle at the given parameter values."""
+        phase = self.phase_const
+        for name, coeff in self.phase_terms.items():
+            if coeff == 0.0:
+                continue
+            if not bindings or name not in bindings:
+                raise CircuitError(
+                    f"global phase depends on unbound parameter {name!r}"
+                )
+            phase += coeff * float(bindings[name])
+        return phase
+
+    def qubit_index(self, reg: str, offset: int) -> int:
+        """Flat qubit index of ``reg[offset]``."""
+        base = 0
+        for name, size in self.qregs:
+            if name == reg:
+                if not 0 <= offset < size:
+                    raise CircuitError(
+                        f"index {offset} out of range for qreg {reg}[{size}]"
+                    )
+                return base + offset
+            base += size
+        raise CircuitError(f"unknown quantum register {reg!r}")
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def cache_key(self) -> str:
+        """A process-stable content hash of the circuit structure.
+
+        Keyed on qubit count, the full gate stream (parameters by
+        first-appearance index, so renamed parameters share a key), and the
+        accumulated global phase.  Register names, measurements and macro
+        definitions are deliberately excluded: they do not change the unitary
+        the engine compiles.
+        """
+        order: Dict[str, int] = {}
+        payload = {
+            "num_qubits": self.num_qubits,
+            "gates": [
+                [
+                    gate.name,
+                    list(gate.qubits),
+                    [_encode_param(p, order) for p in gate.params],
+                ]
+                for gate in self.gates
+            ],
+            "phase": [
+                self.phase_const,
+                sorted(
+                    (order.setdefault(name, len(order)), coeff)
+                    for name, coeff in self.phase_terms.items()
+                    if coeff != 0.0
+                ),
+            ],
+        }
+        return stable_hash(payload)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitIR(name={self.name!r}, num_qubits={self.num_qubits}, "
+            f"size={len(self.gates)}, parameters={self.num_parameters})"
+        )

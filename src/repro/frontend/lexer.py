@@ -1,0 +1,132 @@
+"""Tokenizer for the OpenQASM 2 subset the frontend accepts.
+
+Produces a flat list of :class:`Token` objects with 1-based line/column
+positions; all syntax errors downstream point back at these positions.
+Comments (``// ...``) and whitespace are skipped.  Numbers keep their source
+text so the parser can distinguish integer literals (register sizes, indices)
+from reals (angles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import QasmSyntaxError
+
+#: Token kinds produced by :func:`tokenize`.
+ID = "id"
+NUMBER = "number"
+STRING = "string"
+SYMBOL = "symbol"
+EOF = "eof"
+
+_SYMBOLS = frozenset("(){}[],;+-*/^")
+_ARROW = "->"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split *source* into tokens, raising :class:`QasmSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            if end == -1:
+                break
+            column += end - index
+            index = end
+            continue
+        start_line, start_column = line, column
+        if source.startswith(_ARROW, index):
+            tokens.append(Token(SYMBOL, _ARROW, start_line, start_column))
+            index += 2
+            column += 2
+            continue
+        if char in _SYMBOLS:
+            tokens.append(Token(SYMBOL, char, start_line, start_column))
+            index += 1
+            column += 1
+            continue
+        if char == '"':
+            end = source.find('"', index + 1)
+            if end == -1 or "\n" in source[index:end]:
+                raise QasmSyntaxError(
+                    "unterminated string literal", start_line, start_column
+                )
+            tokens.append(
+                Token(STRING, source[index + 1 : end], start_line, start_column)
+            )
+            column += end + 1 - index
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and source[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            seen_exp = False
+            while end < length:
+                ch = source[end]
+                if ch.isdigit():
+                    end += 1
+                elif ch == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif ch in "eE" and not seen_exp and end > index:
+                    seen_exp = True
+                    end += 1
+                    if end < length and source[end] in "+-":
+                        end += 1
+                else:
+                    break
+            text = source[index:end]
+            try:
+                float(text)
+            except ValueError:
+                raise QasmSyntaxError(
+                    f"malformed number {text!r}", start_line, start_column
+                ) from None
+            tokens.append(Token(NUMBER, text, start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            tokens.append(Token(ID, source[index:end], start_line, start_column))
+            column += end - index
+            index = end
+            continue
+        raise QasmSyntaxError(
+            f"unexpected character {char!r}", start_line, start_column
+        )
+    tokens.append(Token(EOF, "", line, column))
+    return tokens

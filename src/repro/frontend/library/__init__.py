@@ -1,0 +1,44 @@
+"""Bundled benchmark circuits shipped with the frontend.
+
+Three workloads exercising different frontend features end to end:
+
+* ``ghz`` — 6-qubit GHZ preparation (plain native gates + measurement);
+* ``qft8`` — 8-qubit quantum Fourier transform (``cu1`` ladder + swap
+  network, all lowered through the standard decomposition rules);
+* ``hwe_ansatz`` — a 4-qubit, 24-parameter hardware-efficient VQE ansatz
+  (free parameters + a user ``gate`` macro for the entangler ring).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.exceptions import ConfigurationError
+from repro.frontend.ir import CircuitIR
+from repro.frontend.parser import parse_qasm
+
+_LIBRARY_DIR = Path(__file__).resolve().parent
+
+__all__ = ["available_circuits", "circuit_source", "load_circuit"]
+
+
+def available_circuits() -> List[str]:
+    """Names of the bundled circuits (sorted)."""
+    return sorted(path.stem for path in _LIBRARY_DIR.glob("*.qasm"))
+
+
+def circuit_source(name: str) -> str:
+    """The raw QASM source of bundled circuit *name*."""
+    path = _LIBRARY_DIR / f"{name}.qasm"
+    if not path.is_file():
+        raise ConfigurationError(
+            f"no bundled circuit named {name!r}; "
+            f"available: {available_circuits()}"
+        )
+    return path.read_text()
+
+
+def load_circuit(name: str) -> CircuitIR:
+    """Parse bundled circuit *name* into a (not yet lowered) IR."""
+    return parse_qasm(circuit_source(name), name=name)

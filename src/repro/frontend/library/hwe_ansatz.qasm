@@ -1,0 +1,34 @@
+// Hardware-efficient VQE ansatz on 4 qubits: three layers of per-qubit
+// RY/RZ rotations with a ring of CX entanglers between layers.  The 24
+// rotation angles are free circuit parameters (theta0..theta23) bound at
+// evaluation time.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+gate entangle_ring a,b,c,d { cx a,b; cx b,c; cx c,d; cx d,a; }
+ry(theta0) q[0];
+ry(theta1) q[1];
+ry(theta2) q[2];
+ry(theta3) q[3];
+rz(theta4) q[0];
+rz(theta5) q[1];
+rz(theta6) q[2];
+rz(theta7) q[3];
+entangle_ring q[0], q[1], q[2], q[3];
+ry(theta8) q[0];
+ry(theta9) q[1];
+ry(theta10) q[2];
+ry(theta11) q[3];
+rz(theta12) q[0];
+rz(theta13) q[1];
+rz(theta14) q[2];
+rz(theta15) q[3];
+entangle_ring q[0], q[1], q[2], q[3];
+ry(theta16) q[0];
+ry(theta17) q[1];
+ry(theta18) q[2];
+ry(theta19) q[3];
+rz(theta20) q[0];
+rz(theta21) q[1];
+rz(theta22) q[2];
+rz(theta23) q[3];

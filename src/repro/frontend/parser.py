@@ -1,0 +1,580 @@
+"""OpenQASM 2-style parser producing :class:`~repro.frontend.ir.CircuitIR`.
+
+Supported grammar subset (see ``docs/frontend.md`` for the full reference):
+
+* ``OPENQASM 2.0;`` header and ``include "...";`` (both optional; includes
+  are satisfied by the built-in standard-gate decomposition rules);
+* ``qreg``/``creg`` declarations (multiple registers concatenate into one
+  flat qubit index space, in declaration order);
+* ``gate name(params) qubits { ... }`` macro definitions, recorded as
+  :class:`~repro.frontend.passes.DecompositionRule` templates (expanded later
+  by the pass pipeline, not inline);
+* gate calls with register broadcast (``h q;`` applies H to every qubit of
+  ``q``), the ``U``/``CX`` builtins, and constant-folded angle expressions
+  (``pi/2``, ``3*pi/4``, ``sin``/``cos``/``tan``/``exp``/``ln``/``sqrt`` on
+  constants);
+* **dialect extension:** an undeclared identifier in an angle position
+  becomes a free circuit parameter (``ry(theta0) q[0];``), so parameterized
+  ansätze import without textual substitution.  Angle expressions must stay
+  affine in a single parameter — anything else is a :class:`QasmSyntaxError`;
+* ``measure q -> c;`` (recorded as metadata) and ``barrier`` (ignored).
+
+``reset``, ``if`` and ``opaque`` are rejected with a source-located error:
+the engine is a pure statevector/density simulator with no mid-circuit
+classical control.
+
+Examples
+--------
+>>> from repro.frontend import parse_qasm
+>>> ir = parse_qasm('''
+...     OPENQASM 2.0;
+...     qreg q[2];
+...     h q[0];
+...     cx q[0], q[1];
+...     rz(pi/2) q;
+... ''')
+>>> ir.num_qubits, len(ir.gates)
+(2, 4)
+>>> [g.name for g in ir.gates]
+['h', 'cx', 'rz', 'rz']
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import QasmSyntaxError
+from repro.frontend.ir import (
+    AffineParam,
+    CircuitIR,
+    LinearExpr,
+    ParamValue,
+    lin_add,
+    lin_scale,
+)
+from repro.frontend.lexer import EOF, ID, NUMBER, STRING, SYMBOL, Token, tokenize
+from repro.quantum.gates import GATE_REGISTRY
+
+#: OpenQASM builtin gates and their native names.
+_BUILTINS = {"U": ("u3", 1, 3), "CX": ("cx", 2, 0)}
+
+_UNSUPPORTED = {"reset", "if", "opaque"}
+
+_FUNCTIONS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+}
+
+
+def parse_qasm(text: str, name: str = "qasm") -> CircuitIR:
+    """Parse OpenQASM 2-style *text* into a :class:`CircuitIR`.
+
+    Raises :class:`~repro.exceptions.QasmSyntaxError` (with 1-based
+    ``line``/``column``) on any lexical, syntactic, or semantic error.
+    """
+    return _Parser(tokenize(text), name).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], name: str):
+        self._tokens = tokens
+        self._pos = 0
+        self._name = name
+        self._qregs: List[Tuple[str, int]] = []
+        self._qreg_layout: Dict[str, Tuple[int, int]] = {}  # name -> (base, size)
+        self._cregs: List[Tuple[str, int]] = []
+        self._creg_sizes: Dict[str, int] = {}
+        self._macros: Dict[str, object] = {}  # name -> DecompositionRule
+        self._gates: List[Tuple[str, Tuple[int, ...], Tuple[ParamValue, ...], int]] = []
+        self._measurements: List[Tuple[int, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> QasmSyntaxError:
+        token = token or self._peek()
+        return QasmSyntaxError(message, token.line, token.column)
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            got = token.text or "end of input"
+            raise self._error(f"expected {wanted!r}, got {got!r}")
+        return self._next()
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse(self) -> CircuitIR:
+        if self._peek().kind == ID and self._peek().text == "OPENQASM":
+            self._next()
+            self._expect(NUMBER)
+            self._expect(SYMBOL, ";")
+        while self._peek().kind != EOF:
+            self._statement()
+        if not self._qregs:
+            raise QasmSyntaxError("no quantum register declared", 1, 1)
+        num_qubits = sum(size for _, size in self._qregs)
+        ir = CircuitIR(
+            num_qubits,
+            name=self._name,
+            qregs=list(self._qregs),
+            cregs=list(self._cregs),
+        )
+        ir.macros = dict(self._macros)
+        for gate_name, qubits, params, line in self._gates:
+            ir.add(gate_name, qubits, params, line)
+        ir.measurements = list(self._measurements)
+        return ir
+
+    def _statement(self) -> None:
+        token = self._peek()
+        if token.kind != ID:
+            raise self._error(f"expected a statement, got {token.text!r}")
+        keyword = token.text
+        if keyword in _UNSUPPORTED:
+            raise self._error(f"unsupported statement {keyword!r}", token)
+        if keyword == "include":
+            self._next()
+            self._expect(STRING)
+            self._expect(SYMBOL, ";")
+            return
+        if keyword in ("qreg", "creg"):
+            self._register_declaration(keyword)
+            return
+        if keyword == "gate":
+            self._gate_definition()
+            return
+        if keyword == "barrier":
+            self._next()
+            self._argument_list()
+            self._expect(SYMBOL, ";")
+            return
+        if keyword == "measure":
+            self._measure()
+            return
+        self._gate_call()
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _register_declaration(self, keyword: str) -> None:
+        self._next()
+        name_token = self._expect(ID)
+        reg_name = name_token.text
+        self._expect(SYMBOL, "[")
+        size_token = self._expect(NUMBER)
+        try:
+            size = int(size_token.text)
+        except ValueError:
+            raise self._error("register size must be an integer", size_token) from None
+        if size <= 0:
+            raise self._error("register size must be positive", size_token)
+        self._expect(SYMBOL, "]")
+        self._expect(SYMBOL, ";")
+        if reg_name in self._qreg_layout or reg_name in self._creg_sizes:
+            raise self._error(f"register {reg_name!r} already declared", name_token)
+        if keyword == "qreg":
+            base = sum(sz for _, sz in self._qregs)
+            self._qregs.append((reg_name, size))
+            self._qreg_layout[reg_name] = (base, size)
+        else:
+            self._cregs.append((reg_name, size))
+            self._creg_sizes[reg_name] = size
+
+    # ------------------------------------------------------------------
+    # Gate macros
+    # ------------------------------------------------------------------
+    def _gate_definition(self) -> None:
+        from repro.frontend.passes import DecompositionRule
+
+        self._next()
+        name_token = self._expect(ID)
+        macro_name = name_token.text
+        if macro_name in GATE_REGISTRY or macro_name in _BUILTINS:
+            raise self._error(
+                f"cannot redefine native gate {macro_name!r}", name_token
+            )
+        if macro_name in self._macros:
+            raise self._error(f"gate {macro_name!r} already defined", name_token)
+        formals: List[str] = []
+        if self._accept(SYMBOL, "("):
+            if not self._accept(SYMBOL, ")"):
+                while True:
+                    formals.append(self._expect(ID).text)
+                    if not self._accept(SYMBOL, ","):
+                        break
+                self._expect(SYMBOL, ")")
+        qubit_names: List[str] = []
+        while True:
+            qubit_names.append(self._expect(ID).text)
+            if not self._accept(SYMBOL, ","):
+                break
+        if len(set(formals)) != len(formals) or len(set(qubit_names)) != len(
+            qubit_names
+        ):
+            raise self._error(
+                f"duplicate argument names in gate {macro_name!r}", name_token
+            )
+        qubit_index = {qn: i for i, qn in enumerate(qubit_names)}
+        env: Dict[str, ParamValue] = {f: AffineParam(f) for f in formals}
+        template: List[Tuple[str, Tuple[int, ...], Tuple[ParamValue, ...]]] = []
+        self._expect(SYMBOL, "{")
+        while not self._accept(SYMBOL, "}"):
+            body_token = self._peek()
+            if body_token.kind != ID:
+                raise self._error("expected a gate call in gate body")
+            if body_token.text == "barrier":
+                self._next()
+                while not self._accept(SYMBOL, ";"):
+                    if self._peek().kind == EOF:
+                        raise self._error("unterminated barrier in gate body")
+                    self._next()
+                continue
+            call_name, native_name, num_qubits, num_params = self._callee(body_token)
+            self._next()
+            params = self._call_params(num_params, call_name, env=env, strict=True)
+            targets: List[int] = []
+            while True:
+                target_token = self._expect(ID)
+                if target_token.text not in qubit_index:
+                    raise self._error(
+                        f"unknown qubit {target_token.text!r} in gate body",
+                        target_token,
+                    )
+                targets.append(qubit_index[target_token.text])
+                if not self._accept(SYMBOL, ","):
+                    break
+            self._expect(SYMBOL, ";")
+            if len(targets) != num_qubits:
+                raise self._error(
+                    f"gate {call_name!r} acts on {num_qubits} qubit(s), "
+                    f"got {len(targets)}",
+                    body_token,
+                )
+            template.append((native_name, tuple(targets), params))
+        rule = DecompositionRule(
+            macro_name,
+            len(qubit_names),
+            len(formals),
+            template,
+            formals=tuple(formals),
+        )
+        self._macros[macro_name] = rule
+
+    def _callee(self, token: Token) -> Tuple[str, str, int, int]:
+        """Resolve a called gate name to ``(name, native_name, qubits, params)``."""
+        from repro.frontend.passes import STANDARD_RULES
+
+        name = token.text
+        if name in _BUILTINS:
+            native, nq, np_ = _BUILTINS[name]
+            return name, native, nq, np_
+        if name in GATE_REGISTRY:
+            definition = GATE_REGISTRY[name]
+            return name, name, definition.num_qubits, definition.num_params
+        if name in self._macros:
+            rule = self._macros[name]
+            return name, name, rule.num_qubits, rule.num_params
+        if name in STANDARD_RULES:
+            rule = STANDARD_RULES[name]
+            return name, name, rule.num_qubits, rule.num_params
+        raise self._error(f"unknown gate {name!r}", token)
+
+    # ------------------------------------------------------------------
+    # Gate calls and measurement
+    # ------------------------------------------------------------------
+    def _gate_call(self) -> None:
+        token = self._peek()
+        _, native_name, num_qubits, num_params = self._callee(token)
+        self._next()
+        params = self._call_params(num_params, token.text, env=None, strict=False)
+        targets = self._argument_list()
+        self._expect(SYMBOL, ";")
+        applications = self._broadcast(targets, num_qubits, token)
+        for qubits in applications:
+            self._gates.append((native_name, qubits, params, token.line))
+
+    def _measure(self) -> None:
+        token = self._next()
+        source = self._argument()
+        self._expect(SYMBOL, "->")
+        sink = self._argument()
+        self._expect(SYMBOL, ";")
+        src_name, src_index = source
+        dst_name, dst_index = sink
+        if dst_name not in self._creg_sizes:
+            raise self._error(f"unknown classical register {dst_name!r}", token)
+        if src_name not in self._qreg_layout:
+            raise self._error(f"unknown quantum register {src_name!r}", token)
+        base, size = self._qreg_layout[src_name]
+        creg_size = self._creg_sizes[dst_name]
+        if src_index is None and dst_index is None:
+            if size != creg_size:
+                raise self._error(
+                    f"cannot measure {src_name}[{size}] into {dst_name}[{creg_size}]",
+                    token,
+                )
+            for offset in range(size):
+                self._measurements.append((base + offset, dst_name, offset))
+            return
+        if src_index is None or dst_index is None:
+            raise self._error(
+                "measure must be register -> register or bit -> bit", token
+            )
+        if not 0 <= src_index < size:
+            raise self._error(
+                f"index {src_index} out of range for qreg {src_name}[{size}]", token
+            )
+        if not 0 <= dst_index < creg_size:
+            raise self._error(
+                f"index {dst_index} out of range for creg {dst_name}[{creg_size}]",
+                token,
+            )
+        self._measurements.append((base + src_index, dst_name, dst_index))
+
+    def _call_params(
+        self,
+        num_params: int,
+        gate_name: str,
+        env: Optional[Dict[str, ParamValue]],
+        strict: bool,
+    ) -> Tuple[ParamValue, ...]:
+        params: List[ParamValue] = []
+        open_token = self._accept(SYMBOL, "(")
+        if open_token is not None:
+            if not self._accept(SYMBOL, ")"):
+                while True:
+                    params.append(self._expression(env, strict))
+                    if not self._accept(SYMBOL, ","):
+                        break
+                self._expect(SYMBOL, ")")
+        if len(params) != num_params:
+            token = open_token or self._peek()
+            raise self._error(
+                f"gate {gate_name!r} takes {num_params} parameter(s), "
+                f"got {len(params)}",
+                token,
+            )
+        return tuple(params)
+
+    def _argument(self) -> Tuple[str, Optional[int]]:
+        name_token = self._expect(ID)
+        index: Optional[int] = None
+        if self._accept(SYMBOL, "["):
+            index_token = self._expect(NUMBER)
+            try:
+                index = int(index_token.text)
+            except ValueError:
+                raise self._error(
+                    "register index must be an integer", index_token
+                ) from None
+            self._expect(SYMBOL, "]")
+        return name_token.text, index
+
+    def _argument_list(self) -> List[Tuple[str, Optional[int]]]:
+        arguments = [self._argument()]
+        while self._accept(SYMBOL, ","):
+            arguments.append(self._argument())
+        return arguments
+
+    def _broadcast(
+        self,
+        targets: List[Tuple[str, Optional[int]]],
+        num_qubits: int,
+        token: Token,
+    ) -> List[Tuple[int, ...]]:
+        """Resolve register/bit targets into flat qubit tuples (broadcasting)."""
+        if len(targets) != num_qubits:
+            raise self._error(
+                f"gate {token.text!r} acts on {num_qubits} qubit(s), "
+                f"got {len(targets)}",
+                token,
+            )
+        resolved: List[Union[int, Tuple[int, int]]] = []
+        span: Optional[int] = None
+        for reg_name, index in targets:
+            if reg_name not in self._qreg_layout:
+                raise self._error(f"unknown quantum register {reg_name!r}", token)
+            base, size = self._qreg_layout[reg_name]
+            if index is None:
+                if span is None:
+                    span = size
+                elif span != size:
+                    raise self._error(
+                        f"mismatched register sizes in broadcast ({span} vs {size})",
+                        token,
+                    )
+                resolved.append((base, size))
+            else:
+                if not 0 <= index < size:
+                    raise self._error(
+                        f"index {index} out of range for qreg {reg_name}[{size}]",
+                        token,
+                    )
+                resolved.append(base + index)
+        count = span if span is not None else 1
+        applications: List[Tuple[int, ...]] = []
+        for offset in range(count):
+            qubits = tuple(
+                target if isinstance(target, int) else target[0] + offset
+                for target in resolved
+            )
+            if len(set(qubits)) != len(qubits):
+                raise self._error(
+                    f"gate {token.text!r} applied to duplicate qubits {qubits}", token
+                )
+            applications.append(qubits)
+        return applications
+
+    # ------------------------------------------------------------------
+    # Angle expressions
+    # ------------------------------------------------------------------
+    def _expression(
+        self, env: Optional[Dict[str, ParamValue]], strict: bool
+    ) -> ParamValue:
+        return self._additive(env, strict)
+
+    def _additive(self, env, strict) -> ParamValue:
+        value = self._multiplicative(env, strict)
+        while True:
+            token = self._peek()
+            if token.kind == SYMBOL and token.text in "+-":
+                self._next()
+                right = self._multiplicative(env, strict)
+                value = self._combine(token, value, right, token.text, strict)
+            else:
+                return value
+
+    def _multiplicative(self, env, strict) -> ParamValue:
+        value = self._unary(env, strict)
+        while True:
+            token = self._peek()
+            if token.kind == SYMBOL and token.text in "*/":
+                self._next()
+                right = self._unary(env, strict)
+                value = self._combine(token, value, right, token.text, strict)
+            else:
+                return value
+
+    def _unary(self, env, strict) -> ParamValue:
+        token = self._peek()
+        if token.kind == SYMBOL and token.text in "+-":
+            self._next()
+            value = self._unary(env, strict)
+            if token.text == "-":
+                return lin_scale(value, -1.0)
+            return value
+        return self._power(env, strict)
+
+    def _power(self, env, strict) -> ParamValue:
+        base = self._atom(env, strict)
+        token = self._peek()
+        if token.kind == SYMBOL and token.text == "^":
+            self._next()
+            exponent = self._unary(env, strict)
+            if isinstance(base, (AffineParam, LinearExpr)) or isinstance(
+                exponent, (AffineParam, LinearExpr)
+            ):
+                raise self._error(
+                    "exponentiation of a symbolic parameter is not affine", token
+                )
+            return float(base) ** float(exponent)
+        return base
+
+    def _atom(self, env, strict) -> ParamValue:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._next()
+            return float(token.text)
+        if token.kind == SYMBOL and token.text == "(":
+            self._next()
+            value = self._expression(env, strict)
+            self._expect(SYMBOL, ")")
+            return value
+        if token.kind == ID:
+            self._next()
+            name = token.text
+            if name == "pi":
+                return math.pi
+            if name in _FUNCTIONS:
+                self._expect(SYMBOL, "(")
+                argument = self._expression(env, strict)
+                self._expect(SYMBOL, ")")
+                if isinstance(argument, (AffineParam, LinearExpr)):
+                    raise self._error(
+                        f"{name}() of a symbolic parameter is not affine", token
+                    )
+                try:
+                    return float(_FUNCTIONS[name](argument))
+                except ValueError:
+                    raise self._error(
+                        f"domain error in {name}({argument!r})", token
+                    ) from None
+            if env is not None and name in env:
+                return env[name]
+            if strict:
+                raise self._error(
+                    f"undeclared parameter {name!r} in gate body", token
+                )
+            # Dialect extension: free identifiers are circuit parameters.
+            return AffineParam(name)
+        raise self._error(f"expected an expression, got {token.text!r}", token)
+
+    def _combine(self, token: Token, left, right, op: str, strict: bool = False):
+        left_sym = isinstance(left, (AffineParam, LinearExpr))
+        right_sym = isinstance(right, (AffineParam, LinearExpr))
+        if op == "+" or op == "-":
+            result = lin_add(left, lin_scale(right, 1.0 if op == "+" else -1.0))
+            if isinstance(result, LinearExpr) and not strict:
+                # Gate bodies may mix formals (they collapse at call time);
+                # top-level angles must stay affine in a single parameter.
+                names = sorted(term.name for term in result.terms)
+                raise self._error(
+                    f"expression mixes parameters {names}; angles must be "
+                    "affine in a single parameter",
+                    token,
+                )
+            return result
+        if op == "*":
+            if left_sym and right_sym:
+                raise self._error(
+                    "product of two symbolic parameters is not affine", token
+                )
+            if left_sym:
+                return lin_scale(left, float(right))
+            if right_sym:
+                return lin_scale(right, float(left))
+            return float(left) * float(right)
+        # op == "/"
+        if right_sym:
+            raise self._error(
+                "division by a symbolic parameter is not affine", token
+            )
+        divisor = float(right)
+        if divisor == 0.0:
+            raise self._error("division by zero in angle expression", token)
+        if left_sym:
+            return lin_scale(left, 1.0 / divisor)
+        return float(left) / divisor

@@ -1,0 +1,672 @@
+"""Decomposition passes lowering :class:`CircuitIR` onto a native basis.
+
+A :class:`DecompositionRule` maps one composite gate onto a template of
+simpler gates (plus an optional dropped global phase); a
+:class:`DecompositionPass` expands every non-basis gate through the rule set
+to a fixpoint; a :class:`ValidationPass` then proves the result is native.
+:func:`lower_to_native` bundles the standard pipeline.
+
+Three rule layers exist, later layers taking precedence:
+
+* :data:`RESTRICTED_RULES` — native gates rewritten into the minimal
+  ``{rz, rx, cx}`` basis (used when ``lower_to`` excludes them; these record
+  the dropped global phase, e.g. ``H = e^{i pi/2} Rz Rx Rz``);
+* :data:`STANDARD_RULES` — the qelib1-style composite gates (``ccx``,
+  ``cu1``, ``ch``, ``cu3``, ...) in terms of registry gates;
+* user macros parsed from ``gate`` definitions (``CircuitIR.macros``) and
+  any extra rules handed to the pass.
+
+Every built-in rule carries a ``reference`` unitary and is pinned to it at
+1e-12 by :meth:`DecompositionRule.verify` (exercised in the test-suite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError, ConfigurationError
+from repro.frontend.ir import (
+    AffineParam,
+    CircuitIR,
+    IRGate,
+    LinearExpr,
+    ParamSpec,
+    lin_add,
+    lin_scale,
+)
+from repro.quantum import gates as _gates
+from repro.quantum.gates import GATE_REGISTRY
+
+_PI = math.pi
+
+#: A template entry: ``(gate_name, qubit_indices, param_specs)`` where qubit
+#: indices refer to the rule's formal qubit arguments.
+TemplateGate = Tuple[str, Tuple[int, ...], Tuple[ParamSpec, ...]]
+
+
+def _to_simulator_order(matrix: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Re-index a first-qubit-MSB gate matrix into simulator basis order.
+
+    Gate matrices (:func:`repro.quantum.gates.gate_matrix`) put the first
+    qubit argument in the most-significant bit of the sub-space index; the
+    simulator's full register is little-endian (qubit 0 = least-significant
+    bit).  The bit-reversal permutation maps between the two.
+    """
+    dim = 1 << num_qubits
+    perm = np.array(
+        [int(format(i, f"0{num_qubits}b")[::-1], 2) for i in range(dim)]
+    )
+    return matrix[np.ix_(perm, perm)]
+
+
+def _substitute(spec: ParamSpec, subst: Dict[str, object]):
+    """Evaluate a template parameter spec against concrete call arguments."""
+    if isinstance(spec, AffineParam):
+        return lin_add(lin_scale(subst[spec.name], spec.coeff), spec.const)
+    if isinstance(spec, LinearExpr):
+        total: object = spec.const
+        for term in spec.terms:
+            total = lin_add(total, lin_scale(subst[term.name], term.coeff))
+        return total
+    return float(spec)
+
+
+class DecompositionRule:
+    """One rewrite: gate ``name`` expands into ``template``.
+
+    Parameters
+    ----------
+    name:
+        The composite gate this rule lowers.
+    num_qubits, num_params:
+        Arity of the composite gate.
+    template:
+        Sequence of ``(gate_name, qubit_indices, param_specs)`` entries;
+        qubit indices refer to the rule's qubit arguments and param specs may
+        reference the rule's formal parameters through
+        :class:`~repro.frontend.ir.AffineParam` /
+        :class:`~repro.frontend.ir.LinearExpr` values.
+    formals:
+        Names of the formal parameters referenced by the template (defaults
+        to ``p0, p1, ...``).
+    phase:
+        Global-phase contributions dropped by the rewrite: the source gate
+        equals ``exp(i * sum(phase))`` times the template.
+    reference:
+        Optional exact unitary ``reference(*params) -> ndarray`` used by
+        :meth:`verify`.
+    """
+
+    __slots__ = ("name", "num_qubits", "num_params", "template", "formals",
+                 "phase", "reference")
+
+    def __init__(
+        self,
+        name: str,
+        num_qubits: int,
+        num_params: int,
+        template: Sequence[TemplateGate],
+        *,
+        formals: Optional[Tuple[str, ...]] = None,
+        phase: Sequence[ParamSpec] = (),
+        reference: Optional[Callable[..., np.ndarray]] = None,
+    ):
+        self.name = name
+        self.num_qubits = int(num_qubits)
+        self.num_params = int(num_params)
+        self.template: Tuple[TemplateGate, ...] = tuple(
+            (gate, tuple(qubits), tuple(params)) for gate, qubits, params in template
+        )
+        self.formals: Tuple[str, ...] = tuple(
+            formals if formals is not None else (f"p{i}" for i in range(num_params))
+        )
+        if len(self.formals) != self.num_params:
+            raise ConfigurationError(
+                f"rule {name!r}: {self.num_params} parameter(s) but "
+                f"{len(self.formals)} formal name(s)"
+            )
+        self.phase: Tuple[ParamSpec, ...] = tuple(phase)
+        self.reference = reference
+        for gate, qubits, _ in self.template:
+            for qubit in qubits:
+                if not 0 <= qubit < self.num_qubits:
+                    raise ConfigurationError(
+                        f"rule {name!r}: template gate {gate!r} references "
+                        f"qubit {qubit} outside arity {self.num_qubits}"
+                    )
+
+    def expand(
+        self,
+        qubits: Tuple[int, ...],
+        params: Tuple[object, ...],
+        line: int = 0,
+    ) -> Tuple[List[IRGate], List[ParamSpec]]:
+        """Instantiate the template at concrete *qubits* and *params*."""
+        if len(qubits) != self.num_qubits:
+            raise CircuitError(
+                f"rule {self.name!r} acts on {self.num_qubits} qubit(s), "
+                f"got {len(qubits)}"
+            )
+        if len(params) != self.num_params:
+            raise CircuitError(
+                f"rule {self.name!r} takes {self.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        subst = dict(zip(self.formals, params))
+        expanded: List[IRGate] = []
+        for gate_name, gate_qubits, specs in self.template:
+            values = []
+            for spec in specs:
+                value = _substitute(spec, subst)
+                if isinstance(value, LinearExpr):
+                    names = sorted(term.name for term in value.terms)
+                    raise CircuitError(
+                        f"expanding {self.name!r}: angle mixes parameters "
+                        f"{names}; the engine supports only single-parameter "
+                        "affine angles"
+                    )
+                values.append(value)
+            expanded.append(
+                IRGate(
+                    gate_name,
+                    tuple(qubits[index] for index in gate_qubits),
+                    tuple(values),
+                    line,
+                )
+            )
+        phases = [_substitute(spec, subst) for spec in self.phase]
+        return expanded, phases
+
+    def verify(self, tol: float = 1e-12, trials: int = 3, seed: int = 7) -> float:
+        """Pin the rule to its reference unitary; returns the worst deviation.
+
+        Expands the template at random parameter values, lowers it fully to
+        the native basis, builds the dense unitary through the compiled
+        engine, re-applies the recorded global phase, and compares against
+        ``reference``.  Raises :class:`CircuitError` beyond *tol*.
+        """
+        if self.reference is None:
+            raise CircuitError(f"rule {self.name!r} has no reference unitary")
+        from repro.frontend.emit import to_circuit
+        from repro.quantum.simulator import StatevectorSimulator
+
+        rng = np.random.default_rng(seed)
+        simulator = StatevectorSimulator(max_qubits=8)
+        worst = 0.0
+        for _ in range(trials if self.num_params else 1):
+            params = tuple(
+                float(value)
+                for value in rng.uniform(-_PI, _PI, size=self.num_params)
+            )
+            ir = CircuitIR(self.num_qubits, name=f"verify_{self.name}")
+            expanded, phases = self.expand(tuple(range(self.num_qubits)), params)
+            ir.gates = expanded
+            for phase in phases:
+                ir.add_phase(phase)
+            lowered = lower_to_native(ir)
+            unitary = simulator.unitary(to_circuit(lowered))
+            rebuilt = np.exp(1j * lowered.global_phase()) * unitary
+            expected = _to_simulator_order(
+                self.reference(*params), self.num_qubits
+            )
+            deviation = float(np.abs(expected - rebuilt).max())
+            worst = max(worst, deviation)
+        if worst > tol:
+            raise CircuitError(
+                f"rule {self.name!r} deviates from its reference unitary by "
+                f"{worst:.3e} (tolerance {tol:.1e})"
+            )
+        return worst
+
+    def __repr__(self) -> str:
+        return (
+            f"DecompositionRule({self.name!r}, qubits={self.num_qubits}, "
+            f"params={self.num_params}, template_size={len(self.template)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+class DecompositionPass:
+    """Expand every gate outside the target basis through the rule set."""
+
+    def __init__(
+        self,
+        rules: Optional[Dict[str, DecompositionRule]] = None,
+        lower_to: Optional[Iterable[str]] = None,
+        max_iterations: int = 64,
+    ):
+        self.rules = dict(rules or {})
+        self.lower_to = None if lower_to is None else frozenset(lower_to)
+        self.max_iterations = int(max_iterations)
+
+    def _basis(self) -> FrozenSet[str]:
+        basis = self.lower_to if self.lower_to is not None else frozenset(GATE_REGISTRY)
+        unknown = basis - frozenset(GATE_REGISTRY)
+        if unknown:
+            raise ConfigurationError(
+                f"lower_to contains non-native gates {sorted(unknown)}; "
+                f"native gates are {sorted(GATE_REGISTRY)}"
+            )
+        return basis
+
+    def __call__(self, ir: CircuitIR) -> CircuitIR:
+        basis = self._basis()
+        rules: Dict[str, DecompositionRule] = {}
+        rules.update(RESTRICTED_RULES)
+        rules.update(STANDARD_RULES)
+        rules.update(self.rules)
+        rules.update(ir.macros)  # user macros win
+        current = ir.copy_with_gates(ir.gates)
+        for _ in range(self.max_iterations):
+            changed = False
+            expanded: List[IRGate] = []
+            for gate in current.gates:
+                if gate.name in basis:
+                    expanded.append(gate)
+                    continue
+                rule = rules.get(gate.name)
+                if rule is None:
+                    location = f" (line {gate.line})" if gate.line else ""
+                    raise CircuitError(
+                        f"no decomposition rule for gate {gate.name!r}{location}; "
+                        f"target basis is {sorted(basis)}"
+                    )
+                gates, phases = rule.expand(gate.qubits, gate.params, gate.line)
+                expanded.extend(gates)
+                for phase in phases:
+                    current.add_phase(phase)
+                changed = True
+            current.gates = expanded
+            if not changed:
+                return current
+        raise CircuitError(
+            f"decomposition did not reach the basis within "
+            f"{self.max_iterations} iterations (cycle in rules?)"
+        )
+
+
+class ValidationPass:
+    """Prove the IR is executable: native gates, in-basis, sane arities."""
+
+    def __init__(self, lower_to: Optional[Iterable[str]] = None):
+        self.lower_to = None if lower_to is None else frozenset(lower_to)
+
+    def __call__(self, ir: CircuitIR) -> CircuitIR:
+        basis = self.lower_to if self.lower_to is not None else frozenset(GATE_REGISTRY)
+        for gate in ir.gates:
+            location = f" (line {gate.line})" if gate.line else ""
+            definition = GATE_REGISTRY.get(gate.name)
+            if definition is None or gate.name not in basis:
+                raise CircuitError(
+                    f"gate {gate.name!r} is not in the target basis "
+                    f"{sorted(basis)}{location}"
+                )
+            if len(gate.qubits) != definition.num_qubits:
+                raise CircuitError(
+                    f"gate {gate.name!r} acts on {definition.num_qubits} "
+                    f"qubit(s), got {len(gate.qubits)}{location}"
+                )
+            if len(gate.params) != definition.num_params:
+                raise CircuitError(
+                    f"gate {gate.name!r} takes {definition.num_params} "
+                    f"parameter(s), got {len(gate.params)}{location}"
+                )
+            for qubit in gate.qubits:
+                if not 0 <= qubit < ir.num_qubits:
+                    raise CircuitError(
+                        f"qubit {qubit} out of range for "
+                        f"{ir.num_qubits}-qubit circuit{location}"
+                    )
+        return ir
+
+
+class PassManager:
+    """Run a sequence of IR-to-IR passes in order."""
+
+    def __init__(self, passes: Iterable[Callable[[CircuitIR], CircuitIR]]):
+        self.passes = list(passes)
+
+    def run(self, ir: CircuitIR) -> CircuitIR:
+        for pass_ in self.passes:
+            ir = pass_(ir)
+        return ir
+
+
+def lower_to_native(
+    ir: CircuitIR,
+    *,
+    lower_to: Optional[Iterable[str]] = None,
+    extra_rules: Optional[Dict[str, DecompositionRule]] = None,
+) -> CircuitIR:
+    """Lower *ir* onto the target basis and validate the result.
+
+    ``lower_to`` defaults to the full native gate set; restricting it (e.g.
+    ``{"rz", "rx", "cx"}``) rewrites even native gates, tracking the global
+    phase the restricted basis cannot express.
+    """
+    return PassManager(
+        [
+            DecompositionPass(extra_rules, lower_to),
+            ValidationPass(lower_to),
+        ]
+    ).run(ir)
+
+
+# ---------------------------------------------------------------------------
+# Built-in rules
+# ---------------------------------------------------------------------------
+
+def _formal(name: str, coeff: float = 1.0, const: float = 0.0) -> AffineParam:
+    return AffineParam(name, coeff, const)
+
+
+def _linear(const: float, *terms: Tuple[str, float]) -> LinearExpr:
+    return LinearExpr(tuple(AffineParam(n, c) for n, c in terms), const)
+
+
+def _controlled(block: np.ndarray) -> np.ndarray:
+    """``diag(I, block)`` — first (most-significant) qubit controls."""
+    dim = block.shape[0]
+    matrix = np.eye(2 * dim, dtype=complex)
+    matrix[dim:, dim:] = block
+    return matrix
+
+
+def _ccx_reference() -> np.ndarray:
+    return _controlled(_gates.cnot_matrix())
+
+
+def _cswap_reference() -> np.ndarray:
+    return _controlled(_gates.swap_matrix())
+
+
+def _cu1_reference(lam: float) -> np.ndarray:
+    return _controlled(_gates.phase_matrix(lam))
+
+
+def _sx_reference() -> np.ndarray:
+    return 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def _sxdg_reference() -> np.ndarray:
+    return _sx_reference().conj().T
+
+
+#: qelib1-style composite gates in terms of registry gates (all exact unless
+#: a ``phase`` is recorded).  Keys are callable gate names in QASM source.
+STANDARD_RULES: Dict[str, DecompositionRule] = {}
+
+
+def _standard(rule: DecompositionRule) -> None:
+    STANDARD_RULES[rule.name] = rule
+
+
+_standard(DecompositionRule(
+    "ccx", 3, 0,
+    [
+        ("h", (2,), ()),
+        ("cx", (1, 2), ()),
+        ("tdg", (2,), ()),
+        ("cx", (0, 2), ()),
+        ("t", (2,), ()),
+        ("cx", (1, 2), ()),
+        ("tdg", (2,), ()),
+        ("cx", (0, 2), ()),
+        ("t", (1,), ()),
+        ("t", (2,), ()),
+        ("h", (2,), ()),
+        ("cx", (0, 1), ()),
+        ("t", (0,), ()),
+        ("tdg", (1,), ()),
+        ("cx", (0, 1), ()),
+    ],
+    reference=_ccx_reference,
+))
+
+_standard(DecompositionRule(
+    "cu1", 2, 1,
+    [
+        ("p", (0,), (_formal("lam", 0.5),)),
+        ("cx", (0, 1), ()),
+        ("p", (1,), (_formal("lam", -0.5),)),
+        ("cx", (0, 1), ()),
+        ("p", (1,), (_formal("lam", 0.5),)),
+    ],
+    formals=("lam",),
+    reference=_cu1_reference,
+))
+
+# `cp` is the modern name for the controlled-phase gate `cu1`.
+_standard(DecompositionRule(
+    "cp", 2, 1, STANDARD_RULES["cu1"].template,
+    formals=("lam",), reference=_cu1_reference,
+))
+
+# Controlled-H as a controlled u3: H = u3(pi/2, 0, pi) exactly, so the
+# verified cu3 template does the heavy lifting.
+_standard(DecompositionRule(
+    "ch", 2, 0,
+    [("cu3", (0, 1), (_PI / 2.0, 0.0, _PI))],
+    reference=lambda: _controlled(_gates.h_matrix()),
+))
+
+_standard(DecompositionRule(
+    "cy", 2, 0,
+    [
+        ("sdg", (1,), ()),
+        ("cx", (0, 1), ()),
+        ("s", (1,), ()),
+    ],
+    reference=lambda: _controlled(_gates.y_matrix()),
+))
+
+# Controlled-RX via H-conjugation of the native controlled-RZ.
+_standard(DecompositionRule(
+    "crx", 2, 1,
+    [
+        ("h", (1,), ()),
+        ("crz", (0, 1), (_formal("theta"),)),
+        ("h", (1,), ()),
+    ],
+    formals=("theta",),
+    reference=lambda theta: _controlled(_gates.rx_matrix(theta)),
+))
+
+_standard(DecompositionRule(
+    "cry", 2, 1,
+    [
+        ("ry", (1,), (_formal("theta", 0.5),)),
+        ("cx", (0, 1), ()),
+        ("ry", (1,), (_formal("theta", -0.5),)),
+        ("cx", (0, 1), ()),
+    ],
+    formals=("theta",),
+    reference=lambda theta: _controlled(_gates.ry_matrix(theta)),
+))
+
+_standard(DecompositionRule(
+    "cu3", 2, 3,
+    [
+        ("p", (0,), (_linear(0.0, ("lam", 0.5), ("phi", 0.5)),)),
+        ("p", (1,), (_linear(0.0, ("lam", 0.5), ("phi", -0.5)),)),
+        ("cx", (0, 1), ()),
+        ("u3", (1,), (
+            _formal("theta", -0.5),
+            0.0,
+            _linear(0.0, ("phi", -0.5), ("lam", -0.5)),
+        )),
+        ("cx", (0, 1), ()),
+        ("u3", (1,), (_formal("theta", 0.5), _formal("phi"), 0.0)),
+    ],
+    formals=("theta", "phi", "lam"),
+    reference=lambda theta, phi, lam: _controlled(_gates.u3_matrix(theta, phi, lam)),
+))
+
+_standard(DecompositionRule(
+    "cswap", 3, 0,
+    [
+        ("cx", (2, 1), ()),
+        ("ccx", (0, 1, 2), ()),
+        ("cx", (2, 1), ()),
+    ],
+    reference=_cswap_reference,
+))
+
+_standard(DecompositionRule(
+    "cnot", 2, 0, [("cx", (0, 1), ())], reference=_gates.cnot_matrix,
+))
+
+_standard(DecompositionRule(
+    "u1", 1, 1, [("p", (0,), (_formal("lam"),))],
+    formals=("lam",), reference=_gates.phase_matrix,
+))
+
+_standard(DecompositionRule(
+    "u2", 1, 2,
+    [("u3", (0,), (_PI / 2.0, _formal("phi"), _formal("lam")))],
+    formals=("phi", "lam"),
+    reference=lambda phi, lam: _gates.u3_matrix(_PI / 2.0, phi, lam),
+))
+
+_standard(DecompositionRule(
+    "u", 1, 3,
+    [("u3", (0,), (_formal("theta"), _formal("phi"), _formal("lam")))],
+    formals=("theta", "phi", "lam"),
+    reference=_gates.u3_matrix,
+))
+
+_standard(DecompositionRule(
+    "sx", 1, 0, [("rx", (0,), (_PI / 2.0,))],
+    phase=(_PI / 4.0,), reference=_sx_reference,
+))
+
+_standard(DecompositionRule(
+    "sxdg", 1, 0, [("rx", (0,), (-_PI / 2.0,))],
+    phase=(-_PI / 4.0,), reference=_sxdg_reference,
+))
+
+
+#: Native gates rewritten into the minimal ``{rz, rx, cx}`` basis, recording
+#: the global phase that basis cannot express.  Consulted only for gates the
+#: caller excluded from ``lower_to``.
+RESTRICTED_RULES: Dict[str, DecompositionRule] = {}
+
+
+def _restricted(rule: DecompositionRule) -> None:
+    RESTRICTED_RULES[rule.name] = rule
+
+
+_restricted(DecompositionRule(
+    "id", 1, 0, [], reference=_gates.identity_matrix,
+))
+_restricted(DecompositionRule(
+    "z", 1, 0, [("rz", (0,), (_PI,))],
+    phase=(_PI / 2.0,), reference=_gates.z_matrix,
+))
+_restricted(DecompositionRule(
+    "s", 1, 0, [("rz", (0,), (_PI / 2.0,))],
+    phase=(_PI / 4.0,), reference=_gates.s_matrix,
+))
+_restricted(DecompositionRule(
+    "sdg", 1, 0, [("rz", (0,), (-_PI / 2.0,))],
+    phase=(-_PI / 4.0,), reference=_gates.sdg_matrix,
+))
+_restricted(DecompositionRule(
+    "t", 1, 0, [("rz", (0,), (_PI / 4.0,))],
+    phase=(_PI / 8.0,), reference=_gates.t_matrix,
+))
+_restricted(DecompositionRule(
+    "tdg", 1, 0, [("rz", (0,), (-_PI / 4.0,))],
+    phase=(-_PI / 8.0,), reference=_gates.tdg_matrix,
+))
+_restricted(DecompositionRule(
+    "p", 1, 1, [("rz", (0,), (_formal("lam"),))],
+    formals=("lam",), phase=(_formal("lam", 0.5),),
+    reference=_gates.phase_matrix,
+))
+_restricted(DecompositionRule(
+    "x", 1, 0, [("rx", (0,), (_PI,))],
+    phase=(_PI / 2.0,), reference=_gates.x_matrix,
+))
+_restricted(DecompositionRule(
+    "y", 1, 0,
+    [("rz", (0,), (_PI,)), ("rx", (0,), (_PI,))],
+    phase=(-_PI / 2.0,), reference=_gates.y_matrix,
+))
+_restricted(DecompositionRule(
+    "h", 1, 0,
+    [
+        ("rz", (0,), (_PI / 2.0,)),
+        ("rx", (0,), (_PI / 2.0,)),
+        ("rz", (0,), (_PI / 2.0,)),
+    ],
+    phase=(_PI / 2.0,), reference=_gates.h_matrix,
+))
+_restricted(DecompositionRule(
+    "ry", 1, 1,
+    [
+        ("rz", (0,), (-_PI / 2.0,)),
+        ("rx", (0,), (_formal("theta"),)),
+        ("rz", (0,), (_PI / 2.0,)),
+    ],
+    formals=("theta",), reference=_gates.ry_matrix,
+))
+_restricted(DecompositionRule(
+    "u3", 1, 3,
+    [
+        ("rz", (0,), (_formal("lam", 1.0, -_PI / 2.0),)),
+        ("rx", (0,), (_formal("theta"),)),
+        ("rz", (0,), (_formal("phi", 1.0, _PI / 2.0),)),
+    ],
+    formals=("theta", "phi", "lam"),
+    phase=(_linear(0.0, ("phi", 0.5), ("lam", 0.5)),),
+    reference=_gates.u3_matrix,
+))
+_restricted(DecompositionRule(
+    "cz", 2, 0,
+    [("h", (1,), ()), ("cx", (0, 1), ()), ("h", (1,), ())],
+    reference=_gates.cz_matrix,
+))
+_restricted(DecompositionRule(
+    "swap", 2, 0,
+    [("cx", (0, 1), ()), ("cx", (1, 0), ()), ("cx", (0, 1), ())],
+    reference=_gates.swap_matrix,
+))
+_restricted(DecompositionRule(
+    "crz", 2, 1,
+    [
+        ("rz", (1,), (_formal("theta", 0.5),)),
+        ("cx", (0, 1), ()),
+        ("rz", (1,), (_formal("theta", -0.5),)),
+        ("cx", (0, 1), ()),
+    ],
+    formals=("theta",), reference=_gates.crz_matrix,
+))
+_restricted(DecompositionRule(
+    "rzz", 2, 1,
+    [
+        ("cx", (0, 1), ()),
+        ("rz", (1,), (_formal("theta"),)),
+        ("cx", (0, 1), ()),
+    ],
+    formals=("theta",), reference=_gates.rzz_matrix,
+))
+_restricted(DecompositionRule(
+    "rxx", 2, 1,
+    [
+        ("h", (0,), ()),
+        ("h", (1,), ()),
+        ("cx", (0, 1), ()),
+        ("rz", (1,), (_formal("theta"),)),
+        ("cx", (0, 1), ()),
+        ("h", (0,), ()),
+        ("h", (1,), ()),
+    ],
+    formals=("theta",), reference=_gates.rxx_matrix,
+))

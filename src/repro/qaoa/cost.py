@@ -195,6 +195,33 @@ class ExpectationEvaluator:
         self._num_evaluations = 0
         self._trajectories_run = 0
 
+    @classmethod
+    def from_circuit(
+        cls,
+        source,
+        observable,
+        *,
+        compiled: bool = True,
+        lower_to=None,
+        name: str = None,
+    ):
+        """Evaluate an imported circuit against an arbitrary observable.
+
+        *source* is anything the frontend can ingest — an OpenQASM string, a
+        :class:`~repro.frontend.ir.CircuitIR`, or an already-emitted
+        :class:`~repro.quantum.circuit.QuantumCircuit` — and *observable* is
+        any :class:`~repro.quantum.operators.PauliSum`, not just a MaxCut
+        cost Hamiltonian.  Returns a
+        :class:`~repro.frontend.evaluator.CircuitExpectationEvaluator`
+        exposing the same ``expectation`` / ``expectation_batch`` /
+        ``density_expectation`` surface.
+        """
+        from repro.frontend.evaluator import CircuitExpectationEvaluator
+
+        return CircuitExpectationEvaluator(
+            source, observable, compiled=compiled, lower_to=lower_to, name=name
+        )
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------

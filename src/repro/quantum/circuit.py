@@ -317,6 +317,17 @@ class QuantumCircuit:
                 raise CircuitError(f"gate {instruction.name!r} has no known inverse")
         return inverted
 
+    def to_qasm(self) -> str:
+        """Export this circuit as OpenQASM-style text.
+
+        Delegates to :func:`repro.frontend.emit.to_qasm`; the exported source
+        re-imports through :func:`repro.frontend.parse_qasm` with a
+        bit-identical instruction stream.
+        """
+        from repro.frontend.emit import to_qasm
+
+        return to_qasm(self)
+
     def __repr__(self) -> str:
         return (
             f"QuantumCircuit(name={self._name!r}, num_qubits={self._num_qubits}, "

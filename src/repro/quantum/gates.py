@@ -179,6 +179,8 @@ class GateDefinition:
     inverse_name: str = None
     negate_params_on_inverse: bool = False
     diagonal: bool = False
+    #: Name used when exporting to OpenQASM (``None`` = same as ``name``).
+    qasm_name: str = None
 
 
 def _definition(
@@ -271,6 +273,15 @@ def diagonal_angles(name: str) -> Tuple[np.ndarray, "np.ndarray | None"]:
         np.asarray(const, dtype=float),
         None if coeff is None else np.asarray(coeff, dtype=float),
     )
+
+
+def qasm_gate_name(name: str) -> str:
+    """The OpenQASM spelling of registry gate *name* (used by the exporter)."""
+    try:
+        definition = GATE_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown gate {name!r}") from exc
+    return definition.qasm_name or definition.name
 
 
 def gate_matrix(name: str, *params: float) -> np.ndarray:

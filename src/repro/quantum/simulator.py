@@ -93,6 +93,8 @@ class StatevectorSimulator:
         self._max_qubits = max_qubits
         self._compiled = bool(compiled)
         self._executed_circuits = 0
+        self._program_cache_hits = 0
+        self._program_cache_misses = 0
         # id(circuit) -> (weakref, circuit.version, CompiledProgram); LRU.
         # The lock guards only cache bookkeeping (lookups, reordering,
         # insertion, eviction) — compilation itself runs unlocked so one
@@ -120,6 +122,16 @@ class StatevectorSimulator:
         """
         return self._executed_circuits
 
+    @property
+    def program_cache_hits(self) -> int:
+        """Compiled-program LRU hits (re-binds that skipped compilation)."""
+        return self._program_cache_hits
+
+    @property
+    def program_cache_misses(self) -> int:
+        """Compiled-program LRU misses (fresh compilations)."""
+        return self._program_cache_misses
+
     # ------------------------------------------------------------------
     # Compilation cache
     # ------------------------------------------------------------------
@@ -145,8 +157,10 @@ class StatevectorSimulator:
                 ref, version, program = entry
                 if ref() is circuit and version == circuit.version:
                     self._programs.move_to_end(key)
+                    self._program_cache_hits += 1
                     return program
                 del self._programs[key]
+            self._program_cache_misses += 1
         program = CompiledProgram(circuit)
 
         def _evict(_ref, programs=self._programs, key=key, lock=self._programs_lock):

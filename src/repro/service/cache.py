@@ -96,18 +96,31 @@ class ProgramCache:
     def get_or_compile(self, problem, depth: int, context) -> Tuple[str, Any]:
         """The ``(compile_key, program)`` pair for this solve configuration."""
         key = compile_cache_key(problem, depth, context)
+        return key, self.get_or_create(
+            key,
+            lambda: get_backend(context.backend).compile(
+                problem, int(depth), density=context.density
+            ),
+        )
+
+    def get_or_create(self, key: str, factory) -> Any:
+        """The program cached under *key*, building it via *factory* on a miss.
+
+        The generic entry point behind :meth:`get_or_compile`; circuit jobs
+        (:meth:`~repro.service.service.SolverService.submit_circuit`) use it
+        with frontend content keys, sharing hit/miss accounting and the LRU
+        with compiled solve programs.
+        """
         program = self._cache.get(key)
         if program is not None:
             if self._metrics is not None:
                 self._metrics.program_cache_hit()
-            return key, program
+            return program
         if self._metrics is not None:
             self._metrics.program_cache_miss()
-        program = get_backend(context.backend).compile(
-            problem, int(depth), density=context.density
-        )
+        program = factory()
         self._cache.put(key, program)
-        return key, program
+        return program
 
     def clear(self) -> None:
         self._cache.clear()

@@ -30,7 +30,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 __all__ = ["LatencyHistogram", "ServiceMetrics"]
 
@@ -121,10 +121,15 @@ class ServiceMetrics:
         self._persistent_misses = 0
         self._persistent_corruptions = 0
         self._persistent_writes = 0
+        self._persistent_evictions = 0
         # Resilience: injected faults, breaker activity, checkpoints.
         self._faults_injected: Dict[str, int] = {}
         self._breaker_transitions: Dict[str, int] = {}
         self._breaker_rejections = 0
+        # Per-backend breaker accounting (services running one breaker per
+        # execution backend report under the backend's name here; the flat
+        # counters above stay service-wide aggregates).
+        self._breaker_backends: Dict[str, Dict[str, Any]] = {}
         self._checkpoint_saves = 0
         self._checkpoint_resumes = 0
         # Queue gauge.
@@ -232,6 +237,11 @@ class ServiceMetrics:
         with self._lock:
             self._persistent_writes += 1
 
+    def persistent_cache_eviction(self) -> None:
+        """A persistent entry was removed by the capacity or TTL policy."""
+        with self._lock:
+            self._persistent_evictions += 1
+
     # ------------------------------------------------------------------
     # Resilience
     # ------------------------------------------------------------------
@@ -240,16 +250,34 @@ class ServiceMetrics:
         with self._lock:
             self._faults_injected[kind] = self._faults_injected.get(kind, 0) + 1
 
-    def breaker_transition(self, old_state: str, new_state: str) -> None:
-        """The circuit breaker changed state (counted per edge)."""
+    def _breaker_backend_locked(self, backend: str) -> Dict[str, Any]:
+        entry = self._breaker_backends.get(backend)
+        if entry is None:
+            entry = {"transitions": {}, "rejections": 0}
+            self._breaker_backends[backend] = entry
+        return entry
+
+    def breaker_transition(
+        self, old_state: str, new_state: str, backend: Optional[str] = None
+    ) -> None:
+        """A circuit breaker changed state (counted per edge).
+
+        With *backend* the edge is additionally attributed to that backend's
+        per-backend section; the flat counter always aggregates.
+        """
         edge = f"{old_state}->{new_state}"
         with self._lock:
             self._breaker_transitions[edge] = self._breaker_transitions.get(edge, 0) + 1
+            if backend is not None:
+                transitions = self._breaker_backend_locked(backend)["transitions"]
+                transitions[edge] = transitions.get(edge, 0) + 1
 
-    def breaker_rejected(self) -> None:
-        """A job was shed because the breaker was open."""
+    def breaker_rejected(self, backend: Optional[str] = None) -> None:
+        """A job was shed because a breaker was open."""
         with self._lock:
             self._breaker_rejections += 1
+            if backend is not None:
+                self._breaker_backend_locked(backend)["rejections"] += 1
 
     def checkpoint_saved(self) -> None:
         with self._lock:
@@ -314,6 +342,7 @@ class ServiceMetrics:
                         "misses": self._persistent_misses,
                         "corruptions": self._persistent_corruptions,
                         "writes": self._persistent_writes,
+                        "evictions": self._persistent_evictions,
                         "hit_rate": self._hit_rate(
                             self._persistent_hits, self._persistent_misses
                         ),
@@ -327,6 +356,13 @@ class ServiceMetrics:
                     "breaker": {
                         "transitions": dict(sorted(self._breaker_transitions.items())),
                         "rejections": self._breaker_rejections,
+                        "per_backend": {
+                            backend: {
+                                "transitions": dict(sorted(entry["transitions"].items())),
+                                "rejections": entry["rejections"],
+                            }
+                            for backend, entry in sorted(self._breaker_backends.items())
+                        },
                     },
                     "checkpoints": {
                         "saved": self._checkpoint_saves,

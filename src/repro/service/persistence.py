@@ -21,6 +21,10 @@ Durability contract (shared primitives in :mod:`repro.resilience.storage`):
   :class:`~repro.resilience.faults.FaultInjector` can be installed on the
   ``cache.read`` / ``cache.write`` byte streams, so corrupted-entry and
   flaky-I/O recovery paths are exercised by replayable tests.
+* **Bounded growth** — optional ``max_entries`` (oldest-first capacity
+  sweep after every write) and ``ttl_seconds`` (lazy expiry on read, plus
+  an explicit :meth:`~PersistentResultCache.sweep`) policies; evictions
+  unlink whole entries only, so survivors stay bit-identical.
 
 Entries serialize through :meth:`~repro.qaoa.result.QAOAResult.to_payload`
 by default; custom ``serialize`` / ``deserialize`` hooks support other
@@ -30,9 +34,11 @@ result types.
 from __future__ import annotations
 
 import hashlib
+import time
 from pathlib import Path
 from typing import Any, Callable, List, Optional
 
+from repro.exceptions import ConfigurationError
 from repro.resilience.storage import (
     CorruptEntryError,
     atomic_write_bytes,
@@ -76,6 +82,18 @@ class PersistentResultCache:
     serialize / deserialize:
         Payload conversion hooks (default: ``QAOAResult.to_payload`` /
         ``QAOAResult.from_payload``).
+    max_entries:
+        Optional capacity bound on the disk tier.  Enforced after every
+        write: when the entry count exceeds the bound, the oldest entries
+        (by file modification time) are removed until it fits.  Eviction
+        only ever unlinks whole entries — surviving entries are untouched
+        bytes on disk, so a capacity sweep can never corrupt them.
+    ttl_seconds:
+        Optional time-to-live.  An entry older than this (measured against
+        *clock* on the read path) is removed and reported as a miss.
+    clock:
+        Wall-clock source compared against file modification times (default
+        :func:`time.time`; injectable so TTL tests don't sleep).
     """
 
     def __init__(
@@ -86,17 +104,41 @@ class PersistentResultCache:
         fault_injector=None,
         serialize: Callable[[Any], Any] = _default_serialize,
         deserialize: Callable[[Any], Any] = _default_deserialize,
+        max_entries: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
     ):
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"ttl_seconds must be > 0, got {ttl_seconds}"
+            )
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._metrics = metrics
         self._injector = fault_injector
         self._serialize = serialize
         self._deserialize = deserialize
+        self._max_entries = None if max_entries is None else int(max_entries)
+        self._ttl_seconds = None if ttl_seconds is None else float(ttl_seconds)
+        self._clock = clock
 
     @property
     def directory(self) -> Path:
         return self._directory
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """Capacity bound of the disk tier (``None`` = unbounded)."""
+        return self._max_entries
+
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        """Entry time-to-live in seconds (``None`` = entries never expire)."""
+        return self._ttl_seconds
 
     def _path(self, key: str) -> Path:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:48]
@@ -115,6 +157,9 @@ class PersistentResultCache:
         is additionally quarantined and counted.
         """
         path = self._path(key)
+        if self._ttl_seconds is not None and self._expire(path):
+            self._record("miss")
+            return None
         try:
             data = path.read_bytes()
         except FileNotFoundError:
@@ -164,7 +209,66 @@ class PersistentResultCache:
         except Exception:
             return False
         self._record("write")
+        self._enforce_capacity()
         return True
+
+    # ------------------------------------------------------------------
+    # Eviction policy
+    # ------------------------------------------------------------------
+    def _expire(self, path: Path) -> bool:
+        """Remove *path* if its TTL has elapsed; returns whether it did."""
+        try:
+            age = self._clock() - path.stat().st_mtime
+        except OSError:
+            return False
+        if age <= self._ttl_seconds:
+            return False
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        self._record("eviction")
+        return True
+
+    def _enforce_capacity(self) -> None:
+        """Unlink the oldest entries until the capacity bound holds.
+
+        Eviction removes whole entry files and nothing else; a concurrent
+        reader of a surviving entry sees exactly the bytes its writer
+        fsynced, so capacity sweeps cannot corrupt the remaining cache.
+        """
+        if self._max_entries is None:
+            return
+        try:
+            entries = [
+                (path.stat().st_mtime, path.name, path)
+                for path in self._directory.glob("*.result.json")
+            ]
+        except OSError:
+            return
+        excess = len(entries) - self._max_entries
+        if excess <= 0:
+            return
+        for _, _, path in sorted(entries)[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._record("eviction")
+
+    def sweep(self) -> int:
+        """Apply the TTL policy to every entry now; returns entries removed.
+
+        Normally expiry is lazy (checked on :meth:`get`); ``sweep`` lets
+        maintenance jobs reclaim disk for keys that are never read again.
+        """
+        if self._ttl_seconds is None:
+            return 0
+        removed = 0
+        for path in list(self._directory.glob("*.result.json")):
+            if self._expire(path):
+                removed += 1
+        return removed
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -212,6 +316,8 @@ class PersistentResultCache:
             self._metrics.persistent_cache_corruption()
         elif event == "write":
             self._metrics.persistent_cache_write()
+        elif event == "eviction":
+            self._metrics.persistent_cache_eviction()
 
     def __repr__(self) -> str:
         return f"PersistentResultCache(directory={str(self._directory)!r}, entries={len(self)})"

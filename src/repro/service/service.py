@@ -20,6 +20,14 @@ solve endpoint:
   *deterministic* solves (explicit integer seed) land in a
   :class:`~repro.service.cache.ResultCache`, so a warm resubmission
   completes without touching the queue.
+* **Circuit jobs** — :meth:`~SolverService.submit_circuit` runs imported
+  frontend workloads (OpenQASM text, a
+  :class:`~repro.frontend.ir.CircuitIR`, or an emitted
+  :class:`~repro.quantum.circuit.QuantumCircuit`) against an arbitrary
+  :class:`~repro.quantum.operators.PauliSum` through the same queue,
+  caches, deduplication and breaker machinery as solves; the prepared
+  evaluator is shared across submissions through the program cache, keyed
+  on circuit *content*.
 * **Observability** — every component reports into one
   :class:`~repro.service.metrics.ServiceMetrics`
   (``service.metrics.to_dict()``).
@@ -67,7 +75,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -79,7 +87,12 @@ from repro.exceptions import (
     TransientServiceError,
 )
 from repro.execution.context import ContextLike, as_execution_context
-from repro.execution.keys import canonical_payload
+from repro.execution.keys import (
+    canonical_payload,
+    circuit_cache_key,
+    observable_cache_key,
+    stable_hash,
+)
 from repro.graphs.maxcut import MaxCutProblem
 from repro.qaoa.cost import ExpectationEvaluator
 from repro.qaoa.solver import QAOASolver
@@ -101,7 +114,7 @@ _SHUTDOWN = object()
 class _Job:
     """Internal queue item: a handle plus everything needed to run it."""
 
-    __slots__ = ("handle", "work", "deadline", "cacheable", "attached")
+    __slots__ = ("handle", "work", "deadline", "cacheable", "backend", "attached")
 
     def __init__(
         self,
@@ -109,11 +122,14 @@ class _Job:
         work: Callable[[], Any],
         deadline: Optional[float],
         cacheable: bool,
+        backend: Optional[str] = None,
     ):
         self.handle = handle
         self.work = work
         self.deadline = deadline
         self.cacheable = cacheable
+        #: Execution backend the job runs on (selects its circuit breaker).
+        self.backend = backend
         #: Handles of deduplicated submissions fulfilled from this job.
         self.attached: List[JobHandle] = []
 
@@ -147,9 +163,18 @@ class SolverService:
         *retry_policy*.
     breaker:
         Optional :class:`~repro.resilience.breaker.CircuitBreaker` guarding
-        the backend; open-state submissions fail fast with
-        :class:`~repro.exceptions.CircuitOpenError`.  Its state transitions
-        are reported into the service metrics.
+        the service's configured backend; open-state submissions fail fast
+        with :class:`~repro.exceptions.CircuitOpenError`.  Its state
+        transitions are reported into the service metrics.
+    breakers:
+        Optional mapping of backend name to
+        :class:`~repro.resilience.breaker.CircuitBreaker` for services
+        running jobs on several backends (e.g. solves on ``"fast"`` and
+        circuit jobs on ``"circuit"``).  Each job is gated by the breaker
+        registered under its own backend, so one failing backend sheds its
+        jobs without tripping the others.  Composable with *breaker* as
+        long as the keys don't collide; metrics report per-backend
+        transitions and rejections alongside the aggregate counters.
     fault_injector:
         Optional :class:`~repro.resilience.faults.FaultInjector`; installs
         the ``worker.run`` site around job attempts, the
@@ -160,6 +185,9 @@ class SolverService:
         enabling ``submit(..., checkpoint=True)``.
     persistent_cache_dir:
         Optional directory for the crash-safe on-disk result-cache tier.
+    persistent_max_entries / persistent_ttl_seconds:
+        Eviction policy of the on-disk tier (capacity bound swept after
+        every write / per-entry time-to-live); ``None`` disables each.
     program_cache_size / result_cache_size:
         Capacities of the two cache levels.
     coalesce_max_batch / coalesce_max_wait_ms:
@@ -183,9 +211,12 @@ class SolverService:
         retry_backoff: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        breakers: Optional[Dict[str, CircuitBreaker]] = None,
         fault_injector: Optional[FaultInjector] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
         persistent_cache_dir: Optional[Any] = None,
+        persistent_max_entries: Optional[int] = None,
+        persistent_ttl_seconds: Optional[float] = None,
         program_cache_size: int = 64,
         result_cache_size: int = 256,
         coalesce_max_batch: int = 64,
@@ -214,9 +245,19 @@ class SolverService:
             )
         self._retry_policy = retry_policy
         self.metrics = ServiceMetrics(clock=clock)
-        self._breaker = breaker
+        # Breaker registry keyed by backend name.  The scalar ``breaker=``
+        # guards the service's configured backend; ``breakers=`` registers
+        # one gate per backend, so a failing circuit engine sheds circuit
+        # jobs without also shedding fast-backend solves.
+        self._breakers: Dict[str, CircuitBreaker] = {}
         if breaker is not None:
-            breaker.add_listener(self.metrics.breaker_transition)
+            self._register_breaker(self._context.backend, breaker)
+        for backend_name, backend_breaker in (breakers or {}).items():
+            if backend_name in self._breakers:
+                raise ConfigurationError(
+                    f"two circuit breakers registered for backend {backend_name!r}"
+                )
+            self._register_breaker(backend_name, backend_breaker)
         self._fault_injector = fault_injector
         if fault_injector is not None:
             fault_injector.attach_metrics(self.metrics)
@@ -228,6 +269,8 @@ class SolverService:
                 persistent_cache_dir,
                 metrics=self.metrics,
                 fault_injector=fault_injector,
+                max_entries=persistent_max_entries,
+                ttl_seconds=persistent_ttl_seconds,
             )
         self.results = ResultCache(
             result_cache_size, metrics=self.metrics, persistent=persistent
@@ -300,6 +343,28 @@ class SolverService:
         with self._seed_lock:
             child = self._seed_sequence.spawn(1)[0]
         return int(child.generate_state(1, dtype="uint64")[0] % (2**63))
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def _register_breaker(self, backend: str, breaker: CircuitBreaker) -> None:
+        self._breakers[backend] = breaker
+
+        def listener(old_state: str, new_state: str, _backend: str = backend) -> None:
+            self.metrics.breaker_transition(old_state, new_state, backend=_backend)
+
+        breaker.add_listener(listener)
+
+    def _breaker_for(self, backend: Optional[str]) -> Optional[CircuitBreaker]:
+        """The breaker gating jobs on *backend* (``None`` = ungated)."""
+        if backend is None:
+            return None
+        return self._breakers.get(backend)
+
+    @property
+    def breakers(self) -> Dict[str, CircuitBreaker]:
+        """The registered circuit breakers, keyed by backend name (a copy)."""
+        return dict(self._breakers)
 
     # ------------------------------------------------------------------
     # Submission
@@ -415,12 +480,17 @@ class SolverService:
                     handle.deduplicated = True
                     self.metrics.job_deduplicated()
                     return handle
-                job = _Job(handle, work, deadline, cacheable=True)
+                job = _Job(
+                    handle, work, deadline, cacheable=True,
+                    backend=self._context.backend,
+                )
                 self._inflight[key] = job
                 self._enqueue_locked(job)
             return handle
 
-        job = _Job(handle, work, deadline, cacheable=False)
+        job = _Job(
+            handle, work, deadline, cacheable=False, backend=self._context.backend
+        )
         with self._state_lock:
             if not self._accepting:
                 raise ServiceError("service is shut down; submissions are closed")
@@ -445,7 +515,9 @@ class SolverService:
         effective_timeout = timeout if timeout is not None else self._default_timeout
         if effective_timeout is not None:
             deadline = handle.submitted_at + float(effective_timeout)
-        job = _Job(handle, work, deadline, cacheable=False)
+        job = _Job(
+            handle, work, deadline, cacheable=False, backend=self._context.backend
+        )
         with self._state_lock:
             if not self._accepting:
                 raise ServiceError("service is shut down; submissions are closed")
@@ -462,6 +534,105 @@ class SolverService:
         self._queued_jobs += 1
         self.metrics.queue_depth_changed(1)
         self._queue.put(job)
+
+    # ------------------------------------------------------------------
+    # Circuit jobs
+    # ------------------------------------------------------------------
+    def submit_circuit(
+        self,
+        source: Any,
+        observable: Any,
+        *,
+        parameters: Any = None,
+        compiled: bool = True,
+        lower_to: Optional[Any] = None,
+        timeout: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> JobHandle:
+        """Queue one imported-circuit expectation; returns its handle.
+
+        *source* is anything the frontend ingests — OpenQASM 2 text, a
+        :class:`~repro.frontend.ir.CircuitIR`, or an already-emitted
+        :class:`~repro.quantum.circuit.QuantumCircuit` — and *observable*
+        is any :class:`~repro.quantum.operators.PauliSum`.  The handle's
+        ``result()`` is the scalar ``⟨observable⟩`` at *parameters* (a
+        mapping or a vector in the circuit's first-appearance order;
+        ``None`` for parameter-free circuits).
+
+        The prepared
+        :class:`~repro.frontend.evaluator.CircuitExpectationEvaluator` is
+        shared through the service's program cache, keyed on circuit
+        *content* (:meth:`~repro.frontend.ir.CircuitIR.cache_key`), the
+        observable, the lowering basis and the *compiled* flag — so warm
+        re-submissions with new parameter values re-bind one compiled
+        program instead of re-parsing and re-lowering.  Expectations are
+        exact and deterministic, hence always result-cached and
+        deduplicated against identical in-flight submissions.  Circuit
+        jobs run on the gate-level engine and are gated by the breaker
+        registered under ``"circuit"`` (see the ``breakers=`` knob).
+        """
+        from repro.frontend.evaluator import CircuitExpectationEvaluator
+        from repro.frontend.ir import CircuitIR
+        from repro.frontend.parser import parse_qasm
+
+        if isinstance(source, str):
+            source = parse_qasm(source, name=name or "qasm")
+        if isinstance(source, CircuitIR):
+            circuit_key = source.cache_key()
+        else:
+            circuit_key = circuit_cache_key(source)
+        program_key = stable_hash(
+            {
+                "kind": "circuit-expectation",
+                "circuit": circuit_key,
+                "observable": observable_cache_key(observable),
+                "compiled": bool(compiled),
+                "lower_to": None if lower_to is None else sorted(lower_to),
+            }
+        )
+        prepared = source
+        evaluator = self.programs.get_or_create(
+            program_key,
+            lambda: CircuitExpectationEvaluator(
+                prepared, observable, compiled=compiled, lower_to=lower_to, name=name
+            ),
+        )
+        key = stable_hash(
+            {
+                "kind": "circuit-result",
+                "program": program_key,
+                "parameters": _binding_payload(parameters),
+            }
+        )
+        handle = JobHandle(key, self._clock)
+        self.metrics.job_submitted()
+        deadline = None
+        effective_timeout = timeout if timeout is not None else self._default_timeout
+        if effective_timeout is not None:
+            deadline = handle.submitted_at + float(effective_timeout)
+
+        def work() -> float:
+            return evaluator.expectation(parameters)
+
+        cached = self.results.get(key)
+        if cached is not None:
+            handle.from_cache = True
+            handle._mark_completed(cached)
+            self.metrics.job_completed(latency=0.0, queue_wait=0.0, run_time=0.0)
+            return handle
+        with self._state_lock:
+            if not self._accepting:
+                raise ServiceError("service is shut down; submissions are closed")
+            primary = self._inflight.get(key)
+            if primary is not None:
+                primary.attached.append(handle)
+                handle.deduplicated = True
+                self.metrics.job_deduplicated()
+                return handle
+            job = _Job(handle, work, deadline, cacheable=True, backend="circuit")
+            self._inflight[key] = job
+            self._enqueue_locked(job)
+        return handle
 
     # ------------------------------------------------------------------
     # Expectation coalescing
@@ -552,17 +723,18 @@ class SolverService:
         queue_wait = (handle.started_at or now) - handle.submitted_at
         attempts = 0
         previous_delay: Optional[float] = None
+        breaker = self._breaker_for(job.backend)
         while True:
-            if self._breaker is not None and not self._breaker.allow():
+            if breaker is not None and not breaker.allow():
                 # The backend is considered unhealthy: shed the job fast
                 # instead of burning its whole retry schedule.
-                self.metrics.breaker_rejected()
+                self.metrics.breaker_rejected(backend=job.backend)
                 self.metrics.job_failed()
                 self._finish(
                     job,
                     error=CircuitOpenError(
-                        f"circuit breaker {self._breaker.name!r} is "
-                        f"{self._breaker.state}; job {handle.job_id} shed"
+                        f"circuit breaker {breaker.name!r} is "
+                        f"{breaker.state}; job {handle.job_id} shed"
                     ),
                 )
                 return
@@ -571,12 +743,12 @@ class SolverService:
                 if self._fault_injector is not None:
                     self._fault_injector.check("worker.run")
                 result = job.work()
-                if self._breaker is not None:
-                    self._breaker.record_success()
+                if breaker is not None:
+                    breaker.record_success()
                 break
             except TransientServiceError as error:
-                if self._breaker is not None:
-                    self._breaker.record_failure()
+                if breaker is not None:
+                    breaker.record_failure()
                 attempts += 1
                 if attempts > self._max_retries:
                     self.metrics.job_failed()
@@ -588,8 +760,8 @@ class SolverService:
                     attempts, previous_delay
                 )
             except BaseException as error:  # noqa: B036 - forwarded to the handle
-                if self._breaker is not None:
-                    self._breaker.record_failure()
+                if breaker is not None:
+                    breaker.record_failure()
                 self.metrics.job_failed()
                 self._finish(job, error=error)
                 return
@@ -679,3 +851,20 @@ def _vector_payload(parameters: Any) -> Optional[list]:
     if callable(vector):
         parameters = vector()
     return [float(value) for value in parameters]
+
+
+def _binding_payload(parameters: Any) -> Any:
+    """Canonicalise circuit parameter bindings for the circuit-result key.
+
+    Mappings key by parameter *name* (a positional vector and a mapping are
+    hashed differently on purpose — they only coincide when the mapping
+    happens to follow first-appearance order, which the key must not guess).
+    """
+    if parameters is None:
+        return None
+    if isinstance(parameters, Mapping):
+        return {
+            getattr(key, "name", str(key)): float(value)
+            for key, value in parameters.items()
+        }
+    return [float(value) for value in np.asarray(parameters, dtype=float).ravel()]

@@ -1,0 +1,165 @@
+"""The OpenQASM frontend parser: tokens, registers, macros, angles, errors."""
+
+import math
+
+import pytest
+
+from repro.exceptions import QasmSyntaxError
+from repro.frontend import CircuitIR, parse_qasm
+from repro.frontend.ir import AffineParam
+from repro.frontend.lexer import tokenize
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestLexer:
+    def test_token_stream_carries_source_locations(self):
+        tokens = tokenize("qreg q[3];\nh q[0];")
+        assert [t.kind for t in tokens[:2]] == ["id", "id"]
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        h = next(t for t in tokens if t.text == "h")
+        assert h.line == 2 and h.column == 1
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("// a comment\nx q[0]; // trailing")
+        assert [t.text for t in tokens if t.kind == "id"] == ["x", "q"]
+
+    def test_numbers_with_exponents(self):
+        tokens = tokenize("rx(1.5e-3)")
+        number = next(t for t in tokens if t.kind == "number")
+        assert float(number.text) == 1.5e-3
+
+    def test_junk_character_raises_with_location(self):
+        with pytest.raises(QasmSyntaxError) as excinfo:
+            tokenize("h q[0];\n@")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 1
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(QasmSyntaxError):
+            tokenize('include "qelib1.inc')
+
+
+class TestRegistersAndGates:
+    def test_minimal_program(self):
+        ir = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0], q[1];")
+        assert isinstance(ir, CircuitIR)
+        assert ir.num_qubits == 2
+        assert [(g.name, g.qubits) for g in ir.gates] == [("h", (0,)), ("cx", (0, 1))]
+
+    def test_multiple_qregs_concatenate(self):
+        ir = parse_qasm(HEADER + "qreg a[2];\nqreg b[3];\ncx a[1], b[2];")
+        assert ir.num_qubits == 5
+        assert ir.gates[0].qubits == (1, 4)
+
+    def test_duplicate_register_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="already declared"):
+            parse_qasm(HEADER + "qreg q[2];\nqreg q[3];")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + "qreg q[2];\nh q[2];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmSyntaxError, match="unknown gate"):
+            parse_qasm(HEADER + "qreg q[1];\nfrobnicate q[0];")
+
+    def test_register_broadcast(self):
+        ir = parse_qasm(HEADER + "qreg q[3];\nh q;")
+        assert [g.qubits for g in ir.gates] == [(0,), (1,), (2,)]
+
+    def test_broadcast_size_mismatch_rejected(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + "qreg a[2];\nqreg b[3];\ncx a, b;")
+
+    def test_duplicate_qubit_operands_rejected(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + "qreg q[2];\ncx q[0], q[0];")
+
+    def test_builtin_U_and_CX(self):
+        ir = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nU(pi/2,0,pi) q[0];\nCX q[0],q[1];")
+        assert ir.gates[0].name == "u3"
+        assert ir.gates[1].name == "cx"
+
+    def test_measure_bit_and_register_forms(self):
+        ir = parse_qasm(
+            HEADER + "qreg q[2];\ncreg c[2];\nmeasure q[1] -> c[0];\nmeasure q -> c;"
+        )
+        assert ir.measurements[0] == (1, "c", 0)
+        assert len(ir.measurements) == 3
+
+    def test_barrier_is_ignored(self):
+        ir = parse_qasm(HEADER + "qreg q[2];\nh q[0];\nbarrier q;\nh q[1];")
+        assert len(ir.gates) == 2
+
+
+class TestAngleExpressions:
+    def test_constant_folding(self):
+        ir = parse_qasm(
+            HEADER + "qreg q[1];\nrz(pi/2) q[0];\nrz(3*pi/4) q[0];\n"
+            "rz(-pi) q[0];\nrz(2^3) q[0];\nrz(cos(0)) q[0];"
+        )
+        values = [g.params[0] for g in ir.gates]
+        assert values == [math.pi / 2, 3 * math.pi / 4, -math.pi, 8.0, 1.0]
+
+    def test_free_identifier_becomes_parameter(self):
+        ir = parse_qasm(HEADER + "qreg q[1];\nrz(theta) q[0];\nrx(2*theta+1) q[0];")
+        first, second = (g.params[0] for g in ir.gates)
+        assert first == AffineParam("theta")
+        assert second == AffineParam("theta", coeff=2.0, const=1.0)
+        assert ir.parameters == ["theta"]
+
+    def test_mixed_parameter_sum_rejected_at_top_level(self):
+        with pytest.raises(QasmSyntaxError, match="mixes parameters"):
+            parse_qasm(HEADER + "qreg q[1];\nrz(alpha+beta) q[0];")
+
+    def test_symbolic_product_rejected(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + "qreg q[1];\nrz(alpha*beta) q[0];")
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + "qreg q[1];\nrz(pi/0) q[0];")
+
+
+class TestGateMacros:
+    SOURCE = HEADER + (
+        "qreg q[3];\n"
+        "gate foo(theta) a, b { cx a, b; rz(theta/2) b; }\n"
+        "foo(pi) q[0], q[2];\n"
+    )
+
+    def test_macro_recorded_and_called(self):
+        ir = parse_qasm(self.SOURCE)
+        assert "foo" in ir.macros
+        assert [(g.name, g.qubits) for g in ir.gates] == [("foo", (0, 2))]
+        assert ir.gates[0].params == (math.pi,)
+
+    def test_macro_body_free_identifier_rejected(self):
+        # Inside a gate body only the formals are in scope.
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(HEADER + "qreg q[1];\ngate bad a { rz(zeta) a; }")
+
+    def test_macro_wrong_arity_rejected(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(self.SOURCE + "foo(1.0) q[0];")
+
+
+class TestUnsupportedStatements:
+    @pytest.mark.parametrize(
+        "statement",
+        ["reset q[0];", "if (c == 1) x q[0];", "opaque mystery a;"],
+    )
+    def test_rejected_with_clear_error(self, statement):
+        source = HEADER + "qreg q[1];\ncreg c[1];\n" + statement
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm(source)
+
+    def test_error_message_carries_line_number(self):
+        try:
+            parse_qasm(HEADER + "qreg q[1];\nreset q[0];")
+        except QasmSyntaxError as error:
+            assert error.line == 4
+            assert "line 4" in str(error)
+        else:  # pragma: no cover
+            pytest.fail("expected QasmSyntaxError")

@@ -1,0 +1,139 @@
+"""Decomposition passes: per-rule unitary oracles, bases, phase tracking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError, ConfigurationError
+from repro.frontend import PassManager, parse_qasm, to_circuit
+from repro.frontend.ir import CircuitIR
+from repro.frontend.passes import (
+    RESTRICTED_RULES,
+    STANDARD_RULES,
+    DecompositionPass,
+    DecompositionRule,
+    ValidationPass,
+    lower_to_native,
+)
+from repro.quantum.simulator import StatevectorSimulator
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestRuleOracles:
+    """Every built-in rule is pinned to its reference unitary at 1e-12."""
+
+    @pytest.mark.parametrize("name", sorted(STANDARD_RULES))
+    def test_standard_rule_matches_reference(self, name):
+        deviation = STANDARD_RULES[name].verify(tol=1e-12)
+        assert deviation <= 1e-12
+
+    @pytest.mark.parametrize("name", sorted(RESTRICTED_RULES))
+    def test_restricted_rule_matches_reference(self, name):
+        deviation = RESTRICTED_RULES[name].verify(tol=1e-12)
+        assert deviation <= 1e-12
+
+    def test_verify_rejects_a_wrong_template(self):
+        broken = DecompositionRule(
+            "broken_h",
+            num_qubits=1,
+            num_params=0,
+            template=[("x", (0,), ())],
+            reference=lambda: np.array([[1, 1], [1, -1]]) / math.sqrt(2),
+        )
+        with pytest.raises(CircuitError, match="deviates"):
+            broken.verify(tol=1e-12)
+
+
+class TestLowering:
+    def test_composite_gates_lower_to_registry_basis(self):
+        ir = parse_qasm(
+            HEADER + "qreg q[3];\nccx q[0], q[1], q[2];\ncu1(pi/4) q[0], q[1];\n"
+            "ch q[0], q[1];"
+        )
+        lowered = lower_to_native(ir)
+        from repro.quantum.gates import GATE_REGISTRY
+
+        assert all(g.name in GATE_REGISTRY for g in lowered.gates)
+
+    def test_restricted_basis_with_global_phase(self):
+        ir = parse_qasm(HEADER + "qreg q[1];\nh q[0];\ns q[0];\nt q[0];")
+        lowered = lower_to_native(ir, lower_to={"rz", "rx", "cx"})
+        assert {g.name for g in lowered.gates} <= {"rz", "rx", "cx"}
+        # The dropped phase is recorded: e^{i phi} U_lowered == U_source.
+        simulator = StatevectorSimulator(max_qubits=4)
+        source = simulator.unitary(to_circuit(lower_to_native(ir)))
+        rebuilt = np.exp(1j * lowered.global_phase()) * simulator.unitary(
+            to_circuit(lowered)
+        )
+        assert np.abs(source - rebuilt).max() < 1e-12
+
+    def test_macro_expansion_reaches_fixpoint(self):
+        source = HEADER + (
+            "qreg q[2];\n"
+            "gate inner a { h a; }\n"
+            "gate outer a, b { inner a; cx a, b; inner b; }\n"
+            "outer q[0], q[1];\n"
+        )
+        lowered = lower_to_native(parse_qasm(source))
+        assert [g.name for g in lowered.gates] == ["h", "cx", "h"]
+
+    def test_macro_shadows_standard_rule(self):
+        # A user-defined ``ccx`` takes precedence over the library template.
+        source = HEADER + (
+            "qreg q[3];\n"
+            "gate ccx a, b, c { cx a, c; }\n"
+            "ccx q[0], q[1], q[2];\n"
+        )
+        lowered = lower_to_native(parse_qasm(source))
+        assert [g.name for g in lowered.gates] == ["cx"]
+
+    def test_unknown_gate_reports_basis(self):
+        ir = CircuitIR(1)
+        ir.add("mystery", (0,))
+        with pytest.raises(CircuitError, match="no decomposition rule"):
+            lower_to_native(ir)
+
+    def test_invalid_basis_rejected(self):
+        ir = parse_qasm(HEADER + "qreg q[1];\nh q[0];")
+        with pytest.raises(ConfigurationError):
+            lower_to_native(ir, lower_to={"rz", "nonsense"})
+
+    def test_recursive_macro_hits_iteration_guard(self):
+        loop = DecompositionRule(
+            "loop", num_qubits=1, num_params=0, template=[("loop", (0,), ())]
+        )
+        ir = CircuitIR(1)
+        ir.add("loop", (0,))
+        with pytest.raises(CircuitError):
+            DecompositionPass(rules={"loop": loop})(ir)
+
+
+class TestValidationPass:
+    def test_accepts_native_circuit(self):
+        ir = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0], q[1];")
+        assert ValidationPass()(ir) is ir
+
+    def test_rejects_non_basis_gate(self):
+        ir = parse_qasm(HEADER + "qreg q[1];\nh q[0];")
+        with pytest.raises(CircuitError):
+            ValidationPass(lower_to={"rz", "rx", "cx"})(ir)
+
+    def test_pass_manager_chains(self):
+        ir = parse_qasm(HEADER + "qreg q[2];\nch q[0], q[1];")
+        manager = PassManager([DecompositionPass(), ValidationPass()])
+        lowered = manager.run(ir)
+        assert all(g.name != "ch" for g in lowered.gates)
+
+
+class TestCacheKeys:
+    def test_renamed_parameters_share_cache_key(self):
+        a = parse_qasm(HEADER + "qreg q[1];\nrz(theta) q[0];")
+        b = parse_qasm(HEADER + "qreg q[1];\nrz(phi) q[0];")
+        assert a.cache_key() == b.cache_key()
+
+    def test_different_angles_split_cache_key(self):
+        a = parse_qasm(HEADER + "qreg q[1];\nrz(pi/2) q[0];")
+        b = parse_qasm(HEADER + "qreg q[1];\nrz(pi/4) q[0];")
+        assert a.cache_key() != b.cache_key()

@@ -1,0 +1,86 @@
+"""QASM round-trip property: ``parse_qasm(to_qasm(c))`` is bit-identical.
+
+Reuses the randomized circuit generator of the PTM differential harness —
+the same gate pool that stresses the compiled engine also stresses the
+exporter's float formatting and the parser's constant folding.  Exported
+floats go through ``repr`` (shortest round-trip form), so the re-imported
+circuit must produce the *exact same bytes* of statevector, not merely a
+close one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frontend import ingest, parse_qasm, to_circuit, to_qasm
+from repro.frontend.passes import lower_to_native
+from repro.quantum import QuantumCircuit
+from repro.quantum.parameter import Parameter
+from repro.quantum.simulator import StatevectorSimulator
+
+from test_ptm_differential import _random_circuit
+
+
+class TestRandomizedRoundTrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_statevectors_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        num_qubits = int(rng.integers(2, 6))
+        depth = int(rng.integers(1, 30))
+        circuit = _random_circuit(rng, num_qubits, depth)
+
+        reimported = ingest(to_qasm(circuit))
+        simulator = StatevectorSimulator()
+        original = simulator.run(circuit).data
+        rebuilt = simulator.run(reimported).data
+        assert np.array_equal(original, rebuilt)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_double_round_trip_is_stable(self, seed):
+        # to_qasm(parse(to_qasm(c))) must be byte-stable after one cycle.
+        rng = np.random.default_rng(1000 + seed)
+        circuit = _random_circuit(rng, 3, 12)
+        once = to_qasm(ingest(to_qasm(circuit)))
+        twice = to_qasm(ingest(once))
+        assert once == twice
+
+
+class TestParametricRoundTrip:
+    def test_unbound_parameters_survive_export(self):
+        theta = Parameter("theta")
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(theta, 0)
+        circuit.rx(2.0 * theta + 0.5, 1)
+        reimported = ingest(to_qasm(circuit))
+        assert [p.name for p in reimported.parameters] == ["theta"]
+        simulator = StatevectorSimulator()
+        for value in (-1.3, 0.0, 2.25):
+            original = simulator.run(circuit, {theta: value}).data
+            rebuilt = simulator.run(
+                reimported, {reimported.parameters[0]: value}
+            ).data
+            assert np.array_equal(original, rebuilt)
+
+    def test_measurements_round_trip(self):
+        source = (
+            "OPENQASM 2.0;\n"
+            'include "qelib1.inc";\n'
+            "qreg q[2];\ncreg c[2];\nh q[0];\nmeasure q -> c;\n"
+        )
+        ir = parse_qasm(source)
+        again = parse_qasm(to_qasm(ir))
+        assert again.measurements == ir.measurements
+        assert again.cregs == ir.cregs
+
+    def test_lowered_circuit_round_trips(self):
+        # Export after lowering: native-only gate stream, still importable.
+        ir = parse_qasm(
+            "OPENQASM 2.0;\nqreg q[3];\nccx q[0], q[1], q[2];\n"
+        )
+        lowered = lower_to_native(ir)
+        circuit = to_circuit(lowered)
+        rebuilt = ingest(to_qasm(circuit))
+        simulator = StatevectorSimulator()
+        assert np.array_equal(
+            simulator.run(circuit).data, simulator.run(rebuilt).data
+        )

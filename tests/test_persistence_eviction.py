@@ -1,0 +1,176 @@
+"""Persistent-cache eviction: capacity bound, TTL, and chaos safety."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience.faults import Fault, FaultInjector, FaultPlan
+from repro.service.metrics import ServiceMetrics
+from repro.service.persistence import PersistentResultCache
+from repro.service import SolverService
+
+NO_SLEEP = lambda _: None  # noqa: E731
+
+
+def plain_cache(directory, **kwargs):
+    """A cache storing JSON-able payloads directly (no QAOAResult)."""
+    return PersistentResultCache(
+        directory, serialize=lambda r: r, deserialize=lambda p: p, **kwargs
+    )
+
+
+def backdate(cache, key, mtime):
+    path = cache._path(key)
+    os.utime(path, (mtime, mtime))
+
+
+class TestConfiguration:
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PersistentResultCache("unused", max_entries=0)
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PersistentResultCache("unused", ttl_seconds=0.0)
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = plain_cache(tmp_path)
+        assert cache.max_entries is None
+        assert cache.ttl_seconds is None
+
+
+class TestCapacityBound:
+    def test_oldest_entries_evicted_after_put(self, tmp_path):
+        metrics = ServiceMetrics()
+        cache = plain_cache(tmp_path, max_entries=3, metrics=metrics)
+        for index in range(5):
+            assert cache.put(f"k{index}", {"value": index})
+            backdate(cache, f"k{index}", 1000.0 + index)
+        assert len(cache) == 3
+        assert cache.get("k0") is None
+        assert cache.get("k1") is None
+        for index in (2, 3, 4):
+            assert cache.get(f"k{index}") == {"value": index}
+        assert metrics.to_dict()["caches"]["persistent"]["evictions"] == 2
+
+    def test_eviction_happens_synchronously(self, tmp_path):
+        cache = plain_cache(tmp_path, max_entries=1)
+        cache.put("a", 1)
+        time.sleep(0.01)  # distinct mtimes
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("b") == 2
+
+
+class TestTTL:
+    def test_expired_entry_is_a_miss_and_removed(self, tmp_path):
+        clock = [1000.0]
+        cache = plain_cache(tmp_path, ttl_seconds=60.0, clock=lambda: clock[0])
+        cache.put("k", {"v": 1})
+        backdate(cache, "k", 1000.0)
+        assert cache.get("k") == {"v": 1}
+        clock[0] = 1061.0
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_fresh_entries_survive_expiry_of_others(self, tmp_path):
+        clock = [1000.0]
+        cache = plain_cache(tmp_path, ttl_seconds=60.0, clock=lambda: clock[0])
+        cache.put("old", 1)
+        cache.put("new", 2)
+        backdate(cache, "old", 900.0)
+        backdate(cache, "new", 1000.0)
+        assert cache.get("old") is None
+        assert cache.get("new") == 2
+
+    def test_sweep_reclaims_without_reads(self, tmp_path):
+        clock = [1000.0]
+        cache = plain_cache(tmp_path, ttl_seconds=60.0, clock=lambda: clock[0])
+        for index in range(4):
+            cache.put(f"k{index}", index)
+            backdate(cache, f"k{index}", 1000.0)
+        clock[0] = 2000.0
+        assert cache.sweep() == 4
+        assert len(cache) == 0
+
+    def test_sweep_without_ttl_is_a_noop(self, tmp_path):
+        cache = plain_cache(tmp_path)
+        cache.put("k", 1)
+        assert cache.sweep() == 0
+        assert cache.get("k") == 1
+
+
+class TestEvictionChaos:
+    """Eviction must never corrupt surviving entries, even under fault fire."""
+
+    def test_survivors_bit_identical_after_capacity_churn(self, tmp_path):
+        # Write through a bounded cache with injected write corruption on
+        # some entries; every *readable* survivor must be bit-identical to
+        # what was stored, and corrupted ones quarantine — never poison
+        # their neighbours.
+        plan = FaultPlan(
+            [Fault("cache.write", 3, "corrupt"), Fault("cache.write", 7, "corrupt")]
+        )
+        injector = FaultInjector(plan, sleep=NO_SLEEP)
+        metrics = ServiceMetrics()
+        cache = plain_cache(
+            tmp_path, max_entries=6, metrics=metrics, fault_injector=injector
+        )
+        expected = {}
+        for index in range(10):
+            payload = {"index": index, "blob": "x" * index}
+            cache.put(f"k{index}", payload)
+            backdate(cache, f"k{index}", 1000.0 + index)
+            expected[f"k{index}"] = payload
+        # Capacity 6: at most the 6 youngest files remain on disk.
+        assert len(cache) <= 6
+        survivors = 0
+        for index in range(4, 10):
+            value = cache.get(f"k{index}")
+            if value is not None:
+                assert value == expected[f"k{index}"]
+                survivors += 1
+        # The two corrupted writes can only account for two losses.
+        assert survivors >= 4
+        snapshot = metrics.to_dict()["caches"]["persistent"]
+        assert snapshot["evictions"] == 4
+        # Raw disk check: after the read loop quarantined the corrupted
+        # entry, every file still on disk decodes as clean JSON — eviction
+        # never leaves a torn file behind.
+        for path in tmp_path.glob("*.result.json"):
+            json.loads(path.read_text(encoding="utf-8"))
+
+    def test_ttl_expiry_under_read_faults_keeps_neighbours(self, tmp_path):
+        clock = [1000.0]
+        injector = FaultInjector(
+            FaultPlan([Fault("cache.read", 0, "transient")]), sleep=NO_SLEEP
+        )
+        cache = plain_cache(
+            tmp_path,
+            ttl_seconds=60.0,
+            clock=lambda: clock[0],
+            fault_injector=injector,
+        )
+        cache.put("a", {"v": "a"})
+        cache.put("b", {"v": "b"})
+        backdate(cache, "a", 900.0)  # expired
+        backdate(cache, "b", 1000.0)  # fresh
+        assert cache.get("a") is None  # TTL removal, before the read fault
+        assert cache.get("b") is None  # injected transient read fault: miss
+        assert cache.get("b") == {"v": "b"}  # next read is clean
+
+
+class TestServicePassthrough:
+    def test_service_builds_bounded_persistent_tier(self, tmp_path):
+        with SolverService(
+            max_workers=1,
+            persistent_cache_dir=tmp_path,
+            persistent_max_entries=5,
+            persistent_ttl_seconds=120.0,
+        ) as service:
+            tier = service.results.persistent
+            assert tier.max_entries == 5
+            assert tier.ttl_seconds == 120.0

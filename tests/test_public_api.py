@@ -41,6 +41,11 @@ PUBLIC_API_SNAPSHOT = sorted(
         "TwoLevelQAOARunner",
         "ComparisonRecord",
         "compare_on_problem",
+        # Ingestion frontend.
+        "ingest",
+        "parse_qasm",
+        "CircuitIR",
+        "CircuitExpectationEvaluator",
         # Service tier.
         "SolverService",
         "JobHandle",
@@ -73,6 +78,7 @@ PUBLIC_API_SNAPSHOT = sorted(
         "JobTimeoutError",
         "CircuitOpenError",
         "CheckpointError",
+        "QasmSyntaxError",
     ]
 )
 

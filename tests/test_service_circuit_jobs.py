@@ -1,0 +1,159 @@
+"""Circuit jobs on the solver service: caching, dedup, per-backend breakers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitOpenError, ConfigurationError
+from repro.frontend import parse_qasm
+from repro.frontend.library import circuit_source
+from repro.quantum.operators import PauliSum
+from repro.resilience.breaker import CircuitBreaker
+from repro.service import SolverService
+
+BELL = (
+    "OPENQASM 2.0;\n"
+    'include "qelib1.inc";\n'
+    "qreg q[2];\nh q[0];\ncx q[0], q[1];\nrz(theta) q[1];\n"
+)
+ZZ = PauliSum([(1.0, "ZZ")])
+#: theta-sensitive: <XX> of the rz-rotated Bell pair is cos(theta).
+XX = PauliSum([(1.0, "XX")])
+
+
+class TestSubmitCircuit:
+    def test_scalar_expectation_from_qasm(self):
+        with SolverService(max_workers=1) as service:
+            value = service.submit_circuit(BELL, ZZ, parameters=[0.0]).result(
+                timeout=60
+            )
+        assert value == pytest.approx(1.0, abs=1e-12)
+
+    def test_accepts_ir_and_emitted_circuit(self):
+        ir = parse_qasm(BELL)
+        from repro.frontend import ingest
+
+        circuit = ingest(BELL)
+        with SolverService(max_workers=1) as service:
+            from_ir = service.submit_circuit(ir, ZZ, parameters=[0.7]).result(
+                timeout=60
+            )
+            from_circuit = service.submit_circuit(
+                circuit, ZZ, parameters=[0.7]
+            ).result(timeout=60)
+        assert from_ir == pytest.approx(from_circuit, abs=1e-12)
+
+    def test_result_cache_serves_warm_resubmission(self):
+        with SolverService(max_workers=1) as service:
+            first = service.submit_circuit(BELL, ZZ, parameters=[0.3])
+            value = first.result(timeout=60)
+            second = service.submit_circuit(BELL, ZZ, parameters=[0.3])
+            assert second.from_cache
+            assert second.result(timeout=1) == value
+            assert not first.from_cache
+
+    def test_program_cache_shared_across_renamed_parameters(self):
+        """Warm re-submissions re-bind one compiled program (hit counters)."""
+        renamed = BELL.replace("theta", "phi")
+        with SolverService(max_workers=1) as service:
+            a = service.submit_circuit(BELL, XX, parameters=[0.4]).result(timeout=60)
+            b = service.submit_circuit(renamed, XX, parameters=[0.4])
+            # Same circuit content: the *result* cache already has it.
+            assert b.from_cache
+            c = service.submit_circuit(renamed, XX, parameters=[0.9]).result(
+                timeout=60
+            )
+            snapshot = service.metrics.to_dict()["caches"]["program"]
+            assert snapshot["misses"] == 1
+            assert snapshot["hits"] >= 1
+        assert a == pytest.approx(b.result(timeout=1), abs=1e-12)
+        assert a == pytest.approx(np.cos(0.4), abs=1e-12)
+        assert c == pytest.approx(np.cos(0.9), abs=1e-12)
+
+    def test_different_parameters_do_not_share_results(self):
+        with SolverService(max_workers=1) as service:
+            a = service.submit_circuit(BELL, XX, parameters=[0.1]).result(timeout=60)
+            handle = service.submit_circuit(BELL, XX, parameters=[0.2])
+            assert not handle.from_cache
+            b = handle.result(timeout=60)
+        assert a != b
+
+    def test_library_ansatz_with_observable(self):
+        observable = PauliSum([(1.0, "ZZII"), (1.0, "IIZZ")])
+        values = list(np.linspace(0.0, 1.0, 24))
+        with SolverService(max_workers=2) as service:
+            value = service.submit_circuit(
+                circuit_source("hwe_ansatz"), observable, parameters=values
+            ).result(timeout=120)
+        assert np.isfinite(value)
+        assert -2.0 <= value <= 2.0
+
+    def test_mismatched_observable_rejected_at_submission(self):
+        # The evaluator is prepared eagerly, so the mismatch surfaces in the
+        # submitting thread instead of poisoning a queued job.
+        with SolverService(max_workers=1) as service:
+            with pytest.raises(ConfigurationError):
+                service.submit_circuit(BELL, PauliSum([(1.0, "ZZZ")]))
+
+
+class TestPerBackendBreakers:
+    def _breakers(self, clock):
+        return {
+            "circuit": CircuitBreaker(
+                min_failures=1, window=2, recovery_time=10.0, probe_budget=1, clock=clock,
+                name="circuit",
+            ),
+            "fast": CircuitBreaker(
+                min_failures=1, window=2, recovery_time=10.0, probe_budget=1, clock=clock,
+                name="fast",
+            ),
+        }
+
+    def test_open_circuit_breaker_sheds_only_circuit_jobs(self):
+        now = [0.0]
+        breakers = self._breakers(lambda: now[0])
+        with SolverService(
+            max_workers=1, max_retries=0, breakers=breakers
+        ) as service:
+            breakers["circuit"].record_failure()
+            assert breakers["circuit"].state == "open"
+            handle = service.submit_circuit(BELL, ZZ, parameters=[0.5])
+            with pytest.raises(CircuitOpenError, match="'circuit'"):
+                handle.result(timeout=60)
+            # The fast backend's gate is independent: callables still run.
+            assert service.submit_callable(lambda: 7).result(timeout=60) == 7
+            snapshot = service.metrics.to_dict()["resilience"]["breaker"]
+            assert snapshot["per_backend"]["circuit"]["rejections"] == 1
+            assert "fast" not in snapshot["per_backend"]
+            assert snapshot["rejections"] == 1
+
+    def test_recovery_reruns_circuit_jobs(self):
+        now = [0.0]
+        breakers = self._breakers(lambda: now[0])
+        with SolverService(
+            max_workers=1, max_retries=0, breakers=breakers
+        ) as service:
+            breakers["circuit"].record_failure()
+            with pytest.raises(CircuitOpenError):
+                service.submit_circuit(BELL, ZZ, parameters=[0.0]).result(timeout=60)
+            now[0] = 11.0
+            value = service.submit_circuit(BELL, ZZ, parameters=[0.0]).result(
+                timeout=60
+            )
+            assert value == pytest.approx(1.0, abs=1e-12)
+            transitions = service.metrics.to_dict()["resilience"]["breaker"][
+                "per_backend"
+            ]["circuit"]["transitions"]
+            assert transitions["open->half-open"] == 1
+            assert transitions["half-open->closed"] == 1
+
+    def test_breaker_and_breakers_collision_rejected(self):
+        gate = CircuitBreaker(min_failures=1, window=2)
+        with pytest.raises(ConfigurationError, match="two circuit breakers"):
+            SolverService(max_workers=1, breaker=gate, breakers={"fast": gate})
+
+    def test_breakers_property_exposes_registry(self):
+        breakers = self._breakers(lambda: 0.0)
+        with SolverService(max_workers=1, breakers=breakers) as service:
+            assert service.breakers == breakers
+            service.breakers["extra"] = None  # the copy is not live state
+            assert "extra" not in service.breakers
