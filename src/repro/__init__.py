@@ -80,6 +80,11 @@ _LAZY_EXPORTS = {
     "parse_qasm": "repro.frontend",
     "CircuitIR": "repro.frontend",
     "CircuitExpectationEvaluator": "repro.frontend",
+    # Continuous-time dynamics.
+    "AnnealingSolver": "repro.dynamics",
+    "AnnealingSchedule": "repro.dynamics",
+    "Lindbladian": "repro.dynamics",
+    "evolve": "repro.dynamics",
     # Service tier.
     "SolverService": "repro.service",
     "JobHandle": "repro.service",
@@ -126,6 +131,11 @@ __all__ = [
     "parse_qasm",
     "CircuitIR",
     "CircuitExpectationEvaluator",
+    # Continuous-time dynamics.
+    "AnnealingSolver",
+    "AnnealingSchedule",
+    "Lindbladian",
+    "evolve",
     # Service tier.
     "SolverService",
     "JobHandle",

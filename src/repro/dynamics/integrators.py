@@ -1,0 +1,635 @@
+"""Deterministic ODE integrators over statevectors and ``vec(rho)``.
+
+Two steppers share one surface:
+
+* :class:`RK4Integrator` — classical fixed-step fourth-order Runge–Kutta on
+  a uniform grid (merged with every requested sample time, so dense output
+  is exact, not interpolated);
+* :class:`RK45Integrator` — adaptive Dormand–Prince 5(4) with an embedded
+  fourth-order error estimate, PI-free step control, FSAL stage reuse, and
+  the same exact-sample-landing dense output (the step is clamped to each
+  requested time, never interpolated past it).
+
+Both are **seedless and deterministic**: the same generator, state and
+options produce bit-identical trajectories — matching the repo-wide
+reproducibility contract, and making results cacheable by content key.
+
+:func:`evolve` is the user-facing entry point: it dispatches a
+:class:`~repro.dynamics.generators.Hamiltonian` (or a schedule-interpolated
+one) to Schrodinger integration of ``-i H |psi>`` and a
+:class:`~repro.dynamics.lindblad.Lindbladian` to master-equation integration
+on row-major ``vec(rho)``, monitoring the conserved invariant (state norm /
+trace) for silent drift.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.dynamics import Hamiltonian, evolve
+>>> from repro.quantum.operators import PauliSum
+>>> ham = Hamiltonian(PauliSum([(1.0, "Z")]))
+>>> result = evolve(ham, np.array([1.0, 1.0]) / np.sqrt(2), times=np.pi / 4)
+>>> result.kind
+'schrodinger'
+>>> bool(result.invariant_drift < 1e-8)        # norm conserved
+True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.dynamics.lindblad import Lindbladian
+
+# ---------------------------------------------------------------------------
+# Dormand–Prince 5(4) tableau (the classic DOPRI5 coefficients).
+# ---------------------------------------------------------------------------
+_DP_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+_DP_A = (
+    (),
+    (1 / 5,),
+    (3 / 40, 9 / 40),
+    (44 / 45, -56 / 15, 32 / 9),
+    (19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729),
+    (9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656),
+    (35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84),
+)
+#: Fifth-order solution weights (row 7 of A — the FSAL property).
+_DP_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0])
+#: Embedded fourth-order weights.
+_DP_B4 = np.array(
+    [
+        5179 / 57600,
+        0.0,
+        7571 / 16695,
+        393 / 640,
+        -92097 / 339200,
+        187 / 2100,
+        1 / 40,
+    ]
+)
+
+RHS = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass
+class EvolutionResult:
+    """One integrated trajectory, sampled at the requested times.
+
+    ``states[k]`` is the flat state at ``times[k]`` — a statevector for
+    Schrodinger evolution, row-major ``vec(rho)`` for Lindblad evolution.
+    """
+
+    times: np.ndarray
+    states: np.ndarray
+    method: str
+    num_steps: int
+    num_rhs_evaluations: int
+    rejected_steps: int
+    invariant_drift: float
+    invariant_name: Optional[str] = None
+    kind: str = "generic"
+    num_qubits: Optional[int] = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def final_state(self) -> np.ndarray:
+        """The flat state at the last sample time."""
+        return self.states[-1]
+
+    def final_statevector(self):
+        """The final state as a :class:`~repro.quantum.statevector.Statevector`."""
+        if self.kind != "schrodinger":
+            raise SimulationError(
+                f"final_statevector needs a Schrodinger trajectory, this one "
+                f"is {self.kind!r}"
+            )
+        from repro.quantum.statevector import Statevector
+
+        return Statevector(self.final_state, copy=True, validate=False)
+
+    def final_density_matrix(self):
+        """The final state as a :class:`~repro.quantum.density.DensityMatrix`."""
+        if self.kind != "lindblad":
+            raise SimulationError(
+                f"final_density_matrix needs a Lindblad trajectory, this one "
+                f"is {self.kind!r}"
+            )
+        from repro.quantum.density import DensityMatrix
+
+        dim = int(round(math.sqrt(self.final_state.size)))
+        return DensityMatrix(
+            self.final_state.reshape(dim, dim), copy=True, validate=False
+        )
+
+    def probabilities(self, index: int = -1) -> np.ndarray:
+        """Computational-basis probabilities at sample *index* (clipped,
+        renormalised against integrator drift)."""
+        state = self.states[index]
+        if self.kind == "lindblad":
+            dim = int(round(math.sqrt(state.size)))
+            raw = np.diag(state.reshape(dim, dim)).real
+        else:
+            raw = np.abs(state) ** 2
+        clipped = np.clip(raw, 0.0, None)
+        total = clipped.sum()
+        if total <= 0.0:
+            raise SimulationError("state has no probability mass left")
+        return clipped / total
+
+
+def _merge_grid(t0: float, t1: float, base: np.ndarray, samples: np.ndarray) -> np.ndarray:
+    grid = np.unique(np.concatenate([base, samples, [t0, t1]]))
+    return grid[(grid >= t0 - 1e-15) & (grid <= t1 + 1e-15)]
+
+
+def _validate_span(t_span: Tuple[float, float]) -> Tuple[float, float]:
+    t0, t1 = float(t_span[0]), float(t_span[1])
+    if not (np.isfinite(t0) and np.isfinite(t1)) or t1 <= t0:
+        raise ConfigurationError(f"need a finite span with t1 > t0, got {t_span}")
+    return t0, t1
+
+
+def _prepare_samples(
+    t0: float, t1: float, t_eval: Optional[Sequence[float]]
+) -> np.ndarray:
+    if t_eval is None:
+        return np.array([t0, t1])
+    samples = np.asarray(t_eval, dtype=float).reshape(-1)
+    if samples.size == 0:
+        return np.array([t0, t1])
+    if np.any(~np.isfinite(samples)):
+        raise ConfigurationError("sample times must be finite")
+    if np.any(np.diff(samples) <= 0):
+        raise ConfigurationError("sample times must be strictly increasing")
+    if samples[0] < t0 - 1e-12 or samples[-1] > t1 + 1e-12:
+        raise ConfigurationError(
+            f"sample times must lie inside [{t0}, {t1}], got "
+            f"[{samples[0]}, {samples[-1]}]"
+        )
+    return samples
+
+
+class RK4Integrator:
+    """Fixed-step classical Runge–Kutta of order 4.
+
+    Parameters
+    ----------
+    num_steps:
+        Number of uniform base steps across the span; every requested
+        sample time is merged into the grid so dense output lands exactly.
+    """
+
+    method = "rk4"
+
+    def __init__(self, num_steps: int = 200):
+        num_steps = int(num_steps)
+        if num_steps < 1:
+            raise ConfigurationError(f"num_steps must be >= 1, got {num_steps}")
+        self.num_steps = num_steps
+
+    def integrate(
+        self,
+        rhs: RHS,
+        y0: np.ndarray,
+        t_span: Tuple[float, float],
+        t_eval: Optional[Sequence[float]] = None,
+        invariant: Optional[Callable[[np.ndarray], float]] = None,
+    ) -> EvolutionResult:
+        t0, t1 = _validate_span(t_span)
+        samples = _prepare_samples(t0, t1, t_eval)
+        base = np.linspace(t0, t1, self.num_steps + 1)
+        grid = _merge_grid(t0, t1, base, samples)
+        y = np.asarray(y0, dtype=complex).reshape(-1).copy()
+        reference = None if invariant is None else invariant(y)
+        drift = 0.0
+        evaluations = 0
+        outputs = {}
+        # Record the state at t0 if requested.
+        sample_index = 0
+        if math.isclose(samples[0], t0, abs_tol=1e-15):
+            outputs[0] = y.copy()
+            sample_index = 1
+        for left, right in zip(grid[:-1], grid[1:]):
+            h = right - left
+            k1 = rhs(left, y)
+            k2 = rhs(left + 0.5 * h, y + 0.5 * h * k1)
+            k3 = rhs(left + 0.5 * h, y + 0.5 * h * k2)
+            k4 = rhs(right, y + h * k3)
+            y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+            evaluations += 4
+            if invariant is not None:
+                drift = max(drift, abs(invariant(y) - reference))
+            while sample_index < samples.size and right >= samples[sample_index] - 1e-12:
+                outputs[sample_index] = y.copy()
+                sample_index += 1
+        states = [outputs[k] for k in range(samples.size)]
+        return EvolutionResult(
+            times=samples,
+            states=np.array(states),
+            method=self.method,
+            num_steps=grid.size - 1,
+            num_rhs_evaluations=evaluations,
+            rejected_steps=0,
+            invariant_drift=float(drift),
+        )
+
+
+class RK45Integrator:
+    """Adaptive Dormand–Prince 5(4) with exact sample landing.
+
+    Parameters
+    ----------
+    rtol, atol:
+        Relative / absolute tolerance of the embedded error estimate
+        (RMS-normalised, SciPy-style scale ``atol + rtol * |y|``).
+    max_steps:
+        Hard cap on accepted + rejected steps before raising
+        :class:`~repro.exceptions.SimulationError` (stiffness guard).
+    initial_step:
+        First trial step; a conservative heuristic from the initial
+        derivative magnitude when omitted.
+    step_size:
+        When set, **disables adaptivity**: the fifth-order propagator is
+        driven on a fixed grid of this spacing (merged with the sample
+        times).  Used by the order-scaling property tests.
+    """
+
+    method = "rk45"
+
+    def __init__(
+        self,
+        rtol: float = 1e-8,
+        atol: float = 1e-10,
+        *,
+        max_steps: int = 1_000_000,
+        initial_step: Optional[float] = None,
+        step_size: Optional[float] = None,
+        safety: float = 0.9,
+        min_factor: float = 0.2,
+        max_factor: float = 5.0,
+    ):
+        rtol, atol = float(rtol), float(atol)
+        if rtol <= 0.0 or atol <= 0.0:
+            raise ConfigurationError(f"tolerances must be > 0, got rtol={rtol}, atol={atol}")
+        self.rtol = rtol
+        self.atol = atol
+        self.max_steps = int(max_steps)
+        self.initial_step = None if initial_step is None else float(initial_step)
+        self.step_size = None if step_size is None else float(step_size)
+        if self.step_size is not None and self.step_size <= 0.0:
+            raise ConfigurationError(f"step_size must be > 0, got {step_size}")
+        self.safety = float(safety)
+        self.min_factor = float(min_factor)
+        self.max_factor = float(max_factor)
+
+    # -- one embedded step ----------------------------------------------
+    @staticmethod
+    def _stages(rhs: RHS, t: float, y: np.ndarray, h: float, k1: np.ndarray):
+        k = [k1]
+        for stage in range(1, 7):
+            increment = sum(
+                coeff * k[j] for j, coeff in enumerate(_DP_A[stage]) if coeff != 0.0
+            )
+            k.append(rhs(t + _DP_C[stage] * h, y + h * increment))
+        return k
+
+    @staticmethod
+    def _combine(y: np.ndarray, h: float, k, weights) -> np.ndarray:
+        acc = y.copy()
+        for weight, stage in zip(weights, k):
+            if weight != 0.0:
+                acc = acc + (h * weight) * stage
+        return acc
+
+    def _error_norm(self, y, y_new, k, h) -> float:
+        diff = sum(
+            (b5 - b4) * stage for b5, b4, stage in zip(_DP_B5, _DP_B4, k)
+        )
+        scale = self.atol + self.rtol * np.maximum(np.abs(y), np.abs(y_new))
+        ratio = (h * diff) / scale
+        return float(np.sqrt(np.mean(np.abs(ratio) ** 2)))
+
+    def _initial_step(self, rhs: RHS, t0: float, y0: np.ndarray, span: float) -> float:
+        if self.initial_step is not None:
+            return min(self.initial_step, span)
+        f0 = rhs(t0, y0)
+        scale = self.atol + self.rtol * np.abs(y0)
+        d0 = float(np.sqrt(np.mean(np.abs(y0 / scale) ** 2)))
+        d1 = float(np.sqrt(np.mean(np.abs(f0 / scale) ** 2)))
+        if d0 < 1e-5 or d1 < 1e-5:
+            guess = 1e-6 * span
+        else:
+            guess = 0.01 * d0 / d1
+        return float(min(max(guess, 1e-12 * span), span / 10.0, span))
+
+    def integrate(
+        self,
+        rhs: RHS,
+        y0: np.ndarray,
+        t_span: Tuple[float, float],
+        t_eval: Optional[Sequence[float]] = None,
+        invariant: Optional[Callable[[np.ndarray], float]] = None,
+    ) -> EvolutionResult:
+        t0, t1 = _validate_span(t_span)
+        samples = _prepare_samples(t0, t1, t_eval)
+        if self.step_size is not None:
+            return self._integrate_fixed(rhs, y0, t0, t1, samples, invariant)
+        y = np.asarray(y0, dtype=complex).reshape(-1).copy()
+        reference = None if invariant is None else invariant(y)
+        drift = 0.0
+        t = t0
+        outputs = {}
+        sample_index = 0
+        if math.isclose(samples[0], t0, abs_tol=1e-15):
+            outputs[0] = y.copy()
+            sample_index = 1
+        h = self._initial_step(rhs, t0, y, t1 - t0)
+        k1 = rhs(t, y)
+        evaluations = 2 if self.initial_step is None else 1
+        accepted = 0
+        rejected = 0
+        min_step = 1e-14 * (t1 - t0)
+        while t < t1 - 1e-14 * max(1.0, abs(t1)):
+            if accepted + rejected >= self.max_steps:
+                raise SimulationError(
+                    f"RK45 exceeded max_steps={self.max_steps} before reaching "
+                    f"t={t1} (reached t={t}); the problem may be stiff — "
+                    f"loosen tolerances or raise max_steps"
+                )
+            # Clamp to the span end and the next sample time: dense output
+            # lands on every requested time exactly.
+            h = min(h, t1 - t)
+            if sample_index < samples.size:
+                h = min(h, samples[sample_index] - t + 0.0)
+            if h < min_step:
+                raise SimulationError(
+                    f"RK45 step size underflow at t={t} (h={h}); the "
+                    f"right-hand side may be discontinuous or too stiff"
+                )
+            k = self._stages(rhs, t, y, h, k1)
+            y_new = self._combine(y, h, k, _DP_B5)
+            evaluations += 6
+            error = self._error_norm(y, y_new, k, h)
+            if error <= 1.0:
+                t = t + h
+                y = y_new
+                # FSAL: stage 7 of the accepted step is f(t_new, y_new).
+                k1 = k[6]
+                accepted += 1
+                if invariant is not None:
+                    drift = max(drift, abs(invariant(y) - reference))
+                while (
+                    sample_index < samples.size
+                    and t >= samples[sample_index] - 1e-12
+                ):
+                    outputs[sample_index] = y.copy()
+                    sample_index += 1
+                factor = (
+                    self.max_factor
+                    if error == 0.0
+                    else min(self.max_factor, self.safety * error ** -0.2)
+                )
+                h = h * max(self.min_factor, factor)
+            else:
+                rejected += 1
+                h = h * max(self.min_factor, self.safety * error ** -0.2)
+        for k_missing in range(sample_index, samples.size):
+            outputs[k_missing] = y.copy()
+        states = [outputs[k] for k in range(samples.size)]
+        return EvolutionResult(
+            times=samples,
+            states=np.array(states),
+            method=self.method,
+            num_steps=accepted,
+            num_rhs_evaluations=evaluations,
+            rejected_steps=rejected,
+            invariant_drift=float(drift),
+        )
+
+    def _integrate_fixed(
+        self, rhs, y0, t0, t1, samples, invariant
+    ) -> EvolutionResult:
+        """Fixed-grid fifth-order propagation (order-scaling tests)."""
+        count = max(1, int(math.ceil((t1 - t0) / self.step_size - 1e-12)))
+        base = np.linspace(t0, t1, count + 1)
+        grid = _merge_grid(t0, t1, base, samples)
+        y = np.asarray(y0, dtype=complex).reshape(-1).copy()
+        reference = None if invariant is None else invariant(y)
+        drift = 0.0
+        outputs = {}
+        sample_index = 0
+        if math.isclose(samples[0], t0, abs_tol=1e-15):
+            outputs[0] = y.copy()
+            sample_index = 1
+        evaluations = 0
+        for left, right in zip(grid[:-1], grid[1:]):
+            h = right - left
+            k1 = rhs(left, y)
+            k = self._stages(rhs, left, y, h, k1)
+            y = self._combine(y, h, k, _DP_B5)
+            evaluations += 7
+            if invariant is not None:
+                drift = max(drift, abs(invariant(y) - reference))
+            while sample_index < samples.size and right >= samples[sample_index] - 1e-12:
+                outputs[sample_index] = y.copy()
+                sample_index += 1
+        states = [outputs[k] for k in range(samples.size)]
+        return EvolutionResult(
+            times=samples,
+            states=np.array(states),
+            method=self.method,
+            num_steps=grid.size - 1,
+            num_rhs_evaluations=evaluations,
+            rejected_steps=0,
+            invariant_drift=float(drift),
+        )
+
+
+def _make_integrator(method: str, options: dict):
+    method = str(method).strip().lower()
+    if method == "rk4":
+        allowed = {"num_steps"}
+        unknown = set(options) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"rk4 does not accept option(s) {sorted(unknown)}; allowed: "
+                f"{sorted(allowed)}"
+            )
+        return RK4Integrator(**{k: v for k, v in options.items() if v is not None})
+    if method == "rk45":
+        allowed = {"rtol", "atol", "max_steps", "initial_step", "step_size"}
+        unknown = set(options) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"rk45 does not accept option(s) {sorted(unknown)}; allowed: "
+                f"{sorted(allowed)}"
+            )
+        return RK45Integrator(**{k: v for k, v in options.items() if v is not None})
+    raise ConfigurationError(
+        f"unknown integration method {method!r}; available: rk4, rk45"
+    )
+
+
+def _schrodinger_initial(state, dim: int) -> np.ndarray:
+    from repro.quantum.statevector import Statevector
+
+    if isinstance(state, Statevector):
+        vector = np.asarray(state.data, dtype=complex).reshape(-1)
+    else:
+        vector = np.asarray(state, dtype=complex).reshape(-1)
+    if vector.size != dim:
+        raise ConfigurationError(
+            f"initial state has dimension {vector.size}, the generator "
+            f"expects {dim}"
+        )
+    return vector.copy()
+
+
+def _lindblad_initial(state, dim: int) -> np.ndarray:
+    from repro.quantum.density import DensityMatrix
+    from repro.quantum.statevector import Statevector
+
+    if isinstance(state, DensityMatrix):
+        rho = np.asarray(state.data, dtype=complex)
+    elif isinstance(state, Statevector):
+        vector = np.asarray(state.data, dtype=complex).reshape(-1)
+        rho = np.outer(vector, vector.conj())
+    else:
+        array = np.asarray(state, dtype=complex)
+        if array.ndim == 1:
+            rho = np.outer(array, array.conj())
+        else:
+            rho = array
+    if rho.shape != (dim, dim):
+        raise ConfigurationError(
+            f"initial density matrix has shape {rho.shape}, the generator "
+            f"expects ({dim}, {dim})"
+        )
+    return rho.reshape(-1).copy()
+
+
+def evolve(
+    generator,
+    state,
+    times: Union[float, Sequence[float]],
+    *,
+    method: str = "rk45",
+    rtol: Optional[float] = None,
+    atol: Optional[float] = None,
+    num_steps: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    initial_step: Optional[float] = None,
+    step_size: Optional[float] = None,
+) -> EvolutionResult:
+    """Integrate a quantum state under *generator* from ``t = 0``.
+
+    Parameters
+    ----------
+    generator:
+        A :class:`~repro.dynamics.generators.Hamiltonian` (or a
+        schedule-interpolated one) for Schrodinger evolution
+        ``d|psi>/dt = -i H(t) |psi>``, or a
+        :class:`~repro.dynamics.lindblad.Lindbladian` for master-equation
+        evolution on row-major ``vec(rho)``.
+    state:
+        A :class:`~repro.quantum.statevector.Statevector` / flat amplitude
+        vector (Schrodinger), or a
+        :class:`~repro.quantum.density.DensityMatrix` / ``(dim, dim)``
+        array / pure-state vector (Lindblad).
+    times:
+        Final time ``T``, or a strictly-increasing sequence of sample times
+        (dense output lands on each exactly).
+    method:
+        ``"rk45"`` (adaptive, default) or ``"rk4"`` (fixed-step).
+
+    Returns
+    -------
+    EvolutionResult
+        Sampled trajectory plus step counts and the conserved-invariant
+        drift (statevector norm / density trace) accumulated over the run.
+
+    The API is seedless: evolution is deterministic, so identical inputs
+    give bit-identical trajectories.
+    """
+    if np.isscalar(times):
+        final = float(times)
+        if not np.isfinite(final) or final <= 0.0:
+            raise ConfigurationError(f"evolution time must be > 0, got {times}")
+        samples = np.array([0.0, final])
+    else:
+        samples = np.asarray(times, dtype=float).reshape(-1)
+        if samples.size < 1:
+            raise ConfigurationError("need at least one sample time")
+        if samples[0] < 0.0:
+            raise ConfigurationError("sample times start before t=0")
+        final = float(samples[-1])
+        if final <= 0.0:
+            raise ConfigurationError("the last sample time must be > 0")
+    # Pass every option the caller actually set, so mixing e.g. ``rtol``
+    # with ``method="rk4"`` is a loud ConfigurationError, not a silent drop.
+    options = {
+        name: value
+        for name, value in {
+            "num_steps": num_steps,
+            "rtol": rtol,
+            "atol": atol,
+            "max_steps": max_steps,
+            "initial_step": initial_step,
+            "step_size": step_size,
+        }.items()
+        if value is not None
+    }
+    integrator = _make_integrator(method, options)
+
+    if isinstance(generator, Lindbladian):
+        y0 = _lindblad_initial(state, generator.dim)
+        dim = generator.dim
+
+        def invariant(vec: np.ndarray) -> float:
+            return float(np.trace(vec.reshape(dim, dim)).real)
+
+        result = integrator.integrate(
+            generator.rhs, y0, (0.0, final), t_eval=samples, invariant=invariant
+        )
+        result.kind = "lindblad"
+        result.invariant_name = "trace"
+        result.num_qubits = generator.num_qubits
+        return result
+
+    if not hasattr(generator, "apply"):
+        raise ConfigurationError(
+            f"generator must be a Hamiltonian-like object or a Lindbladian, "
+            f"got {type(generator).__name__}"
+        )
+    dim = 1 << int(generator.num_qubits)
+    y0 = _schrodinger_initial(state, dim)
+    if getattr(generator, "time_dependent", False):
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            return -1j * generator.apply(y, t)
+    else:
+        def rhs(t: float, y: np.ndarray) -> np.ndarray:
+            return -1j * generator.apply(y)
+
+    def invariant(vec: np.ndarray) -> float:
+        return float(np.sqrt(np.vdot(vec, vec).real))
+
+    result = integrator.integrate(
+        rhs, y0, (0.0, final), t_eval=samples, invariant=invariant
+    )
+    result.kind = "schrodinger"
+    result.invariant_name = "norm"
+    result.num_qubits = int(generator.num_qubits)
+    return result
+
+
+__all__ = [
+    "EvolutionResult",
+    "RK4Integrator",
+    "RK45Integrator",
+    "evolve",
+]

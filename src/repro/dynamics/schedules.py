@@ -1,0 +1,314 @@
+"""Annealing schedules: driver → cost interpolation paths.
+
+An :class:`AnnealingSchedule` maps physical time ``t in [0, T]`` onto the
+interpolation coordinate ``s in [0, 1]`` of the annealing Hamiltonian
+
+.. math::
+
+    H(t) = (1 - s(t))\\, H_{\\mathrm{driver}} + s(t)\\, H_{\\mathrm{cost}},
+
+with ``s(0) = 0`` (pure driver) and ``s(T) = 1`` (pure cost).  Three
+variants cover the usual experimental shapes:
+
+* :class:`LinearSchedule` — the textbook linear ramp ``s = t / T``;
+* :class:`PiecewiseLinearSchedule` — arbitrary monotone control points
+  (pauses, fast-slow-fast ramps);
+* :class:`SmoothSchedule` — the smoothstep ``s = 3u^2 - 2u^3`` with zero
+  endpoint slope, which suppresses diabatic excitation at the start and
+  end of the anneal.
+
+Schedules serialise through ``to_dict``/``from_dict`` and expose a
+canonical ``payload()`` so solves keyed on a schedule are content-cacheable.
+:meth:`AnnealingSchedule.interpolate` pairs a schedule with concrete driver
+and cost generators as an :class:`InterpolatedHamiltonian`, the
+time-dependent generator :func:`repro.dynamics.evolve` integrates.
+
+Examples
+--------
+>>> from repro.dynamics import AnnealingSchedule
+>>> ramp = AnnealingSchedule.linear(10.0)
+>>> ramp.s(0.0), ramp.s(5.0), ramp.s(10.0)
+(0.0, 0.5, 1.0)
+>>> smooth = AnnealingSchedule.smooth(10.0)
+>>> smooth.s(5.0)
+0.5
+>>> AnnealingSchedule.from_dict(ramp.to_dict()) == ramp
+True
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+from repro.dynamics.generators import Hamiltonian
+
+
+def _validate_total_time(total_time: float) -> float:
+    total_time = float(total_time)
+    if not np.isfinite(total_time) or total_time <= 0.0:
+        raise ConfigurationError(
+            f"total_time must be finite and > 0, got {total_time}"
+        )
+    return total_time
+
+
+class AnnealingSchedule:
+    """Base class: the ``t -> s`` map of one anneal of length ``total_time``."""
+
+    kind = "base"
+
+    def __init__(self, total_time: float):
+        self._total_time = _validate_total_time(total_time)
+
+    # -- factories -------------------------------------------------------
+    @staticmethod
+    def linear(total_time: float) -> "LinearSchedule":
+        """The linear ramp ``s = t / T``."""
+        return LinearSchedule(total_time)
+
+    @staticmethod
+    def smooth(total_time: float) -> "SmoothSchedule":
+        """The smoothstep ramp with zero endpoint slope."""
+        return SmoothSchedule(total_time)
+
+    @staticmethod
+    def piecewise(points: Sequence[Tuple[float, float]]) -> "PiecewiseLinearSchedule":
+        """A piecewise-linear ramp through ``(t, s)`` control points."""
+        return PiecewiseLinearSchedule(points)
+
+    # -- surface ---------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """The anneal length ``T``."""
+        return self._total_time
+
+    def s(self, t: float) -> float:
+        """The interpolation coordinate at time *t* (clamped to ``[0, 1]``)."""
+        raise NotImplementedError
+
+    def samples(self, count: int) -> np.ndarray:
+        """``count`` uniformly spaced ``(t, s)`` rows (for plots / tables)."""
+        count = int(count)
+        if count < 2:
+            raise ConfigurationError(f"need at least 2 samples, got {count}")
+        times = np.linspace(0.0, self._total_time, count)
+        return np.column_stack([times, [self.s(t) for t in times]])
+
+    def interpolate(self, driver: Hamiltonian, cost: Hamiltonian) -> "InterpolatedHamiltonian":
+        """Pair this schedule with concrete driver / cost generators."""
+        return InterpolatedHamiltonian(driver, cost, self)
+
+    # -- serialisation ---------------------------------------------------
+    def payload(self) -> dict:
+        """Canonical content form (stable-hash friendly)."""
+        return self.to_dict()
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: dict) -> "AnnealingSchedule":
+        """Rebuild any schedule variant from its ``to_dict`` form."""
+        kind = data.get("kind")
+        if kind == "linear":
+            return LinearSchedule(data["total_time"])
+        if kind == "smooth":
+            return SmoothSchedule(data["total_time"])
+        if kind == "piecewise":
+            return PiecewiseLinearSchedule(
+                [(float(t), float(s)) for t, s in data["points"]]
+            )
+        raise ConfigurationError(
+            f"unknown schedule kind {kind!r}; known: linear, smooth, piecewise"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AnnealingSchedule):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(repr(sorted(self.to_dict().items(), key=str)))
+
+    def _clamp(self, t: float) -> float:
+        return min(max(float(t), 0.0), self._total_time)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(total_time={self._total_time:.4g})"
+
+
+class LinearSchedule(AnnealingSchedule):
+    """The textbook linear ramp ``s(t) = t / T``."""
+
+    kind = "linear"
+
+    def s(self, t: float) -> float:
+        return self._clamp(t) / self._total_time
+
+    def to_dict(self) -> dict:
+        return {"kind": "linear", "total_time": self._total_time}
+
+
+class SmoothSchedule(AnnealingSchedule):
+    """Smoothstep ramp ``s = 3u^2 - 2u^3`` (``u = t / T``), zero endpoint slope."""
+
+    kind = "smooth"
+
+    def s(self, t: float) -> float:
+        u = self._clamp(t) / self._total_time
+        return u * u * (3.0 - 2.0 * u)
+
+    def to_dict(self) -> dict:
+        return {"kind": "smooth", "total_time": self._total_time}
+
+
+class PiecewiseLinearSchedule(AnnealingSchedule):
+    """Linear interpolation through monotone ``(t, s)`` control points.
+
+    The first point must be ``(0, 0)`` and the last ``(T, 1)``; times must
+    be strictly increasing and ``s`` values monotone non-decreasing in
+    ``[0, 1]`` (pauses — repeated ``s`` — are allowed; going backwards is
+    not an anneal).
+    """
+
+    kind = "piecewise"
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        table = [(float(t), float(s)) for t, s in points]
+        if len(table) < 2:
+            raise ConfigurationError(
+                f"need at least 2 control points, got {len(table)}"
+            )
+        times = np.array([t for t, _ in table])
+        values = np.array([s for _, s in table])
+        if not np.all(np.isfinite(times)) or not np.all(np.isfinite(values)):
+            raise ConfigurationError("control points must be finite")
+        if np.any(np.diff(times) <= 0.0):
+            raise ConfigurationError("control-point times must be strictly increasing")
+        if abs(times[0]) > 1e-15 or abs(values[0]) > 1e-15:
+            raise ConfigurationError(
+                f"the first control point must be (0, 0), got {table[0]}"
+            )
+        if abs(values[-1] - 1.0) > 1e-15:
+            raise ConfigurationError(
+                f"the last control point must reach s=1, got {table[-1]}"
+            )
+        if np.any(np.diff(values) < 0.0) or np.any(values < -1e-15) or np.any(values > 1.0 + 1e-15):
+            raise ConfigurationError(
+                "s values must be monotone non-decreasing within [0, 1]"
+            )
+        super().__init__(times[-1])
+        self._times = times
+        self._values = values
+
+    @property
+    def points(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(zip(self._times.tolist(), self._values.tolist()))
+
+    def s(self, t: float) -> float:
+        return float(np.interp(self._clamp(t), self._times, self._values))
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "piecewise",
+            "total_time": self._total_time,
+            "points": [[t, s] for t, s in self.points],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewiseLinearSchedule(points={len(self._times)}, "
+            f"total_time={self._total_time:.4g})"
+        )
+
+
+class InterpolatedHamiltonian:
+    """The time-dependent anneal generator ``(1 - s(t)) H_d + s(t) H_c``.
+
+    Application never rebuilds term tables: both endpoint Hamiltonians keep
+    their structured (permutation + phase) form, and each evaluation is two
+    structured applies blended by the schedule weights.
+    """
+
+    time_dependent = True
+
+    def __init__(self, driver: Hamiltonian, cost: Hamiltonian, schedule: AnnealingSchedule):
+        if not isinstance(driver, Hamiltonian) or not isinstance(cost, Hamiltonian):
+            raise ConfigurationError(
+                f"driver and cost must be Hamiltonians, got "
+                f"{type(driver).__name__} / {type(cost).__name__}"
+            )
+        if driver.num_qubits != cost.num_qubits:
+            raise ConfigurationError(
+                f"driver acts on {driver.num_qubits} qubits, cost on "
+                f"{cost.num_qubits}"
+            )
+        if not isinstance(schedule, AnnealingSchedule):
+            raise ConfigurationError(
+                f"schedule must be an AnnealingSchedule, got "
+                f"{type(schedule).__name__}"
+            )
+        self._driver = driver
+        self._cost = cost
+        self._schedule = schedule
+
+    @property
+    def num_qubits(self) -> int:
+        return self._driver.num_qubits
+
+    @property
+    def driver(self) -> Hamiltonian:
+        return self._driver
+
+    @property
+    def cost(self) -> Hamiltonian:
+        return self._cost
+
+    @property
+    def schedule(self) -> AnnealingSchedule:
+        return self._schedule
+
+    @property
+    def total_time(self) -> float:
+        return self._schedule.total_time
+
+    def weights(self, t: float) -> Tuple[float, float]:
+        """The ``(driver, cost)`` blend at time *t*."""
+        s = self._schedule.s(t)
+        return (1.0 - s, s)
+
+    def apply(self, array: np.ndarray, t: float) -> np.ndarray:
+        """``H(t) @ array`` (dimension on axis 0, batches ride along)."""
+        w_driver, w_cost = self.weights(t)
+        if w_driver == 0.0:
+            return w_cost * self._cost.apply(array)
+        if w_cost == 0.0:
+            return w_driver * self._driver.apply(array)
+        return w_driver * self._driver.apply(array) + w_cost * self._cost.apply(array)
+
+    def hamiltonian(self, t: float) -> Hamiltonian:
+        """The frozen generator at time *t* (rebuilds tables; for analysis)."""
+        w_driver, w_cost = self.weights(t)
+        return Hamiltonian(
+            self._driver.operator * w_driver + self._cost.operator * w_cost,
+            name=f"Anneal(t={float(t):.4g})",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InterpolatedHamiltonian(num_qubits={self.num_qubits}, "
+            f"schedule={self._schedule!r})"
+        )
+
+
+__all__ = [
+    "AnnealingSchedule",
+    "InterpolatedHamiltonian",
+    "LinearSchedule",
+    "PiecewiseLinearSchedule",
+    "SmoothSchedule",
+]

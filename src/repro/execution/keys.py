@@ -195,6 +195,25 @@ def observable_cache_key(observable) -> str:
     )
 
 
+def anneal_cache_key(problem, schedule_payload: Any, options: Any = None) -> str:
+    """The key under which finished annealing results are cached.
+
+    Continuous-time anneals (:class:`~repro.dynamics.AnnealingSolver`) are
+    deterministic — no seed enters the key.  It covers the graph content,
+    the canonical schedule payload (``AnnealingSchedule.payload()``: kind,
+    total time, control points) and an opaque *options* payload for solver
+    settings (method, tolerances, dissipation, context).
+    """
+    return stable_hash(
+        {
+            "kind": "anneal-result",
+            "graph": problem_cache_key(problem),
+            "schedule": canonical_payload(schedule_payload),
+            "options": canonical_payload(options),
+        }
+    )
+
+
 def solve_cache_key(
     problem,
     depth: int,

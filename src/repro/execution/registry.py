@@ -77,6 +77,12 @@ class Backend:
         :mod:`repro.frontend` ingestion path: QASM/:class:`CircuitIR`
         sources lowered to native gates), as opposed to only the
         MaxCut-QAOA circuits it builds itself.
+    supports_continuous:
+        Whether the backend hosts continuous-time evolution
+        (:mod:`repro.dynamics`: Schrödinger / Lindblad integration and the
+        :class:`~repro.dynamics.AnnealingSolver`) in addition to clocked
+        circuits.  Dissipative (Lindblad) evolution additionally requires
+        :attr:`supports_density`.
     max_qubits:
         Hard register ceiling, or ``None`` when only memory limits apply.
     """
@@ -87,6 +93,7 @@ class Backend:
     supports_ptm: bool = False
     supports_batch: bool = False
     supports_ingest: bool = False
+    supports_continuous: bool = False
     max_qubits: Optional[int] = None
 
     def compile(self, problem, depth: int, *, density: bool = False):
@@ -101,6 +108,7 @@ class Backend:
             "supports_ptm": self.supports_ptm,
             "supports_batch": self.supports_batch,
             "supports_ingest": self.supports_ingest,
+            "supports_continuous": self.supports_continuous,
             "max_qubits": self.max_qubits,
         }
 
@@ -111,6 +119,7 @@ class Backend:
             f"supports_noise={self.supports_noise}, "
             f"supports_ptm={self.supports_ptm}, "
             f"supports_batch={self.supports_batch}, "
+            f"supports_continuous={self.supports_continuous}, "
             f"max_qubits={self.max_qubits})"
         )
 
@@ -167,7 +176,8 @@ def get_backend(name: str) -> Backend:
     except KeyError as exc:
         raise ConfigurationError(
             f"unknown execution backend {name!r}; "
-            f"available: {', '.join(sorted(_REGISTRY))}"
+            f"available: {', '.join(sorted(_REGISTRY))} "
+            f"(see repro.execution.available_backends() for capabilities)"
         ) from exc
 
 

@@ -13,6 +13,7 @@ from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.figure5 import Figure5Result, run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.dissipation_sweep import DissipationSweepResult, run_dissipation_sweep
 from repro.experiments.model_comparison import ModelComparisonResult, run_model_comparison
 from repro.experiments.noise_robustness import NoiseRobustnessResult, run_noise_robustness
 
@@ -38,4 +39,6 @@ __all__ = [
     "ModelComparisonResult",
     "run_noise_robustness",
     "NoiseRobustnessResult",
+    "run_dissipation_sweep",
+    "DissipationSweepResult",
 ]

@@ -184,6 +184,7 @@ class CircuitBackend(Backend):
     supports_ptm = True
     supports_batch = True
     supports_ingest = True  # runs arbitrary repro.frontend-imported circuits
+    supports_continuous = True  # hosts repro.dynamics Schrödinger/Lindblad evolution
     max_qubits = None  # limited by memory (and ~12 qubits in density mode)
 
     def compile(self, problem: MaxCutProblem, depth: int, *, density: bool = False):

@@ -84,7 +84,7 @@ True
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -273,6 +273,105 @@ class QuantumChannel:
             )
         return sum(k @ rho @ k.conj().T for k in self._kraus)
 
+    # -- continuous-time (Lindblad) correspondence -----------------------
+    def lindblad_rates(self, duration: float = 1.0) -> Dict[str, float]:
+        """Jump-operator rates whose time-*duration* semigroup equals this
+        channel.
+
+        **Convention.**  The channel is identified with ``exp(duration * D)``
+        where ``D`` is a pure dissipator ``D[rho] = sum_j gamma_j (L_j rho
+        L_j^dag - 1/2 {L_j^dag L_j, rho})`` over a fixed jump family, and
+        the returned mapping is ``{jump_label: gamma_j}``:
+
+        * Pauli channels use the Pauli jumps ``X``/``Y``/``Z``.  Writing
+          ``lam_X = 1 - 2(p_y + p_z)`` (and cyclically) for the
+          Pauli-transfer diagonal, the rates solve ``lam_X =
+          exp(-2 (g_y + g_z) * duration)`` etc., so e.g.
+          ``g_x = ln(lam_x / (lam_y * lam_z)) / (4 * duration)``.  Channels
+          too strong to be a semigroup snapshot (any ``lam <= 0``, or a
+          negative solved rate — outside the infinitely divisible family)
+          raise :class:`~repro.exceptions.ConfigurationError`.
+        * Amplitude damping uses the lowering jump ``sigma_minus`` with
+          ``gamma_channel = 1 - exp(-g * duration)``.
+
+        The pair round-trips: ``Channel.from_lindblad_rates(
+        channel.lindblad_rates(dt), dt) == channel`` up to float precision.
+        Subclasses with a known jump form override this; the base class has
+        no canonical jump family and raises.
+        """
+        raise ConfigurationError(
+            f"channel {self._name!r} has no known jump-operator form; "
+            f"lindblad_rates() is defined for Pauli channels and "
+            f"AmplitudeDampingChannel"
+        )
+
+    @staticmethod
+    def from_lindblad_rates(
+        rates: Mapping[str, float], duration: float = 1.0
+    ) -> "QuantumChannel":
+        """The discrete channel ``exp(duration * D)`` of a jump-rate table.
+
+        Inverse of :meth:`lindblad_rates` (see there for the convention).
+        ``rates`` maps jump labels to non-negative rates: Pauli labels
+        (any subset of ``X``/``Y``/``Z``) build the integrated
+        :class:`PauliChannel`; the single label ``sigma_minus`` builds the
+        integrated :class:`AmplitudeDampingChannel`.  Mixing the two
+        families has no closed channel form here and raises.
+
+        >>> channel = QuantumChannel.from_lindblad_rates({"X": 0.3}, 2.0)
+        >>> recovered = channel.lindblad_rates(2.0)
+        >>> round(recovered["X"], 12)
+        0.3
+        """
+        duration = float(duration)
+        if not np.isfinite(duration) or duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be finite and > 0, got {duration}"
+            )
+        table: Dict[str, float] = {}
+        for label, rate in rates.items():
+            rate = float(rate)
+            if not np.isfinite(rate) or rate < 0.0:
+                raise ConfigurationError(
+                    f"rate for jump {label!r} must be finite and >= 0, got {rate}"
+                )
+            table[str(label)] = rate
+        if not table:
+            return PauliChannel(0.0, 0.0, 0.0)
+        pauli_labels = set(table) & {"X", "Y", "Z"}
+        other_labels = set(table) - {"X", "Y", "Z"}
+        if pauli_labels and other_labels:
+            raise ConfigurationError(
+                f"cannot mix Pauli jumps {sorted(pauli_labels)} with "
+                f"{sorted(other_labels)} in one channel; build separate "
+                f"channels or a Lindbladian"
+            )
+        if other_labels and other_labels != {"sigma_minus"}:
+            raise ConfigurationError(
+                f"unknown jump label(s) {sorted(other_labels)}; supported: "
+                f"X, Y, Z, sigma_minus"
+            )
+        if other_labels:
+            gamma = 1.0 - float(np.exp(-table["sigma_minus"] * duration))
+            return AmplitudeDampingChannel(gamma)
+        g = {label: table.get(label, 0.0) for label in "XYZ"}
+        lam = {
+            "X": float(np.exp(-2.0 * (g["Y"] + g["Z"]) * duration)),
+            "Y": float(np.exp(-2.0 * (g["X"] + g["Z"]) * duration)),
+            "Z": float(np.exp(-2.0 * (g["X"] + g["Y"]) * duration)),
+        }
+        px = max(0.0, (1.0 + lam["X"] - lam["Y"] - lam["Z"]) / 4.0)
+        py = max(0.0, (1.0 - lam["X"] + lam["Y"] - lam["Z"]) / 4.0)
+        pz = max(0.0, (1.0 - lam["X"] - lam["Y"] + lam["Z"]) / 4.0)
+        return PauliChannel(px, py, pz)
+
+    @staticmethod
+    def from_lindblad_rate(
+        jump: str, rate: float, duration: float = 1.0
+    ) -> "QuantumChannel":
+        """Single-jump convenience form of :meth:`from_lindblad_rates`."""
+        return QuantumChannel.from_lindblad_rates({jump: rate}, duration)
+
     def to_dict(self) -> dict:
         """JSON-friendly form; rebuild with :func:`channel_from_dict`.
 
@@ -363,6 +462,55 @@ class PauliChannel(QuantumChannel):
     def pauli_probabilities(self) -> Tuple[float, float, float]:
         """The ``(px, py, pz)`` error probabilities."""
         return (self._px, self._py, self._pz)
+
+    def lindblad_rates(self, duration: float = 1.0) -> Dict[str, float]:
+        """Pauli jump rates generating this channel over *duration*.
+
+        See :meth:`QuantumChannel.lindblad_rates` for the convention.  Zero
+        rates are dropped from the returned mapping, so the round trip
+        through :meth:`QuantumChannel.from_lindblad_rates` is exact.
+
+        >>> rates = DepolarizingChannel(0.03).lindblad_rates()
+        >>> sorted(rates) == ["X", "Y", "Z"]
+        True
+        >>> restored = QuantumChannel.from_lindblad_rates(rates)
+        >>> [round(p, 12) for p in restored.pauli_probabilities()]
+        [0.01, 0.01, 0.01]
+        """
+        duration = float(duration)
+        if not np.isfinite(duration) or duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be finite and > 0, got {duration}"
+            )
+        lam = {
+            "X": 1.0 - 2.0 * (self._py + self._pz),
+            "Y": 1.0 - 2.0 * (self._px + self._pz),
+            "Z": 1.0 - 2.0 * (self._px + self._py),
+        }
+        if any(value <= 0.0 for value in lam.values()):
+            raise ConfigurationError(
+                f"channel {self._name!r} with probabilities "
+                f"{self.pauli_probabilities()} has a non-positive Pauli-"
+                f"transfer eigenvalue {lam}; it is not exp(t*D) for any "
+                f"Pauli dissipator and has no Lindblad-rate form"
+            )
+        log = {key: float(np.log(value)) for key, value in lam.items()}
+        rates = {
+            "X": (log["X"] - log["Y"] - log["Z"]) / (4.0 * duration),
+            "Y": (log["Y"] - log["X"] - log["Z"]) / (4.0 * duration),
+            "Z": (log["Z"] - log["X"] - log["Y"]) / (4.0 * duration),
+        }
+        tolerance = 1e-12 / duration
+        for label, rate in rates.items():
+            if rate < -tolerance:
+                raise ConfigurationError(
+                    f"channel {self._name!r} needs a negative {label} jump "
+                    f"rate ({rate:.3e}); it lies outside the infinitely "
+                    f"divisible Pauli-channel family"
+                )
+        return {
+            label: max(0.0, rate) for label, rate in rates.items() if rate > tolerance
+        }
 
     def sample(self, rng: RandomState = None) -> Optional[str]:
         """Draw one error: ``"X"``/``"Y"``/``"Z"``, or ``None`` (no error)."""
@@ -507,6 +655,32 @@ class AmplitudeDampingChannel(QuantumChannel):
     def gamma(self) -> float:
         """The damping rate."""
         return self._gamma
+
+    def lindblad_rates(self, duration: float = 1.0) -> Dict[str, float]:
+        """The ``sigma_minus`` jump rate generating this channel.
+
+        The semigroup relation is ``gamma = 1 - exp(-rate * duration)``, so
+        every ``gamma < 1`` has an exact rate form; ``gamma = 1`` (complete
+        relaxation) would need an infinite rate and raises.
+
+        >>> rates = AmplitudeDampingChannel(0.2).lindblad_rates()
+        >>> restored = QuantumChannel.from_lindblad_rates(rates)
+        >>> round(restored.gamma, 12)
+        0.2
+        """
+        duration = float(duration)
+        if not np.isfinite(duration) or duration <= 0.0:
+            raise ConfigurationError(
+                f"duration must be finite and > 0, got {duration}"
+            )
+        if self._gamma >= 1.0:
+            raise ConfigurationError(
+                "gamma = 1 (complete relaxation) is not exp(t*D) for any "
+                "finite sigma_minus rate"
+            )
+        if self._gamma == 0.0:
+            return {}
+        return {"sigma_minus": float(-np.log1p(-self._gamma)) / duration}
 
     def to_dict(self) -> dict:
         return {"type": "amplitude_damping", "gamma": self._gamma}

@@ -106,6 +106,7 @@ class ServiceMetrics:
         self._cancelled = 0
         self._retries = 0
         self._timed_out = 0
+        self._anneals = 0
         # Deduplication / coalescing.
         self._deduplicated = 0
         self._batches = 0
@@ -188,6 +189,11 @@ class ServiceMetrics:
         """A submission was absorbed by an identical in-flight job."""
         with self._lock:
             self._deduplicated += 1
+
+    def anneal_submitted(self) -> None:
+        """A continuous-time annealing job entered the service."""
+        with self._lock:
+            self._anneals += 1
 
     # ------------------------------------------------------------------
     # Coalescer
@@ -317,6 +323,7 @@ class ServiceMetrics:
                     "timed_out": self._timed_out,
                     "retries": self._retries,
                     "deduplicated": self._deduplicated,
+                    "anneals": self._anneals,
                 },
                 "coalescer": {
                     "batches": self._batches,

@@ -635,6 +635,107 @@ class SolverService:
         return handle
 
     # ------------------------------------------------------------------
+    # Annealing jobs
+    # ------------------------------------------------------------------
+    def submit_anneal(
+        self,
+        problem: MaxCutProblem,
+        anneal_time: Optional[float] = None,
+        *,
+        schedule: Any = None,
+        method: str = "rk45",
+        rtol: float = 1e-8,
+        atol: float = 1e-10,
+        num_steps: int = 400,
+        dissipation: Any = None,
+        context: Any = None,
+        timeout: Optional[float] = None,
+    ) -> JobHandle:
+        """Queue one continuous-time anneal; returns its handle.
+
+        Runs an :class:`~repro.dynamics.AnnealingSolver` solve — uniform
+        superposition evolved through *schedule* (or a smooth ramp of length
+        *anneal_time*) — on the worker pool; the handle's ``result()`` is
+        its :class:`~repro.dynamics.AnnealingResult`.
+
+        Anneals are seedless and deterministic, hence always result-cached
+        (keyed on graph content, the canonical schedule payload and the
+        solver options) and deduplicated against identical in-flight
+        submissions.  The shared :class:`~repro.dynamics.AnnealingSolver`
+        is reused through the program cache, keyed on its options.  The
+        *context* (default: the gate-level ``"circuit"`` backend, the only
+        built-in advertising ``supports_continuous``) selects the circuit
+        breaker gating the job — see the ``breakers=`` knob.
+
+        *dissipation* switches the anneal to a Lindblad master equation
+        (a rate, a ``{jump: rate}`` mapping, or a
+        :class:`~repro.quantum.noise.NoiseModel`).
+        """
+        from repro.dynamics.annealing import AnnealingSolver, dissipation_payload
+        from repro.execution.keys import anneal_cache_key
+
+        solver_key = stable_hash(
+            {
+                "kind": "anneal-solver",
+                "method": str(method),
+                "rtol": float(rtol),
+                "atol": float(atol),
+                "num_steps": int(num_steps),
+                "dissipation": (
+                    None if dissipation is None else dissipation_payload(dissipation)
+                ),
+                "context": (
+                    None if context is None else as_execution_context(context).cache_key()
+                ),
+            }
+        )
+        solver = self.programs.get_or_create(
+            solver_key,
+            lambda: AnnealingSolver(
+                method=method,
+                rtol=rtol,
+                atol=atol,
+                num_steps=num_steps,
+                dissipation=dissipation,
+                context=context,
+            ),
+        )
+        resolved = solver.resolve_schedule(anneal_time, schedule)
+        key = anneal_cache_key(
+            problem, resolved.payload(), options=solver.options_payload()
+        )
+        handle = JobHandle(key, self._clock)
+        self.metrics.job_submitted()
+        self.metrics.anneal_submitted()
+        deadline = None
+        effective_timeout = timeout if timeout is not None else self._default_timeout
+        if effective_timeout is not None:
+            deadline = handle.submitted_at + float(effective_timeout)
+
+        def work() -> Any:
+            return solver.solve(problem, schedule=resolved)
+
+        cached = self.results.get(key)
+        if cached is not None:
+            handle.from_cache = True
+            handle._mark_completed(cached)
+            self.metrics.job_completed(latency=0.0, queue_wait=0.0, run_time=0.0)
+            return handle
+        with self._state_lock:
+            if not self._accepting:
+                raise ServiceError("service is shut down; submissions are closed")
+            primary = self._inflight.get(key)
+            if primary is not None:
+                primary.attached.append(handle)
+                handle.deduplicated = True
+                self.metrics.job_deduplicated()
+                return handle
+            job = _Job(handle, work, deadline, cacheable=True, backend=solver.backend)
+            self._inflight[key] = job
+            self._enqueue_locked(job)
+        return handle
+
+    # ------------------------------------------------------------------
     # Expectation coalescing
     # ------------------------------------------------------------------
     def submit_expectation(

@@ -1,0 +1,137 @@
+"""Structured ``Hamiltonian`` generators against explicit dense references."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import DENSE_MATRIX_MAX_QUBITS, Hamiltonian
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.quantum.operators import PauliSum
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+PAULI = {"I": I2, "X": X, "Y": Y, "Z": Z}
+
+
+def dense_reference(terms):
+    """kron-built dense matrix of a [(coeff, label), ...] list."""
+    total = None
+    for coefficient, label in terms:
+        matrix = np.array([[1.0]], dtype=complex)
+        for char in label:
+            matrix = np.kron(matrix, PAULI[char])
+        term = coefficient * matrix
+        total = term if total is None else total + term
+    return total
+
+
+class TestConstruction:
+    def test_rejects_non_pauli_sum(self):
+        with pytest.raises(ConfigurationError, match="PauliSum"):
+            Hamiltonian([[1.0, 0.0], [0.0, -1.0]])
+
+    def test_simplify_merges_repeated_labels(self):
+        ham = Hamiltonian(PauliSum([(0.5, "ZZ"), (0.25, "ZZ")]))
+        assert ham.num_terms == 1
+        assert np.allclose(ham.matrix(), dense_reference([(0.75, "ZZ")]))
+
+    def test_cancelled_operator_keeps_register_size(self):
+        ham = Hamiltonian(PauliSum([(1.0, "XY"), (-1.0, "XY")]))
+        assert ham.num_qubits == 2
+        assert np.allclose(ham.matrix(), np.zeros((4, 4)))
+
+    def test_diagonal_terms_fuse(self):
+        ham = Hamiltonian(PauliSum([(0.5, "ZI"), (0.25, "IZ"), (1.5, "ZZ")]))
+        assert ham.is_diagonal
+        assert ham.num_terms == 1
+        reference = dense_reference([(0.5, "ZI"), (0.25, "IZ"), (1.5, "ZZ")])
+        assert np.allclose(np.diag(ham.diagonal()), reference)
+
+    def test_repr_mentions_name(self):
+        assert "TransverseField" in repr(Hamiltonian.transverse_field(2))
+
+
+class TestApplication:
+    @pytest.mark.parametrize(
+        "terms",
+        [
+            [(1.0, "X")],
+            [(1.0, "Y")],
+            [(0.7, "ZZ"), (0.3, "XI")],
+            [(0.4, "XY"), (-0.2, "YX"), (0.9, "ZI")],
+            [(0.25, "XYZ"), (0.5, "ZIZ"), (-0.75, "IYI")],
+        ],
+    )
+    def test_apply_matches_dense_reference(self, terms, rng):
+        ham = Hamiltonian(PauliSum(terms))
+        reference = dense_reference(terms)
+        assert np.allclose(ham.matrix(), reference, atol=1e-12)
+        state = rng.normal(size=ham.dim) + 1j * rng.normal(size=ham.dim)
+        assert np.allclose(ham.apply(state), reference @ state, atol=1e-12)
+
+    def test_apply_batched_columns(self, rng):
+        ham = Hamiltonian(PauliSum([(0.7, "ZZ"), (0.3, "XI")]))
+        block = rng.normal(size=(4, 5)) + 1j * rng.normal(size=(4, 5))
+        assert np.allclose(ham.apply(block), ham.matrix() @ block, atol=1e-12)
+
+    def test_apply_rejects_wrong_dimension(self):
+        with pytest.raises(SimulationError, match="dimension"):
+            Hamiltonian(PauliSum([(1.0, "ZZ")])).apply(np.ones(3))
+
+    def test_expectation_is_real(self, rng):
+        ham = Hamiltonian(PauliSum([(0.4, "XY"), (0.9, "ZI")]))
+        state = rng.normal(size=4) + 1j * rng.normal(size=4)
+        state = state / np.linalg.norm(state)
+        expected = np.vdot(state, ham.matrix() @ state).real
+        assert ham.expectation(state) == pytest.approx(expected, abs=1e-12)
+
+    def test_diagonal_raises_for_offdiagonal_operator(self):
+        with pytest.raises(SimulationError, match="off-diagonal"):
+            Hamiltonian(PauliSum([(1.0, "XI")])).diagonal()
+
+    def test_matrix_cached_and_read_only(self):
+        ham = Hamiltonian(PauliSum([(1.0, "Z")]))
+        assert ham.matrix() is ham.matrix()
+        with pytest.raises(ValueError):
+            ham.matrix()[0, 0] = 9.0
+
+    def test_dense_cap_enforced(self):
+        n = DENSE_MATRIX_MAX_QUBITS + 1
+        ham = Hamiltonian(PauliSum([(1.0, "Z" + "I" * (n - 1))]))
+        with pytest.raises(ConfigurationError, match="dense"):
+            ham.matrix()
+
+
+class TestTransverseField:
+    def test_uniform_superposition_is_ground_state(self):
+        ham = Hamiltonian.transverse_field(3)
+        plus = np.full(8, 1.0 / np.sqrt(8))
+        assert ham.expectation(plus) == pytest.approx(-3.0)
+        assert np.allclose(ham.apply(plus), -3.0 * plus)
+
+    def test_matches_dense_reference(self):
+        ham = Hamiltonian.transverse_field(2, coefficient=-1.0)
+        assert np.allclose(
+            ham.matrix(), dense_reference([(-1.0, "XI"), (-1.0, "IX")])
+        )
+
+    def test_rejects_empty_register(self):
+        with pytest.raises(ConfigurationError, match="num_qubits"):
+            Hamiltonian.transverse_field(0)
+
+
+class TestArithmetic:
+    def test_add_and_scale(self):
+        a = Hamiltonian(PauliSum([(1.0, "ZZ")]))
+        b = Hamiltonian(PauliSum([(0.5, "XI")]))
+        combined = a + 2.0 * b
+        reference = dense_reference([(1.0, "ZZ"), (1.0, "XI")])
+        assert np.allclose(combined.matrix(), reference)
+        assert np.allclose((-a).matrix(), -a.matrix())
+
+    def test_norm_bound_dominates_spectrum(self):
+        terms = [(0.7, "ZZ"), (0.3, "XI"), (-0.4, "YY")]
+        ham = Hamiltonian(PauliSum(terms))
+        spectral = np.max(np.abs(np.linalg.eigvalsh(ham.matrix())))
+        assert ham.norm_bound() >= spectral - 1e-12

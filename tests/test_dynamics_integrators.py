@@ -1,0 +1,175 @@
+"""Integrator correctness: closed forms, order scaling, dense output."""
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.dynamics import (
+    AnnealingSchedule,
+    Hamiltonian,
+    Lindbladian,
+    RK4Integrator,
+    RK45Integrator,
+    evolve,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.quantum.operators import PauliSum
+
+TERMS = [(0.7, "ZZ"), (0.3, "XI"), (-0.4, "YY")]
+
+
+@pytest.fixture
+def hamiltonian():
+    return Hamiltonian(PauliSum(TERMS))
+
+
+@pytest.fixture
+def psi0(rng):
+    state = rng.normal(size=4) + 1j * rng.normal(size=4)
+    return state / np.linalg.norm(state)
+
+
+def closed_form(hamiltonian, psi0, time):
+    return expm(-1j * time * hamiltonian.matrix()) @ psi0
+
+
+class TestClosedForm:
+    """Satellite (c): constant-H evolution matches expm to 1e-8."""
+
+    @pytest.mark.parametrize("method", ["rk45", "rk4"])
+    def test_matches_expm(self, hamiltonian, psi0, method):
+        kwargs = {"num_steps": 800} if method == "rk4" else {}
+        result = evolve(hamiltonian, psi0, times=2.0, method=method, **kwargs)
+        expected = closed_form(hamiltonian, psi0, 2.0)
+        assert np.max(np.abs(result.final_state - expected)) < 1e-8
+        assert result.invariant_drift < 1e-7
+        assert result.invariant_name == "norm"
+        assert result.kind == "schrodinger"
+        assert result.num_qubits == 2
+
+    def test_dense_output_exact_at_sample_times(self, hamiltonian, psi0):
+        samples = [0.0, 0.37, 1.1, 1.9, 2.0]
+        result = evolve(hamiltonian, psi0, times=samples, rtol=1e-10, atol=1e-12)
+        assert np.allclose(result.times, samples)
+        for k, t in enumerate(samples):
+            expected = closed_form(hamiltonian, psi0, t)
+            assert np.max(np.abs(result.states[k] - expected)) < 1e-8
+
+    def test_scalar_time_samples_endpoints(self, hamiltonian, psi0):
+        result = evolve(hamiltonian, psi0, times=1.5)
+        assert np.allclose(result.times, [0.0, 1.5])
+        assert result.states.shape == (2, 4)
+        assert np.allclose(result.states[0], psi0)
+
+
+class TestOrderScaling:
+    """Satellite (c): step-halving exposes the methods' convergence order."""
+
+    def test_rk4_is_fourth_order(self, hamiltonian, psi0):
+        expected = closed_form(hamiltonian, psi0, 2.0)
+
+        def error(num_steps):
+            result = evolve(
+                hamiltonian, psi0, times=2.0, method="rk4", num_steps=num_steps
+            )
+            return np.max(np.abs(result.final_state - expected))
+
+        ratio = error(8) / error(16)
+        assert 8.0 < ratio < 32.0  # h^4 => halving shrinks error ~16x
+
+    def test_rk45_fixed_step_is_fifth_order(self, hamiltonian, psi0):
+        expected = closed_form(hamiltonian, psi0, 2.0)
+
+        def error(step):
+            result = evolve(hamiltonian, psi0, times=2.0, step_size=step)
+            return np.max(np.abs(result.final_state - expected))
+
+        ratio = error(0.25) / error(0.125)
+        assert 16.0 < ratio < 64.0  # h^5 => halving shrinks error ~32x
+
+    def test_tighter_tolerance_takes_more_steps(self, hamiltonian, psi0):
+        loose = evolve(hamiltonian, psi0, times=2.0, rtol=1e-4, atol=1e-6)
+        tight = evolve(hamiltonian, psi0, times=2.0, rtol=1e-10, atol=1e-12)
+        assert tight.num_steps > loose.num_steps
+        assert tight.num_rhs_evaluations > loose.num_rhs_evaluations
+
+
+class TestTimeDependent:
+    def test_rk45_and_rk4_agree_on_annealing_generator(self, psi0):
+        driver = Hamiltonian.transverse_field(2)
+        cost = Hamiltonian(PauliSum([(1.0, "ZZ")]))
+        generator = AnnealingSchedule.smooth(3.0).interpolate(driver, cost)
+        adaptive = evolve(generator, psi0, times=3.0, rtol=1e-10, atol=1e-12)
+        fixed = evolve(generator, psi0, times=3.0, method="rk4", num_steps=2000)
+        assert np.max(np.abs(adaptive.final_state - fixed.final_state)) < 1e-7
+
+
+class TestResultAccessors:
+    def test_final_statevector_round_trip(self, hamiltonian, psi0):
+        result = evolve(hamiltonian, psi0, times=1.0)
+        vector = result.final_statevector()
+        assert np.allclose(vector.data, result.final_state)
+        with pytest.raises(SimulationError, match="Lindblad"):
+            result.final_density_matrix()
+
+    def test_lindblad_accessors(self, hamiltonian, psi0):
+        generator = Lindbladian.depolarizing(2, 0.3, hamiltonian=hamiltonian)
+        result = evolve(generator, psi0, times=1.0)
+        assert result.kind == "lindblad"
+        assert result.invariant_name == "trace"
+        rho = result.final_density_matrix()
+        assert rho.data.shape == (4, 4)
+        with pytest.raises(SimulationError, match="Schrodinger"):
+            result.final_statevector()
+
+    def test_probabilities_normalised(self, hamiltonian, psi0):
+        result = evolve(hamiltonian, psi0, times=1.0)
+        probabilities = result.probabilities()
+        assert probabilities.shape == (4,)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert np.all(probabilities >= 0.0)
+
+
+class TestValidation:
+    def test_unknown_method(self, hamiltonian, psi0):
+        with pytest.raises(ConfigurationError, match="unknown integration method"):
+            evolve(hamiltonian, psi0, times=1.0, method="euler")
+
+    def test_rk4_rejects_adaptive_options(self, hamiltonian, psi0):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            evolve(hamiltonian, psi0, times=1.0, method="rk4", num_steps=10, rtol=1e-6)
+
+    def test_sample_times_must_increase(self, hamiltonian, psi0):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            evolve(hamiltonian, psi0, times=[0.0, 1.0, 0.5])
+
+    def test_sample_times_start_at_or_after_zero(self, hamiltonian, psi0):
+        with pytest.raises(ConfigurationError, match="before t=0"):
+            evolve(hamiltonian, psi0, times=[-1.0, 1.0])
+
+    @pytest.mark.parametrize("final", [0.0, -2.0, float("nan")])
+    def test_scalar_time_must_be_positive(self, hamiltonian, psi0, final):
+        with pytest.raises(ConfigurationError, match="must be > 0"):
+            evolve(hamiltonian, psi0, times=final)
+
+    def test_dimension_mismatch(self, hamiltonian):
+        with pytest.raises(ConfigurationError, match="dimension"):
+            evolve(hamiltonian, np.ones(8) / np.sqrt(8), times=1.0)
+
+    def test_max_steps_guard(self, hamiltonian, psi0):
+        with pytest.raises(SimulationError, match="max_steps"):
+            evolve(
+                hamiltonian, psi0, times=50.0, rtol=1e-12, atol=1e-14, max_steps=3
+            )
+
+    def test_generator_must_be_hamiltonian_like(self, psi0):
+        with pytest.raises(ConfigurationError, match="Hamiltonian-like"):
+            evolve(np.eye(4), psi0, times=1.0)
+
+    def test_bad_integrator_options(self):
+        with pytest.raises(ConfigurationError, match="num_steps"):
+            RK4Integrator(num_steps=0)
+        with pytest.raises(ConfigurationError, match="tolerances"):
+            RK45Integrator(rtol=-1.0)
+        with pytest.raises(ConfigurationError, match="step_size"):
+            RK45Integrator(step_size=0.0)

@@ -1,0 +1,281 @@
+"""Lindblad generator: structured path vs dense oracles and the unitary engine."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    DENSE_SUPEROP_MAX_QUBITS,
+    Hamiltonian,
+    JumpOperator,
+    Lindbladian,
+    evolve,
+)
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix
+from repro.quantum.noise import (
+    AmplitudeDampingChannel,
+    DepolarizingChannel,
+    NoiseModel,
+    TwoQubitDepolarizingChannel,
+)
+from repro.quantum.operators import PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+
+
+def random_density(rng, num_qubits):
+    dim = 1 << num_qubits
+    raw = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = raw @ raw.conj().T
+    return rho / np.trace(rho)
+
+
+class TestJumpOperator:
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError, match="unknown jump operator"):
+            JumpOperator("W", 0, 0.1)
+
+    def test_bad_matrix_shape(self):
+        with pytest.raises(ConfigurationError, match="power-of-two"):
+            JumpOperator(np.eye(3), 0, 0.1)
+
+    def test_qubit_count_mismatch(self):
+        with pytest.raises(ConfigurationError, match="qubit"):
+            JumpOperator(np.eye(2), (0, 1), 0.1)
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ConfigurationError, match="distinct"):
+            JumpOperator(np.eye(4), (1, 1), 0.1)
+
+    def test_negative_rate(self):
+        with pytest.raises(ConfigurationError, match="rate"):
+            JumpOperator("X", 0, -0.5)
+
+    def test_repr(self):
+        assert "sigma_minus" in repr(JumpOperator("sigma_minus", 2, 0.25))
+
+
+class TestConstruction:
+    def test_needs_register_size(self):
+        with pytest.raises(ConfigurationError, match="num_qubits"):
+            Lindbladian(jumps=[("X", 0, 0.1)])
+
+    def test_register_size_mismatch(self):
+        ham = Hamiltonian.transverse_field(2)
+        with pytest.raises(ConfigurationError, match="num_qubits"):
+            Lindbladian(ham, num_qubits=3)
+
+    def test_zero_rate_jumps_dropped(self):
+        lind = Lindbladian(None, [("X", 0, 0.0), ("Z", 1, 0.4)], num_qubits=2)
+        assert len(lind.jumps) == 1
+        assert lind.jumps[0].label == "Z"
+
+    def test_jump_outside_register(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            Lindbladian(None, [("X", 5, 0.1)], num_qubits=2)
+
+    def test_depolarizing_layout(self):
+        lind = Lindbladian.depolarizing(2, 0.3)
+        assert len(lind.jumps) == 6  # X/Y/Z on each of 2 qubits
+        assert all(jump.rate == pytest.approx(0.1) for jump in lind.jumps)
+        with pytest.raises(ConfigurationError, match="rate"):
+            Lindbladian.depolarizing(2, -1.0)
+
+    def test_repr_summarises(self):
+        lind = Lindbladian.depolarizing(2, 0.3)
+        assert "num_qubits=2" in repr(lind)
+        assert "jumps=6" in repr(lind)
+
+
+class TestStructuredVsDenseSuperoperator:
+    """The structured rhs path must equal the explicit 4^n x 4^n generator."""
+
+    @pytest.mark.parametrize("num_qubits", [2, 3])
+    def test_mixed_jump_family(self, rng, num_qubits):
+        ham = Hamiltonian(
+            PauliSum([(0.6, "X" * num_qubits), (0.4, "Z" + "I" * (num_qubits - 1))])
+        )
+        correlated = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        lind = Lindbladian(
+            ham,
+            [
+                ("X", 0, 0.2),
+                ("sigma_minus", num_qubits - 1, 0.35),
+                (correlated, (0, 1), 0.05),
+            ],
+        )
+        rho = random_density(rng, num_qubits)
+        structured = lind.rhs(0.0, rho.reshape(-1))
+        dense = lind.superoperator() @ rho.reshape(-1)
+        assert np.max(np.abs(structured - dense)) < 1e-12
+
+    def test_pure_dissipation_no_hamiltonian(self, rng):
+        lind = Lindbladian(None, [("Y", 0, 0.3), ("Z", 1, 0.2)], num_qubits=2)
+        rho = random_density(rng, 2)
+        structured = lind.rhs(0.0, rho.reshape(-1))
+        dense = lind.superoperator() @ rho.reshape(-1)
+        assert np.max(np.abs(structured - dense)) < 1e-12
+
+    def test_rhs_preserves_trace_and_hermiticity(self, rng):
+        lind = Lindbladian.depolarizing(
+            2, 0.4, hamiltonian=Hamiltonian(PauliSum([(0.7, "ZZ"), (0.3, "XI")]))
+        )
+        rho = random_density(rng, 2)
+        derivative = lind.rhs(0.0, rho.reshape(-1)).reshape(4, 4)
+        assert abs(np.trace(derivative)) < 1e-12
+        assert np.max(np.abs(derivative - derivative.conj().T)) < 1e-12
+
+    def test_superoperator_cached_when_time_independent(self):
+        lind = Lindbladian.depolarizing(1, 0.3)
+        assert lind.superoperator() is lind.superoperator()
+
+
+class TestClosedFormAgreement:
+    def test_evolve_matches_expm_oracle(self, rng):
+        ham = Hamiltonian(PauliSum([(0.7, "ZZ"), (0.3, "XI")]))
+        lind = Lindbladian(ham, [("X", 0, 0.15), ("sigma_minus", 1, 0.25)])
+        rho0 = random_density(rng, 2)
+        result = evolve(lind, rho0, times=1.5, rtol=1e-10, atol=1e-12)
+        expected = lind.expm_evolve(rho0, 1.5)
+        assert np.max(np.abs(result.final_state.reshape(4, 4) - expected)) < 1e-8
+        assert result.invariant_drift < 1e-8
+
+
+class TestZeroDissipation:
+    """Satellite (c): with every rate zero, Lindblad evolution is unitary and
+    must match both Schrodinger integration and the compiled gate engine."""
+
+    def test_matches_schrodinger_projector(self, rng):
+        ham = Hamiltonian(PauliSum([(0.7, "ZZ"), (0.3, "XI"), (-0.4, "YY")]))
+        lind = Lindbladian(ham, [("X", 0, 0.0), ("Z", 1, 0.0)])
+        assert len(lind.jumps) == 0
+        psi0 = rng.normal(size=4) + 1j * rng.normal(size=4)
+        psi0 = psi0 / np.linalg.norm(psi0)
+        rho0 = np.outer(psi0, psi0.conj())
+        open_system = evolve(lind, rho0, times=2.0, rtol=1e-11, atol=1e-13)
+        closed_system = evolve(ham, psi0, times=2.0, rtol=1e-11, atol=1e-13)
+        psi = closed_system.final_state
+        projector = np.outer(psi, psi.conj())
+        diff = open_system.final_state.reshape(4, 4) - projector
+        assert np.max(np.abs(diff)) < 1e-9
+
+    def test_matches_compiled_unitary_engine(self):
+        # Diagonal H = 0.7 ZZ + 0.5 Z(qubit 1): exp(-i H t) is exactly the
+        # gate sequence rzz(2*0.7*t) rz(2*0.5*t) (rzz = exp(-i theta ZZ/2)).
+        time = 1.3
+        ham = Hamiltonian(PauliSum([(0.7, "ZZ"), (0.5, "ZI")]))
+        lind = Lindbladian(ham, [("Y", 0, 0.0)])
+        plus = np.full(4, 0.5, dtype=complex)
+        result = evolve(
+            lind, np.outer(plus, plus.conj()), times=time, rtol=1e-11, atol=1e-13
+        )
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(1)
+        circuit.rzz(2.0 * 0.7 * time, 0, 1)
+        circuit.rz(2.0 * 0.5 * time, 1)
+        psi = StatevectorSimulator(compiled=True).run(circuit).data
+        projector = np.outer(psi, psi.conj())
+        diff = result.final_state.reshape(4, 4) - projector
+        assert np.max(np.abs(diff)) < 1e-9
+
+
+class TestKrausOracle:
+    """Acceptance gate: the integrated depolarizing semigroup must match the
+    exact discrete-channel (Kraus) application of the density simulator."""
+
+    @pytest.mark.parametrize("rate,time", [(0.3, 1.0), (0.12, 2.5)])
+    def test_depolarizing_semigroup_matches_channel(self, rng, rate, time):
+        lind = Lindbladian.depolarizing(2, rate)
+        rho0 = random_density(rng, 2)
+        result = evolve(lind, rho0, times=time, rtol=1e-10, atol=1e-12)
+        # Integrated per-qubit map: p(t) = 3/4 (1 - exp(-4 rate t / 3)).
+        probability = 0.75 * (1.0 - np.exp(-4.0 * rate * time / 3.0))
+        channel = DepolarizingChannel(probability)
+        oracle = DensityMatrix(rho0, validate=False)
+        for qubit in range(2):
+            oracle = oracle.apply_channel(channel, qubit)
+        assert np.max(np.abs(result.final_state.reshape(4, 4) - oracle.data)) < 1e-8
+
+    def test_amplitude_damping_semigroup_matches_channel(self, rng):
+        rate, time = 0.4, 1.7
+        lind = Lindbladian(None, [("sigma_minus", 0, rate)], num_qubits=1)
+        rho0 = random_density(rng, 1)
+        result = evolve(lind, rho0, times=time, rtol=1e-10, atol=1e-12)
+        gamma = 1.0 - np.exp(-rate * time)
+        oracle = DensityMatrix(rho0, validate=False).apply_channel(
+            AmplitudeDampingChannel(gamma), 0
+        )
+        assert np.max(np.abs(result.final_state.reshape(2, 2) - oracle.data)) < 1e-8
+
+
+class TestFromNoiseModel:
+    def test_depolarizing_model_converts(self):
+        model = NoiseModel().add_channel(DepolarizingChannel(0.03))
+        lind = Lindbladian.from_noise_model(model, 2)
+        assert len(lind.jumps) == 6
+        labels = sorted({jump.label for jump in lind.jumps})
+        assert labels == ["X", "Y", "Z"]
+
+    def test_qubit_filter_selects_targets(self):
+        model = NoiseModel().add_channel(DepolarizingChannel(0.03), qubits=[1])
+        lind = Lindbladian.from_noise_model(model, 3)
+        assert {jump.qubits for jump in lind.jumps} == {(1,)}
+
+    def test_gate_filter_rejected(self):
+        model = NoiseModel().add_channel(DepolarizingChannel(0.03), gates=["cx"])
+        with pytest.raises(ConfigurationError, match="gate-clock"):
+            Lindbladian.from_noise_model(model, 2)
+
+    def test_multi_qubit_channel_rejected(self):
+        model = NoiseModel().add_channel(TwoQubitDepolarizingChannel(0.03))
+        with pytest.raises(ConfigurationError, match="jointly"):
+            Lindbladian.from_noise_model(model, 2)
+
+    def test_out_of_register_target_rejected(self):
+        model = NoiseModel().add_channel(DepolarizingChannel(0.03), qubits=[4])
+        with pytest.raises(ConfigurationError, match="outside"):
+            Lindbladian.from_noise_model(model, 2)
+
+    def test_round_trip_reproduces_discrete_channel(self, rng):
+        """exp(duration * L) of the converted model = one channel application."""
+        duration = 0.8
+        channel = DepolarizingChannel(0.05)
+        model = NoiseModel().add_channel(channel, qubits=[0])
+        lind = Lindbladian.from_noise_model(model, 1, duration=duration)
+        rho0 = random_density(rng, 1)
+        evolved = lind.expm_evolve(rho0, duration)
+        oracle = DensityMatrix(rho0, validate=False).apply_channel(channel, 0)
+        assert np.max(np.abs(evolved - oracle.data)) < 1e-12
+
+    def test_requires_noise_model(self):
+        with pytest.raises(ConfigurationError, match="NoiseModel"):
+            Lindbladian.from_noise_model({"rules": []}, 2)
+
+
+class TestDenseCeilings:
+    def test_superoperator_capped(self):
+        lind = Lindbladian.depolarizing(DENSE_SUPEROP_MAX_QUBITS + 1, 0.1)
+        with pytest.raises(ConfigurationError, match="dense superoperator"):
+            lind.superoperator()
+        # The structured path has no such ceiling.
+        rho = np.zeros((lind.dim, lind.dim), dtype=complex)
+        rho[0, 0] = 1.0
+        derivative = lind.rhs(0.0, rho.reshape(-1))
+        assert np.isfinite(derivative).all()
+
+    def test_expm_evolve_rejects_time_dependent(self):
+        from repro.dynamics import AnnealingSchedule
+
+        driver = Hamiltonian.transverse_field(2)
+        cost = Hamiltonian(PauliSum([(1.0, "ZZ")]))
+        generator = AnnealingSchedule.linear(1.0).interpolate(driver, cost)
+        lind = Lindbladian(generator, [("Z", 0, 0.1)])
+        assert lind.time_dependent
+        rho = np.eye(4, dtype=complex) / 4.0
+        with pytest.raises(ConfigurationError, match="time-independent"):
+            lind.expm_evolve(rho, 1.0)
+
+    def test_apply_density_shape_check(self):
+        lind = Lindbladian.depolarizing(2, 0.1)
+        with pytest.raises(SimulationError, match="density matrix"):
+            lind.apply_density(np.eye(3))

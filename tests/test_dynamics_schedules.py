@@ -1,0 +1,146 @@
+"""Annealing schedules and the schedule-interpolated Hamiltonian."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics import (
+    AnnealingSchedule,
+    Hamiltonian,
+    InterpolatedHamiltonian,
+    LinearSchedule,
+    PiecewiseLinearSchedule,
+    SmoothSchedule,
+)
+from repro.exceptions import ConfigurationError
+from repro.quantum.operators import PauliSum
+
+
+class TestScheduleShapes:
+    def test_linear_ramp(self):
+        ramp = AnnealingSchedule.linear(10.0)
+        assert ramp.s(0.0) == 0.0
+        assert ramp.s(5.0) == 0.5
+        assert ramp.s(10.0) == 1.0
+
+    def test_smooth_ramp_midpoint_and_flat_ends(self):
+        ramp = AnnealingSchedule.smooth(10.0)
+        assert ramp.s(5.0) == pytest.approx(0.5)
+        # Zero endpoint slope: near-boundary values hug the endpoints.
+        assert ramp.s(0.1) < 0.001
+        assert ramp.s(9.9) > 0.999
+
+    def test_clamping_outside_span(self):
+        ramp = AnnealingSchedule.linear(4.0)
+        assert ramp.s(-3.0) == 0.0
+        assert ramp.s(99.0) == 1.0
+
+    def test_piecewise_interpolates_with_pause(self):
+        ramp = AnnealingSchedule.piecewise(
+            [(0.0, 0.0), (2.0, 0.5), (4.0, 0.5), (6.0, 1.0)]
+        )
+        assert ramp.total_time == 6.0
+        assert ramp.s(1.0) == pytest.approx(0.25)
+        assert ramp.s(3.0) == pytest.approx(0.5)  # the pause holds
+        assert ramp.s(5.0) == pytest.approx(0.75)
+
+    def test_samples_rows(self):
+        rows = AnnealingSchedule.linear(2.0).samples(5)
+        assert rows.shape == (5, 2)
+        assert np.allclose(rows[:, 0], [0.0, 0.5, 1.0, 1.5, 2.0])
+        assert np.allclose(rows[:, 1], [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_samples_needs_two_points(self):
+        with pytest.raises(ConfigurationError, match="samples"):
+            AnnealingSchedule.linear(2.0).samples(1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("total_time", [0.0, -1.0, float("nan"), float("inf")])
+    def test_total_time_must_be_positive_finite(self, total_time):
+        with pytest.raises(ConfigurationError, match="total_time"):
+            LinearSchedule(total_time)
+
+    def test_piecewise_must_start_at_origin(self):
+        with pytest.raises(ConfigurationError, match=r"\(0, 0\)"):
+            PiecewiseLinearSchedule([(1.0, 0.0), (2.0, 1.0)])
+
+    def test_piecewise_must_reach_one(self):
+        with pytest.raises(ConfigurationError, match="s=1"):
+            PiecewiseLinearSchedule([(0.0, 0.0), (2.0, 0.8)])
+
+    def test_piecewise_times_strictly_increasing(self):
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            PiecewiseLinearSchedule([(0.0, 0.0), (2.0, 0.5), (2.0, 1.0)])
+
+    def test_piecewise_monotone_s(self):
+        with pytest.raises(ConfigurationError, match="monotone"):
+            PiecewiseLinearSchedule([(0.0, 0.0), (1.0, 0.7), (2.0, 0.3), (3.0, 1.0)])
+
+    def test_piecewise_needs_two_points(self):
+        with pytest.raises(ConfigurationError, match="control points"):
+            PiecewiseLinearSchedule([(0.0, 0.0)])
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            LinearSchedule(3.0),
+            SmoothSchedule(7.5),
+            PiecewiseLinearSchedule([(0.0, 0.0), (1.0, 0.25), (4.0, 1.0)]),
+        ],
+    )
+    def test_round_trip(self, schedule):
+        rebuilt = AnnealingSchedule.from_dict(schedule.to_dict())
+        assert rebuilt == schedule
+        assert rebuilt.payload() == schedule.payload()
+        assert hash(rebuilt) == hash(schedule)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown schedule kind"):
+            AnnealingSchedule.from_dict({"kind": "exponential", "total_time": 1.0})
+
+    def test_different_kinds_compare_unequal(self):
+        assert LinearSchedule(3.0) != SmoothSchedule(3.0)
+        assert LinearSchedule(3.0) != LinearSchedule(4.0)
+
+
+class TestInterpolatedHamiltonian:
+    def setup_method(self):
+        self.driver = Hamiltonian.transverse_field(2)
+        self.cost = Hamiltonian(PauliSum([(1.0, "ZZ")]))
+
+    def test_weights_track_schedule(self):
+        generator = LinearSchedule(10.0).interpolate(self.driver, self.cost)
+        assert generator.weights(0.0) == (1.0, 0.0)
+        assert generator.weights(5.0) == (0.5, 0.5)
+        assert generator.weights(10.0) == (0.0, 1.0)
+        assert generator.time_dependent is True
+        assert generator.total_time == 10.0
+
+    def test_apply_blends_endpoint_generators(self, rng):
+        generator = LinearSchedule(10.0).interpolate(self.driver, self.cost)
+        state = rng.normal(size=4) + 1j * rng.normal(size=4)
+        expected = 0.5 * self.driver.apply(state) + 0.5 * self.cost.apply(state)
+        assert np.allclose(generator.apply(state, 5.0), expected, atol=1e-12)
+        # Endpoint short-circuits: pure driver at t=0, pure cost at t=T.
+        assert np.allclose(generator.apply(state, 0.0), self.driver.apply(state))
+        assert np.allclose(generator.apply(state, 10.0), self.cost.apply(state))
+
+    def test_hamiltonian_snapshot_matches_weights(self):
+        generator = LinearSchedule(10.0).interpolate(self.driver, self.cost)
+        frozen = generator.hamiltonian(2.5)
+        reference = 0.75 * self.driver.matrix() + 0.25 * self.cost.matrix()
+        assert np.allclose(frozen.matrix(), reference, atol=1e-12)
+
+    def test_register_mismatch_raises(self):
+        with pytest.raises(ConfigurationError, match="qubits"):
+            InterpolatedHamiltonian(
+                Hamiltonian.transverse_field(3), self.cost, LinearSchedule(1.0)
+            )
+
+    def test_requires_hamiltonians_and_schedule(self):
+        with pytest.raises(ConfigurationError, match="Hamiltonians"):
+            InterpolatedHamiltonian("driver", self.cost, LinearSchedule(1.0))
+        with pytest.raises(ConfigurationError, match="AnnealingSchedule"):
+            InterpolatedHamiltonian(self.driver, self.cost, 10.0)

@@ -60,6 +60,27 @@ class TestBackendRegistry:
         with pytest.raises(ConfigurationError, match="circuit"):
             get_backend("gpu")
 
+    def test_unknown_backend_error_points_at_available_backends(self):
+        # The message must both enumerate the registered names and point to
+        # the discovery helper, so a typo is self-diagnosing.
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_backend("gpu")
+        message = str(excinfo.value)
+        for name in available_backends():
+            assert name in message
+        assert "available_backends" in message
+
+    def test_unknown_backend_rejected_at_context_construction(self):
+        with pytest.raises(ConfigurationError, match="available_backends"):
+            ExecutionContext(backend="not-a-backend")
+
+    def test_continuous_capability_flags(self):
+        backends = available_backends()
+        assert backends["circuit"].supports_continuous
+        assert not backends["fast"].supports_continuous
+        assert "supports_continuous" in get_backend("circuit").capabilities()
+        assert "continuous" in repr(get_backend("circuit"))
+
     def test_register_backend_rejects_duplicates_and_junk(self):
         with pytest.raises(ConfigurationError):
             register_backend(object())

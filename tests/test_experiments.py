@@ -204,3 +204,53 @@ class TestReporting:
     def test_registry_contains_all_paper_artifacts(self):
         for name in ("figure1c", "figure2", "figure3", "figure5", "figure6", "table1"):
             assert name in EXPERIMENT_RUNNERS
+
+
+class TestDissipationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments.dissipation_sweep import run_dissipation_sweep
+
+        config = ExperimentConfig(num_nodes=4, seed=5)
+        return run_dissipation_sweep(
+            config,
+            dissipation_rates=(0.0, 0.1),
+            anneal_times=(1.0, 8.0),
+            num_graphs=2,
+            rtol=1e-6,
+            atol=1e-8,
+        )
+
+    def test_table_shape(self, sweep):
+        assert len(list(sweep.table)) == 4  # 2 rates x 2 times
+        assert sweep.num_graphs == 2
+        row = sweep.row(0.0, 1.0)
+        assert row["num_graphs"] == 2
+        assert "rate" in sweep.to_text()
+
+    def test_closed_system_improves_with_time(self, sweep):
+        assert sweep.mean_ratio(0.0, 8.0) > sweep.mean_ratio(0.0, 1.0)
+        assert sweep.best_anneal_time(0.0) == 8.0
+
+    def test_dissipation_degrades_long_anneals(self, sweep):
+        assert sweep.ratio_degradation(0.1, 8.0) > 0.0
+        assert sweep.mean_ratio(0.1, 8.0) < sweep.mean_ratio(0.0, 8.0)
+
+    def test_validation(self):
+        from repro.experiments.dissipation_sweep import run_dissipation_sweep
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            run_dissipation_sweep(dissipation_rates=())
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            run_dissipation_sweep(dissipation_rates=(-0.1,))
+        with pytest.raises(ConfigurationError, match="capped"):
+            run_dissipation_sweep(
+                ExperimentConfig(num_nodes=13),
+                dissipation_rates=(0.1,),
+            )
+
+    def test_unknown_row_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.row(0.5, 1.0)
+        with pytest.raises(KeyError):
+            sweep.best_anneal_time(0.7)

@@ -46,6 +46,11 @@ PUBLIC_API_SNAPSHOT = sorted(
         "parse_qasm",
         "CircuitIR",
         "CircuitExpectationEvaluator",
+        # Continuous-time dynamics.
+        "AnnealingSolver",
+        "AnnealingSchedule",
+        "Lindbladian",
+        "evolve",
         # Service tier.
         "SolverService",
         "JobHandle",
@@ -150,7 +155,8 @@ class TestLazyLoading:
         script = (
             "import sys; import repro; "
             "heavy = [m for m in ('scipy', 'repro.api', 'repro.service', "
-            "'repro.qaoa', 'repro.prediction', 'repro.acceleration') "
+            "'repro.qaoa', 'repro.prediction', 'repro.acceleration', "
+            "'repro.dynamics') "
             "if m in sys.modules]; "
             "sys.exit(1 if heavy else 0)"
         )

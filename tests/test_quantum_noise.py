@@ -15,11 +15,13 @@ from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.density import DensityMatrixSimulator
 from repro.quantum.noise import (
     AmplitudeDampingApprox,
+    AmplitudeDampingChannel,
     BitFlip,
     DepolarizingChannel,
     NoiseModel,
     PauliChannel,
     PhaseFlip,
+    QuantumChannel,
     apply_pauli,
 )
 from repro.quantum.operators import PauliSum
@@ -422,3 +424,101 @@ class TestFastBackendNoise:
         noisy = evaluator.noisy_statevector(parameters, model, rng=0)
         exact = evaluator.statevector(parameters)
         assert np.allclose(noisy.data, exact.data, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Lindblad-rate round trips (continuous <-> discrete channel forms)
+# ---------------------------------------------------------------------------
+
+class TestLindbladRates:
+    @pytest.mark.parametrize("duration", [1.0, 0.25, 3.0])
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            DepolarizingChannel(0.03),
+            PauliChannel(0.02, 0.03, 0.05),
+            BitFlip(0.08),
+            PhaseFlip(0.11),
+        ],
+        ids=["depol", "mixed", "bitflip", "phaseflip"],
+    )
+    def test_pauli_round_trip(self, channel, duration):
+        rates = channel.lindblad_rates(duration)
+        assert all(rate > 0.0 for rate in rates.values())
+        restored = QuantumChannel.from_lindblad_rates(rates, duration)
+        assert np.allclose(
+            restored.pauli_probabilities(), channel.pauli_probabilities(), atol=1e-12
+        )
+
+    @pytest.mark.parametrize("gamma", [0.05, 0.2, 0.9])
+    def test_amplitude_damping_round_trip(self, gamma):
+        channel = AmplitudeDampingChannel(gamma)
+        rates = channel.lindblad_rates(0.5)
+        assert set(rates) == {"sigma_minus"}
+        restored = QuantumChannel.from_lindblad_rates(rates, 0.5)
+        assert restored.gamma == pytest.approx(gamma, abs=1e-12)
+
+    def test_identity_channels_round_trip_through_empty_table(self):
+        assert PauliChannel(0.0, 0.0, 0.0).lindblad_rates() == {}
+        assert AmplitudeDampingChannel(0.0).lindblad_rates() == {}
+        restored = QuantumChannel.from_lindblad_rates({})
+        assert restored.error_probability == 0.0
+
+    def test_zero_rates_dropped(self):
+        rates = BitFlip(0.08).lindblad_rates()
+        assert set(rates) == {"X"}
+
+    def test_semigroup_semantics_compose(self):
+        # exp(2t D) = exp(t D) applied twice: rates halve when the duration
+        # doubles, and the two-step composition reproduces the channel.
+        channel = DepolarizingChannel(0.06)
+        rates_1 = channel.lindblad_rates(1.0)
+        rates_2 = channel.lindblad_rates(2.0)
+        for label in rates_1:
+            assert rates_2[label] == pytest.approx(rates_1[label] / 2.0, rel=1e-12)
+        half = QuantumChannel.from_lindblad_rates(rates_2, 1.0)
+        composed = np.zeros((4, 4), dtype=complex)
+        for left in half.kraus_operators():
+            for right in half.kraus_operators():
+                op = left @ right
+                composed += np.kron(op, op.conj())
+        full = channel.superoperator()
+        assert np.allclose(composed, full, atol=1e-12)
+
+    def test_too_strong_pauli_channel_rejected(self):
+        # p = 3/4 is the fully depolarizing fixed point: lam = 0 has no
+        # finite-rate generator.
+        with pytest.raises(ConfigurationError, match="no Lindblad-rate form"):
+            DepolarizingChannel(0.75).lindblad_rates()
+
+    def test_non_divisible_pauli_channel_rejected(self):
+        # X and Z errors but exactly zero Y would need a negative Y rate:
+        # the channel is a valid CPTP map but not exp(t*D) for any t.
+        with pytest.raises(ConfigurationError, match="negative"):
+            PauliChannel(0.02, 0.0, 0.05).lindblad_rates()
+
+    def test_complete_relaxation_rejected(self):
+        with pytest.raises(ConfigurationError, match="finite sigma_minus"):
+            AmplitudeDampingChannel(1.0).lindblad_rates()
+
+    def test_base_class_has_no_jump_form(self):
+        kraus_only = QuantumChannel(
+            [np.eye(2, dtype=complex)], name="custom-identity"
+        )
+        with pytest.raises(ConfigurationError, match="no known jump-operator"):
+            kraus_only.lindblad_rates()
+
+    def test_from_rates_validation(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            QuantumChannel.from_lindblad_rates({"X": 0.1}, 0.0)
+        with pytest.raises(ConfigurationError, match="must be finite"):
+            QuantumChannel.from_lindblad_rates({"X": -0.1})
+        with pytest.raises(ConfigurationError, match="unknown jump label"):
+            QuantumChannel.from_lindblad_rates({"sigma_plus": 0.1})
+        with pytest.raises(ConfigurationError, match="cannot mix"):
+            QuantumChannel.from_lindblad_rates({"X": 0.1, "sigma_minus": 0.1})
+
+    def test_single_jump_convenience(self):
+        channel = QuantumChannel.from_lindblad_rate("X", 0.3, 2.0)
+        recovered = channel.lindblad_rates(2.0)
+        assert recovered["X"] == pytest.approx(0.3, rel=1e-12)
